@@ -1,0 +1,98 @@
+// Command hilbench regenerates the paper's HIL evaluation (RQ2):
+//
+//	Table III — MLS-V3's success / collision / poor-landing rates when the
+//	            landing stack runs under the Jetson Nano MAXN compute
+//	            budget: stretched perception and replanning cadences plus
+//	            sense-to-act latency.
+//
+// It also reports the resource picture (CPU saturation, ~2.2 GB of the
+// 2.9 GB available) that §V-B attributes the degradation to.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hil"
+	"repro/internal/scenario"
+	"repro/internal/worldgen"
+)
+
+func main() {
+	maps := flag.Int("maps", 10, "number of benchmark maps to run (1-10)")
+	scenarios := flag.Int("scenarios", worldgen.NumScenariosPerMap, "scenarios per map (1-10)")
+	repeats := flag.Int("repeats", 1, "sensor-seed repetitions per scenario")
+	mode := flag.String("mode", "maxn", "power mode: maxn or 5w")
+	verbose := flag.Bool("v", false, "print per-run results")
+	flag.Parse()
+
+	profile := hil.JetsonNanoMAXN()
+	if *mode == "5w" {
+		profile = hil.JetsonNano5W()
+	}
+	costs := hil.NanoCosts()
+	plan := hil.DerivePlan(profile, costs)
+
+	fmt.Printf("HIL benchmark on %s: CPU demand %.0f%% of capacity\n", profile.Name, 100*plan.CPUDemand)
+	fmt.Printf("  detect period %.2fs (SIL %.2fs), replan interval %.2fs (SIL 0.60s), latency %d ticks\n\n",
+		plan.Timing.DetectPeriod, scenario.SILTiming().DetectPeriod,
+		plan.ReplanInterval, plan.Timing.CommandLatencyTicks)
+
+	start := time.Now()
+	var results []scenario.Result
+	var meanCPU, meanMem, peakMem float64
+	runs := 0
+	for mi := 0; mi < *maps; mi++ {
+		for si := 0; si < *scenarios; si++ {
+			for rep := 0; rep < *repeats; rep++ {
+				sc, err := worldgen.Generate(mi, si)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "hilbench:", err)
+					os.Exit(1)
+				}
+				seed := int64(mi)*1_000_003 + int64(si)*9_176 + int64(rep)*77_711 + 300
+				sys, err := scenario.BuildSystem(core.V3, sc, seed)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "hilbench:", err)
+					os.Exit(1)
+				}
+				sys.SetReplanInterval(plan.ReplanInterval)
+				sys.SetGuardInterval(plan.GuardInterval)
+				mon := hil.NewMonitor(profile, costs)
+				cfg := scenario.DefaultRunConfig(seed)
+				cfg.Timing = plan.Timing
+				cfg.Observer = mon
+				r := scenario.Run(sc, sys, cfg)
+				results = append(results, r)
+				runs++
+				meanCPU += mon.MeanCPU()
+				meanMem += mon.MeanMemMB()
+				if _, m := mon.Peak(); m > peakMem {
+					peakMem = m
+				}
+				if *verbose {
+					fmt.Printf("  map%d sc%d rep%d: %s (%.1fs)\n", mi, si, rep, r.Outcome, r.Duration)
+				}
+			}
+		}
+	}
+	agg := scenario.Summarize("MLS-V3", results)
+
+	fmt.Printf("completed %d runs in %.1fs\n\n", runs, time.Since(start).Seconds())
+	fmt.Println("Table III — Experiment Results of HIL Testing")
+	fmt.Printf("%-10s %-22s %-26s %-26s\n", "System", "Successful Landing", "Failure (Collision)", "Failure (Poor Landing)")
+	fmt.Printf("%-10s %20.2f%% %24.2f%% %24.2f%%\n",
+		agg.System, agg.SuccessRate(), agg.CollisionRate(), agg.PoorLandingRate())
+
+	if runs > 0 {
+		fmt.Printf("\nResource summary (%s):\n", profile.Name)
+		fmt.Printf("  mean CPU %.0f%% of %d00%% aggregate; mean RAM %.2f GB, peak %.2f GB of %.1f GB available\n",
+			meanCPU/float64(runs), profile.Cores,
+			meanMem/float64(runs)/1000, peakMem/1000, float64(profile.MemTotalMB)/1000)
+	}
+	fmt.Printf("\nAuxiliary: FNR %.2f%%, mean landing error %.2f m\n",
+		100*agg.FalseNegativeRate, agg.MeanLandingError)
+}

@@ -1,0 +1,194 @@
+// Command mapview renders a benchmark world as ASCII art: obstacle heights,
+// water, the landing marker and decoys, the mission geometry, and (with
+// -plan) the route each generation's planner would fly against a fully
+// observed map — a quick way to inspect why a scenario is hard.
+//
+//	go run ./cmd/mapview -map 9 -scenario 3 -plan
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/geom"
+	"repro/internal/mapping"
+	"repro/internal/planning"
+	"repro/internal/vision"
+	"repro/internal/worldgen"
+)
+
+func main() {
+	mapIdx := flag.Int("map", 0, "map index 0-9")
+	scIdx := flag.Int("scenario", 0, "scenario index 0-9")
+	plan := flag.Bool("plan", false, "overlay planner routes (A* and RRT*)")
+	framePath := flag.String("frame", "", "also write the downward camera view over the marker as PGM")
+	frameAlt := flag.Float64("alt", 12, "camera altitude for -frame")
+	flag.Parse()
+
+	sc, err := worldgen.Generate(*mapIdx, *scIdx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mapview:", err)
+		os.Exit(1)
+	}
+	w := sc.World
+
+	const cell = 2.0 // meters per character
+	minX, maxX := -90.0, 90.0
+	minY, maxY := -90.0, 90.0
+	cols := int((maxX - minX) / cell)
+	rows := int((maxY - minY) / cell)
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = make([]byte, cols)
+		for c := range grid[r] {
+			grid[r][c] = '.'
+		}
+	}
+	put := func(x, y float64, ch byte) {
+		c := int((x - minX) / cell)
+		r := int((maxY - y) / cell) // north up
+		if r >= 0 && r < rows && c >= 0 && c < cols {
+			grid[r][c] = ch
+		}
+	}
+
+	// Terrain layers, lowest first so taller things overwrite.
+	for _, wa := range w.Water {
+		for x := wa.Min.X; x <= wa.Max.X; x += cell {
+			for y := wa.Min.Y; y <= wa.Max.Y; y += cell {
+				put(x, y, '~')
+			}
+		}
+	}
+	for _, t := range w.Trees {
+		ch := byte('t')
+		if t.TopZ > 12 {
+			ch = 'T' // above the shared search altitude
+		}
+		for x := t.Center.X - t.Radius; x <= t.Center.X+t.Radius; x += cell {
+			for y := t.Center.Y - t.Radius; y <= t.Center.Y+t.Radius; y += cell {
+				put(x, y, ch)
+			}
+		}
+	}
+	for _, b := range w.Buildings {
+		ch := byte('b')
+		if b.Max.Z > 12 {
+			ch = 'B'
+		}
+		for x := b.Min.X; x <= b.Max.X; x += cell {
+			for y := b.Min.Y; y <= b.Max.Y; y += cell {
+				put(x, y, ch)
+			}
+		}
+	}
+
+	// Planner overlays against a fully observed octree (oracle map).
+	if *plan {
+		oracle := buildOracleMap(sc)
+		start := geom.V3(0, 0, 12)
+		goal := sc.TrueMarker.WithZ(12)
+		if path, err := planning.NewAStar(planning.DefaultAStarConfig()).
+			Plan(start, goal, oracle); err == nil {
+			drawPath(put, path, 'a')
+		} else {
+			fmt.Printf("A* failed: %v\n", err)
+		}
+		if path, err := planning.NewRRTStar(planning.DefaultRRTStarConfig(), 1).
+			Plan(start, goal, oracle); err == nil {
+			drawPath(put, path, 'r')
+		} else {
+			fmt.Printf("RRT* failed: %v\n", err)
+		}
+	}
+
+	// Mission geometry last.
+	for _, m := range w.Markers[1:] {
+		put(m.Center.X, m.Center.Y, 'x') // decoys
+	}
+	put(0, 0, 'S')
+	put(sc.GPSGoal.X, sc.GPSGoal.Y, 'G')
+	put(sc.TrueMarker.X, sc.TrueMarker.Y, 'M')
+
+	if *framePath != "" {
+		if err := writeMarkerFrame(sc, *framePath, *frameAlt); err != nil {
+			fmt.Fprintln(os.Stderr, "mapview:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("downward frame at %.0fm over the marker written to %s\n", *frameAlt, *framePath)
+	}
+
+	fmt.Printf("%s scenario %d — %s weather; marker ID %d\n",
+		sc.Map.Name, sc.Index, weatherWord(sc), sc.TargetID)
+	fmt.Printf("S=start G=gps-goal M=marker x=decoy  b/B=building t/T=tree (capital: above 12 m)  ~=water")
+	if *plan {
+		fmt.Printf("  a=A* r=RRT*")
+	}
+	fmt.Println()
+	for _, row := range grid {
+		fmt.Println(string(row))
+	}
+}
+
+func weatherWord(sc *worldgen.Scenario) string {
+	if sc.Weather.Adverse() {
+		return "adverse"
+	}
+	return "normal"
+}
+
+// buildOracleMap inserts every obstacle surface into an octree, as if the
+// world had been fully surveyed.
+func buildOracleMap(sc *worldgen.Scenario) mapping.Map {
+	o := mapping.NewOctree(geom.V3(0, 0, 16), 160, 0.5, 1.0)
+	for _, b := range sc.World.Buildings {
+		for x := b.Min.X; x <= b.Max.X; x += 0.45 {
+			for y := b.Min.Y; y <= b.Max.Y; y += 0.45 {
+				for z := b.Min.Z + 0.25; z <= b.Max.Z; z += 0.45 {
+					p := geom.V3(x, y, z)
+					o.InsertRay(p, p, true)
+				}
+			}
+		}
+	}
+	for _, t := range sc.World.Trees {
+		for dx := -t.Radius; dx <= t.Radius; dx += 0.45 {
+			for dy := -t.Radius; dy <= t.Radius; dy += 0.45 {
+				if dx*dx+dy*dy > t.Radius*t.Radius {
+					continue
+				}
+				for z := 0.25; z <= t.TopZ; z += 0.45 {
+					p := geom.V3(t.Center.X+dx, t.Center.Y+dy, z)
+					o.InsertRay(p, p, true)
+				}
+			}
+		}
+	}
+	return o
+}
+
+func drawPath(put func(x, y float64, ch byte), path []geom.Vec3, ch byte) {
+	for i := 1; i < len(path); i++ {
+		a, b := path[i-1], path[i]
+		n := int(a.Dist(b)/1.0) + 1
+		for k := 0; k <= n; k++ {
+			p := a.Lerp(b, float64(k)/float64(n))
+			put(p.X, p.Y, ch)
+		}
+	}
+}
+
+// writeMarkerFrame renders the downward camera view over the true marker
+// under the scenario's weather and writes it as a PGM image.
+func writeMarkerFrame(sc *worldgen.Scenario, path string, alt float64) error {
+	cam := vision.DefaultCamera()
+	cam.Pos = sc.TrueMarker.WithZ(alt)
+	im := sc.World.SceneNear(cam.Pos, cam.GroundFootprint(alt)*0.75+3).Render(cam)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return im.WritePGM(f)
+}

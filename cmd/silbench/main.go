@@ -1,0 +1,94 @@
+// Command silbench regenerates the paper's SIL evaluation (RQ1):
+//
+//	Table I  — success / collision-failure / poor-landing rates of
+//	           MLS-V1, MLS-V2 and MLS-V3 over the 10-map × 10-scenario
+//	           benchmark, repeated -repeats times.
+//	Table II — the marker detectors' false-negative rates over all
+//	           marker-visible frames of the same runs.
+//
+// Absolute percentages depend on the synthetic substrate; the comparisons
+// that must hold are the orderings and rough factors (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/worldgen"
+)
+
+func main() {
+	maps := flag.Int("maps", 10, "number of benchmark maps to run (1-10)")
+	scenarios := flag.Int("scenarios", worldgen.NumScenariosPerMap, "scenarios per map (1-10)")
+	repeats := flag.Int("repeats", 3, "sensor-seed repetitions per scenario (paper: 3)")
+	gens := flag.String("systems", "1,2,3", "comma-separated system generations to run")
+	verbose := flag.Bool("v", false, "print per-run results")
+	flag.Parse()
+
+	if *maps < 1 || *maps > 10 || *scenarios < 1 || *scenarios > worldgen.NumScenariosPerMap {
+		fmt.Fprintln(os.Stderr, "silbench: -maps must be 1-10 and -scenarios 1-10")
+		os.Exit(2)
+	}
+
+	var selected []core.Generation
+	for _, c := range *gens {
+		switch c {
+		case '1':
+			selected = append(selected, core.V1)
+		case '2':
+			selected = append(selected, core.V2)
+		case '3':
+			selected = append(selected, core.V3)
+		}
+	}
+
+	fmt.Printf("SIL benchmark: %d maps x %d scenarios x %d repeats\n\n",
+		*maps, *scenarios, *repeats)
+
+	var rows []scenario.Aggregate
+	for _, gen := range selected {
+		start := time.Now()
+		results, err := scenario.Batch(gen, *maps, *scenarios, *repeats, scenario.SILTiming(),
+			func(mi, si, rep int, r scenario.Result) {
+				if *verbose {
+					fmt.Printf("  %s map%d sc%d rep%d: %s (%.1fs)\n",
+						gen, mi, si, rep, r.Outcome, r.Duration)
+				}
+			})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "silbench:", err)
+			os.Exit(1)
+		}
+		agg := scenario.Summarize(gen.String(), results)
+		rows = append(rows, agg)
+		fmt.Printf("%s done in %.1fs\n", gen, time.Since(start).Seconds())
+	}
+
+	fmt.Println("\nTable I — Experiment Results of SIL Testing")
+	fmt.Printf("%-10s %-22s %-26s %-26s\n", "System", "Successful Landing", "Failure (Collision)", "Failure (Poor Landing)")
+	for _, a := range rows {
+		fmt.Printf("%-10s %20.2f%% %24.2f%% %24.2f%%\n",
+			a.System, a.SuccessRate(), a.CollisionRate(), a.PoorLandingRate())
+	}
+
+	fmt.Println("\nTable II — Marker Detection Results (false-negative rate)")
+	fmt.Printf("%-10s %-22s %-18s\n", "System", "Implementation", "FN Rate")
+	impl := map[string]string{
+		"MLS-V1": "OpenCV-classical",
+		"MLS-V2": "TPH-YOLO-equivalent",
+		"MLS-V3": "TPH-YOLO-equivalent",
+	}
+	for _, a := range rows {
+		fmt.Printf("%-10s %-22s %16.2f%%\n", a.System, impl[a.System], 100*a.FalseNegativeRate)
+	}
+
+	fmt.Println("\nAuxiliary metrics")
+	for _, a := range rows {
+		fmt.Printf("%-10s mean landing error %.2f m, mean detection deviation %.2f m\n",
+			a.System, a.MeanLandingError, a.MeanDetectionError)
+	}
+}

@@ -1,0 +1,241 @@
+package control
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/planning"
+)
+
+func TestEstimatorInitializesFromFirstFix(t *testing.T) {
+	e := NewEstimator(DefaultEstimatorConfig())
+	if e.Initialized() {
+		t.Fatal("fresh estimator claims initialized")
+	}
+	est := e.Update(Inputs{
+		Dt: 0.05, GPS: geom.V3(10, 5, 0), IMUVel: geom.V3(1, 0, 0),
+		LidarRange: 8, LidarOK: true,
+	})
+	if !e.Initialized() {
+		t.Fatal("not initialized after first update")
+	}
+	if est.Pos.X != 10 || est.Pos.Y != 5 || est.Pos.Z != 8 {
+		t.Errorf("initial estimate %v", est.Pos)
+	}
+}
+
+func TestEstimatorConvergesToGPS(t *testing.T) {
+	e := NewEstimator(DefaultEstimatorConfig())
+	truth := geom.V3(0, 0, 10)
+	for i := 0; i < 400; i++ {
+		e.Update(Inputs{
+			Dt: 0.05, GPS: truth, IMUVel: geom.Vec3{},
+			LidarRange: 10, LidarOK: true,
+		})
+	}
+	if d := e.Current().Pos.Dist(truth); d > 0.05 {
+		t.Errorf("steady-state error %v", d)
+	}
+}
+
+func TestEstimatorTracksGPSBias(t *testing.T) {
+	// The drift-sensitivity property: a biased GPS pulls the estimate to
+	// the biased position within seconds.
+	e := NewEstimator(DefaultEstimatorConfig())
+	truth := geom.V3(0, 0, 10)
+	bias := geom.V3(3, -2, 0)
+	for i := 0; i < 400; i++ {
+		e.Update(Inputs{
+			Dt: 0.05, GPS: truth.Add(bias), IMUVel: geom.Vec3{},
+			LidarRange: 10, LidarOK: true,
+		})
+	}
+	if d := e.Current().Pos.Dist(truth.Add(bias)); d > 0.1 {
+		t.Errorf("estimate did not follow bias: off by %v", d)
+	}
+}
+
+func TestEstimatorPrefersLidarAltitude(t *testing.T) {
+	e := NewEstimator(DefaultEstimatorConfig())
+	for i := 0; i < 400; i++ {
+		e.Update(Inputs{
+			Dt: 0.05, GPS: geom.V3(0, 0, 14), IMUVel: geom.Vec3{},
+			LidarRange: 10, LidarOK: true, BaroAlt: 13,
+		})
+	}
+	if z := e.Current().Pos.Z; math.Abs(z-10) > 0.3 {
+		t.Errorf("altitude %v, want lidar-dominated 10", z)
+	}
+	// Without lidar, baro/GPS blend takes over.
+	e2 := NewEstimator(DefaultEstimatorConfig())
+	for i := 0; i < 600; i++ {
+		e2.Update(Inputs{
+			Dt: 0.05, GPS: geom.V3(0, 0, 14), IMUVel: geom.Vec3{},
+			LidarOK: false, BaroAlt: 13,
+		})
+	}
+	if z := e2.Current().Pos.Z; z < 12.5 || z > 14.5 {
+		t.Errorf("baro altitude %v, want ~13-14", z)
+	}
+}
+
+func TestEstimatorRooftopBias(t *testing.T) {
+	// Flying over a 6m roof with LidarSurface unmodeled (0) biases the
+	// altitude estimate low — the realistic failure the core system must
+	// tolerate.
+	e := NewEstimator(DefaultEstimatorConfig())
+	for i := 0; i < 400; i++ {
+		e.Update(Inputs{
+			Dt: 0.05, GPS: geom.V3(0, 0, 12), IMUVel: geom.Vec3{},
+			LidarRange: 6, LidarOK: true, LidarSurface: 0, BaroAlt: 12,
+		})
+	}
+	if z := e.Current().Pos.Z; math.Abs(z-6) > 0.3 {
+		t.Errorf("altitude %v, want rooftop-biased ~6", z)
+	}
+}
+
+func TestEstimatorZeroDt(t *testing.T) {
+	e := NewEstimator(DefaultEstimatorConfig())
+	before := e.Current()
+	after := e.Update(Inputs{Dt: 0})
+	if before != after {
+		t.Error("zero-dt update changed state")
+	}
+}
+
+func TestFollowerTracksStraightLine(t *testing.T) {
+	tr := planning.BuildTrajectory(
+		[]geom.Vec3{{Z: 10}, {X: 20, Z: 10}},
+		planning.TrajectoryConfig{Speed: 4, DescentSpeed: 2},
+	)
+	f := NewFollower(DefaultFollowerConfig())
+	f.SetTrajectory(tr)
+
+	// Simulate a first-order vehicle.
+	pos := geom.V3(0, 0, 10)
+	vel := geom.Vec3{}
+	dt := 0.05
+	for i := 0; i < 400; i++ {
+		est := Estimate{Pos: pos, Vel: vel}
+		cmd := f.Command(dt, est)
+		vel = vel.Add(cmd.Sub(vel).Scale(dt / 0.4).ClampLen(4 * dt))
+		pos = pos.Add(vel.Scale(dt))
+	}
+	if d := pos.Dist(geom.V3(20, 0, 10)); d > 0.8 {
+		t.Errorf("final position %v, error %v", pos, d)
+	}
+	if !f.Done(Estimate{Pos: pos}, 1.0) {
+		t.Error("follower not done at end")
+	}
+}
+
+func TestFollowerInactive(t *testing.T) {
+	f := NewFollower(DefaultFollowerConfig())
+	if cmd := f.Command(0.05, Estimate{}); cmd != (geom.Vec3{}) {
+		t.Error("inactive follower commanded motion")
+	}
+	if !f.Done(Estimate{}, 1) {
+		t.Error("inactive follower not done")
+	}
+	f.SetTrajectory(planning.BuildTrajectory(
+		[]geom.Vec3{{}, {X: 5}}, planning.DefaultTrajectoryConfig()))
+	if !f.Active() {
+		t.Error("follower with trajectory inactive")
+	}
+	f.Stop()
+	if f.Active() {
+		t.Error("stopped follower active")
+	}
+	if cmd := f.Command(0.05, Estimate{}); cmd != (geom.Vec3{}) {
+		t.Error("stopped follower commanded motion")
+	}
+}
+
+func TestFollowerSpeedCap(t *testing.T) {
+	tr := planning.BuildTrajectory(
+		[]geom.Vec3{{}, {X: 100}},
+		planning.TrajectoryConfig{Speed: 50, DescentSpeed: 2}, // absurd speed
+	)
+	f := NewFollower(FollowerConfig{Kp: 2, MaxSpeed: 6})
+	f.SetTrajectory(tr)
+	cmd := f.Command(0.05, Estimate{Pos: geom.V3(-10, 0, 0)})
+	if cmd.Len() > 6+1e-9 {
+		t.Errorf("command %v exceeds cap", cmd.Len())
+	}
+}
+
+func TestHoverCommand(t *testing.T) {
+	cmd := HoverCommand(Estimate{Pos: geom.V3(0, 0, 10)}, geom.V3(1, 0, 10), 2, 6)
+	if math.Abs(cmd.X-2) > 1e-9 || cmd.Y != 0 || cmd.Z != 0 {
+		t.Errorf("hover cmd %v", cmd)
+	}
+	far := HoverCommand(Estimate{}, geom.V3(100, 0, 0), 2, 6)
+	if far.Len() > 6+1e-9 {
+		t.Errorf("hover cmd %v exceeds cap", far.Len())
+	}
+}
+
+func TestFollowerCornerOvershoot(t *testing.T) {
+	// Demonstrates the V3 failure mechanism: with weak corner slowdown,
+	// a laggy vehicle overshoots a sharp corner laterally.
+	corner := []geom.Vec3{{Z: 10}, {X: 12, Z: 10}, {X: 12, Y: 12, Z: 10}}
+	fast := planning.BuildTrajectory(corner, planning.TrajectoryConfig{
+		Speed: 6, CornerSlowdown: 0.05, DescentSpeed: 2})
+	slow := planning.BuildTrajectory(corner, planning.TrajectoryConfig{
+		Speed: 6, CornerSlowdown: 0.95, DescentSpeed: 2})
+
+	overshoot := func(tr planning.Trajectory) float64 {
+		f := NewFollower(FollowerConfig{Kp: 1.6, MaxSpeed: 8})
+		f.SetTrajectory(tr)
+		pos := geom.V3(0, 0, 10)
+		vel := geom.Vec3{}
+		worst := 0.0
+		dt := 0.05
+		for i := 0; i < 600; i++ {
+			cmd := f.Command(dt, Estimate{Pos: pos, Vel: vel})
+			// First-order lag vehicle, tau=0.55.
+			acc := cmd.Sub(vel).Scale(1 / 0.55).ClampLen(4)
+			vel = vel.Add(acc.Scale(dt))
+			pos = pos.Add(vel.Scale(dt))
+			// Overshoot = penetration beyond the corner's x extent.
+			if pos.X > 12 {
+				if d := pos.X - 12; d > worst {
+					worst = d
+				}
+			}
+		}
+		return worst
+	}
+	if ovFast, ovSlow := overshoot(fast), overshoot(slow); ovFast <= ovSlow+0.05 {
+		t.Errorf("fast-corner overshoot %v not worse than slow %v", ovFast, ovSlow)
+	}
+}
+
+func TestEstimatorGPSGainScaleCoast(t *testing.T) {
+	// With the gain scaled near zero the estimate coasts on velocity and
+	// ignores a GPS step change (the off-board relative mode).
+	e := NewEstimator(DefaultEstimatorConfig())
+	truth := geom.V3(0, 0, 5)
+	for i := 0; i < 200; i++ {
+		e.Update(Inputs{Dt: 0.05, GPS: truth, IMUVel: geom.Vec3{}, LidarRange: 5, LidarOK: true})
+	}
+	e.SetGPSGainScale(0.03)
+	// GPS jumps 3m (bias step); the coasting filter must barely move.
+	biased := truth.Add(geom.V3(3, 0, 0))
+	for i := 0; i < 100; i++ { // 5 seconds
+		e.Update(Inputs{Dt: 0.05, GPS: biased, IMUVel: geom.Vec3{}, LidarRange: 5, LidarOK: true})
+	}
+	if d := e.Current().Pos.HorizDist(truth); d > 0.6 {
+		t.Errorf("coasting estimate moved %.2f m toward the GPS step", d)
+	}
+	// Restoring full gain re-acquires the GPS solution.
+	e.SetGPSGainScale(1)
+	for i := 0; i < 400; i++ {
+		e.Update(Inputs{Dt: 0.05, GPS: biased, IMUVel: geom.Vec3{}, LidarRange: 5, LidarOK: true})
+	}
+	if d := e.Current().Pos.HorizDist(biased); d > 0.2 {
+		t.Errorf("restored gain did not converge: %.2f m off", d)
+	}
+}

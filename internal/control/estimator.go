@@ -1,0 +1,145 @@
+// Package control provides the PX4-equivalent flight-control substrate:
+// a complementary state estimator fusing GPS / IMU velocity / barometer /
+// lidar altitude, and a trajectory follower producing velocity commands.
+//
+// The estimator is deliberately drift-sensitive: GPS bias passes into the
+// position estimate with the same low-pass dynamics a real EKF exhibits,
+// which is the mechanism behind the paper's real-world GPS-drift findings
+// (§V-C, Fig. 5d): mapping corruption and landing offset.
+package control
+
+import (
+	"repro/internal/geom"
+)
+
+// EstimatorConfig tunes the fusion gains.
+type EstimatorConfig struct {
+	// GPSGain is the horizontal position correction rate (1/s).
+	GPSGain float64
+	// VelGain low-passes the IMU velocity (1/s).
+	VelGain float64
+	// AltLidarGain and AltBaroGain are vertical correction rates; lidar,
+	// when valid, dominates.
+	AltLidarGain, AltBaroGain float64
+}
+
+// DefaultEstimatorConfig returns gains comparable to a multirotor EKF's
+// effective bandwidth.
+func DefaultEstimatorConfig() EstimatorConfig {
+	return EstimatorConfig{
+		GPSGain:      1.2,
+		VelGain:      8,
+		AltLidarGain: 4,
+		AltBaroGain:  0.8,
+	}
+}
+
+// Estimate is the fused vehicle state.
+type Estimate struct {
+	Pos geom.Vec3
+	Vel geom.Vec3
+}
+
+// Estimator fuses sensors into a position/velocity estimate.
+type Estimator struct {
+	Cfg EstimatorConfig
+
+	est         Estimate
+	initialized bool
+	gpsScale    float64
+}
+
+// NewEstimator returns an estimator with the given config.
+func NewEstimator(cfg EstimatorConfig) *Estimator {
+	if cfg.GPSGain <= 0 {
+		cfg = DefaultEstimatorConfig()
+	}
+	return &Estimator{Cfg: cfg}
+}
+
+// Inputs is one sensor epoch.
+type Inputs struct {
+	Dt     float64
+	GPS    geom.Vec3
+	IMUVel geom.Vec3
+	// LidarRange is range-to-surface below; valid only when LidarOK.
+	LidarRange float64
+	LidarOK    bool
+	// LidarSurface is the assumed height of the surface below (0 for flat
+	// home terrain — rooftop overflight biases altitude, as in reality).
+	LidarSurface float64
+	BaroAlt      float64
+}
+
+// Update advances the filter one epoch and returns the new estimate.
+func (e *Estimator) Update(in Inputs) Estimate {
+	if in.Dt <= 0 {
+		return e.est
+	}
+	if !e.initialized {
+		e.est.Pos = in.GPS
+		if in.LidarOK {
+			e.est.Pos.Z = in.LidarSurface + in.LidarRange
+		} else {
+			e.est.Pos.Z = in.BaroAlt
+		}
+		e.est.Vel = in.IMUVel
+		e.initialized = true
+		return e.est
+	}
+
+	// Predict.
+	e.est.Pos = e.est.Pos.Add(e.est.Vel.Scale(in.Dt))
+
+	// Velocity low-pass toward IMU.
+	a := clamp01(e.Cfg.VelGain * in.Dt)
+	e.est.Vel = e.est.Vel.Lerp(in.IMUVel, a)
+
+	// Horizontal GPS correction.
+	scale := 1.0
+	if e.gpsScale > 0 {
+		scale = e.gpsScale
+	}
+	g := clamp01(e.Cfg.GPSGain * scale * in.Dt)
+	e.est.Pos.X += (in.GPS.X - e.est.Pos.X) * g
+	e.est.Pos.Y += (in.GPS.Y - e.est.Pos.Y) * g
+
+	// Vertical correction: lidar preferred, else baro + GPS z blend.
+	if in.LidarOK {
+		alt := in.LidarSurface + in.LidarRange
+		l := clamp01(e.Cfg.AltLidarGain * in.Dt)
+		e.est.Pos.Z += (alt - e.est.Pos.Z) * l
+	} else {
+		b := clamp01(e.Cfg.AltBaroGain * in.Dt)
+		e.est.Pos.Z += (in.BaroAlt - e.est.Pos.Z) * b
+		e.est.Pos.Z += (in.GPS.Z - e.est.Pos.Z) * g * 0.5
+	}
+	return e.est
+}
+
+// Current returns the latest estimate.
+func (e *Estimator) Current() Estimate { return e.est }
+
+// Initialized reports whether at least one epoch has been fused.
+func (e *Estimator) Initialized() bool { return e.initialized }
+
+// SetGPSGainScale scales the horizontal GPS correction gain; values near
+// zero make the filter coast on inertial velocity — the off-board
+// relative-positioning mode of the paper's §V-C (GPS drift stops entering
+// the estimate at the cost of slow inertial divergence). Zero restores 1.
+func (e *Estimator) SetGPSGainScale(s float64) {
+	if s < 0 {
+		s = 0.01
+	}
+	e.gpsScale = s
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

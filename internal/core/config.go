@@ -1,0 +1,241 @@
+// Package core implements the paper's primary contribution: the
+// multi-module marker-based autonomous landing system, centered on the
+// decision-making state machine of Fig. 2 (Search → Validation → Landing →
+// Final Descent, with Failsafe recovery), assembled in the three
+// generations Table I compares:
+//
+//   - MLS-V1: classical (OpenCV-style) detection, no mapping, straight-line
+//     flight.
+//   - MLS-V2: learned detection, EGO-style local grid + bounded A*, with
+//     the documented fallback to straight-line flight when the pool is
+//     exhausted.
+//   - MLS-V3: learned detection, global octree + RRT*, failing safe
+//     (aborting) rather than flying unsafe paths.
+//
+// The System consumes sensor epochs (it never touches simulator ground
+// truth) and emits velocity commands, so the same code runs under SIL, HIL
+// and field profiles.
+package core
+
+import (
+	"repro/internal/detect"
+	"repro/internal/geom"
+	"repro/internal/mapping"
+	"repro/internal/planning"
+	"repro/internal/vision"
+)
+
+// Generation identifies a system version in logs and result tables.
+type Generation int
+
+// The three evaluated generations.
+const (
+	V1 Generation = iota + 1
+	V2
+	V3
+)
+
+// String implements fmt.Stringer.
+func (g Generation) String() string {
+	switch g {
+	case V1:
+		return "MLS-V1"
+	case V2:
+		return "MLS-V2"
+	case V3:
+		return "MLS-V3"
+	default:
+		return "MLS-V?"
+	}
+}
+
+// PlannerFallback selects what the system does when planning fails.
+type PlannerFallback int
+
+// Fallback behaviors. The paper documents V2 "defaulting to unsafe
+// straight-line paths" and V3 aborting instead (safety over availability,
+// §III-D).
+const (
+	// FallbackStraight flies the direct line (MLS-V2 behavior).
+	FallbackStraight PlannerFallback = iota
+	// FallbackFailsafe aborts into the failsafe state (MLS-V3 behavior).
+	FallbackFailsafe
+)
+
+// Config parameterizes the decision module.
+type Config struct {
+	Generation Generation
+
+	// TargetID is the dictionary ID of the marker to land on.
+	TargetID int
+	// GPSGoal is the initial GPS estimate of the landing site.
+	GPSGoal geom.Vec3
+
+	// Camera is the downward camera intrinsics used for back-projection.
+	Camera vision.Camera
+
+	// SearchAltitude is the transit/search height above ground.
+	SearchAltitude float64
+	// SearchTimeout aborts a search episode after this many seconds.
+	SearchTimeout float64
+	// SpiralSpacing is the distance between successive spiral rings; it
+	// defaults to 75% of the camera footprint at search altitude.
+	SpiralSpacing float64
+	// SpiralMaxRadius bounds the search area around the GPS goal.
+	SpiralMaxRadius float64
+
+	// ValidationFrames is how many detection frames one validation episode
+	// evaluates; ValidationThreshold is the minimum number that must agree
+	// (same ID within ValidationRadius) to proceed to landing.
+	ValidationFrames    int
+	ValidationThreshold int
+	ValidationRadius    float64
+	// ValidationTimeout bounds one validation episode in seconds.
+	ValidationTimeout float64
+
+	// MinConfidence gates detections entering the decision layer.
+	MinConfidence float64
+
+	// DescentRate is the landing descent speed (m/s);
+	// FinalDescentAlt is the commit altitude of Fig. 2 ("within 1.5m").
+	DescentRate     float64
+	FinalDescentAlt float64
+	// MarkerVisibilityTimeout aborts landing when no fresh detection
+	// arrives for this many seconds (V2/V3 only).
+	MarkerVisibilityTimeout float64
+	// LandingAbortChecks enables the in-descent safety validation (map
+	// clearance + marker visibility). V1 has none.
+	LandingAbortChecks bool
+	// BrakeGuard enables the per-tick velocity-lookahead safety monitor
+	// that brakes and replans before entering inflated obstacles. Mapless
+	// V1 cannot have it; V2 suspends it on fallback paths.
+	BrakeGuard bool
+
+	// Fallback selects the planner-failure behavior.
+	Fallback PlannerFallback
+	// BBoxSafetyMargin, when positive, post-validates planned paths
+	// against a bounding-box-swollen obstacle footprint of this radius
+	// (requires Dependencies.LocalMap). MLS-V2's safety layer worked this
+	// way; in clutter it invalidates every A* path and triggers the
+	// documented unsafe straight-line fallback (paper Fig. 5a/6).
+	BBoxSafetyMargin float64
+	// ReplanInterval is how often transit trajectories are re-validated
+	// against the map (seconds). HIL compute pressure stretches this.
+	ReplanInterval float64
+	// GuardInterval is how often the brake-guard safety monitor runs;
+	// zero means every control tick (the SIL desktop). On a saturated
+	// edge board the monitor shares the starved perception/planning loop,
+	// so the HIL profile stretches it too.
+	GuardInterval float64
+
+	// MaxFailsafes bounds recovery attempts before the mission aborts.
+	MaxFailsafes int
+
+	// OffboardRelativeDescent enables the paper's §V-C mitigation: during
+	// final descent the controller holds zero horizontal velocity instead
+	// of chasing the drifting absolute position estimate, so GPS bias
+	// changes below the camera's blind altitude stop dragging the vehicle
+	// off the pad.
+	OffboardRelativeDescent bool
+
+	// CruiseSpeed and trajectory shaping.
+	Trajectory planning.TrajectoryConfig
+}
+
+// Dependencies are the swappable modules of Fig. 1.
+type Dependencies struct {
+	Detector detect.Detector
+	Map      mapping.Map
+	Planner  planning.Planner
+	// LocalMap, when non-nil, is re-centered on the vehicle every epoch
+	// (the LocalGrid of MLS-V2).
+	LocalMap *mapping.LocalGrid
+}
+
+// defaultConfig fills the fields shared by every generation.
+func defaultConfig(targetID int, gpsGoal geom.Vec3) Config {
+	cam := vision.DefaultCamera()
+	cfg := Config{
+		TargetID:                targetID,
+		GPSGoal:                 gpsGoal,
+		Camera:                  cam,
+		SearchAltitude:          12,
+		SearchTimeout:           70,
+		SpiralMaxRadius:         28,
+		ValidationFrames:        10,
+		ValidationThreshold:     6,
+		ValidationRadius:        1.6,
+		ValidationTimeout:       14,
+		MinConfidence:           0.42,
+		DescentRate:             0.9,
+		FinalDescentAlt:         1.5,
+		MarkerVisibilityTimeout: 3.0,
+		ReplanInterval:          0.6,
+		MaxFailsafes:            4,
+		Trajectory:              planning.DefaultTrajectoryConfig(),
+	}
+	cfg.SpiralSpacing = cam.GroundFootprint(cfg.SearchAltitude) * 0.75
+	return cfg
+}
+
+// NewV1 assembles the first-generation system: OpenCV-style detection,
+// no mapping, no avoidance, no landing aborts.
+func NewV1(targetID int, gpsGoal geom.Vec3, dict *vision.Dictionary) (*System, error) {
+	cfg := defaultConfig(targetID, gpsGoal)
+	cfg.Generation = V1
+	cfg.LandingAbortChecks = false
+	cfg.Fallback = FallbackStraight
+	// The classical detector undersamples the marker grid from the shared
+	// search altitude (its documented high-altitude weakness), so the
+	// first generation flew lower — which put it level with mature trees
+	// and mid-rise structures it had no means of avoiding.
+	cfg.SearchAltitude = 10
+	cfg.SpiralSpacing = cfg.Camera.GroundFootprint(cfg.SearchAltitude) * 0.75
+	deps := Dependencies{
+		Detector: detect.NewClassical(dict),
+		Map:      mapping.NullMap{},
+		Planner:  planning.StraightLine{},
+	}
+	return NewSystem(cfg, deps)
+}
+
+// NewV2 assembles the second generation: TPH-YOLO-equivalent detection,
+// EGO-style local grid with bounded A*, straight-line fallback.
+func NewV2(targetID int, gpsGoal geom.Vec3, dict *vision.Dictionary, seed int64) (*System, error) {
+	cfg := defaultConfig(targetID, gpsGoal)
+	cfg.Generation = V2
+	cfg.LandingAbortChecks = true
+	// V2 predates the V3 safety posture: no per-tick brake monitor, and a
+	// thinner inflation margin (the enlarged inflated boundaries of Fig. 6
+	// arrived with the third generation).
+	cfg.BrakeGuard = false
+	cfg.Fallback = FallbackStraight
+	cfg.BBoxSafetyMargin = 1.5
+	local := mapping.NewLocalGrid(geom.V3(44, 44, 26), 0.5, 0.6)
+	deps := Dependencies{
+		Detector: detect.NewLearnedV2(dict),
+		Map:      local,
+		LocalMap: local,
+		Planner:  planning.NewAStar(planning.DefaultAStarConfig()),
+	}
+	_ = seed
+	return NewSystem(cfg, deps)
+}
+
+// NewV3 assembles the third generation: recalibrated learned detection,
+// global octree with RRT*, abort-on-failure safety posture, and stricter
+// validation.
+func NewV3(targetID int, gpsGoal geom.Vec3, dict *vision.Dictionary, seed int64) (*System, error) {
+	cfg := defaultConfig(targetID, gpsGoal)
+	cfg.Generation = V3
+	cfg.LandingAbortChecks = true
+	cfg.BrakeGuard = true
+	cfg.Fallback = FallbackFailsafe
+	cfg.ValidationThreshold = 7
+	deps := Dependencies{
+		Detector: detect.NewLearnedV3(dict),
+		Map:      mapping.NewOctree(geom.V3(0, 0, 16), 160, 0.5, 1.0),
+		Planner:  planning.NewRRTStar(planning.DefaultRRTStarConfig(), seed),
+	}
+	return NewSystem(cfg, deps)
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// SpiralWaypoints generates the Archimedean spiral search pattern of the
+// Fig. 2 search state: waypoints at constant altitude winding outward from
+// center, with ring spacing matched to the camera footprint so successive
+// passes overlap, out to maxRadius.
+func SpiralWaypoints(center geom.Vec3, spacing, maxRadius float64) []geom.Vec3 {
+	if spacing <= 0 {
+		spacing = 6
+	}
+	if maxRadius < spacing {
+		maxRadius = spacing
+	}
+	// r = b*theta with b chosen so consecutive rings sit spacing apart.
+	b := spacing / (2 * math.Pi)
+	var out []geom.Vec3
+	out = append(out, center)
+	// Step along the spiral at roughly spacing*0.8 arc increments.
+	theta := spacing / b * 0.35 // skip the degenerate center turn-in
+	for {
+		r := b * theta
+		if r > maxRadius {
+			break
+		}
+		out = append(out, geom.V3(
+			center.X+r*math.Cos(theta),
+			center.Y+r*math.Sin(theta),
+			center.Z,
+		))
+		// Advance by arc length ds: dtheta = ds / r (for r >> b).
+		ds := spacing * 0.8
+		dtheta := ds / math.Max(r, spacing*0.5)
+		theta += dtheta
+	}
+	return out
+}

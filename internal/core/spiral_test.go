@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestSpiralStartsAtCenter(t *testing.T) {
+	c := geom.V3(10, -5, 12)
+	wps := SpiralWaypoints(c, 8, 30)
+	if len(wps) == 0 || wps[0] != c {
+		t.Fatalf("spiral start = %v", wps)
+	}
+}
+
+func TestSpiralStaysAtAltitudeAndInBounds(t *testing.T) {
+	c := geom.V3(0, 0, 12)
+	wps := SpiralWaypoints(c, 8, 30)
+	for i, w := range wps {
+		if w.Z != 12 {
+			t.Fatalf("waypoint %d altitude %v", i, w.Z)
+		}
+		if w.HorizDist(c) > 30+1e-9 {
+			t.Fatalf("waypoint %d radius %v exceeds max", i, w.HorizDist(c))
+		}
+	}
+}
+
+func TestSpiralRadiusMonotone(t *testing.T) {
+	c := geom.V3(0, 0, 12)
+	wps := SpiralWaypoints(c, 8, 30)
+	prev := -1.0
+	for i, w := range wps {
+		r := w.HorizDist(c)
+		if r < prev-1e-9 {
+			t.Fatalf("radius not monotone at %d: %v < %v", i, r, prev)
+		}
+		prev = r
+	}
+	// Must actually reach close to the max radius for coverage.
+	if prev < 30*0.8 {
+		t.Errorf("spiral only reaches %v of 30", prev)
+	}
+}
+
+func TestSpiralStepBounded(t *testing.T) {
+	// Consecutive waypoints should be close enough that the camera
+	// footprint overlaps between them.
+	spacing := 8.0
+	wps := SpiralWaypoints(geom.V3(0, 0, 12), spacing, 30)
+	for i := 1; i < len(wps); i++ {
+		d := wps[i].Dist(wps[i-1])
+		if d > spacing*1.6 {
+			t.Fatalf("gap %v between waypoints %d-%d", d, i-1, i)
+		}
+	}
+}
+
+func TestSpiralCoverage(t *testing.T) {
+	// Every ground point within the max radius should be within one
+	// footprint (spacing) of some waypoint.
+	spacing := 8.0
+	maxR := 28.0
+	wps := SpiralWaypoints(geom.V3(0, 0, 12), spacing, maxR)
+	for r := 0.0; r <= maxR-spacing; r += 3 {
+		for a := 0.0; a < 2*math.Pi; a += 0.4 {
+			p := geom.V3(r*math.Cos(a), r*math.Sin(a), 12)
+			best := math.Inf(1)
+			for _, w := range wps {
+				if d := w.HorizDist(p); d < best {
+					best = d
+				}
+			}
+			if best > spacing {
+				t.Fatalf("point r=%.1f a=%.1f is %v from nearest waypoint", r, a, best)
+			}
+		}
+	}
+}
+
+func TestSpiralDegenerateInputs(t *testing.T) {
+	wps := SpiralWaypoints(geom.V3(0, 0, 10), 0, 0)
+	if len(wps) == 0 {
+		t.Fatal("degenerate spiral empty")
+	}
+}

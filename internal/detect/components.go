@@ -1,0 +1,175 @@
+package detect
+
+import (
+	"math"
+
+	"repro/internal/vision"
+)
+
+// component is a connected dark region with the statistics the candidate
+// filters need.
+type component struct {
+	area          int
+	minX, minY    int
+	maxX, maxY    int
+	cx, cy        float64 // centroid
+	angle         float64 // min-area-rect orientation, radians in [0, pi/2)
+	width, height float64 // min-area-rect extents (width >= height)
+	pixels        []int   // linear indices into the mask, for moment math
+}
+
+// bboxW and bboxH return the axis-aligned bounding-box extents.
+func (c *component) bboxW() int { return c.maxX - c.minX + 1 }
+func (c *component) bboxH() int { return c.maxY - c.minY + 1 }
+
+// adaptiveThreshold returns a boolean mask of pixels darker than their
+// neighborhood mean by at least offset. window is the half-width of the
+// neighborhood. This mirrors OpenCV's ADAPTIVE_THRESH_MEAN_C binarization.
+func adaptiveThreshold(im *vision.Image, window int, offset float64) []bool {
+	ig := vision.NewIntegral(im)
+	mask := make([]bool, im.W*im.H)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			m := ig.BoxMean(x-window, y-window, x+window, y+window)
+			if im.Pix[y*im.W+x] < m-offset {
+				mask[y*im.W+x] = true
+			}
+		}
+	}
+	return mask
+}
+
+// findComponents labels 4-connected dark regions in the mask and returns
+// those within the plausible marker size band. The scratch queue is reused
+// across calls via the caller-owned buffer to keep the hot path allocation
+// light.
+func findComponents(mask []bool, w, h int) []*component {
+	if w == 0 || h == 0 {
+		return nil
+	}
+	maxArea := int(maxComponentFrac * float64(w*h))
+	visited := make([]bool, len(mask))
+	queue := make([]int, 0, 256)
+	var comps []*component
+	for start := range mask {
+		if !mask[start] || visited[start] {
+			continue
+		}
+		// BFS flood fill.
+		queue = queue[:0]
+		queue = append(queue, start)
+		visited[start] = true
+		c := &component{minX: w, minY: h}
+		var sx, sy float64
+		for len(queue) > 0 {
+			idx := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			x, y := idx%w, idx/w
+			c.area++
+			c.pixels = append(c.pixels, idx)
+			sx += float64(x)
+			sy += float64(y)
+			if x < c.minX {
+				c.minX = x
+			}
+			if x > c.maxX {
+				c.maxX = x
+			}
+			if y < c.minY {
+				c.minY = y
+			}
+			if y > c.maxY {
+				c.maxY = y
+			}
+			// 4-neighbors.
+			if x > 0 && mask[idx-1] && !visited[idx-1] {
+				visited[idx-1] = true
+				queue = append(queue, idx-1)
+			}
+			if x < w-1 && mask[idx+1] && !visited[idx+1] {
+				visited[idx+1] = true
+				queue = append(queue, idx+1)
+			}
+			if y > 0 && mask[idx-w] && !visited[idx-w] {
+				visited[idx-w] = true
+				queue = append(queue, idx-w)
+			}
+			if y < h-1 && mask[idx+w] && !visited[idx+w] {
+				visited[idx+w] = true
+				queue = append(queue, idx+w)
+			}
+		}
+		if c.area < minComponentArea || c.area > maxArea {
+			continue
+		}
+		c.cx = sx / float64(c.area)
+		c.cy = sy / float64(c.area)
+		fitMinAreaRect(c, w)
+		comps = append(comps, c)
+	}
+	return comps
+}
+
+// fitMinAreaRect sweeps candidate orientations and records the rotation
+// minimizing the projected bounding-rectangle area. A square marker border
+// is rotation-ambiguous mod 90°, which the decoders resolve separately by
+// trying all four rotations of the bit grid.
+func fitMinAreaRect(c *component, stride int) {
+	const steps = 18 // 5° resolution over [0°, 90°)
+	bestArea := math.Inf(1)
+	for s := 0; s < steps; s++ {
+		theta := float64(s) * (math.Pi / 2) / steps
+		cos, sin := math.Cos(theta), math.Sin(theta)
+		minU, maxU := math.Inf(1), math.Inf(-1)
+		minV, maxV := math.Inf(1), math.Inf(-1)
+		for _, idx := range c.pixels {
+			x := float64(idx % stride)
+			y := float64(idx / stride)
+			u := x*cos + y*sin
+			v := -x*sin + y*cos
+			if u < minU {
+				minU = u
+			}
+			if u > maxU {
+				maxU = u
+			}
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+		w := maxU - minU + 1
+		h := maxV - minV + 1
+		if a := w * h; a < bestArea {
+			bestArea = a
+			c.angle = theta
+			if w >= h {
+				c.width, c.height = w, h
+			} else {
+				c.width, c.height = h, w
+			}
+		}
+	}
+}
+
+// squareness returns height/width of the min-area rectangle in (0, 1];
+// 1 means perfectly square.
+func (c *component) squareness() float64 {
+	if c.width == 0 {
+		return 0
+	}
+	return c.height / c.width
+}
+
+// fillRatio returns the fraction of the min-area rectangle covered by dark
+// pixels. A marker border ring plus dark code bits lands mid-range; solid
+// blobs (rocks, roof edges) approach 1.
+func (c *component) fillRatio() float64 {
+	r := c.width * c.height
+	if r <= 0 {
+		return 0
+	}
+	return float64(c.area) / r
+}

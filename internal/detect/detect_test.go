@@ -1,0 +1,318 @@
+package detect
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/vision"
+)
+
+// renderTrial renders one frame with the marker near the image center under
+// the given conditions, returning the frame and the true marker ID.
+func renderTrial(t testing.TB, trial int, alt float64, cond vision.Conditions) (*vision.Image, int, geom.Vec2) {
+	t.Helper()
+	dict := vision.DefaultDictionary()
+	rng := rand.New(rand.NewSource(int64(900 + trial)))
+	markerID := trial % len(dict.Markers)
+	center := geom.V3((rng.Float64()-0.5)*3, (rng.Float64()-0.5)*3, 0)
+	scene := &vision.Scene{
+		Ground: vision.GroundTexture{Seed: int64(trial), Base: 0.45, Contrast: 0.25},
+		Markers: []vision.MarkerInstance{{
+			Marker: dict.Markers[markerID],
+			Center: center,
+			Size:   2,
+			Yaw:    rng.Float64() * 6.28,
+		}},
+	}
+	cam := vision.DefaultCamera()
+	cam.Pos = geom.V3(0, 0, alt)
+	im := scene.Render(cam)
+	cond.Apply(im, alt, rng)
+	px, _ := cam.ProjectGround(center)
+	return im, markerID, px
+}
+
+// countHits runs n trials and returns how many the detector found with the
+// correct ID.
+func countHits(t testing.TB, d Detector, n int, alt float64, cond vision.Conditions) int {
+	t.Helper()
+	hits := 0
+	for i := 0; i < n; i++ {
+		im, id, _ := renderTrial(t, i, alt, cond)
+		for _, det := range d.Detect(im) {
+			if det.ID == id {
+				hits++
+				break
+			}
+		}
+	}
+	return hits
+}
+
+func TestClassicalDetectsClearConditions(t *testing.T) {
+	cl := NewClassical(vision.DefaultDictionary())
+	if hits := countHits(t, cl, 30, 10, vision.Conditions{}); hits < 28 {
+		t.Errorf("classical clear hits = %d/30", hits)
+	}
+}
+
+func TestLearnedDetectsClearConditions(t *testing.T) {
+	for _, l := range []*Learned{
+		NewLearnedV2(vision.DefaultDictionary()),
+		NewLearnedV3(vision.DefaultDictionary()),
+	} {
+		if hits := countHits(t, l, 30, 10, vision.Conditions{}); hits < 29 {
+			t.Errorf("%s clear hits = %d/30", l.Name(), hits)
+		}
+	}
+}
+
+func TestDetectionCenterAccuracy(t *testing.T) {
+	cl := NewClassical(vision.DefaultDictionary())
+	l := NewLearnedV3(vision.DefaultDictionary())
+	for i := 0; i < 20; i++ {
+		im, id, truth := renderTrial(t, i, 10, vision.Conditions{})
+		for _, d := range []Detector{cl, l} {
+			for _, det := range d.Detect(im) {
+				if det.ID != id {
+					continue
+				}
+				if det.Center.Dist(truth) > 4 {
+					t.Errorf("%s trial %d center off by %.1f px", d.Name(), i, det.Center.Dist(truth))
+				}
+			}
+		}
+	}
+}
+
+// TestAltitudeGap reproduces the paper's §III-A observation: the classical
+// detector degrades sharply during high-altitude flight while the learned
+// detector keeps working (Table II / Fig. 4).
+func TestAltitudeGap(t *testing.T) {
+	dict := vision.DefaultDictionary()
+	cl := NewClassical(dict)
+	le := NewLearnedV3(dict)
+	const n = 30
+	clHits := countHits(t, cl, n, 20, vision.Conditions{})
+	leHits := countHits(t, le, n, 20, vision.Conditions{})
+	if clHits >= leHits {
+		t.Errorf("classical (%d) should trail learned (%d) at altitude", clHits, leHits)
+	}
+	if leHits < n*8/10 {
+		t.Errorf("learned hits at 20m = %d/%d, want >= 80%%", leHits, n)
+	}
+	if clHits > n*8/10 {
+		t.Errorf("classical hits at 20m = %d/%d, unexpectedly robust", clHits, n)
+	}
+}
+
+// TestGlareGap: sun glare overlapping the marker defeats the fixed
+// pipeline; the learned detector recovers a useful fraction via its
+// photometric normalization and quadrant voting.
+func TestGlareGap(t *testing.T) {
+	dict := vision.DefaultDictionary()
+	cond := vision.Conditions{Glare: 0.7, GlareU: 0.45, GlareV: 0.45}
+	const n = 30
+	clHits := countHits(t, NewClassical(dict), n, 10, cond)
+	leHits := countHits(t, NewLearnedV3(dict), n, 10, cond)
+	if clHits > n/5 {
+		t.Errorf("classical glare hits = %d/%d, want near-total failure", clHits, n)
+	}
+	if leHits <= clHits+5 {
+		t.Errorf("learned glare hits = %d, classical = %d; want a clear gap", leHits, clHits)
+	}
+}
+
+// TestV3AtLeastV2 checks the recalibrated thresholds never hurt: across a
+// mixed difficulty batch V3 detects at least as much as V2.
+func TestV3AtLeastV2(t *testing.T) {
+	dict := vision.DefaultDictionary()
+	v2 := NewLearnedV2(dict)
+	v3 := NewLearnedV3(dict)
+	conds := []vision.Conditions{
+		{},
+		{Fog: 0.6},
+		{RainNoise: 0.05, Contrast: 0.7},
+		{Occlusion: 0.9, OccU: 0.53, OccV: 0.53, OccR: 0.05},
+	}
+	var hits2, hits3 int
+	for _, c := range conds {
+		hits2 += countHits(t, v2, 15, 16, c)
+		hits3 += countHits(t, v3, 15, 16, c)
+	}
+	if hits3 < hits2 {
+		t.Errorf("V3 hits %d < V2 hits %d", hits3, hits2)
+	}
+}
+
+func TestNoFalsePositivesOnEmptyGround(t *testing.T) {
+	dict := vision.DefaultDictionary()
+	cl := NewClassical(dict)
+	le := NewLearnedV2(dict)
+	rng := rand.New(rand.NewSource(4))
+	fp := 0
+	for i := 0; i < 40; i++ {
+		scene := &vision.Scene{Ground: vision.GroundTexture{Seed: int64(i + 5000), Base: 0.45, Contrast: 0.3}}
+		cam := vision.DefaultCamera()
+		cam.Pos = geom.V3(0, 0, 12)
+		im := scene.Render(cam)
+		(&vision.Conditions{RainNoise: 0.02}).Apply(im, 12, rng)
+		fp += len(cl.Detect(im)) + len(le.Detect(im))
+	}
+	if fp > 2 {
+		t.Errorf("false positives on empty terrain = %d", fp)
+	}
+}
+
+func TestDetectEmptyImage(t *testing.T) {
+	dict := vision.DefaultDictionary()
+	if got := NewClassical(dict).Detect(vision.NewImage(0, 0)); got != nil {
+		t.Error("classical on empty image")
+	}
+	if got := NewLearnedV2(dict).Detect(vision.NewImage(0, 0)); got != nil {
+		t.Error("learned on empty image")
+	}
+}
+
+func TestDistinguishesFalseMarkers(t *testing.T) {
+	// Two different dictionary markers in frame: the detector must report
+	// both with their own IDs so the decision layer can reject the decoy.
+	dict := vision.DefaultDictionary()
+	scene := &vision.Scene{
+		Ground: vision.GroundTexture{Seed: 3, Base: 0.45, Contrast: 0.2},
+		Markers: []vision.MarkerInstance{
+			{Marker: dict.Markers[2], Center: geom.V3(-2.5, 0, 0), Size: 2},
+			{Marker: dict.Markers[5], Center: geom.V3(2.5, 0, 0), Size: 2},
+		},
+	}
+	cam := vision.DefaultCamera()
+	cam.Pos = geom.V3(0, 0, 12)
+	im := scene.Render(cam)
+	for _, d := range []Detector{NewClassical(dict), NewLearnedV3(dict)} {
+		dets := d.Detect(im)
+		found := map[int]bool{}
+		for _, det := range dets {
+			found[det.ID] = true
+		}
+		if !found[2] || !found[5] {
+			t.Errorf("%s found %v, want IDs 2 and 5", d.Name(), found)
+		}
+	}
+}
+
+func TestDedupe(t *testing.T) {
+	dets := []Detection{
+		{ID: 1, Center: geom.V2(50, 50), SizePx: 20, Confidence: 0.7},
+		{ID: 1, Center: geom.V2(52, 51), SizePx: 20, Confidence: 0.9},
+		{ID: 2, Center: geom.V2(100, 100), SizePx: 20, Confidence: 0.8},
+	}
+	out := dedupe(dets)
+	if len(out) != 2 {
+		t.Fatalf("dedupe len = %d", len(out))
+	}
+	if out[0].Confidence != 0.9 {
+		t.Errorf("best-first order violated: %v", out[0])
+	}
+	// The merged detection kept the higher-confidence entry.
+	for _, d := range out {
+		if d.ID == 1 && d.Confidence != 0.9 {
+			t.Errorf("merge kept wrong det: %+v", d)
+		}
+	}
+}
+
+func TestDedupeSmall(t *testing.T) {
+	if got := dedupe(nil); got != nil {
+		t.Error("dedupe(nil)")
+	}
+	one := []Detection{{ID: 1}}
+	if got := dedupe(one); len(got) != 1 {
+		t.Error("dedupe single")
+	}
+}
+
+func TestRotatePatchIdentityAndCycle(t *testing.T) {
+	dict := vision.DefaultDictionary()
+	base := renderGridPatch(dict.Markers[0])
+	if rotatePatch(base, 0) != base {
+		t.Error("rot 0 changed patch")
+	}
+	r := base
+	for i := 0; i < 4; i++ {
+		r = rotatePatch(r, 1)
+	}
+	if r != base {
+		t.Error("four quarter turns not identity")
+	}
+}
+
+func TestNormalizePatch(t *testing.T) {
+	v := []float64{1, 2, 3, 4}
+	normalizePatch(v)
+	var mean, ss float64
+	for _, x := range v {
+		mean += x
+		ss += x * x
+	}
+	if mean > 1e-9 || mean < -1e-9 {
+		t.Errorf("mean = %v", mean)
+	}
+	if ss < 0.999 || ss > 1.001 {
+		t.Errorf("norm = %v", ss)
+	}
+	// Flat input zeroes out.
+	flat := []float64{0.5, 0.5, 0.5}
+	normalizePatch(flat)
+	for _, x := range flat {
+		if x != 0 {
+			t.Error("flat patch should normalize to zero")
+		}
+	}
+}
+
+func TestClassicalOrientationEstimate(t *testing.T) {
+	// The classical decoder recovers marker orientation (the capability
+	// the paper notes its learned models lack, §V-A).
+	dict := vision.DefaultDictionary()
+	cl := NewClassical(dict)
+	for _, yaw := range []float64{0, 0.3, 0.7, 1.2, 1.57, 2.2, 3.0, -0.5, -1.3} {
+		scene := &vision.Scene{
+			Ground: vision.GroundTexture{Seed: 2, Base: 0.45, Contrast: 0.2},
+			Markers: []vision.MarkerInstance{{
+				Marker: dict.Markers[3], Center: geom.V3(0, 0, 0), Size: 2, Yaw: yaw,
+			}},
+		}
+		cam := vision.DefaultCamera()
+		cam.Pos = geom.V3(0, 0, 10)
+		dets := cl.Detect(scene.Render(cam))
+		if len(dets) == 0 {
+			t.Fatalf("yaw %.2f: no detection", yaw)
+		}
+		d := dets[0]
+		if !d.HasYaw {
+			t.Fatalf("yaw %.2f: classical detection lacks orientation", yaw)
+		}
+		diff := math.Abs(math.Mod(d.Yaw-yaw+3*2*math.Pi, 2*math.Pi))
+		if diff > math.Pi {
+			diff = 2*math.Pi - diff
+		}
+		if diff > 0.12 {
+			t.Errorf("yaw %.2f: estimated %.2f (err %.3f)", yaw, d.Yaw, diff)
+		}
+	}
+	// And the learned detector reports no orientation.
+	le := NewLearnedV3(dict)
+	scene := &vision.Scene{
+		Ground:  vision.GroundTexture{Seed: 2, Base: 0.45, Contrast: 0.2},
+		Markers: []vision.MarkerInstance{{Marker: dict.Markers[3], Center: geom.V3(0, 0, 0), Size: 2}},
+	}
+	cam := vision.DefaultCamera()
+	cam.Pos = geom.V3(0, 0, 10)
+	for _, d := range le.Detect(scene.Render(cam)) {
+		if d.HasYaw {
+			t.Error("learned detector should not claim orientation")
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package geom
+
+import "math"
+
+// Quat is a unit quaternion representing a rotation. W is the scalar part.
+type Quat struct {
+	W, X, Y, Z float64
+}
+
+// QuatIdent returns the identity rotation.
+func QuatIdent() Quat { return Quat{W: 1} }
+
+// QuatAxisAngle returns the rotation of angle radians about the given axis.
+// The axis need not be normalized; a zero axis yields the identity.
+func QuatAxisAngle(axis Vec3, angle float64) Quat {
+	n := axis.Norm()
+	if n == (Vec3{}) {
+		return QuatIdent()
+	}
+	half := angle / 2
+	s := math.Sin(half)
+	return Quat{
+		W: math.Cos(half),
+		X: n.X * s,
+		Y: n.Y * s,
+		Z: n.Z * s,
+	}
+}
+
+// QuatYaw returns a rotation of yaw radians about +Z.
+func QuatYaw(yaw float64) Quat { return QuatAxisAngle(V3(0, 0, 1), yaw) }
+
+// QuatEuler builds a rotation from roll (about X), pitch (about Y) and
+// yaw (about Z), applied in yaw-pitch-roll order as flight controllers do.
+func QuatEuler(roll, pitch, yaw float64) Quat {
+	cr, sr := math.Cos(roll/2), math.Sin(roll/2)
+	cp, sp := math.Cos(pitch/2), math.Sin(pitch/2)
+	cy, sy := math.Cos(yaw/2), math.Sin(yaw/2)
+	return Quat{
+		W: cr*cp*cy + sr*sp*sy,
+		X: sr*cp*cy - cr*sp*sy,
+		Y: cr*sp*cy + sr*cp*sy,
+		Z: cr*cp*sy - sr*sp*cy,
+	}
+}
+
+// Mul returns the composition q ∘ o (apply o first, then q).
+func (q Quat) Mul(o Quat) Quat {
+	return Quat{
+		W: q.W*o.W - q.X*o.X - q.Y*o.Y - q.Z*o.Z,
+		X: q.W*o.X + q.X*o.W + q.Y*o.Z - q.Z*o.Y,
+		Y: q.W*o.Y - q.X*o.Z + q.Y*o.W + q.Z*o.X,
+		Z: q.W*o.Z + q.X*o.Y - q.Y*o.X + q.Z*o.W,
+	}
+}
+
+// Conj returns the conjugate (inverse for unit quaternions).
+func (q Quat) Conj() Quat { return Quat{W: q.W, X: -q.X, Y: -q.Y, Z: -q.Z} }
+
+// Norm returns q scaled to unit length. A zero quaternion becomes identity.
+func (q Quat) Norm() Quat {
+	l := math.Sqrt(q.W*q.W + q.X*q.X + q.Y*q.Y + q.Z*q.Z)
+	if l == 0 {
+		return QuatIdent()
+	}
+	return Quat{q.W / l, q.X / l, q.Y / l, q.Z / l}
+}
+
+// Rotate applies the rotation q to vector v.
+func (q Quat) Rotate(v Vec3) Vec3 {
+	// v' = q * (0,v) * q^-1, expanded to avoid allocations.
+	t := V3(q.X, q.Y, q.Z).Cross(v).Scale(2)
+	return v.Add(t.Scale(q.W)).Add(V3(q.X, q.Y, q.Z).Cross(t))
+}
+
+// Yaw extracts the yaw (rotation about +Z) of q in radians.
+func (q Quat) Yaw() float64 {
+	siny := 2 * (q.W*q.Z + q.X*q.Y)
+	cosy := 1 - 2*(q.Y*q.Y+q.Z*q.Z)
+	return math.Atan2(siny, cosy)
+}
+
+// Pitch extracts the pitch (rotation about +Y) of q in radians.
+func (q Quat) Pitch() float64 {
+	sinp := 2 * (q.W*q.Y - q.Z*q.X)
+	if sinp >= 1 {
+		return math.Pi / 2
+	}
+	if sinp <= -1 {
+		return -math.Pi / 2
+	}
+	return math.Asin(sinp)
+}
+
+// Roll extracts the roll (rotation about +X) of q in radians.
+func (q Quat) Roll() float64 {
+	sinr := 2 * (q.W*q.X + q.Y*q.Z)
+	cosr := 1 - 2*(q.X*q.X+q.Y*q.Y)
+	return math.Atan2(sinr, cosr)
+}
+
+// Slerp spherically interpolates from q to o by t in [0,1].
+func (q Quat) Slerp(o Quat, t float64) Quat {
+	dot := q.W*o.W + q.X*o.X + q.Y*o.Y + q.Z*o.Z
+	if dot < 0 {
+		o = Quat{-o.W, -o.X, -o.Y, -o.Z}
+		dot = -dot
+	}
+	if dot > 0.9995 {
+		// Nearly parallel: linear interpolation avoids division by ~0.
+		return Quat{
+			W: q.W + (o.W-q.W)*t,
+			X: q.X + (o.X-q.X)*t,
+			Y: q.Y + (o.Y-q.Y)*t,
+			Z: q.Z + (o.Z-q.Z)*t,
+		}.Norm()
+	}
+	theta := math.Acos(dot)
+	sinTheta := math.Sin(theta)
+	a := math.Sin((1-t)*theta) / sinTheta
+	b := math.Sin(t*theta) / sinTheta
+	return Quat{
+		W: a*q.W + b*o.W,
+		X: a*q.X + b*o.X,
+		Y: a*q.Y + b*o.Y,
+		Z: a*q.Z + b*o.Z,
+	}
+}

@@ -1,0 +1,103 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuatIdentRotate(t *testing.T) {
+	v := V3(1, 2, 3)
+	if got := QuatIdent().Rotate(v); !got.ApproxEq(v, 1e-12) {
+		t.Errorf("identity rotate = %v", got)
+	}
+}
+
+func TestQuatYawRotate(t *testing.T) {
+	q := QuatYaw(math.Pi / 2)
+	got := q.Rotate(V3(1, 0, 0))
+	if !got.ApproxEq(V3(0, 1, 0), 1e-9) {
+		t.Errorf("yaw 90 of +x = %v, want +y", got)
+	}
+	if math.Abs(q.Yaw()-math.Pi/2) > 1e-9 {
+		t.Errorf("Yaw() = %v", q.Yaw())
+	}
+}
+
+func TestQuatEulerRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		roll := (rng.Float64() - 0.5) * 2 // small angles, avoid gimbal lock
+		pitch := (rng.Float64() - 0.5) * 2
+		yaw := (rng.Float64() - 0.5) * 6
+		q := QuatEuler(roll, pitch, yaw)
+		if math.Abs(WrapAngle(q.Roll()-roll)) > 1e-6 ||
+			math.Abs(WrapAngle(q.Pitch()-pitch)) > 1e-6 ||
+			math.Abs(WrapAngle(q.Yaw()-yaw)) > 1e-6 {
+			t.Fatalf("roundtrip (%v,%v,%v) -> (%v,%v,%v)",
+				roll, pitch, yaw, q.Roll(), q.Pitch(), q.Yaw())
+		}
+	}
+}
+
+func TestQuatRotatePreservesLength(t *testing.T) {
+	f := func(ax, ay, az, angle, vx, vy, vz float64) bool {
+		if math.IsNaN(ax+ay+az+angle+vx+vy+vz) ||
+			math.Abs(angle) > 100 || math.Abs(vx)+math.Abs(vy)+math.Abs(vz) > 1e6 ||
+			math.Abs(ax)+math.Abs(ay)+math.Abs(az) > 1e6 {
+			return true
+		}
+		q := QuatAxisAngle(V3(ax, ay, az), angle)
+		v := V3(vx, vy, vz)
+		rv := q.Rotate(v)
+		return math.Abs(rv.Len()-v.Len()) < 1e-6*(1+v.Len())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuatMulComposition(t *testing.T) {
+	q1 := QuatYaw(0.3)
+	q2 := QuatYaw(0.5)
+	v := V3(1, 2, 0)
+	lhs := q1.Mul(q2).Rotate(v)
+	rhs := q1.Rotate(q2.Rotate(v))
+	if !lhs.ApproxEq(rhs, 1e-9) {
+		t.Errorf("composition mismatch: %v vs %v", lhs, rhs)
+	}
+	// Yaws compose additively.
+	if math.Abs(q1.Mul(q2).Yaw()-0.8) > 1e-9 {
+		t.Errorf("yaw composition = %v", q1.Mul(q2).Yaw())
+	}
+}
+
+func TestQuatConjInverse(t *testing.T) {
+	q := QuatEuler(0.2, -0.4, 1.1)
+	v := V3(3, -1, 2)
+	back := q.Conj().Rotate(q.Rotate(v))
+	if !back.ApproxEq(v, 1e-9) {
+		t.Errorf("conj inverse: %v vs %v", back, v)
+	}
+}
+
+func TestQuatSlerpEndpoints(t *testing.T) {
+	a := QuatYaw(0)
+	b := QuatYaw(1.5)
+	if got := a.Slerp(b, 0); math.Abs(got.Yaw()) > 1e-9 {
+		t.Errorf("slerp 0 yaw = %v", got.Yaw())
+	}
+	if got := a.Slerp(b, 1); math.Abs(got.Yaw()-1.5) > 1e-9 {
+		t.Errorf("slerp 1 yaw = %v", got.Yaw())
+	}
+	if got := a.Slerp(b, 0.5); math.Abs(got.Yaw()-0.75) > 1e-6 {
+		t.Errorf("slerp 0.5 yaw = %v", got.Yaw())
+	}
+}
+
+func TestQuatNormZero(t *testing.T) {
+	if got := (Quat{}).Norm(); got != QuatIdent() {
+		t.Errorf("Norm of zero quat = %v, want identity", got)
+	}
+}

@@ -1,0 +1,150 @@
+package hil
+
+import (
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+func TestDesktopRunsNative(t *testing.T) {
+	plan := DerivePlan(DesktopSIL(), NanoCosts())
+	sil := scenario.SILTiming()
+	if plan.Timing.DetectPeriod != sil.DetectPeriod {
+		t.Errorf("desktop stretched detection: %v", plan.Timing.DetectPeriod)
+	}
+	if plan.CPUDemand > 0.5 {
+		t.Errorf("desktop demand %v unexpectedly high", plan.CPUDemand)
+	}
+}
+
+func TestNanoSaturates(t *testing.T) {
+	plan := DerivePlan(JetsonNanoMAXN(), NanoCosts())
+	sil := scenario.SILTiming()
+	if plan.CPUDemand < 0.75 {
+		t.Fatalf("nano demand %v, expected near saturation", plan.CPUDemand)
+	}
+	if plan.Timing.DetectPeriod <= sil.DetectPeriod {
+		t.Error("nano did not stretch detection cadence")
+	}
+	if plan.ReplanInterval <= 0.6 {
+		t.Error("nano did not stretch replanning — the Table III mechanism")
+	}
+	if plan.Timing.CommandLatencyTicks < 1 {
+		t.Error("nano has no sense-act latency")
+	}
+}
+
+func TestFiveWattWorseThanMAXN(t *testing.T) {
+	maxn := DerivePlan(JetsonNanoMAXN(), NanoCosts())
+	low := DerivePlan(JetsonNano5W(), NanoCosts())
+	if low.Timing.DetectPeriod <= maxn.Timing.DetectPeriod {
+		t.Error("5W mode should stretch detection more than MAXN")
+	}
+	if low.ReplanInterval <= maxn.ReplanInterval {
+		t.Error("5W mode should stretch replanning more than MAXN")
+	}
+}
+
+func TestFieldCostsExceedHIL(t *testing.T) {
+	hil := DerivePlan(JetsonNanoMAXN(), NanoCosts())
+	field := DerivePlan(JetsonNanoMAXN(), FieldCosts())
+	if field.CPUDemand <= hil.CPUDemand {
+		t.Error("field profile should demand more CPU (camera feed)")
+	}
+}
+
+func TestMemoryModel(t *testing.T) {
+	p := JetsonNanoMAXN()
+	base := MemoryModelMB(p, NanoCosts(), 0)
+	if base < 1000 || base > 2900 {
+		t.Errorf("base memory %v MB implausible", base)
+	}
+	withMap := MemoryModelMB(p, NanoCosts(), 50_000_000)
+	if withMap-base < 49 || withMap-base > 51 {
+		t.Errorf("map memory not accounted: %v", withMap-base)
+	}
+	field := MemoryModelMB(p, FieldCosts(), 0)
+	if field <= base {
+		t.Error("field profile should use more memory (camera buffers)")
+	}
+}
+
+func TestMonitorSeries(t *testing.T) {
+	m := NewMonitor(JetsonNanoMAXN(), NanoCosts())
+	// Simulate 5 seconds at 20 Hz with detection at 4 Hz, depth 5 Hz.
+	for i := 0; i < 100; i++ {
+		m.RecordControl()
+		if i%5 == 0 {
+			m.RecordDetect()
+		}
+		if i%4 == 0 {
+			m.RecordDepth()
+		}
+		if i%20 == 0 {
+			m.RecordPlan()
+		}
+		m.Advance(0.05, float64(i)*0.05, 10_000_000)
+	}
+	samples := m.Samples()
+	if len(samples) < 4 || len(samples) > 6 {
+		t.Fatalf("samples = %d, want ~5", len(samples))
+	}
+	for _, s := range samples {
+		if s.CPUPercent <= 0 || s.CPUPercent > 400 {
+			t.Errorf("cpu %v out of range", s.CPUPercent)
+		}
+		if len(s.PerCore) != 4 {
+			t.Errorf("per-core count %d", len(s.PerCore))
+		}
+		for _, c := range s.PerCore {
+			if c < 0 || c > 100 {
+				t.Errorf("core util %v", c)
+			}
+		}
+		if s.MemMB < 1000 || s.MemMB > 2900 {
+			t.Errorf("memory %v MB", s.MemMB)
+		}
+	}
+	cpu, mem := m.Peak()
+	if cpu <= 0 || mem <= 0 {
+		t.Error("peak accounting")
+	}
+	if m.MeanCPU() <= 0 || m.MeanMemMB() <= 0 {
+		t.Error("mean accounting")
+	}
+}
+
+func TestMonitorSaturatesAllCoresUnderLoad(t *testing.T) {
+	m := NewMonitor(JetsonNanoMAXN(), NanoCosts())
+	// One second of full stack activity at SIL-native rates.
+	for i := 0; i < 4; i++ {
+		m.RecordDetect()
+	}
+	for i := 0; i < 5; i++ {
+		m.RecordDepth()
+	}
+	for i := 0; i < 2; i++ {
+		m.RecordPlan()
+	}
+	for i := 0; i < 20; i++ {
+		m.RecordControl()
+	}
+	m.Advance(1.01, 1, 0)
+	s := m.Samples()
+	if len(s) != 1 {
+		t.Fatal("no sample")
+	}
+	// The paper: "all four CPU cores heavily utilised".
+	for i, c := range s[0].PerCore {
+		if c < 80 {
+			t.Errorf("core %d at %v%%, want heavy utilization", i, c)
+		}
+	}
+}
+
+func TestMeanEmptyMonitor(t *testing.T) {
+	m := NewMonitor(JetsonNanoMAXN(), NanoCosts())
+	if m.MeanCPU() != 0 || m.MeanMemMB() != 0 {
+		t.Error("empty monitor means should be zero")
+	}
+}

@@ -1,0 +1,118 @@
+package hil
+
+// Sample is one resource-usage observation (Fig. 7 series point).
+type Sample struct {
+	T float64
+	// CPUPercent is aggregate utilization across all cores, 0..100*cores.
+	CPUPercent float64
+	// PerCore is utilization per core, 0..100 each.
+	PerCore []float64
+	// MemMB is resident memory in megabytes.
+	MemMB float64
+}
+
+// Monitor accumulates the resource time series of one mission, modeling
+// how the stack's work maps onto the platform's cores: detection pins one
+// core, mapping and planning share a second, control a third, and the
+// camera feed (field profile) spreads across the remainder.
+type Monitor struct {
+	Profile Profile
+	Costs   ModuleCosts
+
+	samples []Sample
+
+	// Work accumulated since the last sample, in core-ms at 1 GHz.
+	detectMS, mapMS, planMS, controlMS float64
+	window                             float64
+}
+
+// NewMonitor returns a monitor for a profile.
+func NewMonitor(p Profile, c ModuleCosts) *Monitor {
+	return &Monitor{Profile: p, Costs: c}
+}
+
+// RecordDetect notes one detector inference.
+func (m *Monitor) RecordDetect() { m.detectMS += m.Costs.DetectMS }
+
+// RecordDepth notes one depth-map integration.
+func (m *Monitor) RecordDepth() { m.mapMS += m.Costs.DepthInsertMS }
+
+// RecordPlan notes one planner invocation.
+func (m *Monitor) RecordPlan() { m.planMS += m.Costs.PlanMS }
+
+// RecordControl notes one control tick.
+func (m *Monitor) RecordControl() { m.controlMS += m.Costs.ControlMS }
+
+// Advance accrues wall time; every second it emits one sample based on the
+// accumulated work and the live map footprint.
+func (m *Monitor) Advance(dt float64, t float64, mapBytes int) {
+	m.window += dt
+	if m.window < 1.0 {
+		return
+	}
+	coreCapacity := (m.Profile.CoreGHz / refGHz) * 1000 * m.window // reference core-ms per core
+
+	// SMP waterfill: the Linux scheduler migrates the stack's threads, so
+	// aggregate work spreads across cores up to each core's capacity —
+	// reproducing the paper's "all four CPU cores heavily utilised".
+	feed := (m.Costs.CameraFeedMS + m.Costs.StackOverheadMS) * m.window
+	work := m.detectMS + m.mapMS + m.planMS + m.controlMS + feed
+	perCore := work / float64(m.Profile.Cores)
+
+	s := Sample{T: t, PerCore: make([]float64, m.Profile.Cores)}
+	var total float64
+	for i := range s.PerCore {
+		u := 100 * perCore / coreCapacity
+		if u > 100 {
+			u = 100
+		}
+		s.PerCore[i] = u
+		total += u
+	}
+	s.CPUPercent = total
+	s.MemMB = MemoryModelMB(m.Profile, m.Costs, mapBytes)
+	m.samples = append(m.samples, s)
+
+	m.detectMS, m.mapMS, m.planMS, m.controlMS = 0, 0, 0, 0
+	m.window = 0
+}
+
+// Samples returns the recorded series.
+func (m *Monitor) Samples() []Sample { return m.samples }
+
+// Peak returns the maximum aggregate CPU percentage and memory seen.
+func (m *Monitor) Peak() (cpu float64, memMB float64) {
+	for _, s := range m.samples {
+		if s.CPUPercent > cpu {
+			cpu = s.CPUPercent
+		}
+		if s.MemMB > memMB {
+			memMB = s.MemMB
+		}
+	}
+	return cpu, memMB
+}
+
+// MeanCPU returns the average aggregate CPU percentage.
+func (m *Monitor) MeanCPU() float64 {
+	if len(m.samples) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range m.samples {
+		s += x.CPUPercent
+	}
+	return s / float64(len(m.samples))
+}
+
+// MeanMemMB returns the average resident memory.
+func (m *Monitor) MeanMemMB() float64 {
+	if len(m.samples) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range m.samples {
+		s += x.MemMB
+	}
+	return s / float64(len(m.samples))
+}

@@ -1,0 +1,344 @@
+package mapping
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Octree log-odds parameters, matching OctoMap's defaults: hits push a cell
+// toward occupied faster than misses pull it back, and values are clamped
+// so cells can change their mind after a bounded number of contradicting
+// observations.
+const (
+	logOddsHit  = 0.85
+	logOddsMiss = -0.4
+	logOddsMin  = -2.0
+	logOddsMax  = 3.5
+	// occupiedThreshold is the log-odds above which a leaf counts as
+	// occupied (probability ≈ 0.65).
+	occupiedThreshold = 0.6
+	// freeThreshold below which a leaf counts as observed-free.
+	freeThreshold = -0.2
+)
+
+// octNode is one octree node. Leaves have nil children; an inner node's
+// logOdds is unused. The zero logOdds on a fresh leaf means "unknown".
+type octNode struct {
+	children *[8]*octNode
+	logOdds  float32
+	observed bool
+}
+
+// Octree is the OctoMap-style probabilistic occupancy map adopted by
+// MLS-V3 (§III-B): hierarchical space partitioning with log-odds updates,
+// pruning of homogeneous regions, and O(1) inflated clearance queries via
+// a reference-counted inflation layer.
+type Octree struct {
+	center    geom.Vec3
+	halfSize  float64
+	res       float64
+	inflation float64
+	depth     int
+	root      *octNode
+
+	nodes       int
+	childArrays int
+
+	occupied map[voxelKey]struct{}
+	inflated map[voxelKey]int32
+	// inflBall caches the voxel-offset ball for the inflation radius.
+	inflBall [][3]int
+
+	scratch cloudScratch
+	// arena chunks amortize node allocation: the tree allocates tens of
+	// thousands of small nodes, and individual allocations dominate GC
+	// cost otherwise.
+	nodeArena  []octNode
+	childArena []childBlock
+}
+
+type childBlock = [8]*octNode
+
+// NewOctree builds an octree centered at center covering a cube of the
+// given half-size, with leaf resolution res and obstacle inflation radius
+// inflation.
+func NewOctree(center geom.Vec3, halfSize, res, inflation float64) *Octree {
+	if res <= 0 {
+		res = 0.5
+	}
+	if halfSize < res {
+		halfSize = res
+	}
+	depth := 0
+	for size := res; size < 2*halfSize; size *= 2 {
+		depth++
+	}
+	// Snap the center onto the voxel lattice so octree leaves coincide
+	// with the absolute voxel grid used by the occupied/inflated layers.
+	center = geom.V3(
+		math.Round(center.X/res)*res,
+		math.Round(center.Y/res)*res,
+		math.Round(center.Z/res)*res,
+	)
+	o := &Octree{
+		center:    center,
+		halfSize:  math.Ldexp(res, depth) / 2, // snap so leaves are exactly res
+		res:       res,
+		inflation: inflation,
+		depth:     depth,
+		root:      new(octNode),
+		nodes:     1,
+		occupied:  make(map[voxelKey]struct{}, 1024),
+		inflated:  make(map[voxelKey]int32, 4096),
+	}
+	r := int(inflation/res) + 1
+	rr := inflation + res
+	for dz := -r; dz <= r; dz++ {
+		for dy := -r; dy <= r; dy++ {
+			for dx := -r; dx <= r; dx++ {
+				d := geom.V3(float64(dx), float64(dy), float64(dz)).Scale(res)
+				if d.LenSq() <= rr*rr {
+					o.inflBall = append(o.inflBall, [3]int{dx, dy, dz})
+				}
+			}
+		}
+	}
+	return o
+}
+
+// newNode allocates a node from the arena.
+func (o *Octree) newNode() *octNode {
+	if len(o.nodeArena) == 0 {
+		o.nodeArena = make([]octNode, 1024)
+	}
+	n := &o.nodeArena[0]
+	o.nodeArena = o.nodeArena[1:]
+	o.nodes++
+	return n
+}
+
+// newChildren allocates a child-pointer block from the arena.
+func (o *Octree) newChildren() *childBlock {
+	if len(o.childArena) == 0 {
+		o.childArena = make([]childBlock, 256)
+	}
+	c := &o.childArena[0]
+	o.childArena = o.childArena[1:]
+	o.childArrays++
+	return c
+}
+
+// InsertCloud implements Map with per-capture voxel dedup.
+func (o *Octree) InsertCloud(origin geom.Vec3, ends []geom.Vec3, hits []bool) {
+	o.scratch.collect(o.res, origin, ends, hits)
+	for _, p := range o.scratch.free {
+		o.update(p, logOddsMiss)
+	}
+	for _, p := range o.scratch.occ {
+		o.update(p, logOddsHit)
+	}
+}
+
+// contains reports whether p lies inside the octree cube.
+func (o *Octree) contains(p geom.Vec3) bool {
+	d := p.Sub(o.center).Abs()
+	return d.X <= o.halfSize && d.Y <= o.halfSize && d.Z <= o.halfSize
+}
+
+// State implements Map.
+func (o *Octree) State(p geom.Vec3) VoxelState {
+	if !o.contains(p) {
+		return Unknown
+	}
+	n := o.root
+	c := o.center
+	half := o.halfSize
+	for n.children != nil {
+		half /= 2
+		idx := 0
+		if p.X >= c.X {
+			idx |= 1
+			c.X += half
+		} else {
+			c.X -= half
+		}
+		if p.Y >= c.Y {
+			idx |= 2
+			c.Y += half
+		} else {
+			c.Y -= half
+		}
+		if p.Z >= c.Z {
+			idx |= 4
+			c.Z += half
+		} else {
+			c.Z -= half
+		}
+		child := n.children[idx]
+		if child == nil {
+			return Unknown
+		}
+		n = child
+	}
+	if !n.observed {
+		return Unknown
+	}
+	if n.logOdds > occupiedThreshold {
+		return Occupied
+	}
+	if n.logOdds < freeThreshold {
+		return Free
+	}
+	return Unknown
+}
+
+// Blocked implements Map: a single hash probe against the reference-
+// counted inflation layer.
+func (o *Octree) Blocked(p geom.Vec3) bool {
+	ix, iy, iz := voxelOf(p, o.res)
+	return o.inflated[packKey(ix, iy, iz)] > 0
+}
+
+// InsertRay implements Map.
+func (o *Octree) InsertRay(origin, end geom.Vec3, hit bool) {
+	walkRay(origin, end, o.res, func(ix, iy, iz int) bool {
+		o.update(voxelCenter(ix, iy, iz, o.res), logOddsMiss)
+		return true
+	})
+	if hit {
+		o.update(end, logOddsHit)
+	} else {
+		o.update(end, logOddsMiss)
+	}
+}
+
+// update applies a log-odds delta to the leaf containing p, expanding
+// pruned regions on the way down and re-pruning on the way back up.
+func (o *Octree) update(p geom.Vec3, delta float32) {
+	if !o.contains(p) {
+		return
+	}
+	o.updateRec(o.root, o.center, o.halfSize, 0, p, delta)
+
+	ix, iy, iz := voxelOf(p, o.res)
+	k := packKey(ix, iy, iz)
+	st := o.State(p)
+	_, wasOcc := o.occupied[k]
+	if st == Occupied && !wasOcc {
+		o.occupied[k] = struct{}{}
+		o.paintInflation(ix, iy, iz, 1)
+	} else if st != Occupied && wasOcc {
+		delete(o.occupied, k)
+		o.paintInflation(ix, iy, iz, -1)
+	}
+}
+
+func (o *Octree) paintInflation(ix, iy, iz int, delta int32) {
+	for _, d := range o.inflBall {
+		k := packKey(ix+d[0], iy+d[1], iz+d[2])
+		v := o.inflated[k] + delta
+		if v <= 0 {
+			delete(o.inflated, k)
+		} else {
+			o.inflated[k] = v
+		}
+	}
+}
+
+// updateRec descends to the leaf at max depth, creating and expanding
+// nodes as needed, then prunes homogeneous children while unwinding.
+// It reports whether the subtree under n is now a prunable uniform leaf.
+func (o *Octree) updateRec(n *octNode, c geom.Vec3, half float64, level int, p geom.Vec3, delta float32) {
+	if level == o.depth {
+		n.observed = true
+		n.logOdds += delta
+		if n.logOdds > logOddsMax {
+			n.logOdds = logOddsMax
+		}
+		if n.logOdds < logOddsMin {
+			n.logOdds = logOddsMin
+		}
+		return
+	}
+	if n.children == nil {
+		// Expand: push the aggregated value down to fresh children.
+		n.children = o.newChildren()
+		if n.observed {
+			for i := range n.children {
+				ch := o.newNode()
+				ch.logOdds = n.logOdds
+				ch.observed = true
+				n.children[i] = ch
+			}
+		}
+	}
+	half /= 2
+	idx := 0
+	if p.X >= c.X {
+		idx |= 1
+		c.X += half
+	} else {
+		c.X -= half
+	}
+	if p.Y >= c.Y {
+		idx |= 2
+		c.Y += half
+	} else {
+		c.Y -= half
+	}
+	if p.Z >= c.Z {
+		idx |= 4
+		c.Z += half
+	} else {
+		c.Z -= half
+	}
+	child := n.children[idx]
+	if child == nil {
+		child = o.newNode()
+		n.children[idx] = child
+	}
+	o.updateRec(child, c, half, level+1, p, delta)
+	o.tryPrune(n)
+}
+
+// tryPrune collapses n's children into n when all eight exist, are leaves,
+// and share identical state. This is OctoMap's compression step.
+func (o *Octree) tryPrune(n *octNode) {
+	first := n.children[0]
+	if first == nil || first.children != nil {
+		return
+	}
+	for _, ch := range n.children[1:] {
+		if ch == nil || ch.children != nil ||
+			ch.logOdds != first.logOdds || ch.observed != first.observed {
+			return
+		}
+	}
+	n.logOdds = first.logOdds
+	n.observed = first.observed
+	n.children = nil
+	o.nodes -= 8
+	o.childArrays--
+}
+
+// Resolution implements Map.
+func (o *Octree) Resolution() float64 { return o.res }
+
+// InflationRadius implements Map.
+func (o *Octree) InflationRadius() float64 { return o.inflation }
+
+// MemoryBytes implements Map. Node = 24 bytes (pointer + float + bool with
+// padding); child array = 64 bytes; plus the auxiliary hash layers.
+func (o *Octree) MemoryBytes() int {
+	return o.nodes*24 + o.childArrays*64 + len(o.occupied)*16 + len(o.inflated)*20
+}
+
+// OccupiedVoxels implements Map.
+func (o *Octree) OccupiedVoxels() int { return len(o.occupied) }
+
+// NodeCount returns the number of allocated tree nodes (compression
+// metric for the grid-versus-octree experiment).
+func (o *Octree) NodeCount() int { return o.nodes }
+
+var _ Map = (*Octree)(nil)

@@ -1,0 +1,184 @@
+package mapping
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func TestPackKeyInjectiveProperty(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz int16) bool {
+		a := packKey(int(ax), int(ay), int(az))
+		b := packKey(int(bx), int(by), int(bz))
+		same := ax == bx && ay == by && az == bz
+		return (a == b) == same
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWalkRayEndpointsProperty(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz int8) bool {
+		a := geom.V3(float64(ax)/4, float64(ay)/4, float64(az)/4)
+		b := geom.V3(float64(bx)/4, float64(by)/4, float64(bz)/4)
+		ex, ey, ez := walkRay(a, b, 0.5, func(_, _, _ int) bool { return true })
+		wx, wy, wz := voxelOf(b, 0.5)
+		return ex == wx && ey == wy && ez == wz
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWalkRayVisitsStartVoxelProperty(t *testing.T) {
+	// Unless degenerate, the start voxel is always visited first.
+	f := func(ax, ay, az, bx, by, bz int8) bool {
+		a := geom.V3(float64(ax)/4, float64(ay)/4, float64(az)/4)
+		b := geom.V3(float64(bx)/4, float64(by)/4, float64(bz)/4)
+		sx, sy, sz := voxelOf(a, 0.5)
+		ex, ey, ez := voxelOf(b, 0.5)
+		if sx == ex && sy == ey && sz == ez {
+			return true // same-voxel rays visit nothing
+		}
+		first := [3]int{-1 << 30, 0, 0}
+		walkRay(a, b, 0.5, func(ix, iy, iz int) bool {
+			if first[0] == -1<<30 {
+				first = [3]int{ix, iy, iz}
+			}
+			return true
+		})
+		return first == [3]int{sx, sy, sz}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOctreeInflationConsistencyProperty: after arbitrary insert sequences,
+// Blocked(p) must hold exactly where some occupied voxel lies within the
+// inflation ball — checked against a brute-force scan of OccupiedVoxels
+// via the octree's own occupied set.
+func TestOctreeInflationConsistencyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	o := NewOctree(geom.V3(0, 0, 8), 32, 0.5, 1.0)
+	var occupiedPts []geom.Vec3
+	for i := 0; i < 400; i++ {
+		p := geom.V3(rng.Float64()*20-10, rng.Float64()*20-10, rng.Float64()*12)
+		hit := rng.Float64() < 0.5
+		o.InsertRay(geom.V3(0, 0, 8), p, hit)
+	}
+	// Collect ground truth from the map's own state at voxel centers.
+	for x := -10.0; x <= 10; x += 0.5 {
+		for y := -10.0; y <= 10; y += 0.5 {
+			for z := 0.25; z <= 12; z += 0.5 {
+				p := geom.V3(x, y, z)
+				if o.State(p) == Occupied {
+					occupiedPts = append(occupiedPts, p)
+				}
+			}
+		}
+	}
+	if len(occupiedPts) == 0 {
+		t.Skip("no occupied voxels generated")
+	}
+	// Sample probe points and compare Blocked against brute force.
+	for i := 0; i < 500; i++ {
+		p := geom.V3(rng.Float64()*20-10, rng.Float64()*20-10, rng.Float64()*12)
+		want := false
+		for _, q := range occupiedPts {
+			if q.Dist(p) <= 1.0 { // strictly inside the inflation radius
+				want = true
+				break
+			}
+		}
+		got := o.Blocked(p)
+		// The painted ball is conservative (radius + res), so got may be
+		// true where want is false, but never the reverse.
+		if want && !got {
+			t.Fatalf("point %v within inflation of %d occupied voxels but not blocked", p, len(occupiedPts))
+		}
+	}
+}
+
+// TestLocalGridEvictionProperty: after re-centering far away, no occupied
+// voxel outside the window may remain, and Blocked must be false
+// everywhere around the old location.
+func TestLocalGridEvictionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := NewLocalGrid(geom.V3(20, 20, 10), 0.5, 1.0)
+	g.Recenter(geom.V3(0, 0, 5))
+	for i := 0; i < 300; i++ {
+		p := geom.V3(rng.Float64()*16-8, rng.Float64()*16-8, rng.Float64()*8+1)
+		g.InsertRay(geom.V3(0, 0, 5), p, true)
+	}
+	if g.OccupiedVoxels() == 0 {
+		t.Fatal("setup: nothing occupied")
+	}
+	g.Recenter(geom.V3(500, 500, 5))
+	if got := g.OccupiedVoxels(); got != 0 {
+		t.Fatalf("%d occupied voxels survived eviction", got)
+	}
+	for i := 0; i < 200; i++ {
+		p := geom.V3(rng.Float64()*16-8, rng.Float64()*16-8, rng.Float64()*8+1)
+		if g.Blocked(p) {
+			t.Fatalf("stale inflation at %v after eviction", p)
+		}
+	}
+}
+
+// TestOctreeLogOddsBoundedProperty: no insert sequence may push a leaf's
+// state machine out of its clamped range — checked indirectly: a voxel
+// bombarded with hits flips to Free after a bounded number of misses.
+func TestOctreeLogOddsBoundedProperty(t *testing.T) {
+	o := NewOctree(geom.V3(0, 0, 4), 16, 0.5, 0.5)
+	p := geom.V3(2.2, 0.2, 2.2)
+	for i := 0; i < 1000; i++ {
+		o.InsertRay(p, p, true)
+	}
+	if o.State(p) != Occupied {
+		t.Fatal("hits did not occupy")
+	}
+	// Clamped at logOddsMax=3.5; misses at -0.4 each: must free within
+	// ceil((3.5+0.2)/0.4)+1 = ~11 misses.
+	for i := 0; i < 12; i++ {
+		o.InsertRay(p, p, false)
+	}
+	if o.State(p) == Occupied {
+		t.Error("log-odds not clamped: voxel stuck occupied")
+	}
+}
+
+func TestInsertCloudMatchesInsertRays(t *testing.T) {
+	// Cloud insertion must agree with per-ray insertion on which voxels
+	// end up occupied (the dedup changes per-capture magnitudes, not the
+	// eventual classification after repeated captures).
+	rng := rand.New(rand.NewSource(9))
+	a := NewOctree(geom.V3(0, 0, 8), 32, 0.5, 0.5)
+	bm := NewOctree(geom.V3(0, 0, 8), 32, 0.5, 0.5)
+	origin := geom.V3(0, 0, 8)
+	var ends []geom.Vec3
+	var hits []bool
+	for i := 0; i < 60; i++ {
+		ends = append(ends, geom.V3(rng.Float64()*16-8, rng.Float64()*16-8, rng.Float64()*10))
+		hits = append(hits, rng.Float64() < 0.6)
+	}
+	// Repeat the same capture several times so both converge.
+	for k := 0; k < 4; k++ {
+		a.InsertCloud(origin, ends, hits)
+		for i := range ends {
+			bm.InsertRay(origin, ends[i], hits[i])
+		}
+	}
+	for i, e := range ends {
+		if !hits[i] {
+			continue
+		}
+		sa, sb := a.State(e), bm.State(e)
+		if sa == Occupied != (sb == Occupied) {
+			t.Errorf("voxel %v: cloud=%v rays=%v", e, sa, sb)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package planning
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/mapping"
+)
+
+// AStarConfig tunes the EGO-style grid search.
+type AStarConfig struct {
+	// MaxExpansions is the search-pool size: the real-time compute budget
+	// the paper's §II-B blames for failures near large obstacles.
+	MaxExpansions int
+	// Horizon is the receding planning radius in meters. Goals beyond it
+	// are projected onto the horizon sphere, and the vehicle replans as it
+	// advances — EGO-Planner's local behavior.
+	Horizon float64
+	// MinZ and MaxZ bound the altitude corridor the search may use.
+	MinZ, MaxZ float64
+	// Res is the planning-lattice spacing in meters. Planning on a lattice
+	// coarser than the map keeps the pool budget meaningful in real time,
+	// as EGO-Planner does; clearance remains guaranteed by the map's
+	// inflation layer.
+	Res float64
+}
+
+// DefaultAStarConfig returns the MLS-V2 tuning.
+func DefaultAStarConfig() AStarConfig {
+	return AStarConfig{
+		MaxExpansions: 6000,
+		Horizon:       25,
+		MinZ:          0.8,
+		MaxZ:          40,
+		Res:           1.0,
+	}
+}
+
+// AStar is the bounded-pool voxel-grid A* planner of MLS-V2.
+type AStar struct {
+	Cfg AStarConfig
+}
+
+// NewAStar returns an A* planner with the given configuration.
+func NewAStar(cfg AStarConfig) *AStar {
+	if cfg.MaxExpansions <= 0 {
+		cfg.MaxExpansions = 6000
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 25
+	}
+	if cfg.MaxZ <= cfg.MinZ {
+		cfg.MaxZ = cfg.MinZ + 30
+	}
+	if cfg.Res <= 0 {
+		cfg.Res = 1.0
+	}
+	return &AStar{Cfg: cfg}
+}
+
+// Name implements Planner.
+func (a *AStar) Name() string { return "astar-local" }
+
+// node keys pack voxel indices relative to the start voxel.
+type gridKey struct{ x, y, z int16 }
+
+type astarNode struct {
+	key    gridKey
+	g, f   float64
+	parent gridKey
+	open   bool
+	closed bool
+}
+
+// openItem is the heap entry.
+type openItem struct {
+	key gridKey
+	f   float64
+}
+
+type openHeap []openItem
+
+func (h openHeap) Len() int            { return len(h) }
+func (h openHeap) Less(i, j int) bool  { return h[i].f < h[j].f }
+func (h openHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *openHeap) Push(x interface{}) { *h = append(*h, x.(openItem)) }
+func (h *openHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Plan implements Planner. The returned path ends at the goal if it lies
+// within the horizon, otherwise at the horizon projection of the goal.
+func (a *AStar) Plan(start, goal geom.Vec3, m mapping.Map) ([]geom.Vec3, error) {
+	res := a.Cfg.Res
+
+	// Receding horizon: clamp the goal to the planning sphere.
+	target := goal
+	if d := goal.Sub(start); d.Len() > a.Cfg.Horizon {
+		target = start.Add(d.ClampLen(a.Cfg.Horizon))
+	}
+	target = geom.V3(target.X, target.Y, geom.Clamp(target.Z, a.Cfg.MinZ, a.Cfg.MaxZ))
+
+	var ok bool
+	if start, ok = liftClear(m, start, a.Cfg.MaxZ, 1.5); !ok {
+		return nil, ErrStartBlocked
+	}
+	if target, ok = liftClear(m, target, a.Cfg.MaxZ, 4); !ok {
+		return nil, ErrGoalBlocked
+	}
+
+	toWorld := func(k gridKey) geom.Vec3 {
+		return start.Add(geom.V3(float64(k.x)*res, float64(k.y)*res, float64(k.z)*res))
+	}
+	goalKey := gridKey{
+		x: int16(math.Round((target.X - start.X) / res)),
+		y: int16(math.Round((target.Y - start.Y) / res)),
+		z: int16(math.Round((target.Z - start.Z) / res)),
+	}
+
+	nodes := make(map[gridKey]*astarNode, 1024)
+	startKey := gridKey{}
+	sn := &astarNode{key: startKey, g: 0, open: true}
+	sn.f = toWorld(startKey).Dist(target)
+	nodes[startKey] = sn
+	open := &openHeap{{key: startKey, f: sn.f}}
+
+	// 26-connected neighborhood with Euclidean step costs.
+	type offset struct {
+		dx, dy, dz int16
+		cost       float64
+	}
+	var offsets []offset
+	for dz := int16(-1); dz <= 1; dz++ {
+		for dy := int16(-1); dy <= 1; dy++ {
+			for dx := int16(-1); dx <= 1; dx++ {
+				if dx == 0 && dy == 0 && dz == 0 {
+					continue
+				}
+				c := math.Sqrt(float64(dx*dx+dy*dy+dz*dz)) * res
+				offsets = append(offsets, offset{dx, dy, dz, c})
+			}
+		}
+	}
+
+	horizonSq := (a.Cfg.Horizon + 2) * (a.Cfg.Horizon + 2)
+	expansions := 0
+	for open.Len() > 0 {
+		it := heap.Pop(open).(openItem)
+		n := nodes[it.key]
+		if n.closed || it.f > n.f {
+			continue
+		}
+		n.closed = true
+		if n.key == goalKey {
+			return a.extract(nodes, n, toWorld, target, m), nil
+		}
+		expansions++
+		if expansions > a.Cfg.MaxExpansions {
+			// Pool exhausted: the MLS-V2 large-obstacle failure.
+			return nil, ErrSearchExhausted
+		}
+		for _, off := range offsets {
+			nk := gridKey{n.key.x + off.dx, n.key.y + off.dy, n.key.z + off.dz}
+			w := toWorld(nk)
+			if w.Z < a.Cfg.MinZ || w.Z > a.Cfg.MaxZ {
+				continue
+			}
+			if w.Sub(start).LenSq() > horizonSq {
+				continue
+			}
+			if m.Blocked(w) {
+				continue
+			}
+			// Guard diagonal corner-cutting on the coarse lattice: the
+			// midpoint of a multi-axis step must be clear too.
+			if (off.dx != 0 && off.dy != 0) || (off.dx != 0 && off.dz != 0) || (off.dy != 0 && off.dz != 0) {
+				if m.Blocked(toWorld(n.key).Lerp(w, 0.5)) {
+					continue
+				}
+			}
+			ng := n.g + off.cost
+			nb, ok := nodes[nk]
+			if !ok {
+				nb = &astarNode{key: nk, g: math.Inf(1)}
+				nodes[nk] = nb
+			}
+			if nb.closed || ng >= nb.g {
+				continue
+			}
+			nb.g = ng
+			nb.f = ng + w.Dist(target)
+			nb.parent = n.key
+			nb.open = true
+			heap.Push(open, openItem{key: nk, f: nb.f})
+		}
+	}
+	return nil, ErrNoPath
+}
+
+// extract rebuilds the waypoint path from the closed set and shortcuts it.
+func (a *AStar) extract(nodes map[gridKey]*astarNode, n *astarNode,
+	toWorld func(gridKey) geom.Vec3, target geom.Vec3, m mapping.Map) []geom.Vec3 {
+	var rev []geom.Vec3
+	rev = append(rev, target)
+	for n.key != (gridKey{}) {
+		rev = append(rev, toWorld(n.key))
+		n = nodes[n.parent]
+	}
+	rev = append(rev, toWorld(gridKey{}))
+	// Reverse in place.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return Shortcut(m, rev, m.Resolution()/2)
+}
+
+var _ Planner = (*AStar)(nil)

@@ -1,0 +1,158 @@
+package planning
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mapping"
+)
+
+// randomPath builds a random waypoint path within a box.
+func randomPath(rng *rand.Rand, n int) []geom.Vec3 {
+	path := make([]geom.Vec3, n)
+	for i := range path {
+		path[i] = geom.V3(rng.Float64()*40-20, rng.Float64()*40-20, rng.Float64()*10+2)
+	}
+	return path
+}
+
+func TestShortcutNeverLongerProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := mapping.NullMap{} // free space: shortcut must collapse to 2 points
+	for trial := 0; trial < 50; trial++ {
+		path := randomPath(rng, 2+rng.Intn(8))
+		out := Shortcut(m, path, 0.5)
+		if PathLength(out) > PathLength(path)+1e-9 {
+			t.Fatalf("shortcut lengthened the path: %v -> %v", PathLength(path), PathLength(out))
+		}
+		if len(out) != 2 {
+			t.Fatalf("free-space shortcut kept %d waypoints", len(out))
+		}
+	}
+}
+
+func TestShortcutEndpointsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	o := mapping.NewOctree(geom.V3(0, 0, 8), 64, 0.5, 1.0)
+	// Scatter obstacles.
+	for i := 0; i < 200; i++ {
+		p := geom.V3(rng.Float64()*30-15, rng.Float64()*30-15, rng.Float64()*10)
+		o.InsertRay(p, p, true)
+	}
+	for trial := 0; trial < 30; trial++ {
+		path := randomPath(rng, 3+rng.Intn(6))
+		out := Shortcut(o, path, 0.4)
+		if out[0] != path[0] || out[len(out)-1] != path[len(path)-1] {
+			t.Fatal("shortcut moved endpoints")
+		}
+	}
+}
+
+func TestTrajectoryTimesMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		path := randomPath(rng, 2+rng.Intn(10))
+		tr := BuildTrajectory(path, TrajectoryConfig{
+			Speed:          1 + rng.Float64()*6,
+			CornerSlowdown: rng.Float64(),
+			DescentSpeed:   0.5 + rng.Float64()*2,
+		})
+		for i := 1; i < len(tr.Times); i++ {
+			if tr.Times[i] <= tr.Times[i-1] {
+				t.Fatalf("times not strictly increasing at %d: %v", i, tr.Times)
+			}
+		}
+		// Sampling anywhere inside the horizon must interpolate between
+		// consecutive waypoints (position within the path's bounding box).
+		box := geom.NewAABB(path[0], path[0])
+		for _, p := range path {
+			box = box.Union(geom.NewAABB(p, p))
+		}
+		for k := 0; k < 10; k++ {
+			pos, _ := tr.Sample(rng.Float64() * tr.Duration())
+			if !box.Expand(1e-6).Contains(pos) {
+				t.Fatalf("sample %v escaped the waypoint hull %v", pos, box)
+			}
+		}
+	}
+}
+
+func TestTrajectorySpeedCapProperty(t *testing.T) {
+	// Instantaneous trajectory speed never exceeds the configured cruise
+	// speed (corner slowdown and descent caps only reduce it).
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 30; trial++ {
+		path := randomPath(rng, 3+rng.Intn(6))
+		speed := 1 + rng.Float64()*5
+		tr := BuildTrajectory(path, TrajectoryConfig{
+			Speed: speed, CornerSlowdown: rng.Float64(), DescentSpeed: 1,
+		})
+		for k := 0; k < 20; k++ {
+			_, vel := tr.Sample(rng.Float64() * tr.Duration())
+			if vel.Len() > speed+1e-6 {
+				t.Fatalf("velocity %v exceeds cruise %v", vel.Len(), speed)
+			}
+		}
+	}
+}
+
+// pathAvoidsOccupied asserts the physically meaningful invariant: no
+// sampled point of the path enters an actually-occupied voxel. (Clipping
+// the outer corner of an INFLATED ball is within the planner contract —
+// the inflation radius is precisely the margin that keeps such clips safe.)
+func pathAvoidsOccupied(m mapping.Map, path []geom.Vec3) bool {
+	for i := 1; i < len(path); i++ {
+		l := path[i].Dist(path[i-1])
+		n := int(l/0.2) + 1
+		for k := 0; k <= n; k++ {
+			p := path[i-1].Lerp(path[i], float64(k)/float64(n))
+			if m.State(p) == mapping.Occupied {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestAStarPathsAlwaysClearProperty(t *testing.T) {
+	// Every path A* returns must be collision-free at the planner's own
+	// sampling granularity, across random obstacle fields.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		o := mapping.NewOctree(geom.V3(10, 0, 8), 64, 0.5, 1.0)
+		for i := 0; i < 120; i++ {
+			p := geom.V3(rng.Float64()*24-2, rng.Float64()*20-10, rng.Float64()*9)
+			o.InsertRay(p, p, true)
+		}
+		start := geom.V3(0, 0, 6)
+		goal := geom.V3(20, 0, 6)
+		a := NewAStar(DefaultAStarConfig())
+		path, err := a.Plan(start, goal, o)
+		if err != nil {
+			continue // blocked worlds may legitimately fail
+		}
+		if !pathAvoidsOccupied(o, path) {
+			t.Fatalf("trial %d: A* path passes through an occupied voxel", trial)
+		}
+	}
+}
+
+func TestRRTStarPathsAlwaysClearProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 8; trial++ {
+		o := mapping.NewOctree(geom.V3(10, 0, 8), 64, 0.5, 1.0)
+		for i := 0; i < 120; i++ {
+			p := geom.V3(rng.Float64()*24-2, rng.Float64()*20-10, rng.Float64()*9)
+			o.InsertRay(p, p, true)
+		}
+		r := NewRRTStar(DefaultRRTStarConfig(), int64(trial))
+		path, err := r.Plan(geom.V3(0, 0, 6), geom.V3(20, 0, 6), o)
+		if err != nil {
+			continue
+		}
+		if !pathAvoidsOccupied(o, path) {
+			t.Fatalf("trial %d: RRT* path passes through an occupied voxel", trial)
+		}
+	}
+}

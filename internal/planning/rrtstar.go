@@ -1,0 +1,224 @@
+package planning
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/mapping"
+)
+
+// RRTStarConfig tunes the sampling planner.
+type RRTStarConfig struct {
+	// MaxIterations bounds the sampling budget per plan.
+	MaxIterations int
+	// StepSize is the steering extension length in meters.
+	StepSize float64
+	// GoalBias is the probability of sampling the goal directly.
+	GoalBias float64
+	// RewireGamma scales the shrinking neighbor radius of Karaman &
+	// Frazzoli's RRT*: r = gamma * (log n / n)^(1/3).
+	RewireGamma float64
+	// GoalTolerance is the accept radius around the goal.
+	GoalTolerance float64
+	// MinZ and MaxZ bound the sampled altitude corridor.
+	MinZ, MaxZ float64
+	// Margin expands the sampling box around start/goal.
+	Margin float64
+	// CollisionStep is the sampling interval for edge checks.
+	CollisionStep float64
+}
+
+// DefaultRRTStarConfig returns the MLS-V3 tuning.
+func DefaultRRTStarConfig() RRTStarConfig {
+	return RRTStarConfig{
+		MaxIterations: 1400,
+		StepSize:      3.0,
+		GoalBias:      0.12,
+		RewireGamma:   18,
+		GoalTolerance: 1.0,
+		MinZ:          0.8,
+		MaxZ:          40,
+		Margin:        12,
+		CollisionStep: 0.3,
+	}
+}
+
+// RRTStar is the OMPL-style asymptotically-optimal sampling planner MLS-V3
+// uses against the global octree (§III-C).
+type RRTStar struct {
+	Cfg RRTStarConfig
+	rng *rand.Rand
+}
+
+// NewRRTStar returns a planner seeded for deterministic replay.
+func NewRRTStar(cfg RRTStarConfig, seed int64) *RRTStar {
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = 1400
+	}
+	if cfg.StepSize <= 0 {
+		cfg.StepSize = 3
+	}
+	if cfg.CollisionStep <= 0 {
+		cfg.CollisionStep = 0.3
+	}
+	if cfg.RewireGamma <= 0 {
+		cfg.RewireGamma = 18
+	}
+	if cfg.GoalTolerance <= 0 {
+		cfg.GoalTolerance = 1
+	}
+	return &RRTStar{Cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Planner.
+func (r *RRTStar) Name() string { return "rrtstar-global" }
+
+type rrtNode struct {
+	p      geom.Vec3
+	parent int
+	cost   float64
+}
+
+// Plan implements Planner. Planning is anytime-with-retries: if the first
+// sampling box yields no connection, the box and iteration budget grow —
+// large structures (the paper's urban buildings) need samples far outside
+// the start-goal corridor.
+func (r *RRTStar) Plan(start, goal geom.Vec3, m mapping.Map) ([]geom.Vec3, error) {
+	cfg := r.Cfg
+	var ok bool
+	if start, ok = liftClear(m, start, cfg.MaxZ, 1.5); !ok {
+		return nil, ErrStartBlocked
+	}
+	goal = geom.V3(goal.X, goal.Y, geom.Clamp(goal.Z, cfg.MinZ, cfg.MaxZ))
+	// Goal lifts are capped low: climbing far above the sensed flight
+	// level hugs structure walls through unobserved space — the paper's
+	// unseen-obstacle trap. Deeply buried goals fail instead (the caller
+	// aborts or re-searches, trading availability for safety).
+	if goal, ok = liftClear(m, goal, cfg.MaxZ, 4); !ok {
+		return nil, ErrGoalBlocked
+	}
+
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		scale := 1.0 + 1.6*float64(attempt)
+		path, err := r.attempt(start, goal, m, scale)
+		if err == nil {
+			return path, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// attempt runs one sampling round with the margin and budget scaled.
+func (r *RRTStar) attempt(start, goal geom.Vec3, m mapping.Map, scale float64) ([]geom.Vec3, error) {
+	cfg := r.Cfg
+	margin := cfg.Margin * scale
+	maxIter := int(float64(cfg.MaxIterations) * scale)
+
+	// Sampling volume: box around start and goal, expanded by the margin
+	// laterally but held near the flight level vertically. The forward
+	// depth sensor only clears airspace near the current altitude, so
+	// vertical escapes would thread unobserved space along structure
+	// walls — the unseen-obstacle trap; lateral detours stay in
+	// well-sensed air.
+	box := geom.NewAABB(start, goal).Expand(margin)
+	box.Min.Z = math.Max(math.Min(start.Z, goal.Z)-2, cfg.MinZ)
+	box.Max.Z = math.Min(math.Max(start.Z, goal.Z)+3, cfg.MaxZ)
+
+	nodes := []rrtNode{{p: start, parent: -1, cost: 0}}
+	bestGoal := -1
+	bestCost := math.Inf(1)
+
+	for iter := 0; iter < maxIter; iter++ {
+		var sample geom.Vec3
+		if r.rng.Float64() < cfg.GoalBias {
+			sample = goal
+		} else {
+			sample = geom.V3(
+				box.Min.X+r.rng.Float64()*(box.Max.X-box.Min.X),
+				box.Min.Y+r.rng.Float64()*(box.Max.Y-box.Min.Y),
+				box.Min.Z+r.rng.Float64()*(box.Max.Z-box.Min.Z),
+			)
+		}
+
+		// Nearest node.
+		nearest := 0
+		nd := math.Inf(1)
+		for i := range nodes {
+			if d := nodes[i].p.DistSq(sample); d < nd {
+				nd = d
+				nearest = i
+			}
+		}
+		// Steer toward the sample.
+		dir := sample.Sub(nodes[nearest].p)
+		if dir.Len() < 1e-9 {
+			continue
+		}
+		newP := nodes[nearest].p.Add(dir.ClampLen(cfg.StepSize))
+		if m.Blocked(newP) || !SegmentClear(m, nodes[nearest].p, newP, cfg.CollisionStep) {
+			continue
+		}
+
+		// Choose-parent within the shrinking radius.
+		n := float64(len(nodes)) + 1
+		radius := cfg.RewireGamma * math.Cbrt(math.Log(n)/n)
+		if radius < cfg.StepSize {
+			radius = cfg.StepSize
+		}
+		parent := nearest
+		cost := nodes[nearest].cost + nodes[nearest].p.Dist(newP)
+		var neighbors []int
+		for i := range nodes {
+			if nodes[i].p.DistSq(newP) <= radius*radius {
+				neighbors = append(neighbors, i)
+			}
+		}
+		for _, i := range neighbors {
+			c := nodes[i].cost + nodes[i].p.Dist(newP)
+			if c < cost && SegmentClear(m, nodes[i].p, newP, cfg.CollisionStep) {
+				cost = c
+				parent = i
+			}
+		}
+		nodes = append(nodes, rrtNode{p: newP, parent: parent, cost: cost})
+		newIdx := len(nodes) - 1
+
+		// Rewire neighbors through the new node when cheaper.
+		for _, i := range neighbors {
+			c := cost + newP.Dist(nodes[i].p)
+			if c < nodes[i].cost && SegmentClear(m, newP, nodes[i].p, cfg.CollisionStep) {
+				nodes[i].parent = newIdx
+				nodes[i].cost = c
+			}
+		}
+
+		// Goal connection.
+		if newP.Dist(goal) <= cfg.GoalTolerance ||
+			(newP.Dist(goal) <= cfg.StepSize && SegmentClear(m, newP, goal, cfg.CollisionStep)) {
+			c := cost + newP.Dist(goal)
+			if c < bestCost {
+				bestCost = c
+				bestGoal = newIdx
+			}
+		}
+	}
+
+	if bestGoal < 0 {
+		return nil, ErrSearchExhausted
+	}
+	// Extract, append exact goal, smooth.
+	var rev []geom.Vec3
+	rev = append(rev, goal)
+	for i := bestGoal; i >= 0; i = nodes[i].parent {
+		rev = append(rev, nodes[i].p)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return Shortcut(m, rev, cfg.CollisionStep), nil
+}
+
+var _ Planner = (*RRTStar)(nil)

@@ -1,0 +1,150 @@
+package planning
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// TrajectoryConfig tunes waypoint-path time parameterization.
+type TrajectoryConfig struct {
+	// Speed is the cruise speed in m/s.
+	Speed float64
+	// CornerSlowdown in [0,1] scales speed approaching sharp corners:
+	// 0 = no slowdown (the V3 sharp-corner overshoot risk at its worst),
+	// 1 = full stop at right angles.
+	CornerSlowdown float64
+	// DescentSpeed caps vertical speed during descending segments.
+	DescentSpeed float64
+}
+
+// DefaultTrajectoryConfig returns the cruise profile used by the systems.
+func DefaultTrajectoryConfig() TrajectoryConfig {
+	return TrajectoryConfig{Speed: 4.0, CornerSlowdown: 0.6, DescentSpeed: 1.2}
+}
+
+// Trajectory is a time-parameterized polyline: the output of the planning
+// module that the flight controller follows.
+type Trajectory struct {
+	Points []geom.Vec3
+	Times  []float64 // cumulative seconds, same length as Points
+}
+
+// BuildTrajectory time-parameterizes a waypoint path. Segment speeds start
+// from cfg.Speed, are reduced near sharp corners in proportion to the turn
+// angle and cfg.CornerSlowdown, and are capped by the descent-speed limit
+// on descending segments.
+func BuildTrajectory(path []geom.Vec3, cfg TrajectoryConfig) Trajectory {
+	if cfg.Speed <= 0 {
+		cfg.Speed = 4
+	}
+	if cfg.DescentSpeed <= 0 {
+		cfg.DescentSpeed = 1.2
+	}
+	tr := Trajectory{Points: append([]geom.Vec3(nil), path...)}
+	tr.Times = make([]float64, len(tr.Points))
+	if len(tr.Points) == 0 {
+		return tr
+	}
+	t := 0.0
+	tr.Times[0] = 0
+	for i := 1; i < len(tr.Points); i++ {
+		seg := tr.Points[i].Sub(tr.Points[i-1])
+		l := seg.Len()
+		speed := cfg.Speed
+
+		// Corner handling: slow down into a sharp turn at waypoint i.
+		if i+1 < len(tr.Points) {
+			angle := TurnAngle(tr.Points[i-1], tr.Points[i], tr.Points[i+1])
+			// angle 0 = straight; pi = reversal.
+			factor := 1 - cfg.CornerSlowdown*(angle/math.Pi)
+			if factor < 0.15 {
+				factor = 0.15
+			}
+			speed *= factor
+		}
+
+		// Descent cap.
+		if seg.Z < 0 && l > 0 {
+			vz := speed * (-seg.Z / l)
+			if vz > cfg.DescentSpeed {
+				speed *= cfg.DescentSpeed / vz
+			}
+		}
+		if speed < 0.2 {
+			speed = 0.2
+		}
+		t += l / speed
+		tr.Times[i] = t
+	}
+	return tr
+}
+
+// Duration returns the total trajectory time.
+func (tr Trajectory) Duration() float64 {
+	if len(tr.Times) == 0 {
+		return 0
+	}
+	return tr.Times[len(tr.Times)-1]
+}
+
+// Sample returns the position and velocity setpoint at time t, clamping to
+// the endpoints outside [0, Duration].
+func (tr Trajectory) Sample(t float64) (pos, vel geom.Vec3) {
+	n := len(tr.Points)
+	switch {
+	case n == 0:
+		return geom.Vec3{}, geom.Vec3{}
+	case n == 1 || t <= 0:
+		return tr.Points[0], geom.Vec3{}
+	case t >= tr.Duration():
+		return tr.Points[n-1], geom.Vec3{}
+	}
+	// Find the active segment (linear scan: trajectories are short).
+	i := 1
+	for i < n-1 && tr.Times[i] < t {
+		i++
+	}
+	t0, t1 := tr.Times[i-1], tr.Times[i]
+	if t1 <= t0 {
+		return tr.Points[i], geom.Vec3{}
+	}
+	frac := (t - t0) / (t1 - t0)
+	pos = tr.Points[i-1].Lerp(tr.Points[i], frac)
+	vel = tr.Points[i].Sub(tr.Points[i-1]).Scale(1 / (t1 - t0))
+	return pos, vel
+}
+
+// End returns the final waypoint, or the zero vector for an empty
+// trajectory.
+func (tr Trajectory) End() geom.Vec3 {
+	if len(tr.Points) == 0 {
+		return geom.Vec3{}
+	}
+	return tr.Points[len(tr.Points)-1]
+}
+
+// TurnAngle returns the direction change at waypoint b on the path a-b-c,
+// in radians: 0 for collinear continuation, pi for a full reversal.
+func TurnAngle(a, b, c geom.Vec3) float64 {
+	u := b.Sub(a).Norm()
+	v := c.Sub(b).Norm()
+	if u == (geom.Vec3{}) || v == (geom.Vec3{}) {
+		return 0
+	}
+	dot := geom.Clamp(u.Dot(v), -1, 1)
+	return math.Acos(dot)
+}
+
+// MaxTurnAngle returns the sharpest corner along a path; the V3 failure
+// analysis uses this to attribute collisions to trajectory-following
+// limits at sharp RRT* corners.
+func MaxTurnAngle(path []geom.Vec3) float64 {
+	var worst float64
+	for i := 1; i+1 < len(path); i++ {
+		if a := TurnAngle(path[i-1], path[i], path[i+1]); a > worst {
+			worst = a
+		}
+	}
+	return worst
+}

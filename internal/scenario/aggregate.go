@@ -1,0 +1,155 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/vision"
+	"repro/internal/worldgen"
+)
+
+// Aggregate summarizes a batch of runs into the Table I / Table II rows.
+type Aggregate struct {
+	System string
+	Runs   int
+
+	Success     int
+	Collision   int
+	PoorLanding int
+
+	// MeanLandingError averages over successful landings (the paper's
+	// landing-accuracy numbers describe normal landings, not the off-pad
+	// outliers that are already counted as poor-landing failures).
+	MeanLandingError float64
+	// MeanDetectionError averages the per-run detection deviation.
+	MeanDetectionError float64
+	// FalseNegativeRate is detector misses over marker-visible frames,
+	// pooled across runs (Table II).
+	FalseNegativeRate float64
+}
+
+// SuccessRate returns the Table I success percentage.
+func (a Aggregate) SuccessRate() float64 { return pct(a.Success, a.Runs) }
+
+// CollisionRate returns the Table I collision-failure percentage.
+func (a Aggregate) CollisionRate() float64 { return pct(a.Collision, a.Runs) }
+
+// PoorLandingRate returns the Table I poor-landing-failure percentage.
+func (a Aggregate) PoorLandingRate() float64 { return pct(a.PoorLanding, a.Runs) }
+
+func pct(n, d int) float64 {
+	if d == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(d)
+}
+
+// Summarize folds results into an aggregate row.
+func Summarize(system string, results []Result) Aggregate {
+	a := Aggregate{System: system, Runs: len(results)}
+	var landSum float64
+	var landN int
+	var detSum float64
+	var detN int
+	var visible, detected int
+	for _, r := range results {
+		switch r.Outcome {
+		case Success:
+			a.Success++
+		case FailureCollision:
+			a.Collision++
+		case FailurePoorLanding:
+			a.PoorLanding++
+		}
+		if r.Outcome == Success && !math.IsNaN(r.LandingError) {
+			landSum += r.LandingError
+			landN++
+		}
+		if !math.IsNaN(r.DetectionError) {
+			detSum += r.DetectionError
+			detN++
+		}
+		visible += r.MarkerVisibleFrames
+		detected += r.MarkerDetectedFrames
+	}
+	if landN > 0 {
+		a.MeanLandingError = landSum / float64(landN)
+	}
+	if detN > 0 {
+		a.MeanDetectionError = detSum / float64(detN)
+	}
+	if visible > 0 {
+		a.FalseNegativeRate = float64(visible-detected) / float64(visible)
+	}
+	return a
+}
+
+// String renders one Table I row.
+func (a Aggregate) String() string {
+	return fmt.Sprintf("%-8s runs=%3d success=%6.2f%% collision=%6.2f%% poor-landing=%6.2f%% FNR=%5.2f%% land-err=%.2fm",
+		a.System, a.Runs, a.SuccessRate(), a.CollisionRate(), a.PoorLandingRate(),
+		100*a.FalseNegativeRate, a.MeanLandingError)
+}
+
+// BuildSystem instantiates one generation for a scenario. Seeds separate
+// planner randomness per run.
+func BuildSystem(gen core.Generation, sc *worldgen.Scenario, seed int64) (*core.System, error) {
+	dict := vision.DefaultDictionary()
+	// The GPS goal handed to the system is at ground level; the system
+	// chooses its own altitudes.
+	switch gen {
+	case core.V1:
+		return core.NewV1(sc.TargetID, sc.GPSGoal, dict)
+	case core.V2:
+		return core.NewV2(sc.TargetID, sc.GPSGoal, dict, seed)
+	case core.V3:
+		return core.NewV3(sc.TargetID, sc.GPSGoal, dict, seed)
+	default:
+		return nil, fmt.Errorf("scenario: unknown generation %d", gen)
+	}
+}
+
+// Batch runs one system generation across the full benchmark: every map,
+// every scenario, `repeats` sensor-seed repetitions (the paper uses 3).
+// The onResult callback, when non-nil, observes each run (progress
+// reporting); it must not retain the result's slices.
+func Batch(gen core.Generation, maps, scenariosPerMap, repeats int,
+	timing Timing, onResult func(mapIdx, scIdx, rep int, r Result)) ([]Result, error) {
+	idxs := make([]int, scenariosPerMap)
+	for i := range idxs {
+		idxs[i] = i
+	}
+	return BatchScenarios(gen, maps, idxs, repeats, timing, onResult)
+}
+
+// BatchScenarios is Batch restricted to an explicit scenario-index subset
+// (reduced benchmark sweeps keep the normal/adverse weather mix balanced
+// by choosing indices from both halves).
+func BatchScenarios(gen core.Generation, maps int, scenarioIdxs []int, repeats int,
+	timing Timing, onResult func(mapIdx, scIdx, rep int, r Result)) ([]Result, error) {
+	var out []Result
+	for mi := 0; mi < maps; mi++ {
+		for _, si := range scenarioIdxs {
+			for rep := 0; rep < repeats; rep++ {
+				sc, err := worldgen.Generate(mi, si)
+				if err != nil {
+					return nil, err
+				}
+				seed := int64(mi)*1_000_003 + int64(si)*9_176 + int64(rep)*77_711 + int64(gen)
+				sys, err := BuildSystem(gen, sc, seed)
+				if err != nil {
+					return nil, err
+				}
+				cfg := DefaultRunConfig(seed)
+				cfg.Timing = timing
+				r := Run(sc, sys, cfg)
+				if onResult != nil {
+					onResult(mi, si, rep, r)
+				}
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,356 @@
+// Package scenario executes benchmark runs: it wires a landing system
+// (internal/core) to the simulation substrate (internal/sim, worldgen),
+// steps the closed loop, classifies outcomes the way Table I does
+// (success / failure-by-collision / failure-by-poor-landing), and
+// aggregates detection statistics for Table II.
+//
+// The runner is the only component that touches ground truth; the system
+// under test sees sensors exclusively.
+package scenario
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/sim"
+	"repro/internal/worldgen"
+)
+
+// Outcome classifies one run per the paper's Table I taxonomy.
+type Outcome int
+
+// Outcomes.
+const (
+	// Success: touched down on the pad without collisions.
+	Success Outcome = iota
+	// FailureCollision: struck an obstacle or uncontrolled ground impact.
+	FailureCollision
+	// FailurePoorLanding: no crash, but no acceptable landing either —
+	// landed off-pad, landed on water, aborted, or timed out.
+	FailurePoorLanding
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case Success:
+		return "success"
+	case FailureCollision:
+		return "collision"
+	case FailurePoorLanding:
+		return "poor-landing"
+	default:
+		return "unknown"
+	}
+}
+
+// Timing carries the module cadences of one deployment profile. SIL runs
+// everything at native rates; the HIL profile stretches them to model the
+// Jetson Nano's compute budget (paper RQ2).
+type Timing struct {
+	// Dt is the physics/control period in seconds.
+	Dt float64
+	// DetectPeriod is the marker-detection frame period.
+	DetectPeriod float64
+	// DepthPeriod is the depth-capture/mapping period.
+	DepthPeriod float64
+	// CommandLatency delays command application by whole ticks (compute
+	// latency between sensing and actuation).
+	CommandLatencyTicks int
+}
+
+// SILTiming is the native software-in-the-loop profile.
+func SILTiming() Timing {
+	return Timing{Dt: 0.05, DetectPeriod: 0.25, DepthPeriod: 0.2}
+}
+
+// ResourceObserver receives module-activity callbacks during a run so a
+// platform model (internal/hil) can reconstruct CPU/memory series without
+// the runner depending on it.
+type ResourceObserver interface {
+	RecordDetect()
+	RecordDepth()
+	RecordPlan()
+	RecordControl()
+	Advance(dt, t float64, mapBytes int)
+}
+
+// RunConfig parameterizes one run.
+type RunConfig struct {
+	Timing Timing
+	// MaxDuration caps mission time in seconds.
+	MaxDuration float64
+	// Seed drives all sensor noise for the run (worlds are scenario-
+	// deterministic; repetitions re-seed sensors only).
+	Seed int64
+	// SuccessRadius is the on-pad threshold for landing classification.
+	SuccessRadius float64
+	// ErroneousDepthRate enables the real-world effects of RQ3 (spurious
+	// point-cloud clusters, Fig. 5c).
+	ErroneousDepthRate float64
+	// Observer, when non-nil, receives module-activity callbacks for
+	// resource modeling (Table III / Fig. 7).
+	Observer ResourceObserver
+	// RTK switches the GPS model to RTK-corrected output (§V-C
+	// mitigation study).
+	RTK bool
+}
+
+// DefaultRunConfig returns the SIL run profile.
+func DefaultRunConfig(seed int64) RunConfig {
+	return RunConfig{
+		Timing:        SILTiming(),
+		MaxDuration:   300,
+		Seed:          seed,
+		SuccessRadius: 1.0,
+	}
+}
+
+// Result is the record of one run.
+type Result struct {
+	Outcome    Outcome
+	FinalState core.State
+	// Duration is mission time consumed (seconds).
+	Duration float64
+	// Landed reports physical touchdown (even if off-pad).
+	Landed bool
+	// LandingError is the horizontal distance from touchdown to the true
+	// marker center; NaN when the vehicle never landed.
+	LandingError float64
+	// DetectionError is the mean deviation between detected and actual
+	// marker positions (paper SIL metric 1); NaN without detections.
+	DetectionError float64
+	// MarkerVisibleFrames / MarkerDetectedFrames feed the Table II
+	// false-negative rate.
+	MarkerVisibleFrames  int
+	MarkerDetectedFrames int
+	// OnWater marks a touchdown on water (counted as poor landing).
+	OnWater bool
+	// Stats carries the system's internal counters.
+	Stats core.Stats
+	// MaxGPSDrift is the largest GPS bias seen (Fig. 5d analysis).
+	MaxGPSDrift float64
+}
+
+// FalseNegativeRate returns the per-run detector FNR, or NaN when the
+// marker was never visible.
+func (r Result) FalseNegativeRate() float64 {
+	if r.MarkerVisibleFrames == 0 {
+		return math.NaN()
+	}
+	miss := r.MarkerVisibleFrames - r.MarkerDetectedFrames
+	return float64(miss) / float64(r.MarkerVisibleFrames)
+}
+
+// Run executes one closed-loop mission of sys on scenario sc.
+func Run(sc *worldgen.Scenario, sys *core.System, cfg RunConfig) Result {
+	t := cfg.Timing
+	if t.Dt <= 0 {
+		t = SILTiming()
+	}
+	if cfg.MaxDuration <= 0 {
+		cfg.MaxDuration = 240
+	}
+	if cfg.SuccessRadius <= 0 {
+		cfg.SuccessRadius = 1.0
+	}
+
+	w := sc.World
+	drone := sim.NewDrone(sim.DefaultDroneConfig(), geom.V3(0, 0, 0.15))
+	gps := sim.NewGPS(cfg.Seed^0x1, sc.Weather.GPSDegradation)
+	if cfg.RTK {
+		gps.EnableRTK()
+	}
+	imu := sim.NewIMU(cfg.Seed^0x2, 1)
+	baro := sim.NewBaro(cfg.Seed ^ 0x3)
+	lidar := sim.NewLidarAlt(cfg.Seed ^ 0x4)
+	depth := sim.NewDepthCamera(cfg.Seed ^ 0x5)
+	depth.ErroneousRate = cfg.ErroneousDepthRate
+	color := sim.NewColorCamera(cfg.Seed ^ 0x6)
+	windRng := rand.New(rand.NewSource(cfg.Seed ^ 0x7))
+
+	res := Result{LandingError: math.NaN(), DetectionError: math.NaN()}
+
+	var nextDetect, nextDepth float64
+	cmdQueue := make([]core.Command, 0, t.CommandLatencyTicks+1)
+
+	steps := int(cfg.MaxDuration / t.Dt)
+	now := 0.0
+	for i := 0; i < steps; i++ {
+		now += t.Dt
+		gps.Step(t.Dt)
+		baro.Step(t.Dt)
+		if b := gps.Bias().Len(); b > res.MaxGPSDrift {
+			res.MaxGPSDrift = b
+		}
+
+		epoch := core.SensorEpoch{
+			Dt:      t.Dt,
+			GPS:     gps.Read(drone.Pos),
+			IMUVel:  imu.ReadVel(drone.Vel),
+			BaroAlt: baro.Read(drone.Pos.Z),
+		}
+		if r, ok := lidar.Read(w, drone.Pos); ok {
+			epoch.LidarRange = r
+			epoch.LidarOK = true
+		}
+
+		if now >= nextDepth {
+			nextDepth = now + t.DepthPeriod
+			returns := depth.Capture(w, drone.Pos, drone.Yaw)
+			pts := make([]core.DepthPoint, len(returns))
+			for k, rr := range returns {
+				pts[k] = core.DepthPoint{P: rr.Point, Hit: rr.Hit}
+			}
+			epoch.Depth = pts
+			epoch.DepthYaw = drone.Yaw
+		}
+
+		markerVisible := false
+		if now >= nextDetect {
+			nextDetect = now + t.DetectPeriod
+			epoch.Frame = color.Capture(w, sc.Weather, drone.Pos, drone.Yaw, drone.Speed())
+			epoch.FrameYaw = drone.Yaw
+			markerVisible = markerInView(w, sc, drone.Pos, drone.Yaw)
+			if markerVisible {
+				res.MarkerVisibleFrames++
+			}
+		}
+
+		detBefore := sys.Stats().Detections
+		plansBefore := sys.Stats().Replans + sys.Stats().PlanFailures
+		cmd := sys.Step(epoch)
+		if markerVisible && sys.Stats().Detections > detBefore {
+			res.MarkerDetectedFrames++
+		}
+		if obs := cfg.Observer; obs != nil {
+			obs.RecordControl()
+			if epoch.Frame != nil {
+				obs.RecordDetect()
+			}
+			if epoch.Depth != nil {
+				obs.RecordDepth()
+			}
+			if plans := sys.Stats().Replans + sys.Stats().PlanFailures; plans > plansBefore {
+				for k := plansBefore; k < plans; k++ {
+					obs.RecordPlan()
+				}
+			}
+			obs.Advance(t.Dt, now, sys.Map().MemoryBytes())
+		}
+
+		// Command latency queue (compute delay between sense and act).
+		cmdQueue = append(cmdQueue, cmd)
+		applied := cmdQueue[0]
+		if len(cmdQueue) > t.CommandLatencyTicks {
+			applied = cmdQueue[len(cmdQueue)-1-t.CommandLatencyTicks]
+			cmdQueue = cmdQueue[len(cmdQueue)-1-t.CommandLatencyTicks:]
+		}
+
+		drone.SetYaw(applied.Yaw)
+		drone.Step(t.Dt, applied.Vel, sc.Weather.GustAt(windRng))
+
+		// Ground-truth safety accounting.
+		if hitObstacle(w, drone.Pos, drone.Cfg.Radius) {
+			res.Outcome = FailureCollision
+			res.FinalState = sys.State()
+			res.Duration = now
+			finishMetrics(&res, sys, sc)
+			return res
+		}
+		if drone.Pos.Z <= drone.Cfg.Radius*0.6 && !drone.Landed() {
+			st := sys.State()
+			if applied.WantLand || st == core.StateFinalDescent || st == core.StateLanded {
+				drone.Land()
+				res.Landed = true
+				res.LandingError = drone.Pos.HorizDist(sc.TrueMarker)
+				res.OnWater = w.OnWater(drone.Pos.X, drone.Pos.Y)
+			} else if now > 2 { // takeoff grace period
+				res.Outcome = FailureCollision
+				res.FinalState = st
+				res.Duration = now
+				finishMetrics(&res, sys, sc)
+				return res
+			}
+		}
+
+		if sys.State().Terminal() || drone.Landed() {
+			break
+		}
+	}
+
+	res.Duration = now
+	res.FinalState = sys.State()
+	finishMetrics(&res, sys, sc)
+
+	switch {
+	case res.Landed && !res.OnWater && res.LandingError <= cfg.SuccessRadius:
+		res.Outcome = Success
+	default:
+		res.Outcome = FailurePoorLanding
+	}
+	return res
+}
+
+// finishMetrics fills the detection-deviation metric from the system's
+// accepted detections versus ground truth.
+func finishMetrics(res *Result, sys *core.System, sc *worldgen.Scenario) {
+	res.Stats = sys.Stats()
+	if n := len(res.Stats.DetectionPositions); n > 0 {
+		var sum float64
+		for _, p := range res.Stats.DetectionPositions {
+			sum += p.HorizDist(sc.TrueMarker)
+		}
+		res.DetectionError = sum / float64(n)
+	}
+}
+
+// markerInView reports whether the true target marker is comfortably
+// inside the downward camera frustum at a decodable apparent size — the
+// ground-truth denominator of the Table II false-negative rate.
+func markerInView(w *sim.World, sc *worldgen.Scenario, pos geom.Vec3, yaw float64) bool {
+	target, ok := w.TargetMarker()
+	if !ok {
+		return false
+	}
+	alt := pos.Z
+	if alt < 3 || alt > 26 {
+		return false
+	}
+	cam := sim.NewColorCamera(0).Intrinsics
+	cam.Pos = pos
+	cam.Yaw = yaw
+	px, inside := cam.ProjectGround(target.Center)
+	if !inside {
+		return false
+	}
+	// Require the whole pad inside the frame with margin.
+	half := cam.ApparentSizePx(target.Size, 0) / 2
+	if px.X < half || px.Y < half ||
+		px.X > float64(cam.W)-half || px.Y > float64(cam.H)-half {
+		return false
+	}
+	// Occluded from above (roof/canopy between drone and marker)?
+	if w.GroundHeightAt(target.Center.X, target.Center.Y) > 0 {
+		return false
+	}
+	return true
+}
+
+// hitObstacle is CollideSphere minus the ground plane (landing handles
+// ground contact separately).
+func hitObstacle(w *sim.World, c geom.Vec3, r float64) bool {
+	for i := range w.Buildings {
+		if w.Buildings[i].IntersectsSphere(c, r) {
+			return true
+		}
+	}
+	for i := range w.Trees {
+		if w.Trees[i].Dist(c) <= r {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,200 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/worldgen"
+)
+
+// runOne is a helper executing one scenario with one generation.
+func runOne(t *testing.T, gen core.Generation, mapIdx, scIdx int, seed int64) (Result, *core.System) {
+	t.Helper()
+	sc, err := worldgen.Generate(mapIdx, scIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := BuildSystem(gen, sc, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Run(sc, sys, DefaultRunConfig(seed))
+	return r, sys
+}
+
+func TestV3LandsOnEasyScenario(t *testing.T) {
+	r, sys := runOne(t, core.V3, 2, 4, 42)
+	if r.Outcome != Success {
+		t.Fatalf("outcome = %s (state %s, %.1fs)", r.Outcome, r.FinalState, r.Duration)
+	}
+	if !r.Landed {
+		t.Error("not landed")
+	}
+	if r.LandingError > 1.0 {
+		t.Errorf("landing error %.2f m", r.LandingError)
+	}
+	// SIL accuracy claim: successful landings land well within the pad.
+	if r.LandingError > 0.6 {
+		t.Errorf("landing error %.2f m, want ~0.25 m class", r.LandingError)
+	}
+	if sys.State() != core.StateLanded && sys.State() != core.StateFinalDescent {
+		t.Errorf("final system state %s", sys.State())
+	}
+	if r.MarkerVisibleFrames == 0 || r.MarkerDetectedFrames == 0 {
+		t.Error("no detection accounting")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, _ := runOne(t, core.V3, 0, 2, 7)
+	b, _ := runOne(t, core.V3, 0, 2, 7)
+	if a.Outcome != b.Outcome || a.Duration != b.Duration {
+		t.Fatalf("non-deterministic: %v/%v vs %v/%v", a.Outcome, a.Duration, b.Outcome, b.Duration)
+	}
+	if !(math.IsNaN(a.LandingError) && math.IsNaN(b.LandingError)) &&
+		a.LandingError != b.LandingError {
+		t.Fatalf("landing error differs: %v vs %v", a.LandingError, b.LandingError)
+	}
+}
+
+func TestSeedChangesRun(t *testing.T) {
+	a, _ := runOne(t, core.V3, 0, 2, 7)
+	b, _ := runOne(t, core.V3, 0, 2, 8)
+	// Different sensor seeds must actually perturb the run.
+	if a.Duration == b.Duration {
+		t.Error("different seeds produced identical durations")
+	}
+}
+
+func TestV1CollidesOnBlockedScenario(t *testing.T) {
+	// Map 9 (urban-towers) straight-line transits should fail for the
+	// mapless generation in most scenarios; find one deterministically.
+	collided := false
+	for si := 0; si < 6 && !collided; si++ {
+		r, _ := runOne(t, core.V1, 9, si, 11)
+		if r.Outcome == FailureCollision {
+			collided = true
+		}
+	}
+	if !collided {
+		t.Error("V1 never collided in urban scenarios — avoidance-free flight is too safe")
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	if Success.String() != "success" ||
+		FailureCollision.String() != "collision" ||
+		FailurePoorLanding.String() != "poor-landing" {
+		t.Error("outcome strings")
+	}
+	if Outcome(99).String() != "unknown" {
+		t.Error("unknown outcome string")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	results := []Result{
+		{Outcome: Success, Landed: true, LandingError: 0.2, DetectionError: 0.1,
+			MarkerVisibleFrames: 10, MarkerDetectedFrames: 9},
+		{Outcome: FailureCollision, LandingError: math.NaN(), DetectionError: math.NaN()},
+		{Outcome: FailurePoorLanding, Landed: true, LandingError: 2.0, DetectionError: 0.3,
+			MarkerVisibleFrames: 10, MarkerDetectedFrames: 10},
+	}
+	a := Summarize("test", results)
+	if a.Runs != 3 || a.Success != 1 || a.Collision != 1 || a.PoorLanding != 1 {
+		t.Fatalf("counts: %+v", a)
+	}
+	if math.Abs(a.SuccessRate()-100.0/3) > 1e-9 {
+		t.Errorf("success rate %v", a.SuccessRate())
+	}
+	// Landing error averages over successful landings only.
+	if math.Abs(a.MeanLandingError-0.2) > 1e-9 {
+		t.Errorf("mean landing error %v", a.MeanLandingError)
+	}
+	if math.Abs(a.MeanDetectionError-0.2) > 1e-9 {
+		t.Errorf("mean detection error %v", a.MeanDetectionError)
+	}
+	if math.Abs(a.FalseNegativeRate-1.0/20) > 1e-9 {
+		t.Errorf("FNR %v", a.FalseNegativeRate)
+	}
+	if a.String() == "" {
+		t.Error("empty row string")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	a := Summarize("none", nil)
+	if a.SuccessRate() != 0 || a.CollisionRate() != 0 || a.PoorLandingRate() != 0 {
+		t.Error("empty aggregate rates")
+	}
+}
+
+func TestFalseNegativeRateNaN(t *testing.T) {
+	r := Result{}
+	if !math.IsNaN(r.FalseNegativeRate()) {
+		t.Error("FNR without visible frames should be NaN")
+	}
+	r = Result{MarkerVisibleFrames: 10, MarkerDetectedFrames: 7}
+	if math.Abs(r.FalseNegativeRate()-0.3) > 1e-9 {
+		t.Errorf("FNR = %v", r.FalseNegativeRate())
+	}
+}
+
+func TestBuildSystemUnknownGeneration(t *testing.T) {
+	sc, err := worldgen.Generate(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildSystem(core.Generation(9), sc, 1); err == nil {
+		t.Error("unknown generation accepted")
+	}
+}
+
+func TestCommandLatencyDegrades(t *testing.T) {
+	// The HIL mechanism: added sense-act latency must not improve runs.
+	// Compare time-to-complete on an easy scenario.
+	sc, err := worldgen.Generate(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := DefaultRunConfig(5)
+	sysA, _ := BuildSystem(core.V3, sc, 5)
+	fast := Run(sc, sysA, base)
+
+	lag := base
+	lag.Timing.CommandLatencyTicks = 6
+	sc2, _ := worldgen.Generate(0, 0)
+	sysB, _ := BuildSystem(core.V3, sc2, 5)
+	slow := Run(sc2, sysB, lag)
+
+	if fast.Outcome == Success && slow.Outcome == Success &&
+		slow.Duration < fast.Duration-10 {
+		t.Errorf("latency made the mission much faster: %.1f vs %.1f", slow.Duration, fast.Duration)
+	}
+}
+
+func TestMarkerInViewGeometry(t *testing.T) {
+	sc, err := worldgen.Generate(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sc.TrueMarker
+	// Directly above at a sensible altitude: visible.
+	if !markerInView(sc.World, sc, m.WithZ(10), 0) {
+		t.Error("overhead marker not visible")
+	}
+	// Too low (pad overflows FOV): not visible.
+	if markerInView(sc.World, sc, m.WithZ(2.0), 0) {
+		t.Error("too-low marker counted visible")
+	}
+	// Too high.
+	if markerInView(sc.World, sc, m.WithZ(40), 0) {
+		t.Error("too-high marker counted visible")
+	}
+	// Far away horizontally.
+	if markerInView(sc.World, sc, m.Add(geom.V3(50, 0, 10)), 0) {
+		t.Error("distant marker counted visible")
+	}
+}

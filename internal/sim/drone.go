@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"repro/internal/geom"
+)
+
+// DroneConfig is the physical envelope of the F450-class quadrotor the
+// paper flies.
+type DroneConfig struct {
+	// Radius is the collision sphere radius in meters (prop tips).
+	Radius float64
+	// MaxSpeed and MaxAccel bound the velocity controller's authority.
+	MaxSpeed, MaxAccel float64
+	// Tau is the first-order velocity-response time constant: stick
+	// command to achieved velocity. This lag is what makes the vehicle
+	// overshoot sharp trajectory corners.
+	Tau float64
+}
+
+// DefaultDroneConfig returns an F450-with-payload envelope.
+func DefaultDroneConfig() DroneConfig {
+	return DroneConfig{
+		Radius:   0.35,
+		MaxSpeed: 7,
+		MaxAccel: 4,
+		Tau:      0.55,
+	}
+}
+
+// Drone integrates simplified quadrotor translational dynamics: a velocity
+// command tracked through a first-order lag with acceleration limits, plus
+// wind advection. Attitude is abstracted to yaw (multirotor near-hover).
+type Drone struct {
+	Cfg DroneConfig
+
+	Pos geom.Vec3
+	Vel geom.Vec3
+	Yaw float64
+
+	landed bool
+}
+
+// NewDrone places a drone at pos.
+func NewDrone(cfg DroneConfig, pos geom.Vec3) *Drone {
+	if cfg.Radius <= 0 {
+		cfg.Radius = 0.35
+	}
+	if cfg.MaxSpeed <= 0 {
+		cfg.MaxSpeed = 7
+	}
+	if cfg.MaxAccel <= 0 {
+		cfg.MaxAccel = 4
+	}
+	if cfg.Tau <= 0 {
+		cfg.Tau = 0.55
+	}
+	return &Drone{Cfg: cfg, Pos: pos}
+}
+
+// Step advances the dynamics by dt seconds under the given velocity
+// command and wind. Commands are clamped to the speed envelope.
+func (d *Drone) Step(dt float64, cmd geom.Vec3, wind geom.Vec3) {
+	if d.landed {
+		return
+	}
+	cmd = cmd.ClampLen(d.Cfg.MaxSpeed)
+	// Air-relative first-order velocity tracking; wind advects the frame.
+	target := cmd.Add(wind.Scale(0.35)) // partial wind rejection by attitude controller
+	acc := target.Sub(d.Vel).Scale(1 / d.Cfg.Tau).ClampLen(d.Cfg.MaxAccel)
+	d.Vel = d.Vel.Add(acc.Scale(dt))
+	d.Pos = d.Pos.Add(d.Vel.Scale(dt))
+	if d.Pos.Z < 0 {
+		d.Pos.Z = 0
+	}
+}
+
+// SetYaw orients the vehicle (sensor mounts follow).
+func (d *Drone) SetYaw(yaw float64) { d.Yaw = geom.WrapAngle(yaw) }
+
+// Land freezes the vehicle on the ground at its current position.
+func (d *Drone) Land() {
+	d.landed = true
+	d.Vel = geom.Vec3{}
+	d.Pos.Z = 0
+}
+
+// Landed reports whether Land was called.
+func (d *Drone) Landed() bool { return d.landed }
+
+// Speed returns the current ground speed.
+func (d *Drone) Speed() float64 { return d.Vel.Len() }

@@ -1,0 +1,300 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/vision"
+)
+
+// GPS models a NEO-3-class GNSS receiver: white measurement noise plus a
+// slowly wandering bias. The bias is an Ornstein–Uhlenbeck walk whose
+// magnitude scales with weather degradation — reproducing the paper's
+// observation of position drift during poor weather while VDOP/HDOP stayed
+// within 2–8 (§V-C, Fig. 5d).
+type GPS struct {
+	// NoiseStd is the white noise sigma per axis (meters).
+	NoiseStd float64
+	// DriftRate scales the bias random walk (m/√s).
+	DriftRate float64
+	// DriftBound softly caps the bias magnitude via OU mean reversion.
+	DriftBound float64
+
+	bias geom.Vec3
+	rng  *rand.Rand
+}
+
+// NewGPS returns a receiver with the given seed. degradation in [0,1]
+// scales drift to the scenario's weather.
+func NewGPS(seed int64, degradation float64) *GPS {
+	return &GPS{
+		NoiseStd:   0.25 + 0.35*degradation,
+		DriftRate:  0.02 + 0.45*degradation,
+		DriftBound: 0.5 + 4.5*degradation,
+		rng:        rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Step advances the bias walk by dt.
+func (g *GPS) Step(dt float64) {
+	if g.DriftBound <= 0 {
+		return
+	}
+	// OU process: mean-reverting random walk.
+	theta := 0.02 // reversion rate
+	sq := math.Sqrt(dt)
+	g.bias = g.bias.
+		Add(g.bias.Scale(-theta * dt)).
+		Add(geom.V3(
+			g.rng.NormFloat64()*g.DriftRate*sq,
+			g.rng.NormFloat64()*g.DriftRate*sq,
+			g.rng.NormFloat64()*g.DriftRate*sq*0.5,
+		))
+	g.bias = g.bias.ClampLen(g.DriftBound)
+}
+
+// Read returns the measured position for a true position.
+func (g *GPS) Read(truth geom.Vec3) geom.Vec3 {
+	return truth.Add(g.bias).Add(geom.V3(
+		g.rng.NormFloat64()*g.NoiseStd,
+		g.rng.NormFloat64()*g.NoiseStd,
+		g.rng.NormFloat64()*g.NoiseStd*1.5,
+	))
+}
+
+// Bias exposes the current drift for ground-truth analysis (Fig. 5d).
+func (g *GPS) Bias() geom.Vec3 { return g.bias }
+
+// EnableRTK switches the receiver to RTK-corrected output: centimeter
+// noise and no drift — the base-station mitigation the paper proposes for
+// its field GPS problems (§V-C).
+func (g *GPS) EnableRTK() {
+	g.NoiseStd = 0.02
+	g.DriftRate = 0
+	g.DriftBound = 0
+	g.bias = geom.Vec3{}
+}
+
+// IMU provides body velocity with noise and a small bias, standing in for
+// the EKF's IMU-derived velocity state. The paper upgraded from a Pixhawk
+// 2.4.8 to a Cuav X7+ for better inertial quality; QualityFactor models
+// that difference (1 = X7+, ~3 = old Pixhawk).
+type IMU struct {
+	NoiseStd      float64
+	QualityFactor float64
+	rng           *rand.Rand
+}
+
+// NewIMU returns an IMU model. quality >= 1; larger is worse.
+func NewIMU(seed int64, quality float64) *IMU {
+	if quality < 1 {
+		quality = 1
+	}
+	return &IMU{NoiseStd: 0.06, QualityFactor: quality, rng: rand.New(rand.NewSource(seed))}
+}
+
+// ReadVel returns measured velocity for a true velocity.
+func (im *IMU) ReadVel(truth geom.Vec3) geom.Vec3 {
+	s := im.NoiseStd * im.QualityFactor
+	return truth.Add(geom.V3(
+		im.rng.NormFloat64()*s,
+		im.rng.NormFloat64()*s,
+		im.rng.NormFloat64()*s,
+	))
+}
+
+// Baro is a barometric altimeter: altitude plus slowly-varying offset.
+type Baro struct {
+	NoiseStd float64
+	offset   float64
+	rng      *rand.Rand
+}
+
+// NewBaro returns a barometer model.
+func NewBaro(seed int64) *Baro {
+	return &Baro{NoiseStd: 0.35, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Step drifts the pressure offset.
+func (b *Baro) Step(dt float64) {
+	b.offset += b.rng.NormFloat64() * 0.01 * math.Sqrt(dt)
+	b.offset = geom.Clamp(b.offset, -1.5, 1.5)
+}
+
+// Read returns measured altitude.
+func (b *Baro) Read(truthZ float64) float64 {
+	return truthZ + b.offset + b.rng.NormFloat64()*b.NoiseStd
+}
+
+// LidarAlt is the TFMini-Plus-class downward rangefinder: precise but
+// range-limited, and it measures distance to whatever is below (rooftop,
+// canopy), not altitude above the home plane.
+type LidarAlt struct {
+	MaxRange float64
+	NoiseStd float64
+	rng      *rand.Rand
+}
+
+// NewLidarAlt returns a rangefinder model.
+func NewLidarAlt(seed int64) *LidarAlt {
+	return &LidarAlt{MaxRange: 12, NoiseStd: 0.04, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Read returns the measured range to the surface below, or ok=false when
+// out of range.
+func (l *LidarAlt) Read(w *World, pos geom.Vec3) (float64, bool) {
+	surface := w.GroundHeightAt(pos.X, pos.Y)
+	r := pos.Z - surface
+	if r < 0 || r > l.MaxRange {
+		return 0, false
+	}
+	return r + l.rng.NormFloat64()*l.NoiseStd, true
+}
+
+// DepthCamera is the forward-facing D435-class stereo depth sensor used
+// for obstacle perception. It casts a ray fan and returns body-frame
+// points.
+type DepthCamera struct {
+	// HFOV, VFOV are the fields of view in radians.
+	HFOV, VFOV float64
+	// Cols, Rows set the (decimated) ray grid resolution.
+	Cols, Rows int
+	// MaxRange is the usable stereo range.
+	MaxRange float64
+	// NoiseStd perturbs returned depths.
+	NoiseStd float64
+	// ErroneousRate is the probability per frame of a spurious cluster —
+	// the "erroneous pointclouds" of Fig. 5c. Scaled up by GPS drift in
+	// the field profile.
+	ErroneousRate float64
+
+	rng *rand.Rand
+}
+
+// NewDepthCamera returns a D435-like sensor model.
+func NewDepthCamera(seed int64) *DepthCamera {
+	return &DepthCamera{
+		HFOV:     1.5, // ~86 degrees
+		VFOV:     1.0, // ~57 degrees
+		Cols:     16,
+		Rows:     10,
+		MaxRange: 10,
+		NoiseStd: 0.05,
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// DepthReturn is one depth pixel: a body-frame point (x forward, y left,
+// z up) and whether it is a real surface return (false = max-range miss,
+// point is at max range along the ray).
+type DepthReturn struct {
+	Point geom.Vec3
+	Hit   bool
+}
+
+// Capture casts the ray fan from the drone pose and returns body-frame
+// returns. Tree canopies are soft: rays may pass the outer half of the
+// radius, which is how vehicles end up "trapped within the foliage"
+// (paper §II-B) — the obstacle is sensed later than its true extent.
+func (d *DepthCamera) Capture(w *World, pos geom.Vec3, yaw float64) []DepthReturn {
+	out := make([]DepthReturn, 0, d.Cols*d.Rows)
+	cy, sy := math.Cos(yaw), math.Sin(yaw)
+	for r := 0; r < d.Rows; r++ {
+		pitch := (float64(r)/float64(d.Rows-1) - 0.5) * d.VFOV
+		for c := 0; c < d.Cols; c++ {
+			az := (float64(c)/float64(d.Cols-1) - 0.5) * d.HFOV
+			// Body-frame direction, x forward.
+			bd := geom.V3(
+				math.Cos(pitch)*math.Cos(az),
+				math.Cos(pitch)*math.Sin(az),
+				-math.Sin(pitch),
+			)
+			// World-frame.
+			wd := geom.V3(bd.X*cy-bd.Y*sy, bd.X*sy+bd.Y*cy, bd.Z)
+			t, hit := d.raycastSoft(w, geom.Ray{Origin: pos, Dir: wd})
+			if !hit {
+				out = append(out, DepthReturn{Point: bd.Scale(d.MaxRange), Hit: false})
+				continue
+			}
+			t += d.rng.NormFloat64() * d.NoiseStd
+			if t < 0.1 {
+				t = 0.1
+			}
+			out = append(out, DepthReturn{Point: bd.Scale(t), Hit: true})
+		}
+	}
+	// Spurious cluster injection (field profile / state-estimate errors).
+	if d.ErroneousRate > 0 && d.rng.Float64() < d.ErroneousRate {
+		n := 4 + d.rng.Intn(6)
+		base := geom.V3(2+d.rng.Float64()*5, (d.rng.Float64()-0.5)*4, (d.rng.Float64()-0.5)*2)
+		for i := 0; i < n; i++ {
+			p := base.Add(geom.V3(d.rng.Float64(), d.rng.Float64(), d.rng.Float64()).Scale(0.5))
+			out = append(out, DepthReturn{Point: p, Hit: true})
+		}
+	}
+	return out
+}
+
+// raycastSoft is World.Raycast with soft tree canopies: returns from the
+// outer 50% of a canopy radius are dropped with 35% probability.
+func (d *DepthCamera) raycastSoft(w *World, ray geom.Ray) (float64, bool) {
+	best := math.Inf(1)
+	if ray.Dir.Z < -1e-12 {
+		tg := -ray.Origin.Z / ray.Dir.Z
+		if tg >= 0 && tg <= d.MaxRange {
+			best = tg
+		}
+	}
+	for i := range w.Buildings {
+		if tb, ok := ray.IntersectAABB(w.Buildings[i], d.MaxRange); ok && tb < best {
+			best = tb
+		}
+	}
+	for i := range w.Trees {
+		tt, ok := w.Trees[i].IntersectRay(ray, d.MaxRange)
+		if !ok || tt >= best {
+			continue
+		}
+		// Soft canopy: hit point in the outer shell may be see-through.
+		p := ray.At(tt)
+		tr := w.Trees[i]
+		rr := math.Hypot(p.X-tr.Center.X, p.Y-tr.Center.Y)
+		if rr > tr.Radius*0.5 && d.rng.Float64() < 0.35 {
+			continue
+		}
+		best = tt
+	}
+	if math.IsInf(best, 1) {
+		return 0, false
+	}
+	return best, true
+}
+
+// ColorCamera captures the downward frame used by marker detection. It
+// renders with the TRUE pose (the optics do not care about state
+// estimates); the perception stack back-projects with the ESTIMATED pose,
+// which is how GPS drift becomes marker-position error.
+type ColorCamera struct {
+	Intrinsics vision.Camera
+	rng        *rand.Rand
+}
+
+// NewColorCamera returns the downward D435i-color-stream stand-in.
+func NewColorCamera(seed int64) *ColorCamera {
+	return &ColorCamera{Intrinsics: vision.DefaultCamera(), rng: rand.New(rand.NewSource(seed))}
+}
+
+// Capture renders a frame from the true pose under the weather's sampled
+// conditions.
+func (c *ColorCamera) Capture(w *World, weather Weather, pos geom.Vec3, yaw, speed float64) *vision.Image {
+	cam := c.Intrinsics
+	cam.Pos = pos
+	cam.Yaw = yaw
+	// Restrict rendering to the visible footprint (diagonal/2 plus slack).
+	radius := cam.GroundFootprint(pos.Z)*0.75 + 3
+	im := w.SceneNear(pos, radius).Render(cam)
+	cond := weather.FrameConditions(c.rng, speed)
+	cond.Apply(im, pos.Z, c.rng)
+	return im
+}

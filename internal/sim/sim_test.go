@@ -1,0 +1,450 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/vision"
+)
+
+func testWorld() *World {
+	dict := vision.DefaultDictionary()
+	return &World{
+		Bounds: geom.NewAABB(geom.V3(-80, -80, 0), geom.V3(80, 80, 50)),
+		Buildings: []geom.AABB{
+			geom.NewAABB(geom.V3(20, -5, 0), geom.V3(30, 5, 15)),
+		},
+		Trees: []geom.Cylinder{
+			{Center: geom.V2(-10, 10), Radius: 2.5, BaseZ: 0, TopZ: 9},
+		},
+		Water: []geom.AABB{
+			geom.NewAABB(geom.V3(-40, -40, 0), geom.V3(-30, -30, 0.5)),
+		},
+		Markers: []vision.MarkerInstance{{
+			Marker: dict.Markers[0],
+			Center: geom.V3(50, 0, 0),
+			Size:   2,
+		}},
+		GroundSeed:     7,
+		GroundBase:     0.45,
+		GroundContrast: 0.25,
+	}
+}
+
+func TestCollideSphere(t *testing.T) {
+	w := testWorld()
+	if !w.CollideSphere(geom.V3(25, 0, 10), 0.35) {
+		t.Error("inside building not colliding")
+	}
+	if !w.CollideSphere(geom.V3(19.8, 0, 10), 0.35) {
+		t.Error("touching building wall not colliding")
+	}
+	if w.CollideSphere(geom.V3(25, 0, 16), 0.35) {
+		t.Error("above building colliding")
+	}
+	if !w.CollideSphere(geom.V3(-10, 10, 5), 0.35) {
+		t.Error("tree trunk not colliding")
+	}
+	if !w.CollideSphere(geom.V3(0, 0, 0.2), 0.35) {
+		t.Error("ground not colliding")
+	}
+	if w.CollideSphere(geom.V3(0, 0, 10), 0.35) {
+		t.Error("open air colliding")
+	}
+}
+
+func TestWorldRaycast(t *testing.T) {
+	w := testWorld()
+	// Horizontal ray into the building.
+	tHit, hit := w.Raycast(geom.Ray{Origin: geom.V3(0, 0, 5), Dir: geom.V3(1, 0, 0)}, 100)
+	if !hit || math.Abs(tHit-20) > 1e-9 {
+		t.Errorf("building hit t=%v hit=%v", tHit, hit)
+	}
+	// Downward ray hits the ground.
+	tHit, hit = w.Raycast(geom.Ray{Origin: geom.V3(0, 0, 8), Dir: geom.V3(0, 0, -1)}, 100)
+	if !hit || math.Abs(tHit-8) > 1e-9 {
+		t.Errorf("ground hit t=%v hit=%v", tHit, hit)
+	}
+	// Upward ray misses.
+	if _, hit := w.Raycast(geom.Ray{Origin: geom.V3(0, 0, 8), Dir: geom.V3(0, 0, 1)}, 100); hit {
+		t.Error("upward ray hit something")
+	}
+}
+
+func TestGroundHeightAndWater(t *testing.T) {
+	w := testWorld()
+	if h := w.GroundHeightAt(25, 0); h != 15 {
+		t.Errorf("roof height %v", h)
+	}
+	if h := w.GroundHeightAt(-10, 10); h != 9 {
+		t.Errorf("canopy height %v", h)
+	}
+	if h := w.GroundHeightAt(0, 0); h != 0 {
+		t.Errorf("open ground height %v", h)
+	}
+	if !w.OnWater(-35, -35) {
+		t.Error("water not detected")
+	}
+	if w.OnWater(0, 0) {
+		t.Error("dry ground reported wet")
+	}
+}
+
+func TestFreeGroundPosition(t *testing.T) {
+	w := testWorld()
+	if !w.FreeGroundPosition(0, 0, 3) {
+		t.Error("origin should be free")
+	}
+	if w.FreeGroundPosition(25, 0, 3) {
+		t.Error("under building should not be free")
+	}
+	if w.FreeGroundPosition(22, 7, 3) {
+		t.Error("too close to building should not be free")
+	}
+	if w.FreeGroundPosition(-35, -35, 3) {
+		t.Error("water should not be free")
+	}
+	if w.FreeGroundPosition(500, 0, 3) {
+		t.Error("out of bounds should not be free")
+	}
+}
+
+func TestTargetMarker(t *testing.T) {
+	w := testWorld()
+	m, ok := w.TargetMarker()
+	if !ok || m.Center != geom.V3(50, 0, 0) {
+		t.Errorf("target marker %v ok=%v", m.Center, ok)
+	}
+	var empty World
+	if _, ok := empty.TargetMarker(); ok {
+		t.Error("empty world has target")
+	}
+}
+
+func TestDroneDynamicsConvergeToCommand(t *testing.T) {
+	d := NewDrone(DefaultDroneConfig(), geom.V3(0, 0, 10))
+	cmd := geom.V3(3, 0, 0)
+	for i := 0; i < 200; i++ {
+		d.Step(0.05, cmd, geom.Vec3{})
+	}
+	if math.Abs(d.Vel.X-3) > 0.1 || math.Abs(d.Vel.Y) > 0.05 {
+		t.Errorf("velocity %v, want ~(3,0,0)", d.Vel)
+	}
+}
+
+func TestDroneSpeedClamp(t *testing.T) {
+	d := NewDrone(DefaultDroneConfig(), geom.V3(0, 0, 10))
+	for i := 0; i < 400; i++ {
+		d.Step(0.05, geom.V3(100, 0, 0), geom.Vec3{})
+	}
+	if d.Speed() > d.Cfg.MaxSpeed*1.05 {
+		t.Errorf("speed %v exceeds envelope", d.Speed())
+	}
+}
+
+func TestDroneWindDisturbance(t *testing.T) {
+	calm := NewDrone(DefaultDroneConfig(), geom.V3(0, 0, 10))
+	windy := NewDrone(DefaultDroneConfig(), geom.V3(0, 0, 10))
+	wind := geom.V3(0, 4, 0)
+	for i := 0; i < 200; i++ {
+		calm.Step(0.05, geom.V3(2, 0, 0), geom.Vec3{})
+		windy.Step(0.05, geom.V3(2, 0, 0), wind)
+	}
+	if windy.Pos.Y <= calm.Pos.Y+0.5 {
+		t.Errorf("wind had no effect: calm y=%v windy y=%v", calm.Pos.Y, windy.Pos.Y)
+	}
+}
+
+func TestDroneLand(t *testing.T) {
+	d := NewDrone(DefaultDroneConfig(), geom.V3(5, 5, 0.3))
+	d.Land()
+	if !d.Landed() || d.Pos.Z != 0 || d.Vel != (geom.Vec3{}) {
+		t.Error("landing state wrong")
+	}
+	d.Step(0.05, geom.V3(5, 0, 0), geom.Vec3{})
+	if d.Pos != geom.V3(5, 5, 0) {
+		t.Error("landed drone moved")
+	}
+}
+
+func TestGPSDriftScalesWithDegradation(t *testing.T) {
+	clean := NewGPS(1, 0)
+	dirty := NewGPS(1, 1)
+	for i := 0; i < 4000; i++ {
+		clean.Step(0.05)
+		dirty.Step(0.05)
+	}
+	if dirty.Bias().Len() <= clean.Bias().Len() {
+		t.Errorf("degraded GPS drift %v not larger than clean %v",
+			dirty.Bias().Len(), clean.Bias().Len())
+	}
+	if clean.Bias().Len() > 1.0 {
+		t.Errorf("clean GPS drifted %v m", clean.Bias().Len())
+	}
+	if dirty.Bias().Len() > 6 {
+		t.Errorf("degraded GPS drift %v unbounded", dirty.Bias().Len())
+	}
+}
+
+func TestGPSReadCentersOnTruthPlusBias(t *testing.T) {
+	g := NewGPS(3, 0.5)
+	for i := 0; i < 1000; i++ {
+		g.Step(0.05)
+	}
+	truth := geom.V3(10, 20, 12)
+	var sum geom.Vec3
+	const n = 500
+	for i := 0; i < n; i++ {
+		sum = sum.Add(g.Read(truth))
+	}
+	mean := sum.Scale(1.0 / n)
+	want := truth.Add(g.Bias())
+	if mean.HorizDist(want) > 0.2 {
+		t.Errorf("mean fix %v, want %v", mean, want)
+	}
+}
+
+func TestLidarAltRangeLimit(t *testing.T) {
+	w := testWorld()
+	l := NewLidarAlt(2)
+	if _, ok := l.Read(w, geom.V3(0, 0, 20)); ok {
+		t.Error("beyond max range should fail")
+	}
+	r, ok := l.Read(w, geom.V3(0, 0, 8))
+	if !ok || math.Abs(r-8) > 0.3 {
+		t.Errorf("range %v ok=%v, want ~8", r, ok)
+	}
+	// Over the roof: range is to the roof, not the ground.
+	r, ok = l.Read(w, geom.V3(25, 0, 20))
+	if !ok || math.Abs(r-5) > 0.3 {
+		t.Errorf("roof range %v ok=%v, want ~5", r, ok)
+	}
+}
+
+func TestBaroDriftBounded(t *testing.T) {
+	b := NewBaro(4)
+	for i := 0; i < 20000; i++ {
+		b.Step(0.05)
+	}
+	if math.Abs(b.offset) > 1.5 {
+		t.Errorf("baro offset %v outside clamp", b.offset)
+	}
+}
+
+func TestDepthCameraSeesBuilding(t *testing.T) {
+	w := testWorld()
+	d := NewDepthCamera(5)
+	// Facing +x from 10m short of the building at its mid-height.
+	returns := d.Capture(w, geom.V3(12, 0, 7), 0)
+	hits := 0
+	for _, r := range returns {
+		if r.Hit && r.Point.X > 6 && r.Point.X < 10 && math.Abs(r.Point.Y) < 4 {
+			hits++
+		}
+	}
+	if hits < 5 {
+		t.Errorf("building hits = %d, want several", hits)
+	}
+}
+
+func TestDepthCameraMaxRangeMisses(t *testing.T) {
+	w := &World{Bounds: geom.NewAABB(geom.V3(-100, -100, 0), geom.V3(100, 100, 50))}
+	d := NewDepthCamera(6)
+	returns := d.Capture(w, geom.V3(0, 0, 30), 0)
+	for _, r := range returns {
+		if r.Hit {
+			t.Fatalf("hit in empty world: %+v", r)
+		}
+		if math.Abs(r.Point.Len()-d.MaxRange) > 1e-6 {
+			t.Fatalf("miss return not at max range: %v", r.Point.Len())
+		}
+	}
+}
+
+func TestDepthCameraSoftCanopy(t *testing.T) {
+	// Rays into the canopy edge should sometimes pass through; rays into
+	// the core should reliably hit.
+	w := &World{
+		Bounds: geom.NewAABB(geom.V3(-50, -50, 0), geom.V3(50, 50, 50)),
+		Trees:  []geom.Cylinder{{Center: geom.V2(6, 0), Radius: 3, BaseZ: 0, TopZ: 20}},
+	}
+	d := NewDepthCamera(7)
+	coreHits, edgePasses := 0, 0
+	for trial := 0; trial < 30; trial++ {
+		returns := d.Capture(w, geom.V3(0, 0, 10), 0)
+		for _, r := range returns {
+			if !r.Hit {
+				continue
+			}
+			// Core: near the trunk axis.
+			if math.Abs(r.Point.Y) < 1 && r.Point.X < 5 {
+				coreHits++
+			}
+		}
+		// Count rays that reached past the far side of the canopy.
+		for _, r := range returns {
+			if !r.Hit && math.Abs(r.Point.Y) > 2 {
+				edgePasses++
+			}
+		}
+	}
+	if coreHits == 0 {
+		t.Error("no core hits on tree")
+	}
+	if edgePasses == 0 {
+		t.Error("no soft-canopy pass-throughs")
+	}
+}
+
+func TestDepthCameraErroneousInjection(t *testing.T) {
+	w := &World{Bounds: geom.NewAABB(geom.V3(-50, -50, 0), geom.V3(50, 50, 50))}
+	d := NewDepthCamera(8)
+	d.ErroneousRate = 1 // always inject
+	returns := d.Capture(w, geom.V3(0, 0, 30), 0)
+	spurious := 0
+	for _, r := range returns {
+		if r.Hit {
+			spurious++
+		}
+	}
+	if spurious < 3 {
+		t.Errorf("spurious returns = %d, want a cluster", spurious)
+	}
+}
+
+func TestColorCameraSeesMarker(t *testing.T) {
+	w := testWorld()
+	c := NewColorCamera(9)
+	im := c.Capture(w, Weather{}, geom.V3(50, 0, 10), 0, 0)
+	// The pad renders a white quiet zone (~0.93m from center -> ~13px
+	// right of image center) and a black border ring (~0.75m -> ~10px).
+	quiet := im.Region(75, 62, 78, 65)
+	border := im.Region(73, 63, 74, 64)
+	if quiet < 0.85 {
+		t.Errorf("quiet zone %v, want near-white", quiet)
+	}
+	if border > 0.3 {
+		t.Errorf("border %v, want near-black", border)
+	}
+}
+
+func TestColorCameraWeatherDegrades(t *testing.T) {
+	w := testWorld()
+	clearCam := NewColorCamera(10)
+	fogCam := NewColorCamera(10)
+	clear := clearCam.Capture(w, Weather{}, geom.V3(50, 0, 12), 0, 0)
+	foggy := fogCam.Capture(w, Weather{Fog: 0.8}, geom.V3(50, 0, 12), 0, 0)
+	_, sClear := clear.MeanStd()
+	_, sFog := foggy.MeanStd()
+	if sFog >= sClear {
+		t.Errorf("fog did not reduce contrast: %v vs %v", sFog, sClear)
+	}
+}
+
+func TestWeatherAdverseClassification(t *testing.T) {
+	if (Weather{}).Adverse() {
+		t.Error("calm weather classified adverse")
+	}
+	for _, w := range []Weather{
+		{Fog: 0.6}, {Rain: 0.5}, {DuskDim: 0.6}, {GustStd: 2}, {GPSDegradation: 0.8},
+	} {
+		if !w.Adverse() {
+			t.Errorf("weather %+v not classified adverse", w)
+		}
+	}
+}
+
+func TestWeatherFrameConditionsReproducible(t *testing.T) {
+	w := Weather{Fog: 0.4, GlareProb: 1, ShadowProb: 1}
+	a := w.FrameConditions(rand.New(rand.NewSource(5)), 2)
+	b := w.FrameConditions(rand.New(rand.NewSource(5)), 2)
+	if a != b {
+		t.Error("conditions not reproducible with same seed")
+	}
+	if a.Glare == 0 {
+		t.Error("glare prob 1 produced no glare")
+	}
+}
+
+func TestWeatherMotionBlurFromSpeed(t *testing.T) {
+	w := Weather{}
+	rng := rand.New(rand.NewSource(1))
+	slow := w.FrameConditions(rng, 1)
+	fast := w.FrameConditions(rng, 7)
+	if slow.MotionBlur != 0 {
+		t.Errorf("slow blur = %v", slow.MotionBlur)
+	}
+	if fast.MotionBlur <= 0 {
+		t.Errorf("fast blur = %v", fast.MotionBlur)
+	}
+}
+
+func TestGustStatistics(t *testing.T) {
+	w := Weather{Wind: geom.V3(2, 0, 0), GustStd: 1}
+	rng := rand.New(rand.NewSource(2))
+	var sum geom.Vec3
+	const n = 2000
+	for i := 0; i < n; i++ {
+		sum = sum.Add(w.GustAt(rng))
+	}
+	mean := sum.Scale(1.0 / n)
+	if math.Abs(mean.X-2) > 0.15 || math.Abs(mean.Y) > 0.15 {
+		t.Errorf("gust mean %v, want ~(2,0,0)", mean)
+	}
+	calm := Weather{Wind: geom.V3(1, 1, 0)}
+	if calm.GustAt(rng) != calm.Wind {
+		t.Error("no-gust weather should return mean wind")
+	}
+}
+
+func TestSceneNearFiltersByFootprint(t *testing.T) {
+	w := testWorld()
+	// Near the marker at (50,0): the building at x 20-30 is ~20m away and
+	// must be excluded from a 12m-radius scene; the marker included.
+	sc := w.SceneNear(geom.V3(50, 0, 10), 12)
+	if len(sc.Markers) != 1 {
+		t.Errorf("markers in scene = %d, want 1", len(sc.Markers))
+	}
+	if _, _, blocked := sc.OccluderAt(25, 0); blocked {
+		t.Error("distant building leaked into the filtered scene")
+	}
+	// Near the building, it must be present.
+	sc2 := w.SceneNear(geom.V3(25, 0, 20), 12)
+	if _, _, blocked := sc2.OccluderAt(25, 0); !blocked {
+		t.Error("nearby building missing from filtered scene")
+	}
+	if len(sc2.Markers) != 0 {
+		t.Error("distant marker leaked into filtered scene")
+	}
+}
+
+func TestSceneNearRenderMatchesFullScene(t *testing.T) {
+	w := testWorld()
+	cam := vision.DefaultCamera()
+	cam.Pos = geom.V3(50, 0, 10)
+	full := w.Scene().Render(cam)
+	radius := cam.GroundFootprint(10)*0.75 + 3
+	near := w.SceneNear(cam.Pos, radius).Render(cam)
+	for i := range full.Pix {
+		if full.Pix[i] != near.Pix[i] {
+			t.Fatalf("pixel %d differs: %v vs %v", i, full.Pix[i], near.Pix[i])
+		}
+	}
+}
+
+func TestGPSRTKMode(t *testing.T) {
+	g := NewGPS(5, 1.0)
+	g.EnableRTK()
+	for i := 0; i < 2000; i++ {
+		g.Step(0.05)
+	}
+	if g.Bias().Len() != 0 {
+		t.Errorf("RTK bias = %v, want zero", g.Bias().Len())
+	}
+	fix := g.Read(geom.V3(10, 10, 5))
+	if fix.HorizDist(geom.V3(10, 10, 0)) > 0.15 {
+		t.Errorf("RTK fix error %v", fix.HorizDist(geom.V3(10, 10, 0)))
+	}
+}

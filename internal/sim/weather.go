@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/vision"
+)
+
+// Weather is the per-scenario environmental state. Zero value = calm and
+// clear. The SIL benchmark splits scenarios evenly between normal and
+// adverse weather (paper §IV-B).
+type Weather struct {
+	// Wind is the mean wind vector in m/s; GustStd adds zero-mean gusts.
+	Wind    geom.Vec3
+	GustStd float64
+
+	// Fog, Rain in [0,1] set the optical degradations.
+	Fog  float64
+	Rain float64
+	// GlareProb is the per-frame probability of a sun-glare blob.
+	GlareProb float64
+	// ShadowProb is the per-frame probability of a hard shadow/occluder
+	// crossing the frame.
+	ShadowProb float64
+	// DuskDim in [0,1] lowers brightness and contrast (overcast/dusk).
+	DuskDim float64
+
+	// GPSDegradation in [0,1] scales GPS drift — the paper observed
+	// position drift during poor weather despite healthy DOP values.
+	GPSDegradation float64
+}
+
+// Adverse reports whether this weather counts as an adverse-condition
+// scenario for the benchmark split.
+func (w Weather) Adverse() bool {
+	return w.Fog > 0.25 || w.Rain > 0.25 || w.DuskDim > 0.3 ||
+		w.GustStd > 1.2 || w.GPSDegradation > 0.3 || w.GlareProb > 0.25
+}
+
+// FrameConditions samples the photometric conditions for one camera frame.
+// Stochastic elements (glare placement, occluder position) use rng so runs
+// are reproducible.
+func (w Weather) FrameConditions(rng *rand.Rand, speed float64) vision.Conditions {
+	c := vision.Conditions{
+		Fog:       w.Fog,
+		RainNoise: w.Rain * 0.07,
+	}
+	if w.DuskDim > 0 {
+		c.Brightness = -0.25 * w.DuskDim
+		c.Contrast = 1 - 0.45*w.DuskDim
+	}
+	if w.GlareProb > 0 && rng.Float64() < w.GlareProb {
+		c.Glare = 0.5 + 0.5*rng.Float64()
+		c.GlareU = 0.25 + 0.5*rng.Float64()
+		c.GlareV = 0.25 + 0.5*rng.Float64()
+	}
+	if w.ShadowProb > 0 && rng.Float64() < w.ShadowProb {
+		if rng.Float64() < 0.5 {
+			c.Shadow = 0.4 + 0.4*rng.Float64()
+			c.ShadowPos = rng.Float64()
+		} else {
+			c.Occlusion = 0.7 + 0.3*rng.Float64()
+			c.OccU = 0.3 + 0.4*rng.Float64()
+			c.OccV = 0.3 + 0.4*rng.Float64()
+			c.OccR = 0.04 + 0.05*rng.Float64()
+		}
+	}
+	// Motion blur grows with ground speed (rolling-shutter smear).
+	if speed > 3 {
+		c.MotionBlur = (speed - 3) * 0.8
+	}
+	return c
+}
+
+// GustAt samples the instantaneous wind vector.
+func (w Weather) GustAt(rng *rand.Rand) geom.Vec3 {
+	if w.GustStd == 0 {
+		return w.Wind
+	}
+	return w.Wind.Add(geom.V3(
+		rng.NormFloat64()*w.GustStd,
+		rng.NormFloat64()*w.GustStd,
+		rng.NormFloat64()*w.GustStd*0.3,
+	))
+}

@@ -1,0 +1,216 @@
+// Package sim is the AirSim-equivalent simulation substrate (see DESIGN.md
+// substitution table): procedural 3-D worlds, quadrotor dynamics, weather,
+// and the sensor suite of the paper's platform — GPS with drift, IMU,
+// barometer, downward lidar altimeter, forward depth camera, and the
+// downward color camera that feeds marker detection.
+//
+// The simulator exposes ground truth only to the scenario harness; the
+// landing system under test sees sensor outputs exclusively.
+package sim
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/vision"
+)
+
+// World is the static environment of one scenario.
+type World struct {
+	// Bounds is the legal flight volume.
+	Bounds geom.AABB
+	// Buildings are solid axis-aligned structures.
+	Buildings []geom.AABB
+	// Trees are vertical cylinders with soft canopies (the depth sensor
+	// sees them late; see DepthCamera).
+	Trees []geom.Cylinder
+	// Water marks ground rectangles that are unsafe to land on.
+	Water []geom.AABB
+	// Markers on the ground: index 0 is the landing target, the rest are
+	// the false-positive decoys the SIL scenarios place near it.
+	Markers []vision.MarkerInstance
+	// GroundSeed drives the terrain texture.
+	GroundSeed int64
+	// GroundBase and GroundContrast parameterize terrain albedo.
+	GroundBase, GroundContrast float64
+}
+
+// TargetMarker returns the landing target instance. ok is false when the
+// world has no markers (mis-specified scenario).
+func (w *World) TargetMarker() (vision.MarkerInstance, bool) {
+	if len(w.Markers) == 0 {
+		return vision.MarkerInstance{}, false
+	}
+	return w.Markers[0], true
+}
+
+// CollideSphere reports whether a sphere (the vehicle body) at c with
+// radius r intersects any building, tree trunk, or the ground.
+func (w *World) CollideSphere(c geom.Vec3, r float64) bool {
+	if c.Z-r < 0 {
+		return true
+	}
+	for i := range w.Buildings {
+		if w.Buildings[i].IntersectsSphere(c, r) {
+			return true
+		}
+	}
+	for i := range w.Trees {
+		if w.Trees[i].Dist(c) <= r {
+			return true
+		}
+	}
+	return false
+}
+
+// Raycast returns the first obstacle or ground intersection along the ray
+// within tmax. hit is false if nothing is struck.
+func (w *World) Raycast(ray geom.Ray, tmax float64) (t float64, hit bool) {
+	best := math.Inf(1)
+	// Ground plane z=0.
+	if ray.Dir.Z < -1e-12 {
+		tg := -ray.Origin.Z / ray.Dir.Z
+		if tg >= 0 && tg <= tmax {
+			best = tg
+		}
+	}
+	for i := range w.Buildings {
+		if tb, ok := ray.IntersectAABB(w.Buildings[i], tmax); ok && tb < best {
+			best = tb
+		}
+	}
+	for i := range w.Trees {
+		if tt, ok := w.Trees[i].IntersectRay(ray, tmax); ok && tt < best {
+			best = tt
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, false
+	}
+	return best, true
+}
+
+// GroundHeightAt returns the height of the surface under (x, y): rooftop
+// or canopy height when a structure stands there, else 0.
+func (w *World) GroundHeightAt(x, y float64) float64 {
+	h := 0.0
+	p := geom.V3(x, y, 0)
+	for i := range w.Buildings {
+		b := w.Buildings[i]
+		if p.X >= b.Min.X && p.X <= b.Max.X && p.Y >= b.Min.Y && p.Y <= b.Max.Y && b.Max.Z > h {
+			h = b.Max.Z
+		}
+	}
+	for i := range w.Trees {
+		tr := w.Trees[i]
+		dx, dy := x-tr.Center.X, y-tr.Center.Y
+		if dx*dx+dy*dy <= tr.Radius*tr.Radius && tr.TopZ > h {
+			h = tr.TopZ
+		}
+	}
+	return h
+}
+
+// OnWater reports whether the ground position lies on a water region.
+func (w *World) OnWater(x, y float64) bool {
+	for i := range w.Water {
+		wa := w.Water[i]
+		if x >= wa.Min.X && x <= wa.Max.X && y >= wa.Min.Y && y <= wa.Max.Y {
+			return true
+		}
+	}
+	return false
+}
+
+// Scene builds the downward-camera scene for rendering.
+func (w *World) Scene() *vision.Scene {
+	return &vision.Scene{
+		Ground: vision.GroundTexture{
+			Seed:     w.GroundSeed,
+			Base:     w.GroundBase,
+			Contrast: w.GroundContrast,
+		},
+		Markers: w.Markers,
+		OccluderAt: func(x, y float64) (float64, float64, bool) {
+			h := w.GroundHeightAt(x, y)
+			if h <= 0 {
+				if w.OnWater(x, y) {
+					// Water renders dark and flat.
+					return 0.18, 0, true
+				}
+				return 0, 0, false
+			}
+			// Rooftops are mid-gray; canopies darker.
+			alb := 0.30
+			for i := range w.Trees {
+				tr := w.Trees[i]
+				dx, dy := x-tr.Center.X, y-tr.Center.Y
+				if dx*dx+dy*dy <= tr.Radius*tr.Radius && tr.TopZ >= h-1e-9 {
+					alb = 0.15
+					break
+				}
+			}
+			return alb, h, true
+		},
+	}
+}
+
+// SceneNear returns a Scene restricted to markers, structures and water
+// within radius of the ground point under center — the camera footprint.
+// Rendering cost then scales with local clutter, not world size.
+func (w *World) SceneNear(center geom.Vec3, radius float64) *vision.Scene {
+	sub := World{
+		Bounds:         w.Bounds,
+		GroundSeed:     w.GroundSeed,
+		GroundBase:     w.GroundBase,
+		GroundContrast: w.GroundContrast,
+	}
+	c2 := geom.V3(center.X, center.Y, 0)
+	for i := range w.Buildings {
+		if w.Buildings[i].Dist(c2) <= radius {
+			sub.Buildings = append(sub.Buildings, w.Buildings[i])
+		}
+	}
+	for i := range w.Trees {
+		if w.Trees[i].Bounds().Dist(c2) <= radius {
+			sub.Trees = append(sub.Trees, w.Trees[i])
+		}
+	}
+	for i := range w.Water {
+		if w.Water[i].Dist(c2) <= radius {
+			sub.Water = append(sub.Water, w.Water[i])
+		}
+	}
+	for i := range w.Markers {
+		if w.Markers[i].Center.HorizDist(c2) <= radius+w.Markers[i].Size {
+			sub.Markers = append(sub.Markers, w.Markers[i])
+		}
+	}
+	sc := sub.Scene()
+	// The closure must capture the filtered copy, not the receiver.
+	return sc
+}
+
+// FreeGroundPosition reports whether the point is inside bounds, not on
+// water, and at least clearance meters away from every structure —
+// used by scenario generation to place markers plausibly.
+func (w *World) FreeGroundPosition(x, y, clearance float64) bool {
+	p := geom.V3(x, y, 0)
+	if !w.Bounds.Contains(p.WithZ(w.Bounds.Min.Z + 0.1)) {
+		return false
+	}
+	if w.OnWater(x, y) {
+		return false
+	}
+	for i := range w.Buildings {
+		if w.Buildings[i].Dist(p) < clearance {
+			return false
+		}
+	}
+	for i := range w.Trees {
+		if w.Trees[i].Dist(p) < clearance {
+			return false
+		}
+	}
+	return true
+}

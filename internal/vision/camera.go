@@ -1,0 +1,132 @@
+package vision
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// mathCos/mathSin aliases keep marker.go free of a math import cycle worry
+// and give one place to swap in table-based trig if profiling demands it.
+func mathCos(a float64) float64 { return math.Cos(a) }
+func mathSin(a float64) float64 { return math.Sin(a) }
+
+// Camera is a downward-facing pinhole camera rigidly mounted under the
+// drone, matching the downward D435i of the paper's platform. Only yaw is
+// modeled (the gimbal-less mount keeps the optical axis vertical; the small
+// roll/pitch of a near-hover multirotor is folded into pixel noise).
+type Camera struct {
+	W, H    int     // image size in pixels
+	FocalPx float64 // focal length in pixels
+	Pos     geom.Vec3
+	Yaw     float64
+}
+
+// DefaultCamera returns the camera intrinsics used across the system: a
+// 128x128 image with a ~49 degree field of view.
+func DefaultCamera() Camera {
+	return Camera{W: 128, H: 128, FocalPx: 140}
+}
+
+// FOV returns the horizontal field of view in radians.
+func (c Camera) FOV() float64 {
+	return 2 * math.Atan(float64(c.W)/2/c.FocalPx)
+}
+
+// GroundFootprint returns the side length in meters of the square ground
+// patch visible from altitude h above the ground.
+func (c Camera) GroundFootprint(h float64) float64 {
+	if h <= 0 {
+		return 0
+	}
+	return float64(c.W) / c.FocalPx * h
+}
+
+// ProjectGround maps a ground-plane point (p.Z is the ground height under
+// the camera) to pixel coordinates. ok is false when the camera is at or
+// below the ground or the point projects outside the image.
+func (c Camera) ProjectGround(p geom.Vec3) (geom.Vec2, bool) {
+	h := c.Pos.Z - p.Z
+	if h <= 0.01 {
+		return geom.Vec2{}, false
+	}
+	d := p.Sub(c.Pos)
+	cos, sin := math.Cos(-c.Yaw), math.Sin(-c.Yaw)
+	lx := d.X*cos - d.Y*sin
+	ly := d.X*sin + d.Y*cos
+	u := float64(c.W)/2 + c.FocalPx*lx/h
+	v := float64(c.H)/2 + c.FocalPx*ly/h
+	if u < 0 || v < 0 || u >= float64(c.W) || v >= float64(c.H) {
+		return geom.V2(u, v), false
+	}
+	return geom.V2(u, v), true
+}
+
+// PixelToGround inverse-projects pixel (u, v) onto the horizontal plane at
+// height groundZ. ok is false when the camera is at or below that plane.
+func (c Camera) PixelToGround(u, v, groundZ float64) (geom.Vec3, bool) {
+	h := c.Pos.Z - groundZ
+	if h <= 0.01 {
+		return geom.Vec3{}, false
+	}
+	lx := (u - float64(c.W)/2) / c.FocalPx * h
+	ly := (v - float64(c.H)/2) / c.FocalPx * h
+	cos, sin := math.Cos(c.Yaw), math.Sin(c.Yaw)
+	wx := lx*cos - ly*sin
+	wy := lx*sin + ly*cos
+	return geom.V3(c.Pos.X+wx, c.Pos.Y+wy, groundZ), true
+}
+
+// ApparentSizePx returns the on-image side length in pixels of a ground
+// object of the given metric size seen from the camera's altitude above
+// groundZ.
+func (c Camera) ApparentSizePx(size, groundZ float64) float64 {
+	h := c.Pos.Z - groundZ
+	if h <= 0.01 {
+		return 0
+	}
+	return c.FocalPx * size / h
+}
+
+// GroundTexture procedurally shades the bare ground so the detector works
+// against realistic clutter rather than a flat field. It hashes world
+// coordinates into a smooth multi-octave value-noise pattern.
+type GroundTexture struct {
+	Seed int64
+	// Base is the mean albedo of the terrain; Contrast scales the noise
+	// amplitude around it.
+	Base, Contrast float64
+}
+
+// At returns the albedo of the terrain at ground position (x, y).
+func (g GroundTexture) At(x, y float64) float64 {
+	v := g.Base +
+		g.Contrast*(valueNoise(x*0.35, y*0.35, g.Seed)-0.5) +
+		0.5*g.Contrast*(valueNoise(x*1.3, y*1.3, g.Seed^0x9e37)-0.5)
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// valueNoise is deterministic 2-D value noise in [0,1] with bilinear
+// interpolation between hashed lattice points.
+func valueNoise(x, y float64, seed int64) float64 {
+	x0, y0 := math.Floor(x), math.Floor(y)
+	fx, fy := x-x0, y-y0
+	// Smoothstep for C1 continuity.
+	sx := fx * fx * (3 - 2*fx)
+	sy := fy * fy * (3 - 2*fy)
+	h := func(ix, iy float64) float64 {
+		n := int64(ix)*73856093 ^ int64(iy)*19349663 ^ seed*83492791
+		n = (n ^ (n >> 13)) * 1274126177
+		n ^= n >> 16
+		return float64(uint64(n)%10000) / 10000
+	}
+	top := h(x0, y0)*(1-sx) + h(x0+1, y0)*sx
+	bot := h(x0, y0+1)*(1-sx) + h(x0+1, y0+1)*sx
+	return top*(1-sy) + bot*sy
+}

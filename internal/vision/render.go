@@ -1,0 +1,270 @@
+package vision
+
+import (
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// Scene is everything the downward camera can see: the terrain and the
+// marker pads lying on it. Obstacle occlusion of the ground (e.g. flying
+// over a roof) is handled by the simulator substituting the occluder's
+// albedo via OccluderAt.
+type Scene struct {
+	Ground  GroundTexture
+	Markers []MarkerInstance
+	// OccluderAt, when non-nil, reports whether the vertical ray from the
+	// camera down to ground position (x, y) is blocked, and by what albedo
+	// at what height. Used for rooftops and tree canopies.
+	OccluderAt func(x, y float64) (albedo float64, top float64, blocked bool)
+}
+
+// Render draws the scene as seen by cam by inverse-projecting every pixel
+// onto the ground plane. It is the hot path of the perception stack, so it
+// avoids allocation beyond the output image.
+func (s *Scene) Render(cam Camera) *Image {
+	im := NewImage(cam.W, cam.H)
+	h := cam.Pos.Z
+	if h <= 0.01 {
+		return im
+	}
+	cos, sin := mathCos(cam.Yaw), mathSin(cam.Yaw)
+	cw, ch := float64(cam.W)/2, float64(cam.H)/2
+	for py := 0; py < cam.H; py++ {
+		for px := 0; px < cam.W; px++ {
+			lx := (float64(px) + 0.5 - cw) / cam.FocalPx
+			ly := (float64(py) + 0.5 - ch) / cam.FocalPx
+			// Rotate by yaw into world frame; scale by altitude later per
+			// surface height.
+			dx := lx*cos - ly*sin
+			dy := lx*sin + ly*cos
+
+			// Ground-plane hit assuming flat terrain at z=0.
+			gx := cam.Pos.X + dx*h
+			gy := cam.Pos.Y + dy*h
+
+			var val float64
+			if s.OccluderAt != nil {
+				if alb, top, blocked := s.OccluderAt(gx, gy); blocked && top < h {
+					// Re-project onto the occluder's top surface.
+					oh := h - top
+					ox := cam.Pos.X + dx*oh
+					oy := cam.Pos.Y + dy*oh
+					_ = ox
+					_ = oy
+					val = alb
+					im.Pix[py*cam.W+px] = val
+					continue
+				}
+			}
+			val = s.Ground.At(gx, gy)
+			p := geom.V3(gx, gy, 0)
+			for i := range s.Markers {
+				if u, v, ok := s.Markers[i].ContainsGround(p); ok {
+					val = s.Markers[i].Marker.PatternAt(u, v)
+					break
+				}
+			}
+			im.Pix[py*cam.W+px] = val
+		}
+	}
+	return im
+}
+
+// Conditions models the photometric state of one captured frame. Zero
+// value = clear daylight. Strengths are in [0,1].
+type Conditions struct {
+	Fog        float64 // altitude-scaled contrast washout toward sky gray
+	Glare      float64 // additive saturating sun-glare blob
+	GlareU     float64 // glare center as image fraction [0,1]
+	GlareV     float64
+	Shadow     float64 // multiplicative dark band across the frame
+	ShadowPos  float64 // band position as image fraction
+	RainNoise  float64 // white noise sigma from rain streaks on the lens
+	MotionBlur float64 // blur length in pixels along X
+	Brightness float64 // additive offset, may be negative (dusk)
+	Contrast   float64 // multiplicative gain around 0.5; 1 = neutral, 0 treated as 1
+
+	// Occlusion draws an opaque foreground blob (leaf litter, mud splash,
+	// hard cast shadow) of the given strength; OccU/OccV position its
+	// center as image fractions and OccR is its radius as a fraction of
+	// the image width. This is the "partial marker occlusion" condition of
+	// paper §III-A.
+	Occlusion  float64
+	OccU, OccV float64
+	OccR       float64
+}
+
+// Severity summarizes how adverse the conditions are in [0,1], used by the
+// scenario generator's difficulty accounting.
+func (c Conditions) Severity() float64 {
+	s := c.Fog*0.9 + c.Glare*0.7 + c.Shadow*0.5 + c.RainNoise*3 +
+		c.MotionBlur*0.04 + absf(c.Brightness)*0.8 + c.Occlusion*0.6
+	if c.Contrast != 0 && c.Contrast < 1 {
+		s += (1 - c.Contrast) * 0.8
+	}
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+func effectiveContrast(g float64) float64 {
+	if g == 0 {
+		return 1
+	}
+	return g
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Apply degrades the image in place according to the conditions, using rng
+// for the stochastic components (rain noise). altitude scales the fog term:
+// more atmosphere between camera and ground means more washout.
+func (c Conditions) Apply(im *Image, altitude float64, rng *rand.Rand) {
+	gain := effectiveContrast(c.Contrast)
+
+	// Contrast and brightness first (sensor-level), as the paper's
+	// augmentation pipeline does.
+	if gain != 1 || c.Brightness != 0 {
+		for i, v := range im.Pix {
+			v = (v-0.5)*gain + 0.5 + c.Brightness
+			im.Pix[i] = clamp01(v)
+		}
+	}
+
+	// Fog: blend toward sky gray, stronger with altitude.
+	if c.Fog > 0 {
+		f := c.Fog * geomClamp(altitude/25, 0.2, 1)
+		const sky = 0.72
+		for i, v := range im.Pix {
+			im.Pix[i] = v*(1-f) + sky*f
+		}
+	}
+
+	// Sun glare: a localized saturating additive blob — lens flare off a
+	// reflective patch rather than whole-frame washout, so detections fail
+	// only when the blob overlaps the marker.
+	if c.Glare > 0 {
+		gx := c.GlareU * float64(im.W)
+		gy := c.GlareV * float64(im.H)
+		sigma := 0.12 * float64(im.W) * (0.6 + 0.8*c.Glare)
+		inv := 1 / (2 * sigma * sigma)
+		for y := 0; y < im.H; y++ {
+			for x := 0; x < im.W; x++ {
+				dx := float64(x) - gx
+				dy := float64(y) - gy
+				g := c.Glare * 1.4 * expFast(-(dx*dx+dy*dy)*inv)
+				if g > 0.003 {
+					im.Pix[y*im.W+x] = clamp01(im.Pix[y*im.W+x] + g)
+				}
+			}
+		}
+	}
+
+	// Shadow: a soft dark band (building or cloud shadow) across the frame.
+	if c.Shadow > 0 {
+		edge := c.ShadowPos * float64(im.H)
+		width := 0.25 * float64(im.H)
+		for y := 0; y < im.H; y++ {
+			d := (float64(y) - edge) / width
+			if d < 0 {
+				d = -d
+			}
+			if d > 1 {
+				continue
+			}
+			atten := 1 - c.Shadow*(1-d)
+			for x := 0; x < im.W; x++ {
+				im.Pix[y*im.W+x] *= atten
+			}
+		}
+	}
+
+	// Hard occlusion: an opaque mid-gray disc, rendered before blur so its
+	// edge participates in the optics like a real foreground object.
+	if c.Occlusion > 0 && c.OccR > 0 {
+		ox := c.OccU * float64(im.W)
+		oy := c.OccV * float64(im.H)
+		r := c.OccR * float64(im.W)
+		r2 := r * r
+		const blobAlbedo = 0.35
+		x0, x1 := int(ox-r)-1, int(ox+r)+1
+		y0, y1 := int(oy-r)-1, int(oy+r)+1
+		for y := y0; y <= y1; y++ {
+			for x := x0; x <= x1; x++ {
+				dx := float64(x) - ox
+				dy := float64(y) - oy
+				if dx*dx+dy*dy <= r2 {
+					im.Set(x, y, blobAlbedo*c.Occlusion+im.At(x, y)*(1-c.Occlusion))
+				}
+			}
+		}
+	}
+
+	// Motion blur along X.
+	if c.MotionBlur >= 1 {
+		n := int(c.MotionBlur)
+		if n > im.W/4 {
+			n = im.W / 4
+		}
+		blurred := NewImage(im.W, im.H)
+		for y := 0; y < im.H; y++ {
+			for x := 0; x < im.W; x++ {
+				var s float64
+				for k := 0; k <= n; k++ {
+					s += im.At(x-k, y)
+				}
+				blurred.Pix[y*im.W+x] = s / float64(n+1)
+			}
+		}
+		copy(im.Pix, blurred.Pix)
+	}
+
+	// Rain noise last (lens-level).
+	if c.RainNoise > 0 && rng != nil {
+		for i := range im.Pix {
+			im.Pix[i] = clamp01(im.Pix[i] + rng.NormFloat64()*c.RainNoise)
+		}
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func geomClamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// expFast is a cheap exp(-x) approximation for x >= 0, accurate enough for
+// glare shading and ~4x faster than math.Exp on the render hot path.
+func expFast(x float64) float64 {
+	if x > 0 {
+		return 0 // only called with non-positive arguments
+	}
+	x = -x
+	if x > 12 {
+		return 0
+	}
+	// exp(-x) ≈ 1/(1+x+x²/2+x³/6)² on [0,12] within ~2% — fine for shading.
+	t := 1 + x/2 + x*x/8 + x*x*x/48
+	return 1 / (t * t)
+}

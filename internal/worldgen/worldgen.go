@@ -1,0 +1,399 @@
+// Package worldgen procedurally generates the benchmark environments: the
+// equivalent of the paper's 10 AirSim/Unreal maps spanning rural, suburban
+// and urban areas (§IV-B), with 10 scenarios per map split evenly between
+// normal and adverse weather.
+//
+// Generation is fully deterministic in (map index, scenario index, run
+// seed), so every system generation is evaluated on byte-identical worlds.
+package worldgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/sim"
+	"repro/internal/vision"
+)
+
+// Class is the terrain category of a map.
+type Class int
+
+// Map classes, mirroring the paper's environment mix.
+const (
+	Rural Class = iota
+	Suburban
+	Urban
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case Rural:
+		return "rural"
+	case Suburban:
+		return "suburban"
+	case Urban:
+		return "urban"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// MapSpec names one of the ten standard maps.
+type MapSpec struct {
+	Index int
+	Class Class
+	Name  string
+}
+
+// Maps returns the ten standard benchmark maps: four rural, three
+// suburban, three urban.
+func Maps() []MapSpec {
+	return []MapSpec{
+		{0, Rural, "rural-meadow"},
+		{1, Rural, "rural-woodline"},
+		{2, Rural, "rural-orchard"},
+		{3, Rural, "rural-lakeside"},
+		{4, Suburban, "suburb-lowdense"},
+		{5, Suburban, "suburb-parkside"},
+		{6, Suburban, "suburb-mainstreet"},
+		{7, Urban, "urban-blocks"},
+		{8, Urban, "urban-campus"},
+		{9, Urban, "urban-towers"},
+	}
+}
+
+// Scenario is a fully instantiated test case: the world, its weather, and
+// the mission parameters handed to the landing system.
+type Scenario struct {
+	Map     MapSpec
+	Index   int // scenario number within the map, 0..9
+	World   *sim.World
+	Weather sim.Weather
+	// GPSGoal is the initial GPS estimate of the landing site given to
+	// the system (deliberately offset from the true marker).
+	GPSGoal geom.Vec3
+	// TargetID is the dictionary ID of the true landing marker.
+	TargetID int
+	// TrueMarker is the ground-truth marker center (scoring only).
+	TrueMarker geom.Vec3
+}
+
+// NumScenariosPerMap is the paper's per-map scenario count.
+const NumScenariosPerMap = 10
+
+// Generate builds scenario (mapIndex, scIndex) deterministically. baseSeed
+// lets repeated runs (the ×3 repetitions of RQ1) perturb sensor seeds while
+// keeping the same world: world geometry depends only on map and scenario.
+func Generate(mapIndex, scIndex int) (*Scenario, error) {
+	maps := Maps()
+	if mapIndex < 0 || mapIndex >= len(maps) {
+		return nil, fmt.Errorf("worldgen: map index %d out of range [0,%d)", mapIndex, len(maps))
+	}
+	if scIndex < 0 || scIndex >= NumScenariosPerMap {
+		return nil, fmt.Errorf("worldgen: scenario index %d out of range [0,%d)", scIndex, NumScenariosPerMap)
+	}
+	spec := maps[mapIndex]
+	seed := int64(mapIndex)*1_000_003 + int64(scIndex)*7_919 + 20250521
+	rng := rand.New(rand.NewSource(seed))
+
+	w := &sim.World{
+		Bounds:         geom.NewAABB(geom.V3(-90, -90, 0), geom.V3(90, 90, 45)),
+		GroundSeed:     seed,
+		GroundBase:     0.42 + 0.08*rng.Float64(),
+		GroundContrast: 0.2 + 0.12*rng.Float64(),
+	}
+
+	switch spec.Class {
+	case Rural:
+		genRural(w, rng, spec.Index)
+	case Suburban:
+		genSuburban(w, rng)
+	case Urban:
+		genUrban(w, rng)
+	}
+
+	// Keep an 8m bubble around the origin clear for takeoff.
+	clearBubble(w, geom.V3(0, 0, 0), 8)
+
+	sc := &Scenario{Map: spec, Index: scIndex, World: w}
+
+	// Mission: the GPS goal sits 45–75m out in a random direction; the
+	// true marker lies within 8m of it on free ground.
+	if err := placeMission(sc, rng); err != nil {
+		return nil, err
+	}
+
+	sc.Weather = genWeather(rng, scIndex)
+	return sc, nil
+}
+
+// genRural places tree clusters, a woodline crossing the middle of the
+// map, and ponds.
+func genRural(w *sim.World, rng *rand.Rand, mapIdx int) {
+	// Woodlines: bands of tall trees crossing the map at random angles.
+	// Mature trees reach 10-17m, well above the 12m search altitude, so
+	// a blind straight-line transit usually clips one.
+	nLines := 2
+	for line := 0; line < nLines; line++ {
+		angle := rng.Float64() * math.Pi
+		cx := (rng.Float64() - 0.5) * 60
+		cy := (rng.Float64() - 0.5) * 60
+		dir := geom.V2(math.Cos(angle), math.Sin(angle))
+		normal := geom.V2(-dir.Y, dir.X)
+		for s := -85.0; s <= 85; s += 2.6 {
+			if rng.Float64() < 0.10 {
+				continue // gaps in the woodline
+			}
+			jitter := (rng.Float64() - 0.5) * 5
+			px := cx + dir.X*s + normal.X*jitter
+			py := cy + dir.Y*s + normal.Y*jitter
+			h := 10 + rng.Float64()*7
+			w.Trees = append(w.Trees, geom.Cylinder{
+				Center: geom.V2(px, py),
+				Radius: 2.2 + rng.Float64()*1.8,
+				TopZ:   h,
+			})
+		}
+	}
+	// Scattered clusters.
+	nClusters := 3 + rng.Intn(3)
+	for c := 0; c < nClusters; c++ {
+		ccx := (rng.Float64() - 0.5) * 150
+		ccy := (rng.Float64() - 0.5) * 150
+		n := 4 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			w.Trees = append(w.Trees, geom.Cylinder{
+				Center: geom.V2(ccx+(rng.Float64()-0.5)*16, ccy+(rng.Float64()-0.5)*16),
+				Radius: 1.5 + rng.Float64()*1.5,
+				TopZ:   7 + rng.Float64()*9,
+			})
+		}
+	}
+	// Ponds (lakeside map gets a big one).
+	nPonds := 1 + rng.Intn(2)
+	if mapIdx == 3 {
+		nPonds = 3
+	}
+	for p := 0; p < nPonds; p++ {
+		px := (rng.Float64() - 0.5) * 130
+		py := (rng.Float64() - 0.5) * 130
+		sx := 8 + rng.Float64()*18
+		sy := 8 + rng.Float64()*18
+		w.Water = append(w.Water, geom.NewAABB(
+			geom.V3(px-sx/2, py-sy/2, 0), geom.V3(px+sx/2, py+sy/2, 0.3)))
+	}
+	// A barn or two.
+	for b := 0; b < 1+rng.Intn(2); b++ {
+		bx := (rng.Float64() - 0.5) * 120
+		by := (rng.Float64() - 0.5) * 120
+		w.Buildings = append(w.Buildings, geom.NewAABB(
+			geom.V3(bx, by, 0), geom.V3(bx+8+rng.Float64()*6, by+6+rng.Float64()*6, 5+rng.Float64()*4)))
+	}
+}
+
+// genSuburban places a loose street grid of houses with garden trees and
+// the occasional taller apartment block.
+func genSuburban(w *sim.World, rng *rand.Rand) {
+	pitch := 22.0
+	for gx := -3; gx <= 3; gx++ {
+		for gy := -3; gy <= 3; gy++ {
+			if rng.Float64() < 0.25 {
+				continue // empty lot
+			}
+			bx := float64(gx)*pitch + (rng.Float64()-0.5)*6
+			by := float64(gy)*pitch + (rng.Float64()-0.5)*6
+			fw := 6 + rng.Float64()*5
+			fd := 6 + rng.Float64()*5
+			h := 5 + rng.Float64()*4 // houses 5–9m
+			if rng.Float64() < 0.22 {
+				h = 13 + rng.Float64()*7 // apartment block 13-20m
+				fw += 5
+				fd += 5
+			}
+			w.Buildings = append(w.Buildings, geom.NewAABB(
+				geom.V3(bx-fw/2, by-fd/2, 0), geom.V3(bx+fw/2, by+fd/2, h)))
+			// Garden trees.
+			for tti := 0; tti < rng.Intn(3); tti++ {
+				tx := bx + (rng.Float64()-0.5)*pitch*0.9
+				ty := by + (rng.Float64()-0.5)*pitch*0.9
+				w.Trees = append(w.Trees, geom.Cylinder{
+					Center: geom.V2(tx, ty),
+					Radius: 1.5 + rng.Float64()*1.6,
+					TopZ:   8 + rng.Float64()*9, // up to 17m street trees
+				})
+			}
+		}
+	}
+}
+
+// genUrban places dense city blocks, including wide slabs that defeat a
+// bounded A* pool, with sparse street trees.
+func genUrban(w *sim.World, rng *rand.Rand) {
+	pitch := 34.0
+	for gx := -2; gx <= 2; gx++ {
+		for gy := -2; gy <= 2; gy++ {
+			if rng.Float64() < 0.15 {
+				continue // plaza
+			}
+			bx := float64(gx)*pitch + (rng.Float64()-0.5)*6
+			by := float64(gy)*pitch + (rng.Float64()-0.5)*6
+			fw := 12 + rng.Float64()*14
+			fd := 12 + rng.Float64()*14
+			h := 14 + rng.Float64()*18 // 14–32m towers
+			if rng.Float64() < 0.25 {
+				// Wide slab building: the Fig. 5a pool-killer.
+				fw = 28 + rng.Float64()*14
+				fd = 10 + rng.Float64()*8
+			}
+			w.Buildings = append(w.Buildings, geom.NewAABB(
+				geom.V3(bx-fw/2, by-fd/2, 0), geom.V3(bx+fw/2, by+fd/2, h)))
+		}
+	}
+	// Street trees.
+	for i := 0; i < 18; i++ {
+		w.Trees = append(w.Trees, geom.Cylinder{
+			Center: geom.V2((rng.Float64()-0.5)*160, (rng.Float64()-0.5)*160),
+			Radius: 1.2 + rng.Float64()*1.2,
+			TopZ:   6 + rng.Float64()*6,
+		})
+	}
+}
+
+// clearBubble removes obstacles overlapping a sphere around p (the takeoff
+// pad and the landing site must be physically reachable).
+func clearBubble(w *sim.World, p geom.Vec3, r float64) {
+	bs := w.Buildings[:0]
+	for _, b := range w.Buildings {
+		if b.Dist(p) > r {
+			bs = append(bs, b)
+		}
+	}
+	w.Buildings = bs
+	ts := w.Trees[:0]
+	for _, t := range w.Trees {
+		if t.Dist(p.WithZ(t.TopZ/2)) > r {
+			ts = append(ts, t)
+		}
+	}
+	w.Trees = ts
+	ws := w.Water[:0]
+	for _, wa := range w.Water {
+		if wa.Dist(p) > r {
+			ws = append(ws, wa)
+		}
+	}
+	w.Water = ws
+}
+
+// placeMission selects the GPS goal, true marker, and decoy markers.
+func placeMission(sc *Scenario, rng *rand.Rand) error {
+	w := sc.World
+	dict := vision.DefaultDictionary()
+	const markerSize = 2.0
+
+	for attempt := 0; attempt < 200; attempt++ {
+		theta := rng.Float64() * 2 * math.Pi
+		dist := 45 + rng.Float64()*30
+		gx := math.Cos(theta) * dist
+		gy := math.Sin(theta) * dist
+		if !w.Bounds.Contains(geom.V3(gx, gy, 1)) {
+			continue
+		}
+		// Marker within 8m of the GPS goal on free ground.
+		var mx, my float64
+		found := false
+		for mi := 0; mi < 60; mi++ {
+			mx = gx + (rng.Float64()-0.5)*16
+			my = gy + (rng.Float64()-0.5)*16
+			if w.FreeGroundPosition(mx, my, 3.5) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		targetID := rng.Intn(len(dict.Markers))
+		// A clear descent cone above the marker.
+		clearBubble(w, geom.V3(mx, my, 0), 4.5)
+
+		w.Markers = append(w.Markers, vision.MarkerInstance{
+			Marker: dict.Markers[targetID],
+			Center: geom.V3(mx, my, 0),
+			Size:   markerSize,
+			Yaw:    rng.Float64() * 2 * math.Pi,
+		})
+		// Decoys: 1–3 markers with different IDs in the surrounding area.
+		nDecoys := 1 + rng.Intn(3)
+		for d := 0; d < nDecoys; d++ {
+			for di := 0; di < 40; di++ {
+				dx := mx + (rng.Float64()-0.5)*36
+				dy := my + (rng.Float64()-0.5)*36
+				if math.Hypot(dx-mx, dy-my) < 6 {
+					continue // not on top of the target
+				}
+				if !w.FreeGroundPosition(dx, dy, 3) {
+					continue
+				}
+				id := rng.Intn(len(dict.Markers))
+				if id == targetID {
+					id = (id + 1) % len(dict.Markers)
+				}
+				w.Markers = append(w.Markers, vision.MarkerInstance{
+					Marker: dict.Markers[id],
+					Center: geom.V3(dx, dy, 0),
+					Size:   markerSize,
+					Yaw:    rng.Float64() * 2 * math.Pi,
+				})
+				break
+			}
+		}
+
+		sc.GPSGoal = geom.V3(gx, gy, 0)
+		sc.TargetID = targetID
+		sc.TrueMarker = geom.V3(mx, my, 0)
+		return nil
+	}
+	return fmt.Errorf("worldgen: could not place mission on map %q", sc.Map.Name)
+}
+
+// genWeather builds the per-scenario weather: scenarios 0–4 are normal,
+// 5–9 adverse (the paper's 50/50 split).
+func genWeather(rng *rand.Rand, scIndex int) sim.Weather {
+	if scIndex < NumScenariosPerMap/2 {
+		// Normal: calm with light wind.
+		return sim.Weather{
+			Wind:    geom.V3((rng.Float64()-0.5)*1.6, (rng.Float64()-0.5)*1.6, 0),
+			GustStd: rng.Float64() * 0.5,
+		}
+	}
+	// Adverse: sample a dominant condition plus secondary effects.
+	wv := sim.Weather{
+		Wind: geom.V3((rng.Float64()-0.5)*5, (rng.Float64()-0.5)*5, 0),
+	}
+	switch scIndex % 5 {
+	case 0: // fog bank
+		wv.Fog = 0.5 + rng.Float64()*0.4
+		wv.DuskDim = 0.2 * rng.Float64()
+		wv.GPSDegradation = 0.3 + 0.3*rng.Float64()
+	case 1: // rain squall
+		wv.Rain = 0.5 + rng.Float64()*0.5
+		wv.GustStd = 1.4 + rng.Float64()
+		wv.GPSDegradation = 0.4 + 0.4*rng.Float64()
+		wv.DuskDim = 0.3 + 0.2*rng.Float64()
+	case 2: // harsh sun
+		wv.GlareProb = 0.45 + 0.3*rng.Float64()
+		wv.ShadowProb = 0.35 + 0.3*rng.Float64()
+	case 3: // dusk operations
+		wv.DuskDim = 0.5 + 0.35*rng.Float64()
+		wv.GPSDegradation = 0.2 * rng.Float64()
+	default: // gusty front
+		wv.GustStd = 1.8 + rng.Float64()*1.2
+		wv.ShadowProb = 0.25
+		wv.GPSDegradation = 0.3 + 0.3*rng.Float64()
+	}
+	return wv
+}

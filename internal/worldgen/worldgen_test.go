@@ -1,0 +1,236 @@
+package worldgen
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestMapsCatalog(t *testing.T) {
+	maps := Maps()
+	if len(maps) != 10 {
+		t.Fatalf("map count = %d, want 10", len(maps))
+	}
+	classes := map[Class]int{}
+	for i, m := range maps {
+		if m.Index != i {
+			t.Errorf("map %d has index %d", i, m.Index)
+		}
+		if m.Name == "" {
+			t.Errorf("map %d unnamed", i)
+		}
+		classes[m.Class]++
+	}
+	if classes[Rural] == 0 || classes[Suburban] == 0 || classes[Urban] == 0 {
+		t.Errorf("class mix %v lacks a class", classes)
+	}
+}
+
+func TestGenerateAllScenarios(t *testing.T) {
+	for mi := 0; mi < 10; mi++ {
+		for si := 0; si < NumScenariosPerMap; si++ {
+			sc, err := Generate(mi, si)
+			if err != nil {
+				t.Fatalf("Generate(%d,%d): %v", mi, si, err)
+			}
+			// Mission invariants.
+			if len(sc.World.Markers) == 0 {
+				t.Fatalf("(%d,%d): no markers", mi, si)
+			}
+			if sc.World.Markers[0].Center != sc.TrueMarker {
+				t.Errorf("(%d,%d): marker[0] is not the target", mi, si)
+			}
+			if sc.World.Markers[0].Marker.ID != sc.TargetID {
+				t.Errorf("(%d,%d): target ID mismatch", mi, si)
+			}
+			d := sc.GPSGoal.HorizDist(geom.V3(0, 0, 0))
+			if d < 40 || d > 80 {
+				t.Errorf("(%d,%d): GPS goal at %v m", mi, si, d)
+			}
+			if sc.TrueMarker.HorizDist(sc.GPSGoal) > 12 {
+				t.Errorf("(%d,%d): marker %v m from GPS goal", mi, si,
+					sc.TrueMarker.HorizDist(sc.GPSGoal))
+			}
+			// Takeoff bubble clear.
+			if sc.World.CollideSphere(geom.V3(0, 0, 2), 1) {
+				t.Errorf("(%d,%d): origin obstructed", mi, si)
+			}
+			// Marker on free ground with a descent cone.
+			if sc.World.GroundHeightAt(sc.TrueMarker.X, sc.TrueMarker.Y) != 0 {
+				t.Errorf("(%d,%d): marker under structure", mi, si)
+			}
+			if sc.World.OnWater(sc.TrueMarker.X, sc.TrueMarker.Y) {
+				t.Errorf("(%d,%d): marker on water", mi, si)
+			}
+			// Decoys have different IDs.
+			for _, mk := range sc.World.Markers[1:] {
+				if mk.Marker.ID == sc.TargetID {
+					t.Errorf("(%d,%d): decoy shares target ID", mi, si)
+				}
+				if mk.Center.HorizDist(sc.TrueMarker) < 5 {
+					t.Errorf("(%d,%d): decoy too close to target", mi, si)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.World.Buildings) != len(b.World.Buildings) ||
+		len(a.World.Trees) != len(b.World.Trees) {
+		t.Fatal("world geometry not deterministic")
+	}
+	for i := range a.World.Buildings {
+		if a.World.Buildings[i] != b.World.Buildings[i] {
+			t.Fatal("buildings differ")
+		}
+	}
+	if a.TrueMarker != b.TrueMarker || a.GPSGoal != b.GPSGoal || a.TargetID != b.TargetID {
+		t.Fatal("mission differs")
+	}
+	if a.Weather != b.Weather {
+		t.Fatal("weather differs")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(-1, 0); err == nil {
+		t.Error("negative map index accepted")
+	}
+	if _, err := Generate(10, 0); err == nil {
+		t.Error("map index 10 accepted")
+	}
+	if _, err := Generate(0, -1); err == nil {
+		t.Error("negative scenario accepted")
+	}
+	if _, err := Generate(0, NumScenariosPerMap); err == nil {
+		t.Error("scenario out of range accepted")
+	}
+}
+
+func TestWeatherSplit(t *testing.T) {
+	// Scenarios 0-4 normal, 5-9 adverse, on every map.
+	for mi := 0; mi < 10; mi++ {
+		for si := 0; si < NumScenariosPerMap; si++ {
+			sc, err := Generate(mi, si)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if si < 5 && sc.Weather.Adverse() {
+				t.Errorf("(%d,%d) normal slot has adverse weather %+v", mi, si, sc.Weather)
+			}
+			if si >= 5 && !sc.Weather.Adverse() {
+				t.Errorf("(%d,%d) adverse slot has normal weather %+v", mi, si, sc.Weather)
+			}
+		}
+	}
+}
+
+func TestClassObstaclesDiffer(t *testing.T) {
+	rural, _ := Generate(0, 0)
+	urban, _ := Generate(9, 0)
+	if len(rural.World.Trees) <= len(urban.World.Trees) {
+		t.Errorf("rural trees %d <= urban trees %d",
+			len(rural.World.Trees), len(urban.World.Trees))
+	}
+	if len(urban.World.Buildings) <= len(rural.World.Buildings) {
+		t.Errorf("urban buildings %d <= rural buildings %d",
+			len(urban.World.Buildings), len(rural.World.Buildings))
+	}
+	// Urban towers exceed the search altitude.
+	tall := 0
+	for _, b := range urban.World.Buildings {
+		if b.Max.Z > 14 {
+			tall++
+		}
+	}
+	if tall < 3 {
+		t.Errorf("urban map has only %d tall buildings", tall)
+	}
+}
+
+// TestStraightLineBlockageByClass verifies the difficulty gradient that
+// drives Table I: the fraction of scenarios whose direct origin→marker
+// line at search altitude crosses an obstacle should rise from rural to
+// urban, and be high overall (V1's collision exposure).
+func TestStraightLineBlockageByClass(t *testing.T) {
+	blockedFrac := func(mapIdx int) float64 {
+		blocked := 0
+		for si := 0; si < NumScenariosPerMap; si++ {
+			sc, err := Generate(mapIdx, si)
+			if err != nil {
+				t.Fatal(err)
+			}
+			start := geom.V3(0, 0, 12)
+			end := sc.TrueMarker.WithZ(12)
+			dir := end.Sub(start)
+			l := dir.Len()
+			if _, hit := sc.World.Raycast(geom.Ray{Origin: start, Dir: dir.Scale(1 / l)}, l); hit {
+				blocked++
+			}
+		}
+		return float64(blocked) / NumScenariosPerMap
+	}
+	rural := (blockedFrac(0) + blockedFrac(1) + blockedFrac(2) + blockedFrac(3)) / 4
+	urban := (blockedFrac(7) + blockedFrac(8) + blockedFrac(9)) / 3
+	if urban < rural {
+		t.Errorf("urban blockage %.2f < rural %.2f", urban, rural)
+	}
+	if urban < 0.6 {
+		t.Errorf("urban blockage %.2f too low for the V1 failure profile", urban)
+	}
+	t.Logf("blockage: rural %.2f urban %.2f", rural, urban)
+}
+
+func TestScenarioWorldsAreSolvable(t *testing.T) {
+	// Every generated mission must admit SOME collision-free route at a
+	// reachable altitude: verify a clear straight line exists at 30m
+	// (above all generated structures) — the benchmark never creates an
+	// impossible task, only hard ones.
+	for mi := 0; mi < 10; mi++ {
+		for si := 0; si < NumScenariosPerMap; si += 3 {
+			sc, err := Generate(mi, si)
+			if err != nil {
+				t.Fatal(err)
+			}
+			start := geom.V3(0, 0, 36)
+			end := sc.TrueMarker.WithZ(36)
+			dir := end.Sub(start)
+			l := dir.Len()
+			if _, hit := sc.World.Raycast(geom.Ray{Origin: start, Dir: dir.Scale(1 / l)}, l); hit {
+				t.Errorf("(%d,%d): no route even at 36m", mi, si)
+			}
+		}
+	}
+}
+
+func TestDecoyCount(t *testing.T) {
+	// Scenarios place 1-3 decoys per the SIL protocol.
+	for mi := 0; mi < 10; mi += 2 {
+		sc, err := Generate(mi, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoys := len(sc.World.Markers) - 1
+		if decoys < 0 || decoys > 3 {
+			t.Errorf("map %d: %d decoys", mi, decoys)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Rural.String() != "rural" || Suburban.String() != "suburban" || Urban.String() != "urban" {
+		t.Error("class strings")
+	}
+	if Class(9).String() == "" {
+		t.Error("unknown class string empty")
+	}
+}
