@@ -20,12 +20,15 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/detect"
 	"repro/internal/geom"
@@ -50,7 +53,9 @@ var (
 
 // batchFor runs (or returns the cached) SIL sweep for one generation; the
 // Table I and Table II benchmarks share the same underlying runs, exactly
-// as the paper derives both tables from one experiment.
+// as the paper derives both tables from one experiment. The sweep fans
+// out across all cores through the campaign engine — ordered results, so
+// the tables match a sequential sweep bit for bit.
 func batchFor(b *testing.B, gen core.Generation) []scenario.Result {
 	b.Helper()
 	batchCacheMu.Lock()
@@ -58,17 +63,46 @@ func batchFor(b *testing.B, gen core.Generation) []scenario.Result {
 	if res, ok := batchCache[gen]; ok {
 		return res
 	}
-	maps, idxs, repeats := 10, benchScenarios, 1
+	idxs, repeats := benchScenarios, 1
 	if fullScale() {
 		idxs = []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
 		repeats = 3
 	}
-	res, err := scenario.BatchScenarios(gen, maps, idxs, repeats, scenario.SILTiming(), nil)
+	rep, err := campaign.Execute(context.Background(), campaign.Spec{
+		Maps:        campaign.Range(10),
+		Scenarios:   idxs,
+		Repeats:     repeats,
+		Generations: []core.Generation{gen},
+		Timing:      scenario.SILTiming(),
+	}, campaign.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
-	batchCache[gen] = res
-	return res
+	batchCache[gen] = rep.Results
+	return rep.Results
+}
+
+// BenchmarkCampaign times one reduced Table-I-style sweep per iteration,
+// sequentially and across GOMAXPROCS workers — the speedup the campaign
+// engine buys on the hottest path in the repo. On a multi-core machine
+// workers=max should beat workers=1 by roughly the core count.
+func BenchmarkCampaign(b *testing.B) {
+	spec := campaign.Spec{
+		Maps:        campaign.Range(4),
+		Scenarios:   []int{0, 5},
+		Generations: []core.Generation{core.V1},
+		Timing:      scenario.SILTiming(),
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := campaign.Execute(context.Background(), spec,
+					campaign.Options{Workers: workers, DiscardResults: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // ---------------------------------------------------------------- Table I

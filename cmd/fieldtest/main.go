@@ -3,6 +3,11 @@
 // despite healthy DOP, erroneous point clouds (Fig. 5c), live camera-feed
 // compute load — over simplified scenarios fitting a constrained airspace.
 //
+// The flight list is not a product grid (each flight pairs one map with
+// one scenario), so the campaign runs from an explicit cell list; the
+// configure hook applies the field-specific weather floors and fault
+// rates per flight. Ordered delivery keeps the flight log sequential.
+//
 // Reported outputs:
 //   - mean landing error (paper: ≈60 cm vs ≈25 cm in SIL/HIL)
 //   - GPS drift magnitudes (Fig. 5d)
@@ -11,11 +16,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/hil"
 	"repro/internal/scenario"
@@ -23,11 +31,21 @@ import (
 	"repro/internal/worldgen"
 )
 
+// fieldMaps are the simpler rural/suburban maps the campaign cycled
+// through (limited airspace, §V-C).
+var fieldMaps = []int{0, 2, 4, 5}
+
 func main() {
 	runs := flag.Int("runs", 20, "number of field flights")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel flight workers (1 = sequential)")
 	resources := flag.Bool("resources", false, "print the per-second Fig. 7 resource series of one flight")
 	csvPath := flag.String("csv", "", "write the Fig. 7 series of flight 0 as CSV to this path")
 	flag.Parse()
+
+	if *runs < 1 {
+		fmt.Fprintln(os.Stderr, "fieldtest: -runs must be at least 1")
+		os.Exit(2)
+	}
 
 	profile := hil.JetsonNanoMAXN()
 	costs := hil.FieldCosts()
@@ -35,23 +53,26 @@ func main() {
 
 	fmt.Printf("Field profile on %s: CPU demand %.0f%% of capacity\n\n", profile.Name, 100*plan.CPUDemand)
 
-	var results []scenario.Result
-	var meanCPU, meanMem float64
-	var drifts []float64
-	var series []hil.Sample
-
-	count := 0
-	for i := 0; i < *runs; i++ {
-		// Field flights use the simpler rural/suburban maps (limited
-		// airspace, §V-C) and lean adverse: the campaign flew in the
-		// weather it got.
-		mapIdx := []int{0, 2, 4, 5}[i%4]
-		scIdx := i % worldgen.NumScenariosPerMap
-		sc, err := worldgen.Generate(mapIdx, scIdx)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "fieldtest:", err)
-			os.Exit(1)
+	// One cell per flight: the campaign flew map fieldMaps[i%4] with
+	// scenario i%10 on flight i. Rep carries the flight index so the
+	// legacy per-flight seed derivation survives verbatim.
+	cells := make([]campaign.Cell, *runs)
+	for i := range cells {
+		cells[i] = campaign.Cell{
+			Gen:         core.V3,
+			MapIdx:      fieldMaps[i%len(fieldMaps)],
+			ScenarioIdx: i % worldgen.NumScenariosPerMap,
+			Rep:         i,
 		}
+	}
+	spec := campaign.Spec{
+		Cells:  cells,
+		Timing: plan.Timing,
+		Seed:   func(c campaign.Cell) int64 { return int64(c.Rep)*104_729 + 77 },
+	}
+
+	mons := make([]*hil.Monitor, len(cells))
+	spec.Configure = func(ru campaign.Run, sc *worldgen.Scenario, sys *core.System, cfg *scenario.RunConfig) {
 		// Field GPS behaves worse than the simulation assumed: raise the
 		// degradation floor (drift during poor weather despite DOP 2-8).
 		if sc.Weather.GPSDegradation < 0.5 {
@@ -60,35 +81,47 @@ func main() {
 		if sc.Weather.GustStd < 1.0 {
 			sc.Weather.GustStd = 1.0 // ground-effect turbulence on final
 		}
-
-		seed := int64(i)*104_729 + 77
-		sys, err := scenario.BuildSystem(core.V3, sc, seed)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "fieldtest:", err)
-			os.Exit(1)
-		}
 		sys.SetReplanInterval(plan.ReplanInterval)
 		sys.SetGuardInterval(plan.GuardInterval)
-
 		mon := hil.NewMonitor(profile, costs)
-		cfg := scenario.DefaultRunConfig(seed)
-		cfg.Timing = plan.Timing
+		mons[ru.Index] = mon
 		cfg.Observer = mon
 		cfg.ErroneousDepthRate = 0.04 // Fig. 5c spurious clusters
-		r := scenario.Run(sc, sys, cfg)
-		results = append(results, r)
-		drifts = append(drifts, r.MaxGPSDrift)
+	}
+
+	var drifts []float64
+	report, err := campaign.Execute(context.Background(), spec, campaign.Options{
+		Workers: *workers,
+		Ordered: true, // flight log prints in flight order
+		OnResult: func(ru campaign.Run, r scenario.Result) {
+			drifts = append(drifts, r.MaxGPSDrift)
+			fmt.Printf("  flight %2d map%d sc%d: %-12s landErr=%.2fm drift=%.2fm\n",
+				ru.Rep, ru.MapIdx, ru.ScenarioIdx, r.Outcome, r.LandingError, r.MaxGPSDrift)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fieldtest:", err)
+		os.Exit(1)
+	}
+
+	results := report.Results
+	var series []hil.Sample
+	if len(mons) > 0 && mons[0] != nil {
+		series = mons[0].Samples()
+	}
+	var meanCPU, meanMem float64
+	count := 0
+	for _, mon := range mons {
+		if mon == nil {
+			continue
+		}
 		meanCPU += mon.MeanCPU()
 		meanMem += mon.MeanMemMB()
 		count++
-		if i == 0 {
-			series = mon.Samples()
-		}
-		fmt.Printf("  flight %2d map%d sc%d: %-12s landErr=%.2fm drift=%.2fm\n",
-			i, mapIdx, scIdx, r.Outcome, r.LandingError, r.MaxGPSDrift)
 	}
 
-	agg := scenario.Summarize("MLS-V3-field", results)
+	agg := *report.Aggregates[core.V3]
+	agg.System = "MLS-V3-field"
 	// The paper's 60 cm figure is the average over landed flights, pad or
 	// no pad — GPS drift and wind on final are exactly what pushed some
 	// landings wide.
@@ -106,13 +139,16 @@ func main() {
 	}
 
 	fmt.Println("\nReal-world results (paper §V-C)")
-	fmt.Printf("  success %.1f%%, collision %.1f%%, poor landing %.1f%% over %d flights\n",
-		agg.SuccessRate(), agg.CollisionRate(), agg.PoorLandingRate(), agg.Runs)
+	fmt.Printf("  success %.1f%%, collision %.1f%%, poor landing %.1f%% over %d flights (%.1fs wall on %d workers, %.2fx speedup)\n",
+		agg.SuccessRate(), agg.CollisionRate(), agg.PoorLandingRate(), agg.Runs,
+		report.Wall.Seconds(), report.Workers, report.Speedup())
 	if landN > 0 {
 		fmt.Printf("  mean landing error: %.2f m (paper: ~0.60 m field vs ~0.25 m SIL/HIL)\n",
 			landSum/float64(landN))
 	}
-	fmt.Printf("  mean max GPS drift: %.2f m (Fig. 5d)\n", driftSum/float64(len(drifts)))
+	if len(drifts) > 0 {
+		fmt.Printf("  mean max GPS drift: %.2f m (Fig. 5d)\n", driftSum/float64(len(drifts)))
+	}
 	if count > 0 {
 		fmt.Printf("  mean CPU %.0f%% aggregate, mean RAM %.2f GB (Fig. 7: above HIL's)\n",
 			meanCPU/float64(count), meanMem/float64(count)/1000)

@@ -7,14 +7,20 @@
 //
 // It also reports the resource picture (CPU saturation, ~2.2 GB of the
 // 2.9 GB available) that §V-B attributes the degradation to.
+//
+// The sweep runs as a campaign across -workers cores; each run gets its
+// own hil.Monitor attached through the campaign's per-run configure hook,
+// so the resource series are collected exactly as in the sequential loop.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"time"
+	"runtime"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/hil"
 	"repro/internal/scenario"
@@ -26,8 +32,14 @@ func main() {
 	scenarios := flag.Int("scenarios", worldgen.NumScenariosPerMap, "scenarios per map (1-10)")
 	repeats := flag.Int("repeats", 1, "sensor-seed repetitions per scenario")
 	mode := flag.String("mode", "maxn", "power mode: maxn or 5w")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel run workers (1 = sequential)")
 	verbose := flag.Bool("v", false, "print per-run results")
 	flag.Parse()
+
+	if *maps < 1 || *maps > 10 || *scenarios < 1 || *scenarios > worldgen.NumScenariosPerMap {
+		fmt.Fprintln(os.Stderr, "hilbench: -maps must be 1-10 and -scenarios 1-10")
+		os.Exit(2)
+	}
 
 	profile := hil.JetsonNanoMAXN()
 	if *mode == "5w" {
@@ -41,47 +53,60 @@ func main() {
 		plan.Timing.DetectPeriod, scenario.SILTiming().DetectPeriod,
 		plan.ReplanInterval, plan.Timing.CommandLatencyTicks)
 
-	start := time.Now()
-	var results []scenario.Result
-	var meanCPU, meanMem, peakMem float64
-	runs := 0
-	for mi := 0; mi < *maps; mi++ {
-		for si := 0; si < *scenarios; si++ {
-			for rep := 0; rep < *repeats; rep++ {
-				sc, err := worldgen.Generate(mi, si)
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "hilbench:", err)
-					os.Exit(1)
-				}
-				seed := int64(mi)*1_000_003 + int64(si)*9_176 + int64(rep)*77_711 + 300
-				sys, err := scenario.BuildSystem(core.V3, sc, seed)
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "hilbench:", err)
-					os.Exit(1)
-				}
-				sys.SetReplanInterval(plan.ReplanInterval)
-				sys.SetGuardInterval(plan.GuardInterval)
-				mon := hil.NewMonitor(profile, costs)
-				cfg := scenario.DefaultRunConfig(seed)
-				cfg.Timing = plan.Timing
-				cfg.Observer = mon
-				r := scenario.Run(sc, sys, cfg)
-				results = append(results, r)
-				runs++
-				meanCPU += mon.MeanCPU()
-				meanMem += mon.MeanMemMB()
-				if _, m := mon.Peak(); m > peakMem {
-					peakMem = m
-				}
-				if *verbose {
-					fmt.Printf("  map%d sc%d rep%d: %s (%.1fs)\n", mi, si, rep, r.Outcome, r.Duration)
-				}
-			}
+	spec := campaign.Spec{
+		Maps:        campaign.Range(*maps),
+		Scenarios:   campaign.Range(*scenarios),
+		Repeats:     *repeats,
+		Generations: []core.Generation{core.V3},
+		Timing:      plan.Timing,
+		// The recorded HIL tables derive seeds with a flat +300 offset
+		// rather than the SIL grid's generation term.
+		Seed: func(c campaign.Cell) int64 {
+			return int64(c.MapIdx)*1_000_003 + int64(c.ScenarioIdx)*9_176 + int64(c.Rep)*77_711 + 300
+		},
+	}
+
+	// One monitor per run, attached by the configure hook; workers write
+	// distinct indices, so the slice needs no lock.
+	mons := make([]*hil.Monitor, spec.Total())
+	spec.Configure = func(ru campaign.Run, sc *worldgen.Scenario, sys *core.System, cfg *scenario.RunConfig) {
+		sys.SetReplanInterval(plan.ReplanInterval)
+		sys.SetGuardInterval(plan.GuardInterval)
+		mon := hil.NewMonitor(profile, costs)
+		mons[ru.Index] = mon
+		cfg.Observer = mon
+	}
+
+	opts := campaign.Options{Workers: *workers, Ordered: true}
+	if *verbose {
+		opts.OnResult = func(ru campaign.Run, r scenario.Result) {
+			fmt.Printf("  map%d sc%d rep%d: %s (%.1fs)\n",
+				ru.MapIdx, ru.ScenarioIdx, ru.Rep, r.Outcome, r.Duration)
 		}
 	}
-	agg := scenario.Summarize("MLS-V3", results)
 
-	fmt.Printf("completed %d runs in %.1fs\n\n", runs, time.Since(start).Seconds())
+	report, err := campaign.Execute(context.Background(), spec, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hilbench:", err)
+		os.Exit(1)
+	}
+
+	agg := *report.Aggregates[core.V3]
+	runs := agg.Runs
+	var meanCPU, meanMem, peakMem float64
+	for _, mon := range mons {
+		if mon == nil {
+			continue
+		}
+		meanCPU += mon.MeanCPU()
+		meanMem += mon.MeanMemMB()
+		if _, m := mon.Peak(); m > peakMem {
+			peakMem = m
+		}
+	}
+
+	fmt.Printf("completed %d runs in %.1fs wall (%.1fs of runs on %d workers, %.2fx speedup vs -workers=1)\n\n",
+		runs, report.Wall.Seconds(), report.Busy.Seconds(), report.Workers, report.Speedup())
 	fmt.Println("Table III — Experiment Results of HIL Testing")
 	fmt.Printf("%-10s %-22s %-26s %-26s\n", "System", "Successful Landing", "Failure (Collision)", "Failure (Poor Landing)")
 	fmt.Printf("%-10s %20.2f%% %24.2f%% %24.2f%%\n",

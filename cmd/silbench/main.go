@@ -6,16 +6,23 @@
 //	Table II — the marker detectors' false-negative rates over all
 //	           marker-visible frames of the same runs.
 //
+// The whole sweep is one campaign.Spec fanned out across -workers cores;
+// results are delivered in canonical grid order, so any worker count
+// reproduces the sequential tables bit for bit.
+//
 // Absolute percentages depend on the synthetic substrate; the comparisons
 // that must hold are the orderings and rough factors (see EXPERIMENTS.md).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/scenario"
 	"repro/internal/worldgen"
@@ -26,12 +33,17 @@ func main() {
 	scenarios := flag.Int("scenarios", worldgen.NumScenariosPerMap, "scenarios per map (1-10)")
 	repeats := flag.Int("repeats", 3, "sensor-seed repetitions per scenario (paper: 3)")
 	gens := flag.String("systems", "1,2,3", "comma-separated system generations to run")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel run workers (1 = sequential)")
+	progress := flag.Bool("progress", false, "print campaign progress with ETA to stderr")
 	verbose := flag.Bool("v", false, "print per-run results")
 	flag.Parse()
 
 	if *maps < 1 || *maps > 10 || *scenarios < 1 || *scenarios > worldgen.NumScenariosPerMap {
 		fmt.Fprintln(os.Stderr, "silbench: -maps must be 1-10 and -scenarios 1-10")
 		os.Exit(2)
+	}
+	if *workers < 1 {
+		*workers = runtime.GOMAXPROCS(0)
 	}
 
 	var selected []core.Generation
@@ -46,27 +58,56 @@ func main() {
 		}
 	}
 
-	fmt.Printf("SIL benchmark: %d maps x %d scenarios x %d repeats\n\n",
-		*maps, *scenarios, *repeats)
+	if len(selected) == 0 {
+		fmt.Fprintf(os.Stderr, "silbench: -systems %q selects no generation (use digits 1-3, e.g. \"1,3\")\n", *gens)
+		os.Exit(2)
+	}
+
+	spec := campaign.Spec{
+		Maps:        campaign.Range(*maps),
+		Scenarios:   campaign.Range(*scenarios),
+		Repeats:     *repeats,
+		Generations: selected,
+		Timing:      scenario.SILTiming(),
+	}
+	fmt.Printf("SIL benchmark: %d maps x %d scenarios x %d repeats x %d systems = %d runs on %d workers\n\n",
+		*maps, *scenarios, *repeats, len(selected), spec.Total(), *workers)
+
+	opts := campaign.Options{
+		Workers: *workers,
+		// Ordered delivery keeps -v output in the exact sequential order.
+		Ordered: true,
+	}
+	if *verbose {
+		opts.OnResult = func(ru campaign.Run, r scenario.Result) {
+			fmt.Printf("  %s map%d sc%d rep%d: %s (%.1fs)\n",
+				ru.Gen, ru.MapIdx, ru.ScenarioIdx, ru.Rep, r.Outcome, r.Duration)
+		}
+	}
+	if *progress {
+		lastTick := time.Time{}
+		opts.OnProgress = func(p campaign.Progress) {
+			if time.Since(lastTick) < 2*time.Second && p.Done != p.Total {
+				return
+			}
+			lastTick = time.Now()
+			fmt.Fprintf(os.Stderr, "silbench: %d/%d runs, elapsed %s, ETA %s\n",
+				p.Done, p.Total, p.Elapsed.Round(time.Second), p.ETA.Round(time.Second))
+		}
+	}
+
+	report, err := campaign.Execute(context.Background(), spec, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "silbench:", err)
+		os.Exit(1)
+	}
 
 	var rows []scenario.Aggregate
 	for _, gen := range selected {
-		start := time.Now()
-		results, err := scenario.Batch(gen, *maps, *scenarios, *repeats, scenario.SILTiming(),
-			func(mi, si, rep int, r scenario.Result) {
-				if *verbose {
-					fmt.Printf("  %s map%d sc%d rep%d: %s (%.1fs)\n",
-						gen, mi, si, rep, r.Outcome, r.Duration)
-				}
-			})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "silbench:", err)
-			os.Exit(1)
-		}
-		agg := scenario.Summarize(gen.String(), results)
-		rows = append(rows, agg)
-		fmt.Printf("%s done in %.1fs\n", gen, time.Since(start).Seconds())
+		rows = append(rows, *report.Aggregates[gen])
 	}
+	fmt.Printf("campaign done in %.1fs wall (%.1fs of runs on %d workers, %.2fx speedup vs -workers=1)\n",
+		report.Wall.Seconds(), report.Busy.Seconds(), report.Workers, report.Speedup())
 
 	fmt.Println("\nTable I — Experiment Results of SIL Testing")
 	fmt.Printf("%-10s %-22s %-26s %-26s\n", "System", "Successful Landing", "Failure (Collision)", "Failure (Poor Landing)")

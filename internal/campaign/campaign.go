@@ -1,0 +1,154 @@
+// Package campaign turns the paper's evaluation grids into declarative,
+// parallel, cancellable sweeps.
+//
+// The evaluation (Tables I-III, RQ1-RQ3) is a product of deterministic
+// closed-loop runs: maps x scenarios x sensor-seed repetitions x system
+// generations under a timing profile. Every run's seed derives purely from
+// its grid indices (scenario.GridSeed) and runs share no mutable state, so
+// the grid is embarrassingly parallel. A Spec describes the whole grid as
+// one value; Execute fans it out across a worker pool, streams results to
+// callbacks (optionally in canonical grid order), aggregates per-worker
+// shards incrementally, and reports progress with an ETA.
+//
+// The sequential helpers scenario.Batch/BatchScenarios remain as
+// deprecated shims; both they and the campaign workers funnel every cell
+// through scenario.RunGridCell, which is what makes an ordered campaign
+// bit-identical to the sequential engine for the same Spec.
+package campaign
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/worldgen"
+)
+
+// Cell pins one run of a campaign: which map, which scenario, which
+// sensor-seed repetition, and which system generation flies it.
+type Cell struct {
+	Gen         core.Generation
+	MapIdx      int
+	ScenarioIdx int
+	Rep         int
+}
+
+// Run is one resolved unit of work: a cell plus its position in the
+// campaign's canonical order and the seed that drives all of its
+// randomness.
+type Run struct {
+	Cell
+	// Index is the run's position in the canonical order (the order the
+	// sequential engine would execute, and the order of Report.Results).
+	Index int
+	// Seed drives the system's planner and every sensor-noise stream.
+	Seed int64
+}
+
+// Spec declares a whole evaluation sweep as one value — a Table I sweep is
+// {Maps: Range(10), Scenarios: Range(10), Repeats: 3, Generations: all
+// three} instead of caller-side nested loops.
+//
+// Either populate the grid fields (Maps x Scenarios x Repeats x
+// Generations, enumerated generation-outermost exactly like the legacy
+// nested loops) or set Cells explicitly for irregular sweeps such as the
+// field campaign's one-flight-per-index diagonal.
+type Spec struct {
+	// Maps lists benchmark map indices (Range(n) for the first n).
+	Maps []int
+	// Scenarios lists per-map scenario indices.
+	Scenarios []int
+	// Repeats is the number of sensor-seed repetitions (default 1).
+	Repeats int
+	// Generations lists the system generations to sweep.
+	Generations []core.Generation
+
+	// Cells, when non-empty, overrides the product grid above with an
+	// explicit run list, executed in slice order.
+	Cells []Cell
+
+	// Timing is the deployment profile applied to every run; the zero
+	// value means native SIL timing.
+	Timing scenario.Timing
+
+	// Seed overrides the canonical scenario.GridSeed derivation, for
+	// sweeps whose recorded tables were produced with a different scheme.
+	Seed func(Cell) int64
+
+	// Configure, when non-nil, customizes each run after the system is
+	// built and before the mission flies (attach observers, stretch
+	// replan cadences, inject faults, floor the weather). It is called
+	// concurrently from worker goroutines — one call per run — and must
+	// only touch its arguments and its own synchronized state.
+	Configure func(Run, *worldgen.Scenario, *core.System, *scenario.RunConfig)
+}
+
+// Range returns [0, 1, ..., n-1], the usual way to select the first n
+// benchmark maps or scenarios.
+func Range(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Total returns the number of runs the spec describes.
+func (s Spec) Total() int {
+	if len(s.Cells) > 0 {
+		return len(s.Cells)
+	}
+	return len(s.Generations) * len(s.Maps) * len(s.Scenarios) * s.repeats()
+}
+
+func (s Spec) repeats() int {
+	if s.Repeats <= 0 {
+		return 1
+	}
+	return s.Repeats
+}
+
+// Runs enumerates the campaign in canonical order: explicit cells in slice
+// order, or the product grid with generations outermost, then maps, then
+// scenarios, then repetitions — the order the sequential engine executes.
+func (s Spec) Runs() ([]Run, error) {
+	cells := s.Cells
+	if len(cells) == 0 {
+		if len(s.Maps) == 0 || len(s.Scenarios) == 0 || len(s.Generations) == 0 {
+			return nil, fmt.Errorf("campaign: spec needs Maps, Scenarios and Generations (or explicit Cells)")
+		}
+		cells = make([]Cell, 0, s.Total())
+		for _, gen := range s.Generations {
+			for _, mi := range s.Maps {
+				for _, si := range s.Scenarios {
+					for rep := 0; rep < s.repeats(); rep++ {
+						cells = append(cells, Cell{Gen: gen, MapIdx: mi, ScenarioIdx: si, Rep: rep})
+					}
+				}
+			}
+		}
+	}
+	runs := make([]Run, len(cells))
+	for i, c := range cells {
+		seed := scenario.GridSeed(c.Gen, c.MapIdx, c.ScenarioIdx, c.Rep)
+		if s.Seed != nil {
+			seed = s.Seed(c)
+		}
+		runs[i] = Run{Cell: c, Index: i, Seed: seed}
+	}
+	return runs, nil
+}
+
+// generations returns the distinct generations of the runs in first-seen
+// order, for deterministic aggregate assembly.
+func generations(runs []Run) []core.Generation {
+	var order []core.Generation
+	seen := map[core.Generation]bool{}
+	for _, r := range runs {
+		if !seen[r.Gen] {
+			seen[r.Gen] = true
+			order = append(order, r.Gen)
+		}
+	}
+	return order
+}

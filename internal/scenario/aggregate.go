@@ -10,6 +10,15 @@ import (
 )
 
 // Aggregate summarizes a batch of runs into the Table I / Table II rows.
+//
+// An Aggregate is incremental and mergeable: results stream in through Add
+// and partial aggregates (for example per-worker shards of a parallel
+// campaign) combine with Merge. The derived fields (the mean and rate
+// columns) are kept current after every mutation, so an Aggregate is always
+// ready to print. Rates derived from integer counters (success/collision/
+// poor-landing percentages, the false-negative rate) are exact regardless
+// of how results were sharded; the floating-point means can differ from a
+// single-pass Summarize in the last ulp because summation order changes.
 type Aggregate struct {
 	System string
 	Runs   int
@@ -27,6 +36,81 @@ type Aggregate struct {
 	// FalseNegativeRate is detector misses over marker-visible frames,
 	// pooled across runs (Table II).
 	FalseNegativeRate float64
+
+	// Accumulators behind the derived means above. They stay unexported:
+	// consumers read the derived fields, shards combine through Merge.
+	landSum        float64
+	landN          int
+	detSum         float64
+	detN           int
+	visibleFrames  int
+	detectedFrames int
+}
+
+// NewAggregate returns an empty aggregate row for one system label, ready
+// for streaming Add calls.
+func NewAggregate(system string) *Aggregate {
+	return &Aggregate{System: system}
+}
+
+// Add folds one result into the aggregate, keeping the derived columns
+// current. Adding results one by one in order is equivalent to Summarize
+// over the same slice.
+func (a *Aggregate) Add(r Result) {
+	a.Runs++
+	switch r.Outcome {
+	case Success:
+		a.Success++
+	case FailureCollision:
+		a.Collision++
+	case FailurePoorLanding:
+		a.PoorLanding++
+	}
+	if r.Outcome == Success && !math.IsNaN(r.LandingError) {
+		a.landSum += r.LandingError
+		a.landN++
+	}
+	if !math.IsNaN(r.DetectionError) {
+		a.detSum += r.DetectionError
+		a.detN++
+	}
+	a.visibleFrames += r.MarkerVisibleFrames
+	a.detectedFrames += r.MarkerDetectedFrames
+	a.refresh()
+}
+
+// Merge folds another aggregate (typically a per-worker shard of the same
+// campaign) into a. Counters and accumulator sums combine, so a merge of
+// shards equals a Summarize of the concatenated results, up to float
+// summation order in the mean columns. The receiver keeps its System label.
+func (a *Aggregate) Merge(b Aggregate) {
+	a.Runs += b.Runs
+	a.Success += b.Success
+	a.Collision += b.Collision
+	a.PoorLanding += b.PoorLanding
+	a.landSum += b.landSum
+	a.landN += b.landN
+	a.detSum += b.detSum
+	a.detN += b.detN
+	a.visibleFrames += b.visibleFrames
+	a.detectedFrames += b.detectedFrames
+	a.refresh()
+}
+
+// refresh recomputes the derived columns from the accumulators.
+func (a *Aggregate) refresh() {
+	a.MeanLandingError = 0
+	if a.landN > 0 {
+		a.MeanLandingError = a.landSum / float64(a.landN)
+	}
+	a.MeanDetectionError = 0
+	if a.detN > 0 {
+		a.MeanDetectionError = a.detSum / float64(a.detN)
+	}
+	a.FalseNegativeRate = 0
+	if a.visibleFrames > 0 {
+		a.FalseNegativeRate = float64(a.visibleFrames-a.detectedFrames) / float64(a.visibleFrames)
+	}
 }
 
 // SuccessRate returns the Table I success percentage.
@@ -47,42 +131,11 @@ func pct(n, d int) float64 {
 
 // Summarize folds results into an aggregate row.
 func Summarize(system string, results []Result) Aggregate {
-	a := Aggregate{System: system, Runs: len(results)}
-	var landSum float64
-	var landN int
-	var detSum float64
-	var detN int
-	var visible, detected int
+	a := NewAggregate(system)
 	for _, r := range results {
-		switch r.Outcome {
-		case Success:
-			a.Success++
-		case FailureCollision:
-			a.Collision++
-		case FailurePoorLanding:
-			a.PoorLanding++
-		}
-		if r.Outcome == Success && !math.IsNaN(r.LandingError) {
-			landSum += r.LandingError
-			landN++
-		}
-		if !math.IsNaN(r.DetectionError) {
-			detSum += r.DetectionError
-			detN++
-		}
-		visible += r.MarkerVisibleFrames
-		detected += r.MarkerDetectedFrames
+		a.Add(r)
 	}
-	if landN > 0 {
-		a.MeanLandingError = landSum / float64(landN)
-	}
-	if detN > 0 {
-		a.MeanDetectionError = detSum / float64(detN)
-	}
-	if visible > 0 {
-		a.FalseNegativeRate = float64(visible-detected) / float64(visible)
-	}
-	return a
+	return *a
 }
 
 // String renders one Table I row.
@@ -114,6 +167,12 @@ func BuildSystem(gen core.Generation, sc *worldgen.Scenario, seed int64) (*core.
 // every scenario, `repeats` sensor-seed repetitions (the paper uses 3).
 // The onResult callback, when non-nil, observes each run (progress
 // reporting); it must not retain the result's slices.
+//
+// Deprecated: Batch executes the grid sequentially on one core. Describe
+// the sweep as a campaign.Spec and run it through campaign.Execute, which
+// fans the same deterministic grid out across a worker pool. This shim is
+// kept for compatibility and as the reference ordering for the campaign
+// engine's determinism tests.
 func Batch(gen core.Generation, maps, scenariosPerMap, repeats int,
 	timing Timing, onResult func(mapIdx, scIdx, rep int, r Result)) ([]Result, error) {
 	idxs := make([]int, scenariosPerMap)
@@ -126,24 +185,23 @@ func Batch(gen core.Generation, maps, scenariosPerMap, repeats int,
 // BatchScenarios is Batch restricted to an explicit scenario-index subset
 // (reduced benchmark sweeps keep the normal/adverse weather mix balanced
 // by choosing indices from both halves).
+//
+// Deprecated: BatchScenarios executes the grid sequentially on one core.
+// Use the campaign package instead (see Batch). The shim delegates every
+// cell to the same RunGridCell primitive the campaign workers execute, so
+// its output is bit-identical to an ordered campaign over the same grid.
+// (campaign layers on top of this package, so the delegation shares the
+// per-cell engine rather than importing campaign, which would cycle.)
 func BatchScenarios(gen core.Generation, maps int, scenarioIdxs []int, repeats int,
 	timing Timing, onResult func(mapIdx, scIdx, rep int, r Result)) ([]Result, error) {
 	var out []Result
 	for mi := 0; mi < maps; mi++ {
 		for _, si := range scenarioIdxs {
 			for rep := 0; rep < repeats; rep++ {
-				sc, err := worldgen.Generate(mi, si)
+				r, err := RunGridCell(gen, mi, si, GridSeed(gen, mi, si, rep), timing, nil)
 				if err != nil {
 					return nil, err
 				}
-				seed := int64(mi)*1_000_003 + int64(si)*9_176 + int64(rep)*77_711 + int64(gen)
-				sys, err := BuildSystem(gen, sc, seed)
-				if err != nil {
-					return nil, err
-				}
-				cfg := DefaultRunConfig(seed)
-				cfg.Timing = timing
-				r := Run(sc, sys, cfg)
 				if onResult != nil {
 					onResult(mi, si, rep, r)
 				}

@@ -1,0 +1,150 @@
+package scenario
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// syntheticResults fabricates a deterministic mixed bag of outcomes for
+// aggregate arithmetic tests (no simulation involved).
+func syntheticResults(n int, seed int64) []Result {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Result, n)
+	for i := range out {
+		r := Result{
+			LandingError:   math.NaN(),
+			DetectionError: math.NaN(),
+		}
+		switch rng.Intn(3) {
+		case 0:
+			r.Outcome = Success
+			r.Landed = true
+			r.LandingError = rng.Float64()
+			r.DetectionError = rng.Float64() * 0.5
+			r.MarkerVisibleFrames = 5 + rng.Intn(20)
+			r.MarkerDetectedFrames = rng.Intn(r.MarkerVisibleFrames + 1)
+		case 1:
+			r.Outcome = FailureCollision
+		default:
+			r.Outcome = FailurePoorLanding
+			r.Landed = true
+			r.LandingError = 1 + rng.Float64()*3
+			r.DetectionError = rng.Float64()
+			r.MarkerVisibleFrames = rng.Intn(10)
+			r.MarkerDetectedFrames = r.MarkerVisibleFrames / 2
+		}
+		out[i] = r
+	}
+	return out
+}
+
+func aggApprox(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-12*(1+math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestAggregateAddMatchesSummarize(t *testing.T) {
+	results := syntheticResults(57, 3)
+	want := Summarize("sys", results)
+
+	got := NewAggregate("sys")
+	for _, r := range results {
+		got.Add(r)
+	}
+	// Incremental Add in slice order is the same single pass Summarize
+	// makes, so every field — floats included — must be bit-identical.
+	if *got != want {
+		t.Fatalf("incremental Add diverges from Summarize:\n got %+v\nwant %+v", *got, want)
+	}
+}
+
+func TestAggregateMergeOfShardsEqualsSummarizeOfConcatenation(t *testing.T) {
+	// Three unequal shards, as three campaign workers would produce.
+	shardA := syntheticResults(17, 10)
+	shardB := syntheticResults(31, 11)
+	shardC := syntheticResults(5, 12)
+	var all []Result
+	all = append(all, shardA...)
+	all = append(all, shardB...)
+	all = append(all, shardC...)
+	want := Summarize("sys", all)
+
+	merged := NewAggregate("sys")
+	for _, shard := range [][]Result{shardA, shardB, shardC} {
+		merged.Merge(Summarize("shard", shard))
+	}
+
+	if merged.System != "sys" {
+		t.Errorf("merge overwrote the receiver's System label: %q", merged.System)
+	}
+	// Integer counters and integer-derived rates are exact.
+	if merged.Runs != want.Runs || merged.Success != want.Success ||
+		merged.Collision != want.Collision || merged.PoorLanding != want.PoorLanding {
+		t.Errorf("merged counts %+v, want %+v", merged, want)
+	}
+	if merged.FalseNegativeRate != want.FalseNegativeRate {
+		t.Errorf("merged FNR %v, want %v (pooled over int frame counts, must be exact)",
+			merged.FalseNegativeRate, want.FalseNegativeRate)
+	}
+	if merged.SuccessRate() != want.SuccessRate() ||
+		merged.CollisionRate() != want.CollisionRate() ||
+		merged.PoorLandingRate() != want.PoorLandingRate() {
+		t.Error("merged rates diverge from Summarize of concatenation")
+	}
+	// The means regroup float sums, so allow reassociation error only.
+	if !aggApprox(merged.MeanLandingError, want.MeanLandingError) {
+		t.Errorf("merged mean landing error %v, want %v", merged.MeanLandingError, want.MeanLandingError)
+	}
+	if !aggApprox(merged.MeanDetectionError, want.MeanDetectionError) {
+		t.Errorf("merged mean detection error %v, want %v", merged.MeanDetectionError, want.MeanDetectionError)
+	}
+}
+
+func TestAggregateMergeEmptyShards(t *testing.T) {
+	results := syntheticResults(9, 4)
+	want := Summarize("sys", results)
+
+	merged := NewAggregate("sys")
+	merged.Merge(Summarize("empty", nil))
+	merged.Merge(want)
+	merged.Merge(*NewAggregate("empty"))
+	if merged.Runs != want.Runs || merged.FalseNegativeRate != want.FalseNegativeRate ||
+		!aggApprox(merged.MeanLandingError, want.MeanLandingError) {
+		t.Errorf("merge with empty shards: %+v, want %+v", merged, want)
+	}
+
+	// An empty aggregate stays printable and rate-safe.
+	empty := NewAggregate("none")
+	if empty.SuccessRate() != 0 || empty.MeanLandingError != 0 || empty.String() == "" {
+		t.Error("empty aggregate misbehaves")
+	}
+}
+
+func TestSubSeedStreamsDoNotAlias(t *testing.T) {
+	// The historical XOR scheme aliased streams across runs whose seeds
+	// differ by a XOR of two salts; the mixed scheme must not. Collect
+	// sub-seeds for every concern of many adjacent run seeds: all must be
+	// distinct.
+	concerns := []rngConcern{
+		concernGPS, concernIMU, concernBaro, concernLidar,
+		concernDepth, concernColor, concernWind,
+	}
+	seen := make(map[int64][2]int64)
+	for runSeed := int64(0); runSeed < 2000; runSeed++ {
+		for _, c := range concerns {
+			s := subSeed(runSeed, c)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("stream alias: run %d concern %d collides with run %d concern %d",
+					runSeed, c, prev[0], prev[1])
+			}
+			seen[s] = [2]int64{runSeed, int64(c)}
+		}
+	}
+	// Determinism of the derivation itself.
+	if subSeed(42, concernWind) != subSeed(42, concernWind) {
+		t.Error("subSeed not deterministic")
+	}
+	if subSeed(42, concernWind) == subSeed(42, concernGPS) {
+		t.Error("distinct concerns share a stream")
+	}
+}

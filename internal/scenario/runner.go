@@ -10,7 +10,6 @@ package scenario
 
 import (
 	"math"
-	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/geom"
@@ -157,19 +156,22 @@ func Run(sc *worldgen.Scenario, sys *core.System, cfg RunConfig) Result {
 		cfg.SuccessRadius = 1.0
 	}
 
+	// Each stochastic concern gets its own RNG stream derived from the run
+	// seed with a distinct salt (see the stream-splitting scheme in
+	// grid.go) so streams never alias across concerns or runs.
 	w := sc.World
 	drone := sim.NewDrone(sim.DefaultDroneConfig(), geom.V3(0, 0, 0.15))
-	gps := sim.NewGPS(cfg.Seed^0x1, sc.Weather.GPSDegradation)
+	gps := sim.NewGPS(subSeed(cfg.Seed, concernGPS), sc.Weather.GPSDegradation)
 	if cfg.RTK {
 		gps.EnableRTK()
 	}
-	imu := sim.NewIMU(cfg.Seed^0x2, 1)
-	baro := sim.NewBaro(cfg.Seed ^ 0x3)
-	lidar := sim.NewLidarAlt(cfg.Seed ^ 0x4)
-	depth := sim.NewDepthCamera(cfg.Seed ^ 0x5)
+	imu := sim.NewIMU(subSeed(cfg.Seed, concernIMU), 1)
+	baro := sim.NewBaro(subSeed(cfg.Seed, concernBaro))
+	lidar := sim.NewLidarAlt(subSeed(cfg.Seed, concernLidar))
+	depth := sim.NewDepthCamera(subSeed(cfg.Seed, concernDepth))
 	depth.ErroneousRate = cfg.ErroneousDepthRate
-	color := sim.NewColorCamera(cfg.Seed ^ 0x6)
-	windRng := rand.New(rand.NewSource(cfg.Seed ^ 0x7))
+	color := sim.NewColorCamera(subSeed(cfg.Seed, concernColor))
+	windRng := subRNG(cfg.Seed, concernWind)
 
 	res := Result{LandingError: math.NaN(), DetectionError: math.NaN()}
 
