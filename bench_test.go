@@ -474,6 +474,95 @@ func BenchmarkRealWorld_Accuracy(b *testing.B) {
 	}
 }
 
+// ------------------------------------------- Hot-path microbenchmarks (PR 2)
+
+// BenchmarkRun times one full closed-loop SIL mission through the campaign
+// per-run unit (world acquisition + system assembly + scenario.Run) — the
+// cost every evaluation grid multiplies. The before/after table for the
+// spatial-index / zero-alloc / world-cache work lives in BENCH_2.json.
+func BenchmarkRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.RunGridCell(core.V3, 2, 4, 42, scenario.SILTiming(), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRender times one downward-camera frame capture on a cluttered
+// urban world: footprint scene assembly, ground/marker rasterization, and
+// the photometric condition pass.
+func BenchmarkRender(b *testing.B) {
+	sc, err := worldgen.Generate(7, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	color := sim.NewColorCamera(1)
+	pos := sc.TrueMarker.WithZ(12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		im := color.Capture(sc.World, sc.Weather, pos, 0.4, 2.0)
+		if im.W == 0 {
+			b.Fatal("empty frame")
+		}
+	}
+}
+
+// BenchmarkDepthCapture times one forward depth-camera frame (the 16x10 ray
+// fan with soft canopies) over a tree-heavy rural world.
+func BenchmarkDepthCapture(b *testing.B) {
+	sc, err := worldgen.Generate(1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	depth := sim.NewDepthCamera(2)
+	pos := geom.V3(10, 5, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(depth.Capture(sc.World, pos, 0.7)) == 0 {
+			b.Fatal("no returns")
+		}
+	}
+}
+
+// BenchmarkRaycast times single obstacle raycasts against an urban world,
+// the primitive under the lidar and depth sensors.
+func BenchmarkRaycast(b *testing.B) {
+	sc, err := worldgen.Generate(9, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rays := make([]geom.Ray, 64)
+	for i := range rays {
+		a := float64(i) / float64(len(rays)) * 2 * math.Pi
+		rays[i] = geom.Ray{
+			Origin: geom.V3(math.Cos(a)*20, math.Sin(a)*20, 10),
+			Dir:    geom.V3(-math.Cos(a), -math.Sin(a), -0.15),
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.World.Raycast(rays[i%len(rays)], 40)
+	}
+}
+
+// BenchmarkGroundHeight times the per-tick lidar surface query on the
+// tree-heavy rural-woodline world.
+func BenchmarkGroundHeight(b *testing.B) {
+	sc, err := worldgen.Generate(1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.World.GroundHeightAt(float64(i%120)-60, float64((i*7)%120)-60)
+	}
+}
+
 func mean(xs []float64) float64 {
 	if len(xs) == 0 {
 		return math.NaN()

@@ -105,8 +105,11 @@ func main() {
 		}
 	}
 
-	fmt.Printf("completed %d runs in %.1fs wall (%.1fs of runs on %d workers, %.2fx speedup vs -workers=1)\n\n",
+	fmt.Printf("completed %d runs in %.1fs wall (%.1fs of runs on %d workers, %.2fx speedup vs -workers=1)\n",
 		runs, report.Wall.Seconds(), report.Busy.Seconds(), report.Workers, report.Speedup())
+	hits, misses, resident := worldgen.Shared.Stats()
+	fmt.Printf("world cache: %d hits / %d generations, %d worlds resident\n\n",
+		hits, misses, resident)
 	fmt.Println("Table III — Experiment Results of HIL Testing")
 	fmt.Printf("%-10s %-22s %-26s %-26s\n", "System", "Successful Landing", "Failure (Collision)", "Failure (Poor Landing)")
 	fmt.Printf("%-10s %20.2f%% %24.2f%% %24.2f%%\n",

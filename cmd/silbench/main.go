@@ -108,6 +108,9 @@ func main() {
 	}
 	fmt.Printf("campaign done in %.1fs wall (%.1fs of runs on %d workers, %.2fx speedup vs -workers=1)\n",
 		report.Wall.Seconds(), report.Busy.Seconds(), report.Workers, report.Speedup())
+	hits, misses, resident := worldgen.Shared.Stats()
+	fmt.Printf("world cache: %d hits / %d generations, %d worlds resident\n",
+		hits, misses, resident)
 
 	fmt.Println("\nTable I — Experiment Results of SIL Testing")
 	fmt.Printf("%-10s %-22s %-26s %-26s\n", "System", "Successful Landing", "Failure (Collision)", "Failure (Poor Landing)")

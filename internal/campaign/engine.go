@@ -77,14 +77,28 @@ type Report struct {
 
 // Speedup estimates the wall-clock speedup over sequential execution of
 // the same campaign: total per-run busy time divided by elapsed time.
-// With one worker it sits just below 1. It reads high on oversubscribed
-// pools (workers > cores), where goroutine interleaving inflates each
-// run's wall time.
+// With one worker it sits just below 1.
+//
+// On oversubscribed pools (workers > schedulable cores) goroutine
+// interleaving inflates each run's measured wall time — N runs
+// time-slicing one core each appear to take N times longer while the
+// pool still finishes at hardware speed — so the raw busy/wall ratio
+// over-reads. The ratio is therefore clamped to the achievable
+// parallelism, min(workers, GOMAXPROCS): no pool can speed a campaign up
+// by more than the smaller of the two. (GOMAXPROCS, not NumCPU — it is
+// the scheduler's actual limit under cgroup quotas or explicit caps.)
 func (r *Report) Speedup() float64 {
 	if r.Wall <= 0 {
 		return 0
 	}
-	return r.Busy.Seconds() / r.Wall.Seconds()
+	s := r.Busy.Seconds() / r.Wall.Seconds()
+	if r.Workers > 0 {
+		limit := float64(min(r.Workers, runtime.GOMAXPROCS(0)))
+		if s > limit {
+			s = limit
+		}
+	}
+	return s
 }
 
 // Execute runs the campaign described by spec across a worker pool.

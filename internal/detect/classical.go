@@ -31,6 +31,8 @@ type Classical struct {
 	// MinSidePx is the smallest decodable marker side; below ~2 px/cell
 	// the grid is undersampled.
 	MinSidePx float64
+
+	scratch detScratch
 }
 
 // NewClassical returns the pipeline with the OpenCV-equivalent defaults
@@ -54,8 +56,8 @@ func (c *Classical) Detect(im *vision.Image) []Detection {
 	if im.W == 0 || im.H == 0 {
 		return nil
 	}
-	mask := adaptiveThreshold(im, c.Window, c.Offset)
-	comps := findComponents(mask, im.W, im.H)
+	mask := adaptiveThreshold(im, c.Window, c.Offset, &c.scratch)
+	comps := findComponents(mask, im.W, im.H, &c.scratch)
 	var out []Detection
 	for _, comp := range comps {
 		det, ok := c.decode(im, comp)

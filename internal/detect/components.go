@@ -22,34 +22,58 @@ type component struct {
 func (c *component) bboxW() int { return c.maxX - c.minX + 1 }
 func (c *component) bboxH() int { return c.maxY - c.minY + 1 }
 
+// detScratch holds the per-detector reusable buffers of the shared
+// proposal pipeline (integral image, threshold mask, flood-fill state), so
+// steady-state detection does not reallocate per frame. Each detector
+// instance owns one; detectors are single-goroutine.
+type detScratch struct {
+	integral vision.Integral
+	mask     []bool
+	visited  []bool
+	queue    []int
+	rowMinX  []int32
+	rowMaxX  []int32
+}
+
 // adaptiveThreshold returns a boolean mask of pixels darker than their
 // neighborhood mean by at least offset. window is the half-width of the
 // neighborhood. This mirrors OpenCV's ADAPTIVE_THRESH_MEAN_C binarization.
-func adaptiveThreshold(im *vision.Image, window int, offset float64) []bool {
-	ig := vision.NewIntegral(im)
-	mask := make([]bool, im.W*im.H)
+// The returned mask aliases the scratch and is valid until the next call.
+func adaptiveThreshold(im *vision.Image, window int, offset float64, s *detScratch) []bool {
+	s.integral.Compute(im)
+	ig := &s.integral
+	if cap(s.mask) < im.W*im.H {
+		s.mask = make([]bool, im.W*im.H)
+	}
+	mask := s.mask[:im.W*im.H]
 	for y := 0; y < im.H; y++ {
 		for x := 0; x < im.W; x++ {
 			m := ig.BoxMean(x-window, y-window, x+window, y+window)
-			if im.Pix[y*im.W+x] < m-offset {
-				mask[y*im.W+x] = true
-			}
+			mask[y*im.W+x] = im.Pix[y*im.W+x] < m-offset
 		}
 	}
 	return mask
 }
 
 // findComponents labels 4-connected dark regions in the mask and returns
-// those within the plausible marker size band. The scratch queue is reused
-// across calls via the caller-owned buffer to keep the hot path allocation
-// light.
-func findComponents(mask []bool, w, h int) []*component {
+// those within the plausible marker size band. Flood-fill state lives in
+// the scratch so the hot path stays allocation-light.
+func findComponents(mask []bool, w, h int, s *detScratch) []*component {
 	if w == 0 || h == 0 {
 		return nil
 	}
 	maxArea := int(maxComponentFrac * float64(w*h))
-	visited := make([]bool, len(mask))
-	queue := make([]int, 0, 256)
+	if cap(s.visited) < len(mask) {
+		s.visited = make([]bool, len(mask))
+	}
+	visited := s.visited[:len(mask)]
+	for i := range visited {
+		visited[i] = false
+	}
+	if s.queue == nil {
+		s.queue = make([]int, 0, 256)
+	}
+	queue := s.queue
 	var comps []*component
 	for start := range mask {
 		if !mask[start] || visited[start] {
@@ -104,9 +128,10 @@ func findComponents(mask []bool, w, h int) []*component {
 		}
 		c.cx = sx / float64(c.area)
 		c.cy = sy / float64(c.area)
-		fitMinAreaRect(c, w)
+		fitMinAreaRect(c, w, s)
 		comps = append(comps, c)
 	}
+	s.queue = queue[:0]
 	return comps
 }
 
@@ -114,7 +139,34 @@ func findComponents(mask []bool, w, h int) []*component {
 // minimizing the projected bounding-rectangle area. A square marker border
 // is rotation-ambiguous mod 90°, which the decoders resolve separately by
 // trying all four rotations of the bit grid.
-func fitMinAreaRect(c *component, stride int) {
+//
+// The sweep only needs each row's leftmost and rightmost pixel: every
+// candidate angle theta in [0°, 90°) has cos(theta) > 0, so along a fixed
+// row both projections u = x cos + y sin and v = -x sin + y cos attain
+// their extremes at the row's extreme x. Scanning those 2·rows pixels
+// yields bit-identical extents to scanning the whole component.
+func fitMinAreaRect(c *component, stride int, s *detScratch) {
+	rows := c.maxY - c.minY + 1
+	if cap(s.rowMinX) < rows {
+		s.rowMinX = make([]int32, rows)
+		s.rowMaxX = make([]int32, rows)
+	}
+	rowMinX := s.rowMinX[:rows]
+	rowMaxX := s.rowMaxX[:rows]
+	for i := range rowMinX {
+		rowMinX[i] = int32(stride)
+		rowMaxX[i] = -1
+	}
+	for _, idx := range c.pixels {
+		x, y := int32(idx%stride), idx/stride-c.minY
+		if x < rowMinX[y] {
+			rowMinX[y] = x
+		}
+		if x > rowMaxX[y] {
+			rowMaxX[y] = x
+		}
+	}
+
 	const steps = 18 // 5° resolution over [0°, 90°)
 	bestArea := math.Inf(1)
 	for s := 0; s < steps; s++ {
@@ -122,22 +174,27 @@ func fitMinAreaRect(c *component, stride int) {
 		cos, sin := math.Cos(theta), math.Sin(theta)
 		minU, maxU := math.Inf(1), math.Inf(-1)
 		minV, maxV := math.Inf(1), math.Inf(-1)
-		for _, idx := range c.pixels {
-			x := float64(idx % stride)
-			y := float64(idx / stride)
-			u := x*cos + y*sin
-			v := -x*sin + y*cos
-			if u < minU {
-				minU = u
+		for ry := 0; ry < rows; ry++ {
+			if rowMaxX[ry] < 0 {
+				continue // row without pixels (components need not be convex)
 			}
-			if u > maxU {
-				maxU = u
-			}
-			if v < minV {
-				minV = v
-			}
-			if v > maxV {
-				maxV = v
+			y := float64(ry + c.minY)
+			for _, xi := range [2]int32{rowMinX[ry], rowMaxX[ry]} {
+				x := float64(xi)
+				u := x*cos + y*sin
+				v := -x*sin + y*cos
+				if u < minU {
+					minU = u
+				}
+				if u > maxU {
+					maxU = u
+				}
+				if v < minV {
+					minV = v
+				}
+				if v > maxV {
+					maxV = v
+				}
 			}
 		}
 		w := maxU - minU + 1

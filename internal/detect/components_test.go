@@ -16,7 +16,7 @@ func TestAdaptiveThreshold(t *testing.T) {
 			im.Set(x, y, 0.1)
 		}
 	}
-	mask := adaptiveThreshold(im, 9, 0.08)
+	mask := adaptiveThreshold(im, 9, 0.08, &detScratch{})
 	if !mask[15*32+15] {
 		t.Error("dark center not in mask")
 	}
@@ -33,7 +33,7 @@ func TestAdaptiveThresholdLowContrast(t *testing.T) {
 			im.Set(x, y, 0.46) // below mean, but within the offset margin
 		}
 	}
-	mask := adaptiveThreshold(im, 9, 0.08)
+	mask := adaptiveThreshold(im, 9, 0.08, &detScratch{})
 	for i, m := range mask {
 		if m {
 			t.Fatalf("low-contrast pixel %d thresholded", i)
@@ -51,7 +51,7 @@ func TestFindComponentsBasic(t *testing.T) {
 		}
 	}
 	mask[30*w+30] = true
-	comps := findComponents(mask, w, h)
+	comps := findComponents(mask, w, h, &detScratch{})
 	if len(comps) != 1 {
 		t.Fatalf("got %d components, want 1", len(comps))
 	}
@@ -85,7 +85,7 @@ func TestFindComponentsSeparates(t *testing.T) {
 	}
 	put(2, 2, 7)
 	put(30, 30, 9)
-	comps := findComponents(mask, w, h)
+	comps := findComponents(mask, w, h, &detScratch{})
 	if len(comps) != 2 {
 		t.Fatalf("got %d components, want 2", len(comps))
 	}
@@ -97,13 +97,13 @@ func TestFindComponentsRejectsHuge(t *testing.T) {
 	for i := range mask {
 		mask[i] = true
 	}
-	if comps := findComponents(mask, w, h); len(comps) != 0 {
+	if comps := findComponents(mask, w, h, &detScratch{}); len(comps) != 0 {
 		t.Errorf("full-frame blob kept: %d", len(comps))
 	}
 }
 
 func TestFindComponentsEmpty(t *testing.T) {
-	if comps := findComponents(nil, 0, 0); comps != nil {
+	if comps := findComponents(nil, 0, 0, &detScratch{}); comps != nil {
 		t.Error("empty input should return nil")
 	}
 }
@@ -124,7 +124,7 @@ func TestMinAreaRectRotatedSquare(t *testing.T) {
 			}
 		}
 	}
-	comps := findComponents(mask, w, h)
+	comps := findComponents(mask, w, h, &detScratch{})
 	if len(comps) != 1 {
 		t.Fatalf("components = %d", len(comps))
 	}

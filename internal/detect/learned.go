@@ -41,6 +41,7 @@ type Learned struct {
 	ProposalOffset float64
 
 	templates []learnedTemplate
+	scratch   detScratch
 }
 
 // learnedTemplate is one normalized template with per-quadrant
@@ -180,8 +181,8 @@ func (l *Learned) Detect(im *vision.Image) []Detection {
 	if im.W == 0 || im.H == 0 {
 		return nil
 	}
-	mask := adaptiveThreshold(im, 9, l.ProposalOffset)
-	comps := findComponents(mask, im.W, im.H)
+	mask := adaptiveThreshold(im, 9, l.ProposalOffset, &l.scratch)
+	comps := findComponents(mask, im.W, im.H, &l.scratch)
 	var out []Detection
 	for _, comp := range comps {
 		if comp.width < l.MinSidePx || comp.squareness() < 0.35 {

@@ -24,8 +24,9 @@ type LocalGrid struct {
 	nx, ny, nz int
 	keys       []voxelKey
 	states     []VoxelState
-	occupied   map[voxelKey]struct{} // occupied voxels inside the window
-	inflated   map[voxelKey]int32
+	occupied   voxelTable // occupied voxels inside the window
+	inflated   voxelTable
+	evictBuf   []int64 // Recenter scratch
 	inflBall   [][3]int
 	scratch    cloudScratch
 }
@@ -46,8 +47,8 @@ func NewLocalGrid(extents geom.Vec3, res, inflation float64) *LocalGrid {
 		nx:        nx, ny: ny, nz: nz,
 		keys:     make([]voxelKey, nx*ny*nz),
 		states:   make([]VoxelState, nx*ny*nz),
-		occupied: make(map[voxelKey]struct{}, 1024),
-		inflated: make(map[voxelKey]int32, 4096),
+		occupied: newVoxelTable(1024),
+		inflated: newVoxelTable(4096),
 	}
 	r := int(inflation/res) + 1
 	rr := inflation + res
@@ -70,12 +71,21 @@ func (g *LocalGrid) Recenter(center geom.Vec3) {
 	g.center = center
 	lo := center.Sub(g.half)
 	hi := center.Add(g.half)
-	for k := range g.occupied {
-		p := keyCenter(k, g.res)
-		if p.X < lo.X || p.X > hi.X || p.Y < lo.Y || p.Y > hi.Y || p.Z < lo.Z || p.Z > hi.Z {
-			delete(g.occupied, k)
-			g.paintInflation(k, -1)
+	// Collect evictions first: the open-addressing table must not be
+	// mutated mid-scan. Evictions commute, so scan order is irrelevant.
+	g.evictBuf = g.evictBuf[:0]
+	for _, kk := range g.occupied.keys {
+		if kk == emptySlot {
+			continue
 		}
+		p := keyCenter(voxelKey(kk), g.res)
+		if p.X < lo.X || p.X > hi.X || p.Y < lo.Y || p.Y > hi.Y || p.Z < lo.Z || p.Z > hi.Z {
+			g.evictBuf = append(g.evictBuf, kk)
+		}
+	}
+	for _, kk := range g.evictBuf {
+		g.occupied.del(kk)
+		g.paintInflation(voxelKey(kk), -1)
 	}
 }
 
@@ -100,11 +110,11 @@ func (g *LocalGrid) paintInflation(k voxelKey, delta int32) {
 	ix, iy, iz := keyIndices(k)
 	for _, d := range g.inflBall {
 		kk := packKey(ix+d[0], iy+d[1], iz+d[2])
-		v := g.inflated[kk] + delta
+		v := g.inflated.get(int64(kk)) + delta
 		if v <= 0 {
-			delete(g.inflated, kk)
+			g.inflated.del(int64(kk))
 		} else {
-			g.inflated[kk] = v
+			g.inflated.put(int64(kk), v)
 		}
 	}
 }
@@ -148,7 +158,7 @@ func (g *LocalGrid) State(p geom.Vec3) VoxelState {
 // Blocked implements Map with a single hash probe.
 func (g *LocalGrid) Blocked(p geom.Vec3) bool {
 	ix, iy, iz := voxelOf(p, g.res)
-	return g.inflated[packKey(ix, iy, iz)] > 0
+	return g.inflated.get(int64(packKey(ix, iy, iz))) > 0
 }
 
 // InsertRay implements Map.
@@ -195,12 +205,12 @@ func (g *LocalGrid) write(ix, iy, iz int, st VoxelState, force bool) {
 	g.keys[s] = k
 	g.states[s] = st
 	if st == Occupied {
-		if _, dup := g.occupied[k]; !dup {
-			g.occupied[k] = struct{}{}
+		if !g.occupied.has(int64(k)) {
+			g.occupied.put(int64(k), 1)
 			g.paintInflation(k, 1)
 		}
 	} else if prevOccupied {
-		delete(g.occupied, k)
+		g.occupied.del(int64(k))
 		g.paintInflation(k, -1)
 	}
 }
@@ -212,7 +222,7 @@ func (g *LocalGrid) write(ix, iy, iz int, st VoxelState, force bool) {
 // kind of laterally swollen obstacle footprint, which "swallowed" nearby
 // free space (paper Fig. 6) and invalidated otherwise flyable paths.
 func (g *LocalGrid) BlockedWithin(p geom.Vec3, rh, rv float64) bool {
-	if len(g.occupied) == 0 {
+	if g.occupied.n == 0 {
 		return false
 	}
 	nh := int(rh/g.res) + 1
@@ -224,7 +234,7 @@ func (g *LocalGrid) BlockedWithin(p geom.Vec3, rh, rv float64) bool {
 		for dy := -nh; dy <= nh; dy++ {
 			for dx := -nh; dx <= nh; dx++ {
 				k := packKey(ix+dx, iy+dy, iz+dz)
-				if _, ok := g.occupied[k]; !ok {
+				if !g.occupied.has(int64(k)) {
 					continue
 				}
 				c := keyCenter(k, g.res)
@@ -246,10 +256,10 @@ func (g *LocalGrid) InflationRadius() float64 { return g.inflation }
 
 // MemoryBytes implements Map.
 func (g *LocalGrid) MemoryBytes() int {
-	return len(g.keys)*8 + len(g.states) + len(g.occupied)*16 + len(g.inflated)*20
+	return len(g.keys)*8 + len(g.states) + g.occupied.n*16 + g.inflated.n*20
 }
 
 // OccupiedVoxels implements Map.
-func (g *LocalGrid) OccupiedVoxels() int { return len(g.occupied) }
+func (g *LocalGrid) OccupiedVoxels() int { return g.occupied.n }
 
 var _ Map = (*LocalGrid)(nil)

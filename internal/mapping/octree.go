@@ -45,8 +45,8 @@ type Octree struct {
 	nodes       int
 	childArrays int
 
-	occupied map[voxelKey]struct{}
-	inflated map[voxelKey]int32
+	occupied voxelTable
+	inflated voxelTable
 	// inflBall caches the voxel-offset ball for the inflation radius.
 	inflBall [][3]int
 
@@ -56,6 +56,10 @@ type Octree struct {
 	// cost otherwise.
 	nodeArena  []octNode
 	childArena []childBlock
+	// free lists recycle pruned nodes and child blocks: expansion/prune
+	// churn in steady state would otherwise leak arena chunks and feed GC.
+	freeNodes  []*octNode
+	freeBlocks []*childBlock
 }
 
 type childBlock = [8]*octNode
@@ -89,8 +93,8 @@ func NewOctree(center geom.Vec3, halfSize, res, inflation float64) *Octree {
 		depth:     depth,
 		root:      new(octNode),
 		nodes:     1,
-		occupied:  make(map[voxelKey]struct{}, 1024),
-		inflated:  make(map[voxelKey]int32, 4096),
+		occupied:  newVoxelTable(1024),
+		inflated:  newVoxelTable(4096),
 	}
 	r := int(inflation/res) + 1
 	rr := inflation + res
@@ -107,25 +111,35 @@ func NewOctree(center geom.Vec3, halfSize, res, inflation float64) *Octree {
 	return o
 }
 
-// newNode allocates a node from the arena.
+// newNode allocates a node from the free list or the arena.
 func (o *Octree) newNode() *octNode {
+	o.nodes++
+	if n := len(o.freeNodes); n > 0 {
+		nd := o.freeNodes[n-1]
+		o.freeNodes = o.freeNodes[:n-1]
+		return nd
+	}
 	if len(o.nodeArena) == 0 {
 		o.nodeArena = make([]octNode, 1024)
 	}
 	n := &o.nodeArena[0]
 	o.nodeArena = o.nodeArena[1:]
-	o.nodes++
 	return n
 }
 
-// newChildren allocates a child-pointer block from the arena.
+// newChildren allocates a child-pointer block from the free list or arena.
 func (o *Octree) newChildren() *childBlock {
+	o.childArrays++
+	if n := len(o.freeBlocks); n > 0 {
+		c := o.freeBlocks[n-1]
+		o.freeBlocks = o.freeBlocks[:n-1]
+		return c
+	}
 	if len(o.childArena) == 0 {
 		o.childArena = make([]childBlock, 256)
 	}
 	c := &o.childArena[0]
 	o.childArena = o.childArena[1:]
-	o.childArrays++
 	return c
 }
 
@@ -197,7 +211,7 @@ func (o *Octree) State(p geom.Vec3) VoxelState {
 // counted inflation layer.
 func (o *Octree) Blocked(p geom.Vec3) bool {
 	ix, iy, iz := voxelOf(p, o.res)
-	return o.inflated[packKey(ix, iy, iz)] > 0
+	return o.inflated.get(int64(packKey(ix, iy, iz))) > 0
 }
 
 // InsertRay implements Map.
@@ -215,21 +229,23 @@ func (o *Octree) InsertRay(origin, end geom.Vec3, hit bool) {
 
 // update applies a log-odds delta to the leaf containing p, expanding
 // pruned regions on the way down and re-pruning on the way back up.
+// updateRec reports the resulting leaf value directly, which saves the
+// second root-to-leaf descent a State query would cost.
 func (o *Octree) update(p geom.Vec3, delta float32) {
 	if !o.contains(p) {
 		return
 	}
-	o.updateRec(o.root, o.center, o.halfSize, 0, p, delta)
+	lo, observed, _ := o.updateRec(o.root, o.center, o.halfSize, 0, p, delta)
 
+	occ := observed && lo > occupiedThreshold
 	ix, iy, iz := voxelOf(p, o.res)
 	k := packKey(ix, iy, iz)
-	st := o.State(p)
-	_, wasOcc := o.occupied[k]
-	if st == Occupied && !wasOcc {
-		o.occupied[k] = struct{}{}
+	wasOcc := o.occupied.has(int64(k))
+	if occ && !wasOcc {
+		o.occupied.put(int64(k), 1)
 		o.paintInflation(ix, iy, iz, 1)
-	} else if st != Occupied && wasOcc {
-		delete(o.occupied, k)
+	} else if !occ && wasOcc {
+		o.occupied.del(int64(k))
 		o.paintInflation(ix, iy, iz, -1)
 	}
 }
@@ -237,20 +253,25 @@ func (o *Octree) update(p geom.Vec3, delta float32) {
 func (o *Octree) paintInflation(ix, iy, iz int, delta int32) {
 	for _, d := range o.inflBall {
 		k := packKey(ix+d[0], iy+d[1], iz+d[2])
-		v := o.inflated[k] + delta
+		v := o.inflated.get(int64(k)) + delta
 		if v <= 0 {
-			delete(o.inflated, k)
+			o.inflated.del(int64(k))
 		} else {
-			o.inflated[k] = v
+			o.inflated.put(int64(k), v)
 		}
 	}
 }
 
 // updateRec descends to the leaf at max depth, creating and expanding
 // nodes as needed, then prunes homogeneous children while unwinding.
-// It reports whether the subtree under n is now a prunable uniform leaf.
-func (o *Octree) updateRec(n *octNode, c geom.Vec3, half float64, level int, p geom.Vec3, delta float32) {
+// It returns the leaf's resulting log-odds and observed flag — the values
+// a State query at p would see — plus whether anything in the subtree
+// changed. A no-change update cannot create prune opportunities (the tree
+// is fully pruned after every mutating update), so the unwind skips the
+// sibling-uniformity checks entirely.
+func (o *Octree) updateRec(n *octNode, c geom.Vec3, half float64, level int, p geom.Vec3, delta float32) (float32, bool, bool) {
 	if level == o.depth {
+		wasObs, wasLo := n.observed, n.logOdds
 		n.observed = true
 		n.logOdds += delta
 		if n.logOdds > logOddsMax {
@@ -259,10 +280,30 @@ func (o *Octree) updateRec(n *octNode, c geom.Vec3, half float64, level int, p g
 		if n.logOdds < logOddsMin {
 			n.logOdds = logOddsMin
 		}
-		return
+		return n.logOdds, true, !wasObs || n.logOdds != wasLo
 	}
+	expanded := false
 	if n.children == nil {
+		if n.observed {
+			// Saturation short-circuit: this pruned region is uniform at
+			// n.logOdds; if the clamped update leaves the leaf's value
+			// unchanged (log-odds pinned at a clamp bound), the expand →
+			// update → re-prune round trip reproduces the exact pre-call
+			// tree, so skip it. Steady-state misses through established
+			// free space and hits on saturated surfaces all take this path.
+			nv := n.logOdds + delta
+			if nv > logOddsMax {
+				nv = logOddsMax
+			}
+			if nv < logOddsMin {
+				nv = logOddsMin
+			}
+			if nv == n.logOdds {
+				return n.logOdds, true, false
+			}
+		}
 		// Expand: push the aggregated value down to fresh children.
+		expanded = true
 		n.children = o.newChildren()
 		if n.observed {
 			for i := range n.children {
@@ -296,14 +337,22 @@ func (o *Octree) updateRec(n *octNode, c geom.Vec3, half float64, level int, p g
 	child := n.children[idx]
 	if child == nil {
 		child = o.newNode()
+		child.logOdds = 0
+		child.observed = false
 		n.children[idx] = child
+		expanded = true
 	}
-	o.updateRec(child, c, half, level+1, p, delta)
-	o.tryPrune(n)
+	lo, observed, changed := o.updateRec(child, c, half, level+1, p, delta)
+	changed = changed || expanded
+	if changed {
+		o.tryPrune(n)
+	}
+	return lo, observed, changed
 }
 
 // tryPrune collapses n's children into n when all eight exist, are leaves,
-// and share identical state. This is OctoMap's compression step.
+// and share identical state, recycling the freed nodes and block. This is
+// OctoMap's compression step.
 func (o *Octree) tryPrune(n *octNode) {
 	first := n.children[0]
 	if first == nil || first.children != nil {
@@ -317,6 +366,11 @@ func (o *Octree) tryPrune(n *octNode) {
 	}
 	n.logOdds = first.logOdds
 	n.observed = first.observed
+	for i, ch := range n.children {
+		o.freeNodes = append(o.freeNodes, ch)
+		n.children[i] = nil
+	}
+	o.freeBlocks = append(o.freeBlocks, n.children)
 	n.children = nil
 	o.nodes -= 8
 	o.childArrays--
@@ -331,11 +385,11 @@ func (o *Octree) InflationRadius() float64 { return o.inflation }
 // MemoryBytes implements Map. Node = 24 bytes (pointer + float + bool with
 // padding); child array = 64 bytes; plus the auxiliary hash layers.
 func (o *Octree) MemoryBytes() int {
-	return o.nodes*24 + o.childArrays*64 + len(o.occupied)*16 + len(o.inflated)*20
+	return o.nodes*24 + o.childArrays*64 + o.occupied.n*16 + o.inflated.n*20
 }
 
 // OccupiedVoxels implements Map.
-func (o *Octree) OccupiedVoxels() int { return len(o.occupied) }
+func (o *Octree) OccupiedVoxels() int { return o.occupied.n }
 
 // NodeCount returns the number of allocated tree nodes (compression
 // metric for the grid-versus-octree experiment).

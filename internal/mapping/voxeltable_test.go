@@ -1,0 +1,59 @@
+package mapping
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestVoxelTableAgainstMap churns the open-addressing table with a random
+// put/del/get workload mirrored against a Go map, including enough
+// inserts to force growth and enough deletes to exercise backward-shift
+// chain repair.
+func TestVoxelTableAgainstMap(t *testing.T) {
+	tbl := newVoxelTable(4)
+	ref := map[int64]int32{}
+	rng := rand.New(rand.NewSource(42))
+	keys := make([]int64, 0, 4096)
+
+	for op := 0; op < 200000; op++ {
+		var k int64
+		if len(keys) > 0 && rng.Intn(3) != 0 {
+			k = keys[rng.Intn(len(keys))] // cluster ops on known keys
+		} else {
+			k = int64(packKey(rng.Intn(400)-200, rng.Intn(400)-200, rng.Intn(60)))
+			keys = append(keys, k)
+		}
+		switch rng.Intn(4) {
+		case 0, 1: // increment (paintInflation's common direction)
+			v := tbl.get(k) + 1
+			tbl.put(k, v)
+			ref[k] = ref[k] + 1
+		case 2: // decrement-and-maybe-delete
+			v := tbl.get(k) - 1
+			if v <= 0 {
+				tbl.del(k)
+				delete(ref, k)
+			} else {
+				tbl.put(k, v)
+				ref[k] = v
+			}
+		case 3: // probe
+			want, ok := ref[k]
+			if got := tbl.get(k); got != want && !(got == 0 && !ok) {
+				t.Fatalf("op %d: get(%d) = %d, want %d", op, k, got, want)
+			}
+			if tbl.has(k) != ok {
+				t.Fatalf("op %d: has(%d) = %v, want %v", op, k, tbl.has(k), ok)
+			}
+		}
+		if tbl.n != len(ref) {
+			t.Fatalf("op %d: size %d, want %d", op, tbl.n, len(ref))
+		}
+	}
+	// Full sweep at the end.
+	for k, want := range ref {
+		if got := tbl.get(k); got != want {
+			t.Fatalf("final: get(%d) = %d, want %d", k, got, want)
+		}
+	}
+}

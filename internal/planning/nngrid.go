@@ -1,0 +1,159 @@
+package planning
+
+import (
+	"math"
+	"slices"
+
+	"repro/internal/geom"
+)
+
+// nnGrid is a uniform 3-D bucket grid over an RRT* sampling box that
+// answers the planner's two per-iteration queries — nearest node and
+// nodes-within-radius — without scanning the whole tree.
+//
+// Both queries reproduce the linear reference scan exactly:
+//
+//   - nearest returns the minimum squared distance with ties broken toward
+//     the lowest node index, which is precisely what a first-strict-min
+//     linear scan keeps;
+//   - inRadius returns candidate indices sorted ascending, the order a
+//     linear scan appends them in.
+//
+// The grid is rebuilt (storage reused) per attempt; all points inserted
+// must lie inside the box handed to reset (RRT* steering guarantees this:
+// every new node is a convex combination of box points).
+type nnGrid struct {
+	minX, minY, minZ float64
+	cell, invCell    float64
+	nx, ny, nz       int
+	cells            [][]int32
+}
+
+// reset prepares the grid for a new attempt over the given box.
+func (g *nnGrid) reset(box geom.AABB, cell float64) {
+	if cell <= 0 {
+		cell = 1
+	}
+	g.minX, g.minY, g.minZ = box.Min.X, box.Min.Y, box.Min.Z
+	g.cell, g.invCell = cell, 1/cell
+	size := box.Size()
+	g.nx = int(size.X*g.invCell) + 1
+	g.ny = int(size.Y*g.invCell) + 1
+	g.nz = int(size.Z*g.invCell) + 1
+	n := g.nx * g.ny * g.nz
+	if cap(g.cells) < n {
+		g.cells = make([][]int32, n)
+	} else {
+		g.cells = g.cells[:n]
+		for i := range g.cells {
+			g.cells[i] = g.cells[i][:0]
+		}
+	}
+}
+
+// cellOf returns clamped cell coordinates for p.
+func (g *nnGrid) cellOf(p geom.Vec3) (int, int, int) {
+	cx := int((p.X - g.minX) * g.invCell)
+	cy := int((p.Y - g.minY) * g.invCell)
+	cz := int((p.Z - g.minZ) * g.invCell)
+	return clampInt(cx, g.nx-1), clampInt(cy, g.ny-1), clampInt(cz, g.nz-1)
+}
+
+func clampInt(v, hi int) int {
+	if v < 0 {
+		return 0
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// insert adds node index i at position p.
+func (g *nnGrid) insert(i int, p geom.Vec3) {
+	cx, cy, cz := g.cellOf(p)
+	idx := (cz*g.ny+cy)*g.nx + cx
+	g.cells[idx] = append(g.cells[idx], int32(i))
+}
+
+// nearest returns the index and squared distance of the point closest to
+// sample, expanding Chebyshev shells of cells until no nearer (or equal,
+// lower-index) candidate can exist. pts must be the positions the indices
+// were inserted under. Returns -1 on an empty grid.
+func (g *nnGrid) nearest(pts []geom.Vec3, sample geom.Vec3) (int, float64) {
+	cx, cy, cz := g.cellOf(sample)
+	bestI := -1
+	bestD := math.Inf(1)
+	maxRing := g.nx
+	if g.ny > maxRing {
+		maxRing = g.ny
+	}
+	if g.nz > maxRing {
+		maxRing = g.nz
+	}
+	for ring := 0; ring <= maxRing; ring++ {
+		if bestI >= 0 {
+			// Any point in a cell at Chebyshev cell-distance `ring` is at
+			// least (ring-1)*cell away; beyond that even an exact tie is
+			// impossible, so the scan is complete.
+			lb := float64(ring-1) * g.cell
+			if lb > 0 && lb*lb > bestD {
+				break
+			}
+		}
+		x0, x1 := clampInt(cx-ring, g.nx-1), clampInt(cx+ring, g.nx-1)
+		y0, y1 := clampInt(cy-ring, g.ny-1), clampInt(cy+ring, g.ny-1)
+		z0, z1 := clampInt(cz-ring, g.nz-1), clampInt(cz+ring, g.nz-1)
+		for z := z0; z <= z1; z++ {
+			dz := z - cz
+			if dz < 0 {
+				dz = -dz
+			}
+			for y := y0; y <= y1; y++ {
+				dy := y - cy
+				if dy < 0 {
+					dy = -dy
+				}
+				onShellYZ := dz == ring || dy == ring
+				for x := x0; x <= x1; x++ {
+					dx := x - cx
+					if dx < 0 {
+						dx = -dx
+					}
+					if !onShellYZ && dx != ring {
+						continue // interior cell: already scanned in an earlier ring
+					}
+					for _, i := range g.cells[(z*g.ny+y)*g.nx+x] {
+						d := pts[i].DistSq(sample)
+						if d < bestD || (d == bestD && int(i) < bestI) {
+							bestD = d
+							bestI = int(i)
+						}
+					}
+				}
+			}
+		}
+	}
+	return bestI, bestD
+}
+
+// inRadius appends every index whose point lies within radius of p to out
+// (ascending), matching the linear scan's append order.
+func (g *nnGrid) inRadius(pts []geom.Vec3, p geom.Vec3, radius float64, out []int) []int {
+	r2 := radius * radius
+	x0, y0, z0 := g.cellOf(geom.V3(p.X-radius, p.Y-radius, p.Z-radius))
+	x1, y1, z1 := g.cellOf(geom.V3(p.X+radius, p.Y+radius, p.Z+radius))
+	for z := z0; z <= z1; z++ {
+		for y := y0; y <= y1; y++ {
+			for x := x0; x <= x1; x++ {
+				for _, i := range g.cells[(z*g.ny+y)*g.nx+x] {
+					if pts[i].DistSq(p) <= r2 {
+						out = append(out, int(i))
+					}
+				}
+			}
+		}
+	}
+	slices.Sort(out)
+	return out
+}

@@ -1,0 +1,73 @@
+package planning
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestNNGridMatchesLinearScans proves the bucket grid reproduces the
+// linear reference scans exactly: nearest (first-strict-min semantics)
+// and within-radius (ascending index order).
+func TestNNGridMatchesLinearScans(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		box := geom.NewAABB(
+			geom.V3(rng.Float64()*10-80, rng.Float64()*10-80, 1),
+			geom.V3(rng.Float64()*10+70, rng.Float64()*10+70, 3+rng.Float64()*10))
+		var g nnGrid
+		g.reset(box, 3.0)
+
+		n := 50 + rng.Intn(1500)
+		pts := make([]geom.Vec3, n)
+		for i := range pts {
+			pts[i] = geom.V3(
+				box.Min.X+rng.Float64()*(box.Max.X-box.Min.X),
+				box.Min.Y+rng.Float64()*(box.Max.Y-box.Min.Y),
+				box.Min.Z+rng.Float64()*(box.Max.Z-box.Min.Z))
+			// Duplicate positions exercise the index tie-break.
+			if i > 0 && rng.Intn(20) == 0 {
+				pts[i] = pts[rng.Intn(i)]
+			}
+			g.insert(i, pts[i])
+		}
+
+		for q := 0; q < 200; q++ {
+			sample := geom.V3(
+				box.Min.X+rng.Float64()*(box.Max.X-box.Min.X),
+				box.Min.Y+rng.Float64()*(box.Max.Y-box.Min.Y),
+				box.Min.Z+rng.Float64()*(box.Max.Z-box.Min.Z))
+
+			wantI, wantD := 0, math.Inf(1)
+			for i := range pts {
+				if d := pts[i].DistSq(sample); d < wantD {
+					wantD = d
+					wantI = i
+				}
+			}
+			gotI, gotD := g.nearest(pts, sample)
+			if gotI != wantI || gotD != wantD {
+				t.Fatalf("trial %d: nearest = (%d,%v), want (%d,%v)", trial, gotI, gotD, wantI, wantD)
+			}
+
+			radius := 1 + rng.Float64()*8
+			var want []int
+			for i := range pts {
+				if pts[i].DistSq(sample) <= radius*radius {
+					want = append(want, i)
+				}
+			}
+			got := g.inRadius(pts, sample, radius, nil)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: inRadius count %d, want %d", trial, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d: inRadius[%d] = %d, want %d", trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -49,7 +49,21 @@ func DefaultRRTStarConfig() RRTStarConfig {
 type RRTStar struct {
 	Cfg RRTStarConfig
 	rng *rand.Rand
+
+	// Reused per-attempt buffers. pts mirrors nodes' positions so the
+	// nearest-neighbor scan — the planner's hottest loop — streams a dense
+	// Vec3 array instead of striding through the full node records; grid
+	// buckets the points once the tree outgrows linear scanning.
+	nodes     []rrtNode
+	pts       []geom.Vec3
+	neighbors []int
+	grid      nnGrid
 }
+
+// gridCutover is the tree size at which the bucket grid takes over from
+// the linear scans. Both answer queries identically (see nnGrid); linear
+// wins while shells of mostly-empty cells would dominate.
+const gridCutover = 128
 
 // NewRRTStar returns a planner seeded for deterministic replay.
 func NewRRTStar(cfg RRTStarConfig, seed int64) *RRTStar {
@@ -127,7 +141,12 @@ func (r *RRTStar) attempt(start, goal geom.Vec3, m mapping.Map, scale float64) (
 	box.Min.Z = math.Max(math.Min(start.Z, goal.Z)-2, cfg.MinZ)
 	box.Max.Z = math.Min(math.Max(start.Z, goal.Z)+3, cfg.MaxZ)
 
-	nodes := []rrtNode{{p: start, parent: -1, cost: 0}}
+	nodes := r.nodes[:0]
+	pts := r.pts[:0]
+	nodes = append(nodes, rrtNode{p: start, parent: -1, cost: 0})
+	pts = append(pts, start)
+	r.grid.reset(box, cfg.StepSize)
+	r.grid.insert(0, start)
 	bestGoal := -1
 	bestCost := math.Inf(1)
 
@@ -145,11 +164,15 @@ func (r *RRTStar) attempt(start, goal geom.Vec3, m mapping.Map, scale float64) (
 
 		// Nearest node.
 		nearest := 0
-		nd := math.Inf(1)
-		for i := range nodes {
-			if d := nodes[i].p.DistSq(sample); d < nd {
-				nd = d
-				nearest = i
+		if len(pts) >= gridCutover {
+			nearest, _ = r.grid.nearest(pts, sample)
+		} else {
+			nd := math.Inf(1)
+			for i := range pts {
+				if d := pts[i].DistSq(sample); d < nd {
+					nd = d
+					nearest = i
+				}
 			}
 		}
 		// Steer toward the sample.
@@ -170,12 +193,17 @@ func (r *RRTStar) attempt(start, goal geom.Vec3, m mapping.Map, scale float64) (
 		}
 		parent := nearest
 		cost := nodes[nearest].cost + nodes[nearest].p.Dist(newP)
-		var neighbors []int
-		for i := range nodes {
-			if nodes[i].p.DistSq(newP) <= radius*radius {
-				neighbors = append(neighbors, i)
+		neighbors := r.neighbors[:0]
+		if len(pts) >= gridCutover {
+			neighbors = r.grid.inRadius(pts, newP, radius, neighbors)
+		} else {
+			for i := range pts {
+				if pts[i].DistSq(newP) <= radius*radius {
+					neighbors = append(neighbors, i)
+				}
 			}
 		}
+		r.neighbors = neighbors
 		for _, i := range neighbors {
 			c := nodes[i].cost + nodes[i].p.Dist(newP)
 			if c < cost && SegmentClear(m, nodes[i].p, newP, cfg.CollisionStep) {
@@ -184,7 +212,9 @@ func (r *RRTStar) attempt(start, goal geom.Vec3, m mapping.Map, scale float64) (
 			}
 		}
 		nodes = append(nodes, rrtNode{p: newP, parent: parent, cost: cost})
+		pts = append(pts, newP)
 		newIdx := len(nodes) - 1
+		r.grid.insert(newIdx, newP)
 
 		// Rewire neighbors through the new node when cheaper.
 		for _, i := range neighbors {
@@ -206,6 +236,7 @@ func (r *RRTStar) attempt(start, goal geom.Vec3, m mapping.Map, scale float64) (
 		}
 	}
 
+	r.nodes, r.pts = nodes, pts
 	if bestGoal < 0 {
 		return nil, ErrSearchExhausted
 	}

@@ -35,17 +35,24 @@ func GridSeed(gen core.Generation, mapIdx, scIdx, rep int) int64 {
 type ConfigureFunc func(sc *worldgen.Scenario, sys *core.System, cfg *RunConfig)
 
 // RunGridCell resolves and executes one cell of the benchmark grid: it
-// generates the (deterministic) world, builds the system generation with
-// the given seed, applies the timing profile and the optional configure
-// hook, and flies the mission. Both the sequential Batch shims and the
-// parallel campaign engine funnel through this primitive, which is what
-// guarantees their results are bit-identical for the same cells.
+// acquires the (deterministic) world — shared through worldgen.Shared, so
+// repetitions and parallel workers reuse one immutable world per cell
+// instead of regenerating it — builds the system generation with the
+// given seed, applies the timing profile and the optional configure hook,
+// and flies the mission. Both the sequential Batch shims and the parallel
+// campaign engine funnel through this primitive, which is what guarantees
+// their results are bit-identical for the same cells.
+//
+// The acquired Scenario is a private shallow copy: configure hooks may
+// mutate it (weather floors, mission tweaks) freely, but its World is
+// shared and must be treated as immutable.
 func RunGridCell(gen core.Generation, mapIdx, scIdx int, seed int64,
 	timing Timing, configure ConfigureFunc) (Result, error) {
-	sc, err := worldgen.Generate(mapIdx, scIdx)
+	sc, release, err := worldgen.Shared.Acquire(mapIdx, scIdx)
 	if err != nil {
 		return Result{}, err
 	}
+	defer release()
 	sys, err := BuildSystem(gen, sc, seed)
 	if err != nil {
 		return Result{}, err

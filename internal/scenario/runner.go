@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/sim"
+	"repro/internal/vision"
 	"repro/internal/worldgen"
 )
 
@@ -176,7 +177,13 @@ func Run(sc *worldgen.Scenario, sys *core.System, cfg RunConfig) Result {
 	res := Result{LandingError: math.NaN(), DetectionError: math.NaN()}
 
 	var nextDetect, nextDepth float64
-	cmdQueue := make([]core.Command, 0, t.CommandLatencyTicks+1)
+	// Command latency ring: cmdRing[i%len] is tick i's command, so the
+	// command from CommandLatencyTicks ago is always resident. Fixed-size,
+	// so the latency queue allocates once per run instead of cycling slices.
+	cmdRing := make([]core.Command, t.CommandLatencyTicks+1)
+	// Reused depth-point scratch: the system copies the points it keeps
+	// within Step, so one buffer serves every depth frame of the run.
+	var depthPts []core.DepthPoint
 
 	steps := int(cfg.MaxDuration / t.Dt)
 	now := 0.0
@@ -202,7 +209,10 @@ func Run(sc *worldgen.Scenario, sys *core.System, cfg RunConfig) Result {
 		if now >= nextDepth {
 			nextDepth = now + t.DepthPeriod
 			returns := depth.Capture(w, drone.Pos, drone.Yaw)
-			pts := make([]core.DepthPoint, len(returns))
+			if cap(depthPts) < len(returns) {
+				depthPts = make([]core.DepthPoint, len(returns))
+			}
+			pts := depthPts[:len(returns)]
 			for k, rr := range returns {
 				pts[k] = core.DepthPoint{P: rr.Point, Hit: rr.Hit}
 			}
@@ -243,12 +253,13 @@ func Run(sc *worldgen.Scenario, sys *core.System, cfg RunConfig) Result {
 			obs.Advance(t.Dt, now, sys.Map().MemoryBytes())
 		}
 
-		// Command latency queue (compute delay between sense and act).
-		cmdQueue = append(cmdQueue, cmd)
-		applied := cmdQueue[0]
-		if len(cmdQueue) > t.CommandLatencyTicks {
-			applied = cmdQueue[len(cmdQueue)-1-t.CommandLatencyTicks]
-			cmdQueue = cmdQueue[len(cmdQueue)-1-t.CommandLatencyTicks:]
+		// Command latency (compute delay between sense and act): apply the
+		// command from CommandLatencyTicks ago, or the first command ever
+		// issued while the pipeline is still filling.
+		cmdRing[i%len(cmdRing)] = cmd
+		applied := cmdRing[0]
+		if i >= t.CommandLatencyTicks {
+			applied = cmdRing[(i-t.CommandLatencyTicks)%len(cmdRing)]
 		}
 
 		drone.SetYaw(applied.Yaw)
@@ -309,6 +320,11 @@ func finishMetrics(res *Result, sys *core.System, sc *worldgen.Scenario) {
 	}
 }
 
+// downwardIntrinsics is the downward color camera's intrinsics, hoisted to
+// package level: markerInView runs every detection tick and used to build
+// a whole ColorCamera (including its RNG state) just to read this value.
+var downwardIntrinsics = vision.DefaultCamera()
+
 // markerInView reports whether the true target marker is comfortably
 // inside the downward camera frustum at a decodable apparent size — the
 // ground-truth denominator of the Table II false-negative rate.
@@ -321,7 +337,7 @@ func markerInView(w *sim.World, sc *worldgen.Scenario, pos geom.Vec3, yaw float6
 	if alt < 3 || alt > 26 {
 		return false
 	}
-	cam := sim.NewColorCamera(0).Intrinsics
+	cam := downwardIntrinsics
 	cam.Pos = pos
 	cam.Yaw = yaw
 	px, inside := cam.ProjectGround(target.Center)
@@ -342,17 +358,8 @@ func markerInView(w *sim.World, sc *worldgen.Scenario, pos geom.Vec3, yaw float6
 }
 
 // hitObstacle is CollideSphere minus the ground plane (landing handles
-// ground contact separately).
+// ground contact separately); the world routes it through its spatial
+// index.
 func hitObstacle(w *sim.World, c geom.Vec3, r float64) bool {
-	for i := range w.Buildings {
-		if w.Buildings[i].IntersectsSphere(c, r) {
-			return true
-		}
-	}
-	for i := range w.Trees {
-		if w.Trees[i].Dist(c) <= r {
-			return true
-		}
-	}
-	return false
+	return w.HitObstacle(c, r)
 }

@@ -1,0 +1,362 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Spatial index
+//
+// The per-tick hot paths of a run — collision checks, the lidar surface
+// query, the depth-camera ray fan, and the per-pixel occluder test of the
+// renderer — all interrogate the world's obstacle set. The naive World
+// methods scan every building and tree linearly, which makes a single
+// physics step O(obstacles) and a rendered frame O(pixels x obstacles).
+//
+// spatialIndex is a static uniform grid over the XY footprints of the
+// world's buildings and trees (both are vertical solids, so a 2-D grid is
+// exact for candidate generation). It is built once per world after
+// generation finishes mutating the obstacle lists, and is strictly an
+// accelerator: every query routed through it returns bit-identical results
+// to the linear scan it replaces (see the equivalence and determinism
+// tests). Queries that consume RNG draws per candidate — the depth
+// camera's soft-canopy raycast — additionally preserve the exact candidate
+// visit order of the linear scan by deduplicating and sorting candidates
+// by obstacle index.
+//
+// Water rectangles stay linear: worlds carry at most a handful, and the
+// OnWater test is a few comparisons.
+//
+// The index is immutable after build and therefore safe to share across
+// goroutines, which is what lets the worldgen cache hand one world to many
+// campaign workers.
+
+// indexCell lists the obstacles whose padded footprints overlap one grid
+// cell, by index into World.Buildings / World.Trees.
+type indexCell struct {
+	buildings []int32
+	trees     []int32
+}
+
+// spatialIndex is a uniform XY grid over the world's obstacle footprints.
+type spatialIndex struct {
+	minX, minY float64
+	cell       float64 // cell side length in meters
+	invCell    float64
+	nx, ny     int
+	cells      []indexCell
+}
+
+// indexPad expands every registered footprint so queries landing exactly on
+// a cell boundary (or suffering last-ulp traversal error) still find their
+// obstacle in at least one visited cell. One millimeter costs nothing and
+// removes the entire class of float-edge misses.
+const indexPad = 1e-3
+
+// BuildIndex constructs the static spatial index over the current obstacle
+// lists. Call it once the world stops changing (worldgen does, at the end
+// of Generate); the index is not updated by later mutations — mutate, then
+// rebuild. Queries on a world without an index fall back to linear scans,
+// so the index is never required for correctness.
+func (w *World) BuildIndex() {
+	ix := &spatialIndex{}
+	ix.build(w)
+	w.index = ix
+}
+
+// DropIndex removes the spatial index, restoring the linear-scan reference
+// paths. The determinism guard tests use it to prove indexed and naive
+// queries produce bit-identical run results.
+func (w *World) DropIndex() { w.index = nil }
+
+// Indexed reports whether the world carries a spatial index.
+func (w *World) Indexed() bool { return w.index != nil }
+
+// build (re)constructs the grid over w's obstacles, reusing ix's cell
+// storage when possible so a per-frame rebuild over a small filtered world
+// is allocation-free in steady state.
+func (ix *spatialIndex) build(w *World) {
+	nb, nt := len(w.Buildings), len(w.Trees)
+	if nb == 0 && nt == 0 {
+		ix.nx, ix.ny = 0, 0
+		return
+	}
+
+	// Tight bounds over the obstacle footprints.
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	grow := func(x0, y0, x1, y1 float64) {
+		minX, minY = math.Min(minX, x0), math.Min(minY, y0)
+		maxX, maxY = math.Max(maxX, x1), math.Max(maxY, y1)
+	}
+	for i := range w.Buildings {
+		b := &w.Buildings[i]
+		grow(b.Min.X, b.Min.Y, b.Max.X, b.Max.Y)
+	}
+	for i := range w.Trees {
+		t := &w.Trees[i]
+		grow(t.Center.X-t.Radius, t.Center.Y-t.Radius, t.Center.X+t.Radius, t.Center.Y+t.Radius)
+	}
+	minX -= indexPad
+	minY -= indexPad
+	maxX += indexPad
+	maxY += indexPad
+
+	// Cell size: aim for a grid fine enough that a cell holds a handful of
+	// obstacles but coarse enough that rays cross few cells. Clamped so
+	// tiny filtered footprint worlds do not degenerate.
+	extent := math.Max(maxX-minX, maxY-minY)
+	cell := extent / 40
+	if cell < 3 {
+		cell = 3
+	} else if cell > 15 {
+		cell = 15
+	}
+	nx := int(math.Ceil((maxX - minX) / cell))
+	ny := int(math.Ceil((maxY - minY) / cell))
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+
+	ix.minX, ix.minY = minX, minY
+	ix.cell, ix.invCell = cell, 1/cell
+	ix.nx, ix.ny = nx, ny
+	if cap(ix.cells) < nx*ny {
+		ix.cells = make([]indexCell, nx*ny)
+	} else {
+		ix.cells = ix.cells[:nx*ny]
+		for i := range ix.cells {
+			ix.cells[i].buildings = ix.cells[i].buildings[:0]
+			ix.cells[i].trees = ix.cells[i].trees[:0]
+		}
+	}
+
+	for i := range w.Buildings {
+		b := &w.Buildings[i]
+		ix.register(b.Min.X, b.Min.Y, b.Max.X, b.Max.Y, int32(i), false)
+	}
+	for i := range w.Trees {
+		t := &w.Trees[i]
+		ix.register(t.Center.X-t.Radius, t.Center.Y-t.Radius,
+			t.Center.X+t.Radius, t.Center.Y+t.Radius, int32(i), true)
+	}
+}
+
+// register adds obstacle idx to every cell its padded footprint overlaps.
+func (ix *spatialIndex) register(x0, y0, x1, y1 float64, idx int32, tree bool) {
+	cx0, cy0 := ix.cellCoord(x0-indexPad, y0-indexPad)
+	cx1, cy1 := ix.cellCoord(x1+indexPad, y1+indexPad)
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			c := &ix.cells[cy*ix.nx+cx]
+			if tree {
+				c.trees = append(c.trees, idx)
+			} else {
+				c.buildings = append(c.buildings, idx)
+			}
+		}
+	}
+}
+
+// cellCoord maps a point to clamped cell coordinates.
+func (ix *spatialIndex) cellCoord(x, y float64) (int, int) {
+	cx := int((x - ix.minX) * ix.invCell)
+	cy := int((y - ix.minY) * ix.invCell)
+	if cx < 0 {
+		cx = 0
+	} else if cx >= ix.nx {
+		cx = ix.nx - 1
+	}
+	if cy < 0 {
+		cy = 0
+	} else if cy >= ix.ny {
+		cy = ix.ny - 1
+	}
+	return cx, cy
+}
+
+// cellAt returns the cell containing (x, y), or nil when the point lies
+// outside the gridded obstacle footprint (no obstacle can be there).
+func (ix *spatialIndex) cellAt(x, y float64) *indexCell {
+	if ix.nx == 0 {
+		return nil
+	}
+	fx := (x - ix.minX) * ix.invCell
+	fy := (y - ix.minY) * ix.invCell
+	if fx < 0 || fy < 0 {
+		return nil
+	}
+	cx, cy := int(fx), int(fy)
+	if cx >= ix.nx || cy >= ix.ny {
+		return nil
+	}
+	return &ix.cells[cy*ix.nx+cx]
+}
+
+// cellRange returns the clamped cell rectangle overlapping the query AABB,
+// ok=false when the query lies entirely outside the grid.
+func (ix *spatialIndex) cellRange(x0, y0, x1, y1 float64) (cx0, cy0, cx1, cy1 int, ok bool) {
+	if ix.nx == 0 {
+		return 0, 0, 0, 0, false
+	}
+	if x1 < ix.minX || y1 < ix.minY ||
+		x0 > ix.minX+float64(ix.nx)*ix.cell || y0 > ix.minY+float64(ix.ny)*ix.cell {
+		return 0, 0, 0, 0, false
+	}
+	cx0, cy0 = ix.cellCoord(x0, y0)
+	cx1, cy1 = ix.cellCoord(x1, y1)
+	return cx0, cy0, cx1, cy1, true
+}
+
+// rayWalk is an Amanatides & Woo grid traversal over the XY projection of a
+// ray, visiting every cell the segment [0, tmax] crosses in near-to-far
+// order. It is a value-type iterator (no closures) so the sensor hot paths
+// stay allocation-free.
+type rayWalk struct {
+	ix       *spatialIndex
+	cx, cy   int
+	stepX    int
+	stepY    int
+	tMaxX    float64 // t at which the ray crosses the next X cell boundary
+	tMaxY    float64
+	tDeltaX  float64
+	tDeltaY  float64
+	tEnd     float64 // exit parameter (grid exit or tmax, whichever first)
+	tCur     float64 // entry parameter of the current cell
+	finished bool
+}
+
+// startWalk clips the ray against the grid rectangle and positions the walk
+// at the first overlapped cell. ok=false when the segment misses the grid.
+func (ix *spatialIndex) startWalk(ray geom.Ray, tmax float64) (rayWalk, bool) {
+	var wk rayWalk
+	if ix.nx == 0 {
+		return wk, false
+	}
+	ox, oy := ray.Origin.X, ray.Origin.Y
+	dx, dy := ray.Dir.X, ray.Dir.Y
+	gx1 := ix.minX + float64(ix.nx)*ix.cell
+	gy1 := ix.minY + float64(ix.ny)*ix.cell
+
+	// 2-D slab clip of [0, tmax] against the grid rectangle.
+	t0, t1 := 0.0, tmax
+	clip := func(o, d, lo, hi float64) bool {
+		if math.Abs(d) < 1e-15 {
+			return o >= lo && o <= hi
+		}
+		inv := 1 / d
+		ta, tb := (lo-o)*inv, (hi-o)*inv
+		if ta > tb {
+			ta, tb = tb, ta
+		}
+		if ta > t0 {
+			t0 = ta
+		}
+		if tb < t1 {
+			t1 = tb
+		}
+		return t0 <= t1
+	}
+	if !clip(ox, dx, ix.minX, gx1) || !clip(oy, dy, ix.minY, gy1) {
+		return wk, false
+	}
+
+	// Start just inside the grid; the pad on registration absorbs the nudge.
+	px := ox + dx*t0
+	py := oy + dy*t0
+	cx, cy := ix.cellCoord(px, py)
+
+	wk.ix = ix
+	wk.cx, wk.cy = cx, cy
+	wk.tEnd = t1
+	wk.tCur = t0
+	inf := math.Inf(1)
+	if dx > 1e-15 {
+		wk.stepX = 1
+		wk.tMaxX = (ix.minX + float64(cx+1)*ix.cell - ox) / dx
+		wk.tDeltaX = ix.cell / dx
+	} else if dx < -1e-15 {
+		wk.stepX = -1
+		wk.tMaxX = (ix.minX + float64(cx)*ix.cell - ox) / dx
+		wk.tDeltaX = -ix.cell / dx
+	} else {
+		wk.tMaxX, wk.tDeltaX = inf, inf
+	}
+	if dy > 1e-15 {
+		wk.stepY = 1
+		wk.tMaxY = (ix.minY + float64(cy+1)*ix.cell - oy) / dy
+		wk.tDeltaY = ix.cell / dy
+	} else if dy < -1e-15 {
+		wk.stepY = -1
+		wk.tMaxY = (ix.minY + float64(cy)*ix.cell - oy) / dy
+		wk.tDeltaY = -ix.cell / dy
+	} else {
+		wk.tMaxY, wk.tDeltaY = inf, inf
+	}
+	return wk, true
+}
+
+// next returns the current cell and its entry parameter, then advances.
+// ok=false once the walk has left the grid or passed tmax.
+func (wk *rayWalk) next() (c *indexCell, tEntry float64, ok bool) {
+	if wk.finished || wk.ix == nil {
+		return nil, 0, false
+	}
+	c = &wk.ix.cells[wk.cy*wk.ix.nx+wk.cx]
+	tEntry = wk.tCur
+
+	// Advance to the neighbor cell across the nearer boundary.
+	if wk.tMaxX < wk.tMaxY {
+		wk.tCur = wk.tMaxX
+		wk.tMaxX += wk.tDeltaX
+		wk.cx += wk.stepX
+		if wk.cx < 0 || wk.cx >= wk.ix.nx {
+			wk.finished = true
+		}
+	} else {
+		wk.tCur = wk.tMaxY
+		wk.tMaxY += wk.tDeltaY
+		wk.cy += wk.stepY
+		if wk.cy < 0 || wk.cy >= wk.ix.ny {
+			wk.finished = true
+		}
+	}
+	if wk.tCur > wk.tEnd {
+		wk.finished = true
+	}
+	return c, tEntry, true
+}
+
+// raycastObstacles returns the minimum obstacle intersection parameter
+// along ray within tmax, starting from best (typically the ground hit).
+// Candidates may be visited more than once when an obstacle spans several
+// cells; duplicates cannot change a minimum, so no deduplication is needed.
+// Cells whose entry parameter already exceeds the best hit are skipped
+// (any intersection inside them is farther than best).
+func (ix *spatialIndex) raycastObstacles(w *World, ray geom.Ray, tmax, best float64) float64 {
+	wk, ok := ix.startWalk(ray, tmax)
+	if !ok {
+		return best
+	}
+	for {
+		c, tEntry, ok := wk.next()
+		if !ok || tEntry > best {
+			break
+		}
+		for _, bi := range c.buildings {
+			if tb, hit := ray.IntersectAABB(w.Buildings[bi], tmax); hit && tb < best {
+				best = tb
+			}
+		}
+		for _, ti := range c.trees {
+			if tt, hit := w.Trees[ti].IntersectRay(ray, tmax); hit && tt < best {
+				best = tt
+			}
+		}
+	}
+	return best
+}

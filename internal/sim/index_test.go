@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// randomWorld builds an obstacle-dense world for equivalence testing.
+func randomWorld(seed int64) *World {
+	rng := rand.New(rand.NewSource(seed))
+	w := &World{
+		Bounds:         geom.NewAABB(geom.V3(-90, -90, 0), geom.V3(90, 90, 45)),
+		GroundSeed:     seed,
+		GroundBase:     0.45,
+		GroundContrast: 0.25,
+	}
+	for i := 0; i < 30; i++ {
+		x := (rng.Float64() - 0.5) * 150
+		y := (rng.Float64() - 0.5) * 150
+		w.Buildings = append(w.Buildings, geom.NewAABB(
+			geom.V3(x, y, 0),
+			geom.V3(x+4+rng.Float64()*20, y+4+rng.Float64()*20, 4+rng.Float64()*25)))
+	}
+	for i := 0; i < 120; i++ {
+		w.Trees = append(w.Trees, geom.Cylinder{
+			Center: geom.V2((rng.Float64()-0.5)*170, (rng.Float64()-0.5)*170),
+			Radius: 1 + rng.Float64()*3,
+			TopZ:   5 + rng.Float64()*12,
+		})
+	}
+	for i := 0; i < 3; i++ {
+		x := (rng.Float64() - 0.5) * 120
+		y := (rng.Float64() - 0.5) * 120
+		w.Water = append(w.Water, geom.NewAABB(
+			geom.V3(x, y, 0), geom.V3(x+10+rng.Float64()*15, y+10+rng.Float64()*15, 0.3)))
+	}
+	return w
+}
+
+// TestIndexQueriesMatchLinear proves every query routed through the
+// spatial index returns bit-identical results to the linear reference.
+func TestIndexQueriesMatchLinear(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		w := randomWorld(seed)
+		w.BuildIndex()
+		naive := randomWorld(seed) // identical geometry, no index
+		if naive.Indexed() {
+			t.Fatal("naive world unexpectedly indexed")
+		}
+
+		rng := rand.New(rand.NewSource(seed + 1000))
+		for q := 0; q < 2000; q++ {
+			x := (rng.Float64() - 0.5) * 220
+			y := (rng.Float64() - 0.5) * 220
+			z := rng.Float64() * 40
+			p := geom.V3(x, y, z)
+
+			if a, b := w.GroundHeightAt(x, y), naive.GroundHeightAt(x, y); a != b {
+				t.Fatalf("seed %d: GroundHeightAt(%v,%v) = %v (indexed) vs %v (linear)", seed, x, y, a, b)
+			}
+			r := 0.2 + rng.Float64()*4
+			if a, b := w.HitObstacle(p, r), naive.HitObstacle(p, r); a != b {
+				t.Fatalf("seed %d: HitObstacle(%v,%v) = %v vs %v", seed, p, r, a, b)
+			}
+			if a, b := w.CollideSphere(p, r), naive.CollideSphere(p, r); a != b {
+				t.Fatalf("seed %d: CollideSphere mismatch at %v", seed, p)
+			}
+			if a, b := w.FreeGroundPosition(x, y, r), naive.FreeGroundPosition(x, y, r); a != b {
+				t.Fatalf("seed %d: FreeGroundPosition mismatch at (%v,%v)", seed, x, y)
+			}
+			a1, a2, a3 := w.OccluderAt(x, y)
+			b1, b2, b3 := naive.OccluderAt(x, y)
+			if a1 != b1 || a2 != b2 || a3 != b3 {
+				t.Fatalf("seed %d: OccluderAt mismatch at (%v,%v)", seed, x, y)
+			}
+
+			dir := geom.V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+			if dir.Len() < 1e-9 {
+				continue
+			}
+			ray := geom.Ray{Origin: p, Dir: dir.Norm()}
+			tmax := rng.Float64() * 60
+			ta, hita := w.Raycast(ray, tmax)
+			tb, hitb := naive.Raycast(ray, tmax)
+			if hita != hitb || ta != tb {
+				t.Fatalf("seed %d: Raycast(%v) = (%v,%v) vs (%v,%v)", seed, ray, ta, hita, tb, hitb)
+			}
+		}
+	}
+}
+
+// TestDepthCaptureMatchesLinear proves the indexed soft raycast consumes
+// the RNG stream exactly like the linear reference: identical captures,
+// return for return, across poses and worlds.
+func TestDepthCaptureMatchesLinear(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		w := randomWorld(seed)
+		w.BuildIndex()
+		naive := randomWorld(seed)
+
+		dIdx := NewDepthCamera(seed * 31)
+		dLin := NewDepthCamera(seed * 31)
+		rng := rand.New(rand.NewSource(seed))
+		for frame := 0; frame < 60; frame++ {
+			pos := geom.V3((rng.Float64()-0.5)*160, (rng.Float64()-0.5)*160, 1+rng.Float64()*30)
+			yaw := rng.Float64() * 2 * math.Pi
+			a := dIdx.Capture(w, pos, yaw)
+			b := dLin.Capture(naive, pos, yaw)
+			if len(a) != len(b) {
+				t.Fatalf("seed %d frame %d: %d vs %d returns", seed, frame, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("seed %d frame %d return %d: %+v vs %+v", seed, frame, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+// TestColorCaptureMatchesLinear proves the reusable capture pipeline
+// (filtered sub-world, per-frame index, render buffers, condition scratch)
+// produces pixel-identical frames to capturing against an unindexed world.
+func TestColorCaptureMatchesLinear(t *testing.T) {
+	w := randomWorld(7)
+	w.BuildIndex()
+	naive := randomWorld(7)
+	weather := Weather{Fog: 0.3, GlareProb: 0.5, ShadowProb: 0.5, Rain: 0.4, DuskDim: 0.2}
+
+	cIdx := NewColorCamera(99)
+	cLin := NewColorCamera(99)
+	rng := rand.New(rand.NewSource(3))
+	for frame := 0; frame < 25; frame++ {
+		pos := geom.V3((rng.Float64()-0.5)*120, (rng.Float64()-0.5)*120, 3+rng.Float64()*22)
+		yaw := rng.Float64() * 2 * math.Pi
+		speed := rng.Float64() * 7
+		a := cIdx.Capture(w, weather, pos, yaw, speed)
+		b := cLin.Capture(naive, weather, pos, yaw, speed)
+		if a.W != b.W || a.H != b.H {
+			t.Fatalf("frame %d: size mismatch", frame)
+		}
+		for i := range a.Pix {
+			if a.Pix[i] != b.Pix[i] {
+				t.Fatalf("frame %d: pixel %d = %v vs %v", frame, i, a.Pix[i], b.Pix[i])
+			}
+		}
+	}
+}
+
+// TestCaptureAllocFree asserts the steady-state sensor capture paths stay
+// allocation-free — the zero-alloc contract of the performance layer.
+func TestCaptureAllocFree(t *testing.T) {
+	w := randomWorld(11)
+	w.BuildIndex()
+	weather := Weather{Fog: 0.3, ShadowProb: 0.4}
+
+	color := NewColorCamera(5)
+	depth := NewDepthCamera(6)
+	pos := geom.V3(10, 5, 12)
+	// Warm up buffers.
+	color.Capture(w, weather, pos, 0.3, 4.5)
+	depth.Capture(w, pos, 0.3)
+
+	if n := testing.AllocsPerRun(50, func() {
+		color.Capture(w, weather, pos, 0.3, 4.5)
+	}); n > 0 {
+		t.Errorf("ColorCamera.Capture allocates %.1f/op in steady state, want 0", n)
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		depth.Capture(w, pos, 0.3)
+	}); n > 0 {
+		t.Errorf("DepthCamera.Capture allocates %.1f/op in steady state, want 0", n)
+	}
+}
+
+// TestSceneNearIndexedMatchesLinear checks footprint filtering finds the
+// same obstacle set with and without the index.
+func TestSceneNearIndexedMatchesLinear(t *testing.T) {
+	w := randomWorld(3)
+	w.BuildIndex()
+	naive := randomWorld(3)
+	rng := rand.New(rand.NewSource(17))
+	for q := 0; q < 50; q++ {
+		center := geom.V3((rng.Float64()-0.5)*160, (rng.Float64()-0.5)*160, 10)
+		radius := 5 + rng.Float64()*20
+		var a, b World
+		w.sceneNearInto(center, radius, &a)
+		naive.sceneNearInto(center, radius, &b)
+		if len(a.Buildings) != len(b.Buildings) || len(a.Trees) != len(b.Trees) ||
+			len(a.Water) != len(b.Water) || len(a.Markers) != len(b.Markers) {
+			t.Fatalf("footprint filter mismatch at %v r=%v: %d/%d/%d vs %d/%d/%d",
+				center, radius, len(a.Buildings), len(a.Trees), len(a.Water),
+				len(b.Buildings), len(b.Trees), len(b.Water))
+		}
+	}
+}

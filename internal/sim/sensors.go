@@ -3,6 +3,7 @@ package sim
 import (
 	"math"
 	"math/rand"
+	"slices"
 
 	"repro/internal/geom"
 	"repro/internal/vision"
@@ -170,6 +171,18 @@ type DepthCamera struct {
 	ErroneousRate float64
 
 	rng *rand.Rand
+
+	// Reused per-capture state; a camera belongs to one run and must not
+	// be shared across goroutines.
+	dirs     []geom.Vec3 // body-frame ray fan, cached per (Rows, Cols, FOV)
+	dirsRows int
+	dirsCols int
+	dirsHFOV float64
+	dirsVFOV float64
+	buf      []DepthReturn // returned slice backing, reused across frames
+	cand     []int32       // candidate tree indices for one soft raycast
+	seen     []uint32      // per-tree visit stamps (dedupe across grid cells)
+	stamp    uint32
 }
 
 // NewDepthCamera returns a D435-like sensor model.
@@ -193,36 +206,56 @@ type DepthReturn struct {
 	Hit   bool
 }
 
-// Capture casts the ray fan from the drone pose and returns body-frame
-// returns. Tree canopies are soft: rays may pass the outer half of the
-// radius, which is how vehicles end up "trapped within the foliage"
-// (paper §II-B) — the obstacle is sensed later than its true extent.
-func (d *DepthCamera) Capture(w *World, pos geom.Vec3, yaw float64) []DepthReturn {
-	out := make([]DepthReturn, 0, d.Cols*d.Rows)
-	cy, sy := math.Cos(yaw), math.Sin(yaw)
+// rayFan returns the cached body-frame ray directions, rebuilding the
+// table when the fan geometry changed. The per-direction expressions match
+// the historical per-frame computation exactly, so the cached fan is
+// bit-identical to recomputing it.
+func (d *DepthCamera) rayFan() []geom.Vec3 {
+	if d.dirs != nil && d.dirsRows == d.Rows && d.dirsCols == d.Cols &&
+		d.dirsHFOV == d.HFOV && d.dirsVFOV == d.VFOV {
+		return d.dirs
+	}
+	d.dirs = d.dirs[:0]
 	for r := 0; r < d.Rows; r++ {
 		pitch := (float64(r)/float64(d.Rows-1) - 0.5) * d.VFOV
 		for c := 0; c < d.Cols; c++ {
 			az := (float64(c)/float64(d.Cols-1) - 0.5) * d.HFOV
 			// Body-frame direction, x forward.
-			bd := geom.V3(
+			d.dirs = append(d.dirs, geom.V3(
 				math.Cos(pitch)*math.Cos(az),
 				math.Cos(pitch)*math.Sin(az),
 				-math.Sin(pitch),
-			)
-			// World-frame.
-			wd := geom.V3(bd.X*cy-bd.Y*sy, bd.X*sy+bd.Y*cy, bd.Z)
-			t, hit := d.raycastSoft(w, geom.Ray{Origin: pos, Dir: wd})
-			if !hit {
-				out = append(out, DepthReturn{Point: bd.Scale(d.MaxRange), Hit: false})
-				continue
-			}
-			t += d.rng.NormFloat64() * d.NoiseStd
-			if t < 0.1 {
-				t = 0.1
-			}
-			out = append(out, DepthReturn{Point: bd.Scale(t), Hit: true})
+			))
 		}
+	}
+	d.dirsRows, d.dirsCols = d.Rows, d.Cols
+	d.dirsHFOV, d.dirsVFOV = d.HFOV, d.VFOV
+	return d.dirs
+}
+
+// Capture casts the ray fan from the drone pose and returns body-frame
+// returns. Tree canopies are soft: rays may pass the outer half of the
+// radius, which is how vehicles end up "trapped within the foliage"
+// (paper §II-B) — the obstacle is sensed later than its true extent.
+//
+// The returned slice is owned by the camera and reused by the next
+// Capture; callers that need the points past that must copy them.
+func (d *DepthCamera) Capture(w *World, pos geom.Vec3, yaw float64) []DepthReturn {
+	out := d.buf[:0]
+	cy, sy := math.Cos(yaw), math.Sin(yaw)
+	for _, bd := range d.rayFan() {
+		// World-frame.
+		wd := geom.V3(bd.X*cy-bd.Y*sy, bd.X*sy+bd.Y*cy, bd.Z)
+		t, hit := d.raycastSoft(w, geom.Ray{Origin: pos, Dir: wd})
+		if !hit {
+			out = append(out, DepthReturn{Point: bd.Scale(d.MaxRange), Hit: false})
+			continue
+		}
+		t += d.rng.NormFloat64() * d.NoiseStd
+		if t < 0.1 {
+			t = 0.1
+		}
+		out = append(out, DepthReturn{Point: bd.Scale(t), Hit: true})
 	}
 	// Spurious cluster injection (field profile / state-estimate errors).
 	if d.ErroneousRate > 0 && d.rng.Float64() < d.ErroneousRate {
@@ -233,11 +266,20 @@ func (d *DepthCamera) Capture(w *World, pos geom.Vec3, yaw float64) []DepthRetur
 			out = append(out, DepthReturn{Point: p, Hit: true})
 		}
 	}
+	d.buf = out
 	return out
 }
 
 // raycastSoft is World.Raycast with soft tree canopies: returns from the
 // outer 50% of a canopy radius are dropped with 35% probability.
+//
+// The soft-canopy test consumes one RNG draw per tree whose entry hit is
+// nearer than the best hit so far, so the indexed path must visit exactly
+// the trees the linear reference visits, in the same order. It does:
+// candidate trees are deduplicated and processed in ascending tree index —
+// the linear scan order — and trees the traversal prunes are provably
+// either ray misses or hits beyond the running best, which consume no RNG
+// in the linear scan either.
 func (d *DepthCamera) raycastSoft(w *World, ray geom.Ray) (float64, bool) {
 	best := math.Inf(1)
 	if ray.Dir.Z < -1e-12 {
@@ -246,12 +288,79 @@ func (d *DepthCamera) raycastSoft(w *World, ray geom.Ray) (float64, bool) {
 			best = tg
 		}
 	}
-	for i := range w.Buildings {
-		if tb, ok := ray.IntersectAABB(w.Buildings[i], d.MaxRange); ok && tb < best {
-			best = tb
+	ix := w.index
+	if ix == nil {
+		// Linear reference path.
+		for i := range w.Buildings {
+			if tb, ok := ray.IntersectAABB(w.Buildings[i], d.MaxRange); ok && tb < best {
+				best = tb
+			}
+		}
+		best = d.softTrees(w, ray, best, nil)
+		if math.IsInf(best, 1) {
+			return 0, false
+		}
+		return best, true
+	}
+
+	// One traversal accumulates the building minimum (duplicate candidate
+	// visits cannot change a minimum) and gathers deduplicated candidate
+	// trees. The walk must not stop before tmax on the building best alone
+	// conservatively pruning trees is only sound against the pre-tree best,
+	// which is exactly what the running ground+building best is.
+	if len(d.seen) < len(w.Trees) {
+		d.seen = make([]uint32, len(w.Trees))
+	}
+	d.stamp++
+	if d.stamp == 0 { // wrapped: stale stamps could collide, reset
+		for i := range d.seen {
+			d.seen[i] = 0
+		}
+		d.stamp = 1
+	}
+	d.cand = d.cand[:0]
+	wk, ok := ix.startWalk(ray, d.MaxRange)
+	if ok {
+		for {
+			cell, tEntry, more := wk.next()
+			if !more || tEntry > best {
+				break
+			}
+			for _, bi := range cell.buildings {
+				if tb, hit := ray.IntersectAABB(w.Buildings[bi], d.MaxRange); hit && tb < best {
+					best = tb
+				}
+			}
+			for _, ti := range cell.trees {
+				if d.seen[ti] != d.stamp {
+					d.seen[ti] = d.stamp
+					d.cand = append(d.cand, ti)
+				}
+			}
 		}
 	}
-	for i := range w.Trees {
+	slices.Sort(d.cand)
+	best = d.softTrees(w, ray, best, d.cand)
+	if math.IsInf(best, 1) {
+		return 0, false
+	}
+	return best, true
+}
+
+// softTrees runs the soft-canopy tree loop over the given candidate
+// indices (nil = all trees) against the post-building best. This is the
+// single implementation both the linear and indexed paths share, which is
+// what keeps their RNG consumption identical.
+func (d *DepthCamera) softTrees(w *World, ray geom.Ray, best float64, cand []int32) float64 {
+	n := len(w.Trees)
+	if cand != nil {
+		n = len(cand)
+	}
+	for k := 0; k < n; k++ {
+		i := k
+		if cand != nil {
+			i = int(cand[k])
+		}
 		tt, ok := w.Trees[i].IntersectRay(ray, d.MaxRange)
 		if !ok || tt >= best {
 			continue
@@ -265,10 +374,7 @@ func (d *DepthCamera) raycastSoft(w *World, ray geom.Ray) (float64, bool) {
 		}
 		best = tt
 	}
-	if math.IsInf(best, 1) {
-		return 0, false
-	}
-	return best, true
+	return best
 }
 
 // ColorCamera captures the downward frame used by marker detection. It
@@ -278,6 +384,17 @@ func (d *DepthCamera) raycastSoft(w *World, ray geom.Ray) (float64, bool) {
 type ColorCamera struct {
 	Intrinsics vision.Camera
 	rng        *rand.Rand
+
+	// Reused per-frame capture state: the footprint-filtered sub-world and
+	// its per-frame grid index, the scene wrapper, the output frame, and
+	// the motion-blur scratch. A camera belongs to one run and must not be
+	// shared across goroutines.
+	sub      World
+	subIndex spatialIndex
+	scene    vision.Scene
+	occFn    func(x, y float64) (float64, float64, bool)
+	frame    *vision.Image
+	blur     *vision.Image
 }
 
 // NewColorCamera returns the downward D435i-color-stream stand-in.
@@ -287,14 +404,42 @@ func NewColorCamera(seed int64) *ColorCamera {
 
 // Capture renders a frame from the true pose under the weather's sampled
 // conditions.
+//
+// The returned image is owned by the camera and overwritten by the next
+// Capture; callers that need the frame past that must Clone it. (The
+// landing system consumes each frame within the tick that produced it.)
 func (c *ColorCamera) Capture(w *World, weather Weather, pos geom.Vec3, yaw, speed float64) *vision.Image {
 	cam := c.Intrinsics
 	cam.Pos = pos
 	cam.Yaw = yaw
 	// Restrict rendering to the visible footprint (diagonal/2 plus slack).
 	radius := cam.GroundFootprint(pos.Z)*0.75 + 3
-	im := w.SceneNear(pos, radius).Render(cam)
+	w.sceneNearInto(pos, radius, &c.sub)
+	c.subIndex.build(&c.sub)
+	c.sub.index = &c.subIndex
+	c.scene.Ground = vision.GroundTexture{
+		Seed:     c.sub.GroundSeed,
+		Base:     c.sub.GroundBase,
+		Contrast: c.sub.GroundContrast,
+	}
+	c.scene.Markers = c.sub.Markers
+	if c.occFn == nil {
+		// Bound once: the method value closes over the reused sub-world.
+		c.occFn = c.sub.OccluderAt
+	}
+	// An empty footprint can never occlude, so skip the per-pixel occluder
+	// callback entirely — identical pixels, one indirect call less each.
+	if len(c.sub.Buildings) == 0 && len(c.sub.Trees) == 0 && len(c.sub.Water) == 0 {
+		c.scene.OccluderAt = nil
+	} else {
+		c.scene.OccluderAt = c.occFn
+	}
+	if c.frame == nil || c.frame.W != cam.W || c.frame.H != cam.H {
+		c.frame = vision.NewImage(cam.W, cam.H)
+		c.blur = vision.NewImage(cam.W, cam.H)
+	}
+	c.scene.RenderInto(cam, c.frame)
 	cond := weather.FrameConditions(c.rng, speed)
-	cond.Apply(im, pos.Z, c.rng)
-	return im
+	cond.ApplyReusing(c.frame, pos.Z, c.rng, c.blur)
+	return c.frame
 }

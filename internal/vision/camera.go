@@ -112,6 +112,66 @@ func (g GroundTexture) At(x, y float64) float64 {
 	return v
 }
 
+// groundSampler evaluates a GroundTexture with a one-cell memo per noise
+// octave: adjacent render pixels land in the same noise lattice cell for
+// runs of dozens of pixels, so the four corner hashes are reused instead
+// of recomputed. Values are bit-identical to GroundTexture.At — only the
+// redundant hashing is skipped.
+type groundSampler struct {
+	g    GroundTexture
+	oct1 octaveMemo
+	oct2 octaveMemo
+}
+
+// octaveMemo caches the corner hashes of the last-touched lattice cell.
+type octaveMemo struct {
+	seed               int64
+	x0, y0             float64
+	h00, h10, h01, h11 float64
+	valid              bool
+}
+
+// reset points the sampler at a texture and invalidates the memos.
+func (gs *groundSampler) reset(g GroundTexture) {
+	gs.g = g
+	gs.oct1 = octaveMemo{seed: g.Seed}
+	gs.oct2 = octaveMemo{seed: g.Seed ^ 0x9e37}
+}
+
+// at mirrors GroundTexture.At through the memoized octaves.
+func (gs *groundSampler) at(x, y float64) float64 {
+	v := gs.g.Base +
+		gs.g.Contrast*(gs.oct1.noise(x*0.35, y*0.35)-0.5) +
+		0.5*gs.g.Contrast*(gs.oct2.noise(x*1.3, y*1.3)-0.5)
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// noise is valueNoise with the corner hashes served from the memo when
+// the query stays in the cached lattice cell.
+func (m *octaveMemo) noise(x, y float64) float64 {
+	x0, y0 := math.Floor(x), math.Floor(y)
+	if !m.valid || x0 != m.x0 || y0 != m.y0 {
+		m.x0, m.y0 = x0, y0
+		m.h00 = latticeHash(x0, y0, m.seed)
+		m.h10 = latticeHash(x0+1, y0, m.seed)
+		m.h01 = latticeHash(x0, y0+1, m.seed)
+		m.h11 = latticeHash(x0+1, y0+1, m.seed)
+		m.valid = true
+	}
+	fx, fy := x-x0, y-y0
+	sx := fx * fx * (3 - 2*fx)
+	sy := fy * fy * (3 - 2*fy)
+	top := m.h00*(1-sx) + m.h10*sx
+	bot := m.h01*(1-sx) + m.h11*sx
+	return top*(1-sy) + bot*sy
+}
+
 // valueNoise is deterministic 2-D value noise in [0,1] with bilinear
 // interpolation between hashed lattice points.
 func valueNoise(x, y float64, seed int64) float64 {
@@ -120,13 +180,17 @@ func valueNoise(x, y float64, seed int64) float64 {
 	// Smoothstep for C1 continuity.
 	sx := fx * fx * (3 - 2*fx)
 	sy := fy * fy * (3 - 2*fy)
-	h := func(ix, iy float64) float64 {
-		n := int64(ix)*73856093 ^ int64(iy)*19349663 ^ seed*83492791
-		n = (n ^ (n >> 13)) * 1274126177
-		n ^= n >> 16
-		return float64(uint64(n)%10000) / 10000
-	}
-	top := h(x0, y0)*(1-sx) + h(x0+1, y0)*sx
-	bot := h(x0, y0+1)*(1-sx) + h(x0+1, y0+1)*sx
+	top := latticeHash(x0, y0, seed)*(1-sx) + latticeHash(x0+1, y0, seed)*sx
+	bot := latticeHash(x0, y0+1, seed)*(1-sx) + latticeHash(x0+1, y0+1, seed)*sx
 	return top*(1-sy) + bot*sy
+}
+
+// latticeHash hashes one noise lattice point. It is a top-level function
+// (not a closure) so the renderer's four-corner evaluation inlines; it is
+// called per pixel per octave on the capture hot path.
+func latticeHash(ix, iy float64, seed int64) float64 {
+	n := int64(ix)*73856093 ^ int64(iy)*19349663 ^ seed*83492791
+	n = (n ^ (n >> 13)) * 1274126177
+	n ^= n >> 16
+	return float64(uint64(n)%10000) / 10000
 }

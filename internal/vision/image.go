@@ -180,16 +180,33 @@ type Integral struct {
 
 // NewIntegral builds the summed-area table of im.
 func NewIntegral(im *Image) *Integral {
-	ig := &Integral{W: im.W, H: im.H, sum: make([]float64, (im.W+1)*(im.H+1))}
+	ig := &Integral{}
+	ig.Compute(im)
+	return ig
+}
+
+// Compute (re)builds the summed-area table of im in place, reusing the
+// existing backing array when it is large enough — the per-frame path of
+// the detectors' adaptive threshold allocates nothing in steady state.
+func (ig *Integral) Compute(im *Image) {
+	n := (im.W + 1) * (im.H + 1)
+	if cap(ig.sum) < n {
+		ig.sum = make([]float64, n)
+	}
+	ig.sum = ig.sum[:n]
+	ig.W, ig.H = im.W, im.H
 	stride := im.W + 1
+	for i := 0; i < stride; i++ {
+		ig.sum[i] = 0 // top border row; interior rows are fully rewritten
+	}
 	for y := 0; y < im.H; y++ {
+		ig.sum[(y+1)*stride] = 0 // left border column
 		var row float64
 		for x := 0; x < im.W; x++ {
 			row += im.Pix[y*im.W+x]
 			ig.sum[(y+1)*stride+(x+1)] = ig.sum[y*stride+(x+1)] + row
 		}
 	}
-	return ig
 }
 
 // BoxMean returns the mean intensity over the inclusive rectangle

@@ -10,24 +10,73 @@ import (
 // marker pads lying on it. Obstacle occlusion of the ground (e.g. flying
 // over a roof) is handled by the simulator substituting the occluder's
 // albedo via OccluderAt.
+//
+// A Scene carries reusable render scratch and therefore must not be
+// rendered from multiple goroutines concurrently.
 type Scene struct {
 	Ground  GroundTexture
 	Markers []MarkerInstance
 	// OccluderAt, when non-nil, reports whether the vertical ray from the
 	// camera down to ground position (x, y) is blocked, and by what albedo
-	// at what height. Used for rooftops and tree canopies.
+	// at what height. Used for rooftops, tree canopies and water.
 	OccluderAt func(x, y float64) (albedo float64, top float64, blocked bool)
+
+	// markerBoxes holds the per-frame conservative ground-space bounding
+	// boxes of the markers, so the per-pixel loop only evaluates the exact
+	// (rotated) pad containment inside a marker's box.
+	markerBoxes []groundBox
+	// ground memoizes noise-lattice corner hashes across adjacent pixels.
+	ground groundSampler
+}
+
+// groundBox is an axis-aligned ground-plane rectangle.
+type groundBox struct {
+	minX, minY, maxX, maxY float64
 }
 
 // Render draws the scene as seen by cam by inverse-projecting every pixel
-// onto the ground plane. It is the hot path of the perception stack, so it
-// avoids allocation beyond the output image.
+// onto the ground plane, allocating a fresh image. The steady-state hot
+// path is RenderInto, which reuses a caller-owned image.
 func (s *Scene) Render(cam Camera) *Image {
 	im := NewImage(cam.W, cam.H)
+	s.RenderInto(cam, im)
+	return im
+}
+
+// RenderInto draws the scene as seen by cam into im, resizing it when the
+// camera geometry changed. It is the hot path of the perception stack and
+// allocates nothing in steady state: the output buffer is reused, and the
+// per-pixel marker test is prescreened by precomputed ground-space marker
+// bounding boxes (a conservative superset of pad containment, so the
+// rendered pixels are bit-identical to the exhaustive per-pixel loop).
+func (s *Scene) RenderInto(cam Camera, im *Image) {
+	if im.W != cam.W || im.H != cam.H || len(im.Pix) != cam.W*cam.H {
+		*im = *NewImage(cam.W, cam.H)
+	}
 	h := cam.Pos.Z
 	if h <= 0.01 {
-		return im
+		for i := range im.Pix {
+			im.Pix[i] = 0
+		}
+		return
 	}
+
+	// Conservative ground-space AABB of each (rotated) marker pad.
+	if cap(s.markerBoxes) < len(s.Markers) {
+		s.markerBoxes = make([]groundBox, len(s.Markers))
+	}
+	boxes := s.markerBoxes[:len(s.Markers)]
+	for i := range s.Markers {
+		m := &s.Markers[i]
+		c, sn := mathCos(m.Yaw), mathSin(m.Yaw)
+		half := (absf(c) + absf(sn)) * m.Size / 2
+		boxes[i] = groundBox{
+			minX: m.Center.X - half, minY: m.Center.Y - half,
+			maxX: m.Center.X + half, maxY: m.Center.Y + half,
+		}
+	}
+
+	s.ground.reset(s.Ground)
 	cos, sin := mathCos(cam.Yaw), mathSin(cam.Yaw)
 	cw, ch := float64(cam.W)/2, float64(cam.H)/2
 	for py := 0; py < cam.H; py++ {
@@ -43,32 +92,34 @@ func (s *Scene) Render(cam Camera) *Image {
 			gx := cam.Pos.X + dx*h
 			gy := cam.Pos.Y + dy*h
 
-			var val float64
 			if s.OccluderAt != nil {
 				if alb, top, blocked := s.OccluderAt(gx, gy); blocked && top < h {
-					// Re-project onto the occluder's top surface.
-					oh := h - top
-					ox := cam.Pos.X + dx*oh
-					oy := cam.Pos.Y + dy*oh
-					_ = ox
-					_ = oy
-					val = alb
-					im.Pix[py*cam.W+px] = val
+					// The occluder top replaces the ground along the pixel's
+					// vertical sample ray; its albedo is flat, so no
+					// re-projection onto the top surface is needed.
+					im.Pix[py*cam.W+px] = alb
 					continue
 				}
 			}
-			val = s.Ground.At(gx, gy)
+			val, onMarker := 0.0, false
 			p := geom.V3(gx, gy, 0)
-			for i := range s.Markers {
+			for i := range boxes {
+				b := &boxes[i]
+				if gx < b.minX || gx > b.maxX || gy < b.minY || gy > b.maxY {
+					continue
+				}
 				if u, v, ok := s.Markers[i].ContainsGround(p); ok {
 					val = s.Markers[i].Marker.PatternAt(u, v)
+					onMarker = true
 					break
 				}
+			}
+			if !onMarker {
+				val = s.ground.at(gx, gy)
 			}
 			im.Pix[py*cam.W+px] = val
 		}
 	}
-	return im
 }
 
 // Conditions models the photometric state of one captured frame. Zero
@@ -127,6 +178,13 @@ func absf(x float64) float64 {
 // for the stochastic components (rain noise). altitude scales the fog term:
 // more atmosphere between camera and ground means more washout.
 func (c Conditions) Apply(im *Image, altitude float64, rng *rand.Rand) {
+	c.ApplyReusing(im, altitude, rng, nil)
+}
+
+// ApplyReusing is Apply with a caller-owned scratch image for the motion
+// blur pass, making steady-state condition application allocation-free.
+// scratch may be nil or wrongly sized, in which case the pass allocates.
+func (c Conditions) ApplyReusing(im *Image, altitude float64, rng *rand.Rand, scratch *Image) {
 	gain := effectiveContrast(c.Contrast)
 
 	// Contrast and brightness first (sensor-level), as the paper's
@@ -213,7 +271,10 @@ func (c Conditions) Apply(im *Image, altitude float64, rng *rand.Rand) {
 		if n > im.W/4 {
 			n = im.W / 4
 		}
-		blurred := NewImage(im.W, im.H)
+		blurred := scratch
+		if blurred == nil || blurred.W != im.W || blurred.H != im.H {
+			blurred = NewImage(im.W, im.H)
+		}
 		for y := 0; y < im.H; y++ {
 			for x := 0; x < im.W; x++ {
 				var s float64

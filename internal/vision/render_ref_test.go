@@ -1,0 +1,163 @@
+package vision
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// renderReference is the exhaustive per-pixel renderer the optimized
+// RenderInto must reproduce exactly: no marker-box prescreen, no ground
+// sampler memo, fresh image.
+func renderReference(s *Scene, cam Camera) *Image {
+	im := NewImage(cam.W, cam.H)
+	h := cam.Pos.Z
+	if h <= 0.01 {
+		return im
+	}
+	cos, sin := math.Cos(cam.Yaw), math.Sin(cam.Yaw)
+	cw, ch := float64(cam.W)/2, float64(cam.H)/2
+	for py := 0; py < cam.H; py++ {
+		for px := 0; px < cam.W; px++ {
+			lx := (float64(px) + 0.5 - cw) / cam.FocalPx
+			ly := (float64(py) + 0.5 - ch) / cam.FocalPx
+			dx := lx*cos - ly*sin
+			dy := lx*sin + ly*cos
+			gx := cam.Pos.X + dx*h
+			gy := cam.Pos.Y + dy*h
+			if s.OccluderAt != nil {
+				if alb, top, blocked := s.OccluderAt(gx, gy); blocked && top < h {
+					im.Pix[py*cam.W+px] = alb
+					continue
+				}
+			}
+			val := s.Ground.At(gx, gy)
+			p := geom.V3(gx, gy, 0)
+			for i := range s.Markers {
+				if u, v, ok := s.Markers[i].ContainsGround(p); ok {
+					val = s.Markers[i].Marker.PatternAt(u, v)
+					break
+				}
+			}
+			im.Pix[py*cam.W+px] = val
+		}
+	}
+	return im
+}
+
+// testScene builds a scene with overlapping rotated markers and a synthetic
+// occluder band, exercising every per-pixel branch.
+func refScene() *Scene {
+	d := DefaultDictionary()
+	return &Scene{
+		Ground: GroundTexture{Seed: 99, Base: 0.45, Contrast: 0.3},
+		Markers: []MarkerInstance{
+			{Marker: d.Markers[0], Center: geom.V3(0, 0, 0), Size: 2, Yaw: 0.7},
+			{Marker: d.Markers[1], Center: geom.V3(1.2, 0.4, 0), Size: 1.5, Yaw: 2.1},
+			{Marker: d.Markers[2], Center: geom.V3(-4, 3, 0), Size: 2, Yaw: 5.5},
+		},
+		OccluderAt: func(x, y float64) (float64, float64, bool) {
+			if x > 3 && x < 6 {
+				return 0.3, 8, true // a roof band
+			}
+			if y < -5 {
+				return 0.18, 0, true // water
+			}
+			return 0, 0, false
+		},
+	}
+}
+
+// TestRenderIntoMatchesReference proves the marker-box prescreen, the
+// ground-sampler memo and buffer reuse leave the rendered pixels
+// bit-identical to the exhaustive reference renderer.
+func TestRenderIntoMatchesReference(t *testing.T) {
+	s := refScene()
+	im := NewImage(0, 0)
+	rng := rand.New(rand.NewSource(4))
+	for frame := 0; frame < 30; frame++ {
+		cam := DefaultCamera()
+		cam.Pos = geom.V3((rng.Float64()-0.5)*16, (rng.Float64()-0.5)*16, 2+rng.Float64()*20)
+		cam.Yaw = rng.Float64() * 2 * math.Pi
+		s.RenderInto(cam, im) // reused output buffer across frames
+		want := renderReference(s, cam)
+		for i := range want.Pix {
+			if im.Pix[i] != want.Pix[i] {
+				t.Fatalf("frame %d pixel %d: optimized %v != reference %v",
+					frame, i, im.Pix[i], want.Pix[i])
+			}
+		}
+	}
+}
+
+// TestRenderOccluderSubstitutesAlbedo covers the occluder contract after
+// the dead re-projection removal: a blocked pixel takes the occluder's
+// flat albedo; an occluder above the camera does not block.
+func TestRenderOccluderSubstitutesAlbedo(t *testing.T) {
+	s := &Scene{
+		Ground: GroundTexture{Seed: 1, Base: 0.9, Contrast: 0},
+		OccluderAt: func(x, y float64) (float64, float64, bool) {
+			return 0.3, 8, true // roof at 8m everywhere
+		},
+	}
+	cam := DefaultCamera()
+	cam.Pos = geom.V3(0, 0, 12)
+	im := s.Render(cam)
+	if v := im.At(cam.W/2, cam.H/2); v != 0.3 {
+		t.Errorf("pixel over roof = %v, want occluder albedo 0.3", v)
+	}
+	// Camera below the occluder top: the roof is above, not blocking.
+	cam.Pos = geom.V3(0, 0, 5)
+	im = s.Render(cam)
+	if v := im.At(cam.W/2, cam.H/2); v != 0.9 {
+		t.Errorf("pixel under roof = %v, want ground albedo 0.9", v)
+	}
+}
+
+// TestRenderIntoAllocFree asserts the steady-state render path allocates
+// nothing once its buffers are warm.
+func TestRenderIntoAllocFree(t *testing.T) {
+	s := refScene()
+	cam := DefaultCamera()
+	cam.Pos = geom.V3(0, 0, 12)
+	im := NewImage(cam.W, cam.H)
+	s.RenderInto(cam, im) // warm marker-box scratch
+
+	if n := testing.AllocsPerRun(50, func() {
+		s.RenderInto(cam, im)
+	}); n > 0 {
+		t.Errorf("RenderInto allocates %.1f/op in steady state, want 0", n)
+	}
+}
+
+// TestApplyReusingMatchesApply proves the scratch-buffer condition path is
+// pixel-identical to the allocating one, motion blur included.
+func TestApplyReusingMatchesApply(t *testing.T) {
+	cond := Conditions{
+		Fog: 0.4, Glare: 0.6, GlareU: 0.4, GlareV: 0.6,
+		Shadow: 0.5, ShadowPos: 0.3, MotionBlur: 5,
+		Brightness: -0.1, Contrast: 0.8, Occlusion: 0.8, OccU: 0.5, OccV: 0.5, OccR: 0.1,
+		RainNoise: 0.05,
+	}
+	base := NewImage(64, 64)
+	for i := range base.Pix {
+		base.Pix[i] = float64(i%97) / 97
+	}
+	a := base.Clone()
+	b := base.Clone()
+	scratch := NewImage(64, 64)
+	cond.Apply(a, 12, rand.New(rand.NewSource(9)))
+	cond.ApplyReusing(b, 12, rand.New(rand.NewSource(9)), scratch)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatalf("pixel %d: Apply %v != ApplyReusing %v", i, a.Pix[i], b.Pix[i])
+		}
+	}
+	if n := testing.AllocsPerRun(20, func() {
+		cond.ApplyReusing(b, 12, nil, scratch)
+	}); n > 0 {
+		t.Errorf("ApplyReusing allocates %.1f/op with scratch, want 0", n)
+	}
+}

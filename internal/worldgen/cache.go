@@ -1,0 +1,148 @@
+package worldgen
+
+import (
+	"fmt"
+	"sync"
+)
+
+// World cache
+//
+// Campaign grids run the same (map, scenario) cell many times: once per
+// sensor-seed repetition per system generation, across parallel workers.
+// Worldgen is deterministic in the cell indices, so each of those runs
+// regenerated a byte-identical world — procedural placement, mission
+// placement, and the spatial index build — on the hot path. The cache
+// generates each cell's world once and shares it.
+//
+// Sharing is sound because a generated world is immutable:
+//
+//   - worldgen finishes all obstacle mutation before BuildIndex and never
+//     touches the world again;
+//   - scenario.Run, the sensors and the renderer only read sim.World (the
+//     system under test never even sees it — it sees sensor outputs);
+//   - Acquire hands each caller a fresh shallow Scenario copy, so per-run
+//     customization of the Scenario value (campaign Configure hooks
+//     flooring Weather, field profiles raising GPSDegradation) stays
+//     private to the run. The World pointer inside the copy is shared and
+//     must be treated as read-only; code that needs a mutated world must
+//     generate its own via Generate.
+//
+// Entries are reference-counted: Acquire pins an entry, the returned
+// release function unpins it, and eviction (capacity overflow) only
+// considers unpinned entries, oldest-use first. The paper-scale grid has
+// 100 distinct cells, so with the default capacity the cache simply holds
+// every world; the refcounts are what make a smaller bound safe.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[cacheKey]*cacheEntry
+	tick     uint64
+	hits     uint64
+	misses   uint64
+}
+
+type cacheKey struct{ mapIdx, scIdx int }
+
+type cacheEntry struct {
+	sc      *Scenario
+	refs    int
+	lastUse uint64
+}
+
+// DefaultCacheCapacity holds every cell of the paper-scale benchmark
+// (10 maps x 10 scenarios) with headroom for bespoke cells.
+const DefaultCacheCapacity = 128
+
+// Shared is the process-wide world cache used by scenario.RunGridCell and
+// therefore by every campaign worker.
+var Shared = NewCache(DefaultCacheCapacity)
+
+// NewCache returns an empty cache bounded to capacity entries (minimum 1).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		entries:  make(map[cacheKey]*cacheEntry, capacity),
+	}
+}
+
+// Acquire returns scenario (mapIdx, scIdx), generating it on first use and
+// sharing the generated world afterwards. The returned Scenario is a
+// shallow copy private to the caller; its World pointer is shared and
+// read-only. release unpins the cache entry and must be called once the
+// run is done with the world (calling it more than once panics).
+func (c *Cache) Acquire(mapIdx, scIdx int) (sc *Scenario, release func(), err error) {
+	key := cacheKey{mapIdx, scIdx}
+	c.mu.Lock()
+	e := c.entries[key]
+	if e == nil {
+		// Generate outside the lock: worldgen takes milliseconds and other
+		// cells' acquires should not serialize behind it. A racing acquire
+		// of the same cell may generate twice; both worlds are identical,
+		// the first to re-lock installs its entry, and the loser adopts it.
+		c.misses++
+		c.mu.Unlock()
+		gen, gerr := Generate(mapIdx, scIdx)
+		if gerr != nil {
+			return nil, nil, gerr
+		}
+		c.mu.Lock()
+		if cur := c.entries[key]; cur != nil {
+			e = cur
+		} else {
+			e = &cacheEntry{sc: gen}
+			c.entries[key] = e
+		}
+	} else {
+		c.hits++
+	}
+	e.refs++
+	c.tick++
+	e.lastUse = c.tick
+	c.evictLocked() // after the pin, so a fresh entry can't evict itself
+	c.mu.Unlock()
+
+	cp := *e.sc
+	released := false
+	release = func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if released {
+			panic(fmt.Sprintf("worldgen: double release of cached scenario (%d,%d)", mapIdx, scIdx))
+		}
+		released = true
+		e.refs--
+		c.evictLocked()
+	}
+	return &cp, release, nil
+}
+
+// evictLocked drops the oldest unpinned entries while over capacity.
+func (c *Cache) evictLocked() {
+	for len(c.entries) > c.capacity {
+		var victim cacheKey
+		var victimEntry *cacheEntry
+		for k, e := range c.entries {
+			if e.refs > 0 {
+				continue
+			}
+			if victimEntry == nil || e.lastUse < victimEntry.lastUse {
+				victim, victimEntry = k, e
+			}
+		}
+		if victimEntry == nil {
+			return // everything pinned; try again on the next release
+		}
+		delete(c.entries, victim)
+	}
+}
+
+// Stats reports cache effectiveness: hit and miss counts since creation
+// and the number of worlds currently resident.
+func (c *Cache) Stats() (hits, misses uint64, resident int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.entries)
+}

@@ -1,0 +1,131 @@
+package worldgen
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheSharesWorlds(t *testing.T) {
+	c := NewCache(8)
+	a, relA, err := c.Acquire(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, relB, err := c.Acquire(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.World != b.World {
+		t.Error("same cell acquired twice should share one *World")
+	}
+	if a == b {
+		t.Error("acquires must hand out distinct Scenario copies")
+	}
+	// Per-run Scenario customization must not leak across acquires.
+	a.Weather.GPSDegradation = 0.9
+	cpy, relC, err := c.Acquire(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpy.Weather.GPSDegradation == 0.9 {
+		t.Error("Weather mutation leaked into the cached scenario")
+	}
+	relA()
+	relB()
+	relC()
+
+	hits, misses, resident := c.Stats()
+	if misses != 1 || hits != 2 || resident != 1 {
+		t.Errorf("stats = %d hits / %d misses / %d resident, want 2/1/1", hits, misses, resident)
+	}
+}
+
+func TestCacheMatchesGenerate(t *testing.T) {
+	c := NewCache(4)
+	got, rel, err := c.Acquire(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	want, err := Generate(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", got.Map) != fmt.Sprintf("%+v", want.Map) ||
+		got.TargetID != want.TargetID || got.TrueMarker != want.TrueMarker ||
+		got.GPSGoal != want.GPSGoal ||
+		len(got.World.Buildings) != len(want.World.Buildings) ||
+		len(got.World.Trees) != len(want.World.Trees) ||
+		len(got.World.Markers) != len(want.World.Markers) {
+		t.Error("cached scenario differs from a fresh Generate")
+	}
+}
+
+func TestCacheEvictsOnlyUnpinned(t *testing.T) {
+	c := NewCache(1)
+	_, rel0, err := c.Acquire(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Over capacity while (0,0) is pinned: both entries must survive.
+	_, rel1, err := c.Acquire(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, resident := c.Stats(); resident != 2 {
+		t.Fatalf("pinned entries evicted: resident = %d, want 2", resident)
+	}
+	rel0()
+	rel1()
+	if _, _, resident := c.Stats(); resident != 1 {
+		_, _, r := c.Stats()
+		t.Fatalf("release should shrink to capacity: resident = %d, want 1", r)
+	}
+}
+
+func TestCacheDoubleReleasePanics(t *testing.T) {
+	c := NewCache(4)
+	_, rel, err := c.Acquire(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	defer func() {
+		if recover() == nil {
+			t.Error("double release should panic")
+		}
+	}()
+	rel()
+}
+
+func TestCacheConcurrentAcquire(t *testing.T) {
+	c := NewCache(16)
+	var wg sync.WaitGroup
+	worlds := make([]*Scenario, 32)
+	for i := range worlds {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sc, rel, err := c.Acquire(3, i%2)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			worlds[i] = sc
+			rel()
+		}(i)
+	}
+	wg.Wait()
+	// All goroutines acquiring the same cell must have observed one world.
+	seen := map[int]*Scenario{}
+	for i, sc := range worlds {
+		key := i % 2
+		if prev, ok := seen[key]; ok && sc != nil && prev.World != sc.World {
+			t.Fatalf("cell (3,%d) produced distinct worlds under concurrency", key)
+		}
+		if sc != nil {
+			seen[key] = sc
+		}
+	}
+}
