@@ -127,6 +127,11 @@ func Generate(mapIndex, scIndex int) (*Scenario, error) {
 	}
 
 	sc.Weather = genWeather(rng, scIndex)
+
+	// The obstacle lists are final: build the static spatial index that
+	// accelerates every collision, lidar, depth and occlusion query. From
+	// here on the world is immutable (the cache relies on that).
+	w.BuildIndex()
 	return sc, nil
 }
 
