@@ -13,6 +13,13 @@
 //   - GPS drift magnitudes (Fig. 5d)
 //   - Jetson Nano resource series (Fig. 7): higher CPU/RAM than HIL
 //     because of real-time camera processing.
+//
+// A real field campaign gets interrupted — weather, batteries, airspace —
+// so this tool doubles as the resume-after-cancel demonstration: run with
+// -checkpoint, Ctrl-C mid-campaign, rerun the same command and the flown
+// flights replay from the journal while only the remainder fly. The final
+// flight log and aggregates are bit-identical to an uninterrupted
+// campaign (compare the printed aggregate digests).
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"runtime"
 
 	"repro/internal/campaign"
@@ -40,6 +48,7 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel flight workers (1 = sequential)")
 	resources := flag.Bool("resources", false, "print the per-second Fig. 7 resource series of one flight")
 	csvPath := flag.String("csv", "", "write the Fig. 7 series of flight 0 as CSV to this path")
+	checkpoint := flag.String("checkpoint", "", "journal file for crash-safe resume (Ctrl-C, rerun the same command to continue)")
 	flag.Parse()
 
 	if *runs < 1 {
@@ -89,18 +98,40 @@ func main() {
 		cfg.ErroneousDepthRate = 0.04 // Fig. 5c spurious clusters
 	}
 
-	var drifts []float64
-	report, err := campaign.Execute(context.Background(), spec, campaign.Options{
+	// Ctrl-C cancels between flights; with -checkpoint nothing is lost.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := campaign.Options{
 		Workers: *workers,
 		Ordered: true, // flight log prints in flight order
-		OnResult: func(ru campaign.Run, r scenario.Result) {
-			drifts = append(drifts, r.MaxGPSDrift)
-			fmt.Printf("  flight %2d map%d sc%d: %-12s landErr=%.2fm drift=%.2fm\n",
-				ru.Rep, ru.MapIdx, ru.ScenarioIdx, r.Outcome, r.LandingError, r.MaxGPSDrift)
-		},
-	})
+	}
+	var drifts []float64
+	opts.OnResult = func(ru campaign.Run, r scenario.Result) {
+		drifts = append(drifts, r.MaxGPSDrift)
+		fmt.Printf("  flight %2d map%d sc%d: %-12s landErr=%.2fm drift=%.2fm\n",
+			ru.Rep, ru.MapIdx, ru.ScenarioIdx, r.Outcome, r.LandingError, r.MaxGPSDrift)
+	}
+	if *checkpoint != "" {
+		j, err := campaign.OpenJournal(*checkpoint, spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fieldtest:", err)
+			os.Exit(1)
+		}
+		defer j.Close()
+		if done := j.Len(); done > 0 {
+			fmt.Printf("checkpoint %s: resuming — %d/%d flights already flown (replayed below)\n",
+				*checkpoint, done, spec.Total())
+		}
+		opts.Checkpoint = j
+	}
+
+	report, err := campaign.Execute(ctx, spec, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fieldtest:", err)
+		if *checkpoint != "" && ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "fieldtest: flown flights are journaled in %s — rerun the same command to resume\n", *checkpoint)
+		}
 		os.Exit(1)
 	}
 
@@ -139,6 +170,7 @@ func main() {
 	}
 
 	fmt.Println("\nReal-world results (paper §V-C)")
+	fmt.Printf("  aggregate digest: %s\n", report.Digest())
 	fmt.Printf("  success %.1f%%, collision %.1f%%, poor landing %.1f%% over %d flights (%.1fs wall on %d workers, %.2fx speedup)\n",
 		agg.SuccessRate(), agg.CollisionRate(), agg.PoorLandingRate(), agg.Runs,
 		report.Wall.Seconds(), report.Workers, report.Speedup())

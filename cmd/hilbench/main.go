@@ -11,6 +11,13 @@
 // The sweep runs as a campaign across -workers cores; each run gets its
 // own hil.Monitor attached through the campaign's per-run configure hook,
 // so the resource series are collected exactly as in the sequential loop.
+//
+// Campaigns at scale: -checkpoint journals finished runs for crash-safe
+// resume; -shard i/n + -out run and persist one slice of the grid for
+// distributed execution (the custom HIL seed derivation ships inside the
+// shard, by value); -merge recombines shard files in any order. Outcome
+// aggregates are bit-identical to one uninterrupted run in all cases;
+// resource series exist only for runs executed in this process.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 
 	"repro/internal/campaign"
@@ -34,7 +42,16 @@ func main() {
 	mode := flag.String("mode", "maxn", "power mode: maxn or 5w")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel run workers (1 = sequential)")
 	verbose := flag.Bool("v", false, "print per-run results")
+	checkpoint := flag.String("checkpoint", "", "journal file for crash-safe resume (rerun the same command to continue)")
+	shard := flag.String("shard", "", "run one shard of the campaign, as i/n (e.g. 2/4)")
+	out := flag.String("out", "", "shard aggregate output file (default hilbench-shard-<i>-of-<n>.json)")
+	merge := flag.Bool("merge", false, "merge shard result files given as arguments and print Table III")
 	flag.Parse()
+
+	if *merge {
+		mergeMain(flag.Args())
+		return
+	}
 
 	if *maps < 1 || *maps > 10 || *scenarios < 1 || *scenarios > worldgen.NumScenariosPerMap {
 		fmt.Fprintln(os.Stderr, "hilbench: -maps must be 1-10 and -scenarios 1-10")
@@ -66,8 +83,21 @@ func main() {
 		},
 	}
 
+	var activeShard *campaign.Shard
+	if *shard != "" {
+		sh, sub, err := campaign.ParseShardFlag(spec, *shard)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hilbench:", err)
+			os.Exit(2)
+		}
+		activeShard, spec = sh, sub
+		fmt.Printf("shard %d/%d: runs [%d,%d) of %d\n\n", sh.Index+1, sh.Count, sh.Start, sh.End, sh.Total)
+	}
+
 	// One monitor per run, attached by the configure hook; workers write
-	// distinct indices, so the slice needs no lock.
+	// distinct indices, so the slice needs no lock. Replayed checkpoint
+	// runs never call the hook — their slots stay nil and the resource
+	// summary covers the runs executed in this process.
 	mons := make([]*hil.Monitor, spec.Total())
 	spec.Configure = func(ru campaign.Run, sc *worldgen.Scenario, sys *core.System, cfg *scenario.RunConfig) {
 		sys.SetReplanInterval(plan.ReplanInterval)
@@ -85,15 +115,36 @@ func main() {
 		}
 	}
 
-	report, err := campaign.Execute(context.Background(), spec, opts)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *checkpoint != "" {
+		j, err := campaign.OpenJournal(*checkpoint, spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hilbench:", err)
+			os.Exit(1)
+		}
+		defer j.Close()
+		if done := j.Len(); done > 0 {
+			fmt.Printf("checkpoint %s: resuming with %d/%d runs already on record\n",
+				*checkpoint, done, spec.Total())
+		}
+		opts.Checkpoint = j
+	}
+
+	report, err := campaign.Execute(ctx, spec, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hilbench:", err)
+		if *checkpoint != "" && ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "hilbench: progress is journaled in %s — rerun the same command to resume\n", *checkpoint)
+		}
 		os.Exit(1)
 	}
 
 	agg := *report.Aggregates[core.V3]
 	runs := agg.Runs
 	var meanCPU, meanMem, peakMem float64
+	monN := 0
 	for _, mon := range mons {
 		if mon == nil {
 			continue
@@ -103,24 +154,71 @@ func main() {
 		if _, m := mon.Peak(); m > peakMem {
 			peakMem = m
 		}
+		monN++
 	}
 
 	fmt.Printf("completed %d runs in %.1fs wall (%.1fs of runs on %d workers, %.2fx speedup vs -workers=1)\n",
 		runs, report.Wall.Seconds(), report.Busy.Seconds(), report.Workers, report.Speedup())
 	hits, misses, resident := worldgen.Shared.Stats()
-	fmt.Printf("world cache: %d hits / %d generations, %d worlds resident\n\n",
+	fmt.Printf("world cache: %d hits / %d generations, %d worlds resident\n",
 		hits, misses, resident)
+	fmt.Printf("aggregate digest: %s\n\n", report.Digest())
+	printTableIII(agg)
+
+	if monN > 0 {
+		scope := ""
+		if monN < runs {
+			scope = fmt.Sprintf(" over the %d runs executed this session", monN)
+		}
+		fmt.Printf("\nResource summary (%s)%s:\n", profile.Name, scope)
+		fmt.Printf("  mean CPU %.0f%% of %d00%% aggregate; mean RAM %.2f GB, peak %.2f GB of %.1f GB available\n",
+			meanCPU/float64(monN), profile.Cores,
+			meanMem/float64(monN)/1000, peakMem/1000, float64(profile.MemTotalMB)/1000)
+	}
+	fmt.Printf("\nAuxiliary: FNR %.2f%%, mean landing error %.2f m\n",
+		100*agg.FalseNegativeRate, agg.MeanLandingError)
+
+	if activeShard != nil {
+		path := *out
+		if path == "" {
+			path = fmt.Sprintf("hilbench-shard-%d-of-%d.json", activeShard.Index+1, activeShard.Count)
+		}
+		if err := campaign.WriteShardResult(path, activeShard.Result(report)); err != nil {
+			fmt.Fprintln(os.Stderr, "hilbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nshard aggregates written to %s — combine with: hilbench -merge <all shard files>\n", path)
+	}
+}
+
+// mergeMain recombines shard result files (in any order) into Table III.
+func mergeMain(files []string) {
+	shards, err := campaign.ReadShardResults(files)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hilbench:", err)
+		os.Exit(2)
+	}
+	merged, err := campaign.MergeShards(shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hilbench:", err)
+		os.Exit(1)
+	}
+	agg := merged[core.V3]
+	if agg == nil {
+		fmt.Fprintln(os.Stderr, "hilbench: merged shards carry no MLS-V3 aggregate")
+		os.Exit(1)
+	}
+	fmt.Printf("merged %d shards (%d runs)\n", len(shards), shards[0].Total)
+	fmt.Printf("aggregate digest: %s\n\n", campaign.AggregatesDigest(merged))
+	printTableIII(*agg)
+	fmt.Printf("\nAuxiliary: FNR %.2f%%, mean landing error %.2f m\n",
+		100*agg.FalseNegativeRate, agg.MeanLandingError)
+	fmt.Println("(resource series live on the machines that executed each shard)")
+}
+
+func printTableIII(agg scenario.Aggregate) {
 	fmt.Println("Table III — Experiment Results of HIL Testing")
 	fmt.Printf("%-10s %-22s %-26s %-26s\n", "System", "Successful Landing", "Failure (Collision)", "Failure (Poor Landing)")
 	fmt.Printf("%-10s %20.2f%% %24.2f%% %24.2f%%\n",
 		agg.System, agg.SuccessRate(), agg.CollisionRate(), agg.PoorLandingRate())
-
-	if runs > 0 {
-		fmt.Printf("\nResource summary (%s):\n", profile.Name)
-		fmt.Printf("  mean CPU %.0f%% of %d00%% aggregate; mean RAM %.2f GB, peak %.2f GB of %.1f GB available\n",
-			meanCPU/float64(runs), profile.Cores,
-			meanMem/float64(runs)/1000, peakMem/1000, float64(profile.MemTotalMB)/1000)
-	}
-	fmt.Printf("\nAuxiliary: FNR %.2f%%, mean landing error %.2f m\n",
-		100*agg.FalseNegativeRate, agg.MeanLandingError)
 }

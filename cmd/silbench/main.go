@@ -10,6 +10,13 @@
 // results are delivered in canonical grid order, so any worker count
 // reproduces the sequential tables bit for bit.
 //
+// Campaigns at scale: -checkpoint makes the sweep crash-safe (Ctrl-C it,
+// rerun the same command, it resumes where it stopped); -shard i/n runs
+// one contiguous slice of the grid and -out persists its aggregates, so n
+// machines can split the campaign; -merge recombines the shard files in
+// any order. All three paths are bit-identical to one uninterrupted run —
+// compare the printed aggregate digests.
+//
 // Absolute percentages depend on the synthetic substrate; the comparisons
 // that must hold are the orderings and rough factors (see EXPERIMENTS.md).
 package main
@@ -19,7 +26,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"sort"
 	"time"
 
 	"repro/internal/campaign"
@@ -36,7 +45,16 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel run workers (1 = sequential)")
 	progress := flag.Bool("progress", false, "print campaign progress with ETA to stderr")
 	verbose := flag.Bool("v", false, "print per-run results")
+	checkpoint := flag.String("checkpoint", "", "journal file for crash-safe resume (rerun the same command to continue)")
+	shard := flag.String("shard", "", "run one shard of the campaign, as i/n (e.g. 2/4)")
+	out := flag.String("out", "", "shard aggregate output file (default silbench-shard-<i>-of-<n>.json)")
+	merge := flag.Bool("merge", false, "merge shard result files given as arguments and print the tables")
 	flag.Parse()
+
+	if *merge {
+		mergeMain(flag.Args())
+		return
+	}
 
 	if *maps < 1 || *maps > 10 || *scenarios < 1 || *scenarios > worldgen.NumScenariosPerMap {
 		fmt.Fprintln(os.Stderr, "silbench: -maps must be 1-10 and -scenarios 1-10")
@@ -70,8 +88,21 @@ func main() {
 		Generations: selected,
 		Timing:      scenario.SILTiming(),
 	}
-	fmt.Printf("SIL benchmark: %d maps x %d scenarios x %d repeats x %d systems = %d runs on %d workers\n\n",
+	fmt.Printf("SIL benchmark: %d maps x %d scenarios x %d repeats x %d systems = %d runs on %d workers\n",
 		*maps, *scenarios, *repeats, len(selected), spec.Total(), *workers)
+
+	// Sharded execution replaces the full grid with one contiguous slice.
+	var activeShard *campaign.Shard
+	if *shard != "" {
+		sh, sub, err := campaign.ParseShardFlag(spec, *shard)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "silbench:", err)
+			os.Exit(2)
+		}
+		activeShard, spec = sh, sub
+		fmt.Printf("shard %d/%d: runs [%d,%d) of %d\n", sh.Index+1, sh.Count, sh.Start, sh.End, sh.Total)
+	}
+	fmt.Println()
 
 	opts := campaign.Options{
 		Workers: *workers,
@@ -96,21 +127,88 @@ func main() {
 		}
 	}
 
-	report, err := campaign.Execute(context.Background(), spec, opts)
+	// Ctrl-C cancels between runs; with -checkpoint nothing is lost.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *checkpoint != "" {
+		j, err := campaign.OpenJournal(*checkpoint, spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "silbench:", err)
+			os.Exit(1)
+		}
+		defer j.Close()
+		if done := j.Len(); done > 0 {
+			fmt.Printf("checkpoint %s: resuming with %d/%d runs already on record\n",
+				*checkpoint, done, spec.Total())
+		}
+		opts.Checkpoint = j
+	}
+
+	report, err := campaign.Execute(ctx, spec, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "silbench:", err)
+		if *checkpoint != "" && ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "silbench: progress is journaled in %s — rerun the same command to resume\n", *checkpoint)
+		}
 		os.Exit(1)
 	}
 
-	var rows []scenario.Aggregate
-	for _, gen := range selected {
-		rows = append(rows, *report.Aggregates[gen])
-	}
 	fmt.Printf("campaign done in %.1fs wall (%.1fs of runs on %d workers, %.2fx speedup vs -workers=1)\n",
 		report.Wall.Seconds(), report.Busy.Seconds(), report.Workers, report.Speedup())
 	hits, misses, resident := worldgen.Shared.Stats()
 	fmt.Printf("world cache: %d hits / %d generations, %d worlds resident\n",
 		hits, misses, resident)
+	fmt.Printf("aggregate digest: %s\n", report.Digest())
+
+	if activeShard != nil {
+		path := *out
+		if path == "" {
+			path = fmt.Sprintf("silbench-shard-%d-of-%d.json", activeShard.Index+1, activeShard.Count)
+		}
+		if err := campaign.WriteShardResult(path, activeShard.Result(report)); err != nil {
+			fmt.Fprintln(os.Stderr, "silbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("shard aggregates written to %s — combine with: silbench -merge <all shard files>\n", path)
+	}
+	// Rows print in -systems order (a shard may cover only some of them).
+	printTables(selected, report.Aggregates)
+}
+
+// mergeMain recombines shard result files (in any order) into the full
+// campaign's tables.
+func mergeMain(files []string) {
+	shards, err := campaign.ReadShardResults(files)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "silbench:", err)
+		os.Exit(2)
+	}
+	merged, err := campaign.MergeShards(shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "silbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("merged %d shards (%d runs)\n", len(shards), shards[0].Total)
+	fmt.Printf("aggregate digest: %s\n", campaign.AggregatesDigest(merged))
+	gens := make([]core.Generation, 0, len(merged))
+	for gen := range merged {
+		gens = append(gens, gen)
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	printTables(gens, merged)
+}
+
+// printTables renders Table I / Table II / auxiliary rows in the given
+// generation order, skipping generations with no aggregate (a shard may
+// cover only part of the -systems selection).
+func printTables(gens []core.Generation, aggs map[core.Generation]*scenario.Aggregate) {
+	rows := make([]scenario.Aggregate, 0, len(gens))
+	for _, gen := range gens {
+		if agg := aggs[gen]; agg != nil {
+			rows = append(rows, *agg)
+		}
+	}
 
 	fmt.Println("\nTable I — Experiment Results of SIL Testing")
 	fmt.Printf("%-10s %-22s %-26s %-26s\n", "System", "Successful Landing", "Failure (Collision)", "Failure (Poor Landing)")

@@ -1,3 +1,5 @@
 module repro
 
-go 1.24
+// 1.23 is the language floor so CI's Go version matrix (1.23, 1.24) can
+// build with either toolchain.
+go 1.23

@@ -40,6 +40,17 @@ type Options struct {
 	// extrapolated from throughput so far) after each run. Same locking
 	// caveats as OnResult.
 	OnProgress func(Progress)
+
+	// Checkpoint, when non-nil, makes the campaign resumable: every
+	// finished run is durably appended to the journal, and runs already on
+	// record are replayed from it (delivered through OnResult/OnProgress
+	// and folded into the report) instead of re-executed. Because journal
+	// round-trips are bit-exact and aggregation is exact and
+	// order-independent, a resumed campaign's Results and Aggregates are
+	// bit-identical to an uninterrupted run's. The journal must have been
+	// opened for this same spec (OpenJournal enforces the binding; Execute
+	// re-checks it). The caller retains ownership and closes it.
+	Checkpoint *Journal
 }
 
 // Progress is a point-in-time view of a running campaign.
@@ -62,16 +73,19 @@ type Report struct {
 
 	// Aggregates carries one streaming-merged row per generation, built
 	// from per-worker shard aggregates (scenario.Aggregate.Add locally,
-	// Merge at the end) without buffering results. Integer-derived rates
-	// are exact; mean columns can wobble in the last ulp across executions
-	// because dynamic scheduling changes float summation order.
+	// Merge at the end) without buffering results. Aggregation is exact
+	// and order-independent (fixed-point accumulators), so for the same
+	// Spec the rows are bit-identical whatever the worker count, dynamic
+	// schedule, checkpoint resume, or shard merge order — verifiable with
+	// Digest.
 	Aggregates map[core.Generation]*scenario.Aggregate
 
 	// Wall is the elapsed execution time; Busy is the summed wall-clock
 	// time of the runs themselves across all workers.
 	Wall time.Duration
 	Busy time.Duration
-	// Workers is the pool size actually used.
+	// Workers is the pool size actually used; 0 when a checkpoint replay
+	// covered every run and no worker had anything to execute.
 	Workers int
 }
 
@@ -113,7 +127,9 @@ func (r *Report) Speedup() float64 {
 // Cancelling ctx stops the campaign between runs (an in-flight mission
 // finishes first — runs are seconds, not minutes) and Execute returns the
 // context's error. The first per-run error likewise cancels the rest of
-// the campaign. In both cases the partial report is discarded.
+// the campaign. In both cases the partial report is discarded — though
+// with a Checkpoint journal every finished run is already durable, so a
+// re-Execute resumes where the cancelled campaign stopped.
 func Execute(ctx context.Context, spec Spec, opts Options) (*Report, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -123,12 +139,33 @@ func Execute(ctx context.Context, spec Spec, opts Options) (*Report, error) {
 		return nil, err
 	}
 	n := len(runs)
+
+	// Resumable campaigns: replayed indices are delivered from the journal
+	// below and skipped by the workers.
+	journal := opts.Checkpoint
+	var skip []bool
+	var replay []int
+	if journal != nil {
+		sig, err := spec.Signature()
+		if err != nil {
+			return nil, err
+		}
+		if sig != journal.sig {
+			return nil, fmt.Errorf("campaign: checkpoint journal was opened for a different spec")
+		}
+		skip = make([]bool, n)
+		replay = journal.CompletedIndices()
+		for _, i := range replay {
+			skip[i] = true
+		}
+	}
+
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > n {
-		workers = n
+	if remaining := n - len(replay); workers > remaining {
+		workers = remaining
 	}
 	report := &Report{
 		Aggregates: make(map[core.Generation]*scenario.Aggregate),
@@ -191,11 +228,36 @@ func Execute(ctx context.Context, spec Spec, opts Options) (*Report, error) {
 		}
 		if opts.OnProgress != nil {
 			p := Progress{Done: done, Total: n, Elapsed: time.Since(start)}
-			if done < n {
-				p.ETA = time.Duration(float64(p.Elapsed) / float64(done) * float64(n-done))
+			// Extrapolate from live throughput only: replayed journal runs
+			// deliver in microseconds and would otherwise collapse the ETA
+			// of the real work left.
+			if live := done - len(replay); done < n && live > 0 {
+				p.ETA = time.Duration(float64(p.Elapsed) / float64(live) * float64(n-done))
 			}
 			opts.OnProgress(p)
 		}
+	}
+
+	// Replay journaled runs before the pool starts: fold them into their
+	// own shard and deliver them in canonical order, so callbacks see a
+	// complete stream and the report covers all n runs. Exact aggregation
+	// makes the replay-shard/live-shard split invisible in the merged bits.
+	replayShard := make(map[core.Generation]*scenario.Aggregate)
+	for _, i := range replay {
+		r, _ := journal.Completed(i)
+		ru := runs[i]
+		agg := replayShard[ru.Gen]
+		if agg == nil {
+			agg = scenario.NewAggregate(ru.Gen.String())
+			replayShard[ru.Gen] = agg
+		}
+		agg.Add(r)
+		if report.Results != nil {
+			report.Results[i] = r
+		}
+		mu.Lock()
+		deliver(i, r)
+		mu.Unlock()
 	}
 
 	shards := make([]map[core.Generation]*scenario.Aggregate, workers)
@@ -210,6 +272,9 @@ func Execute(ctx context.Context, spec Spec, opts Options) (*Report, error) {
 				i := int(next.Add(1) - 1)
 				if i >= n || ctx.Err() != nil {
 					return
+				}
+				if skip != nil && skip[i] {
+					continue
 				}
 				ru := runs[i]
 				var configure scenario.ConfigureFunc
@@ -230,6 +295,20 @@ func Execute(ctx context.Context, spec Spec, opts Options) (*Report, error) {
 					mu.Unlock()
 					cancel()
 					return
+				}
+				if journal != nil {
+					// Persist before delivering: a run is only observable
+					// once it is durable, so a crash between the two can
+					// at worst replay it, never lose it.
+					if err := journal.Append(ru, r); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						cancel()
+						return
+					}
 				}
 				agg := shard[ru.Gen]
 				if agg == nil {
@@ -255,9 +334,14 @@ func Execute(ctx context.Context, spec Spec, opts Options) (*Report, error) {
 		return nil, err
 	}
 
-	// Merge worker shards generation by generation, workers in pool order.
+	// Merge the replay shard and worker shards generation by generation.
+	// Merge order is presentation only: exact aggregation makes any order
+	// bit-identical.
 	for _, gen := range generations(runs) {
 		merged := scenario.NewAggregate(gen.String())
+		if agg := replayShard[gen]; agg != nil {
+			merged.Merge(*agg)
+		}
 		for _, shard := range shards {
 			if agg := shard[gen]; agg != nil {
 				merged.Merge(*agg)

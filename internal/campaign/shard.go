@@ -1,0 +1,287 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+// Distribution layer: a campaign Spec is already the wire format — worlds
+// regenerate deterministically from grid indices and seeds derive from
+// cells, so distributing a campaign means shipping cell ranges, not data.
+//
+// Spec.Shards(n) cuts the canonical run order into n contiguous ranges.
+// Each Shard is a self-contained JSON value (resolved cells, per-run
+// seeds, timing, and a signature binding it to the full campaign) that a
+// remote machine turns back into an executable Spec with ToSpec, runs
+// through Execute, and summarizes with Result. MergeShards recombines the
+// persisted ShardResults into the full campaign's aggregates — in any
+// arrival order, bit-identically to a single uninterrupted run, because
+// aggregation is exact and order-independent.
+
+// Shard is one contiguous slice of a campaign, serializable as JSON.
+type Shard struct {
+	// Index identifies this shard (0-based) among Count shards.
+	Index int `json:"index"`
+	Count int `json:"count"`
+	// Start/End are the canonical run-index range [Start, End) this shard
+	// covers; Total is the full campaign's run count.
+	Start int `json:"start"`
+	End   int `json:"end"`
+	Total int `json:"total"`
+	// Sig is the full campaign's Spec.Signature; it binds shards of one
+	// campaign together and is checked again at merge time.
+	Sig string `json:"spec"`
+	// Timing is the deployment profile of every run.
+	Timing scenario.Timing `json:"timing"`
+	// Runs are the resolved runs of the range: cells plus the per-run
+	// seeds, so a custom Spec.Seed travels by value and the receiving
+	// machine needs no code for it. Run.Index keeps the canonical
+	// (full-campaign) index.
+	Runs []Run `json:"runs"`
+}
+
+// Shards partitions the campaign into n contiguous shards of near-equal
+// size (sizes differ by at most one run). Every run appears in exactly one
+// shard, in canonical order.
+func (s Spec) Shards(n int) ([]Shard, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("campaign: shard count %d, want >= 1", n)
+	}
+	runs, err := s.Runs()
+	if err != nil {
+		return nil, err
+	}
+	if n > len(runs) {
+		return nil, fmt.Errorf("campaign: %d shards for %d runs", n, len(runs))
+	}
+	sig, err := s.Signature()
+	if err != nil {
+		return nil, err
+	}
+	shards := make([]Shard, n)
+	total := len(runs)
+	for i := 0; i < n; i++ {
+		// Balanced contiguous ranges: the first total%n shards get one
+		// extra run.
+		start := i*(total/n) + min(i, total%n)
+		end := start + total/n
+		if i < total%n {
+			end++
+		}
+		shards[i] = Shard{
+			Index:  i,
+			Count:  n,
+			Start:  start,
+			End:    end,
+			Total:  total,
+			Sig:    sig,
+			Timing: s.Timing,
+			Runs:   runs[start:end],
+		}
+	}
+	return shards, nil
+}
+
+// ToSpec reconstructs an executable Spec for the shard's range. Seeds are
+// restored from the shipped runs (not re-derived), so the shard executes
+// identically even when the originating Spec used a custom Seed function.
+// Attach Configure hooks to the returned Spec before Execute if the runs
+// need per-run instrumentation; hooks receive shard-local run indices
+// (add Shard.Start to recover canonical ones).
+func (sh Shard) ToSpec() (Spec, error) {
+	if len(sh.Runs) == 0 {
+		return Spec{}, fmt.Errorf("campaign: shard %d has no runs", sh.Index)
+	}
+	cells := make([]Cell, len(sh.Runs))
+	seeds := make(map[Cell]int64, len(sh.Runs))
+	for i, ru := range sh.Runs {
+		cells[i] = ru.Cell
+		seeds[ru.Cell] = ru.Seed
+	}
+	return Spec{
+		Cells:  cells,
+		Timing: sh.Timing,
+		// Seed is always a pure function of the cell (the canonical
+		// GridSeed or the originating custom Seed func), so a by-cell
+		// lookup reproduces it faithfully.
+		Seed: func(c Cell) int64 { return seeds[c] },
+	}, nil
+}
+
+// ShardResult is the persisted outcome of one executed shard — the other
+// half of the wire format. It carries the shard's merged aggregates plus
+// enough identity to validate a merge.
+type ShardResult struct {
+	Index int    `json:"index"`
+	Count int    `json:"count"`
+	Start int    `json:"start"`
+	End   int    `json:"end"`
+	Total int    `json:"total"`
+	Sig   string `json:"spec"`
+	// Aggregates holds the shard's per-generation rows with their exact
+	// accumulators (scenario's Aggregate codec), so merging decoded shards
+	// is bit-identical to merging live ones.
+	Aggregates map[core.Generation]*scenario.Aggregate `json:"aggregates"`
+}
+
+// Result summarizes an executed shard for persistence or shipping back to
+// the coordinator.
+func (sh Shard) Result(rep *Report) *ShardResult {
+	return &ShardResult{
+		Index:      sh.Index,
+		Count:      sh.Count,
+		Start:      sh.Start,
+		End:        sh.End,
+		Total:      sh.Total,
+		Sig:        sh.Sig,
+		Aggregates: rep.Aggregates,
+	}
+}
+
+// MergeShards recombines shard results into the full campaign's
+// per-generation aggregates. It validates that the shards belong to one
+// campaign, that each shard index appears exactly once, and that the
+// ranges tile [0, Total) completely. Arrival order is irrelevant: shards
+// are canonicalized by range, and exact aggregation makes the merged rows
+// bit-identical to an uninterrupted single-machine run (compare with
+// AggregatesDigest).
+func MergeShards(shards []*ShardResult) (map[core.Generation]*scenario.Aggregate, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("campaign: no shards to merge")
+	}
+	first := shards[0]
+	if len(shards) != first.Count {
+		return nil, fmt.Errorf("campaign: %d of %d shards present", len(shards), first.Count)
+	}
+	sorted := make([]*ShardResult, len(shards))
+	copy(sorted, shards)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+
+	next := 0
+	seen := make(map[int]bool)
+	for _, sh := range sorted {
+		if sh.Sig != first.Sig || sh.Count != first.Count || sh.Total != first.Total {
+			return nil, fmt.Errorf("campaign: shard %d belongs to a different campaign", sh.Index)
+		}
+		if seen[sh.Index] {
+			return nil, fmt.Errorf("campaign: shard %d appears twice", sh.Index)
+		}
+		seen[sh.Index] = true
+		if sh.Start != next || sh.End < sh.Start {
+			return nil, fmt.Errorf("campaign: shard ranges do not tile the campaign: got [%d,%d), want start %d",
+				sh.Start, sh.End, next)
+		}
+		next = sh.End
+	}
+	if next != first.Total {
+		return nil, fmt.Errorf("campaign: shards cover %d of %d runs", next, first.Total)
+	}
+
+	merged := make(map[core.Generation]*scenario.Aggregate)
+	for _, sh := range sorted {
+		for gen, agg := range sh.Aggregates {
+			m := merged[gen]
+			if m == nil {
+				m = scenario.NewAggregate(gen.String())
+				merged[gen] = m
+			}
+			m.Merge(*agg)
+		}
+	}
+	return merged, nil
+}
+
+// AggregatesDigest is the campaign-level identity check: the hex sha256
+// over the per-generation aggregate digests in ascending generation order.
+// Two campaigns over the same grid digest identically however they were
+// executed — sequentially, across any worker count, resumed from a
+// checkpoint, or merged from distributed shards.
+func AggregatesDigest(aggs map[core.Generation]*scenario.Aggregate) string {
+	gens := make([]core.Generation, 0, len(aggs))
+	for gen := range aggs {
+		gens = append(gens, gen)
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	h := sha256.New()
+	for _, gen := range gens {
+		fmt.Fprintf(h, "%d:%s\n", gen, aggs[gen].Digest())
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Digest returns the AggregatesDigest of the report's aggregate rows.
+func (r *Report) Digest() string { return AggregatesDigest(r.Aggregates) }
+
+// WriteShardResult persists one shard's outcome as an indented JSON file —
+// the artifact a worker machine ships back to the coordinator.
+func WriteShardResult(path string, sr *ShardResult) error {
+	b, err := json.MarshalIndent(sr, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ParseShardFlag resolves a `-shard i/n` flag value (1-based, e.g. "2/4")
+// against the full campaign spec: it validates the syntax, cuts the grid,
+// and returns the selected shard plus its executable sub-spec — the
+// shared front half of every sharded cmd tool.
+func ParseShardFlag(spec Spec, flagValue string) (*Shard, Spec, error) {
+	// Strict parse: Sscanf would silently ignore trailing garbage like
+	// "2/4x", running a shard the user may not have meant.
+	is, ns, ok := strings.Cut(flagValue, "/")
+	i, errI := strconv.Atoi(is)
+	n, errN := strconv.Atoi(ns)
+	if !ok || errI != nil || errN != nil || i < 1 || i > n {
+		return nil, Spec{}, fmt.Errorf("campaign: shard %q, want i/n with 1 <= i <= n", flagValue)
+	}
+	shards, err := spec.Shards(n)
+	if err != nil {
+		return nil, Spec{}, err
+	}
+	sh := shards[i-1]
+	sub, err := sh.ToSpec()
+	if err != nil {
+		return nil, Spec{}, err
+	}
+	return &sh, sub, nil
+}
+
+// ReadShardResults loads the shard outcome files a -merge invocation
+// names, ready for MergeShards.
+func ReadShardResults(files []string) ([]*ShardResult, error) {
+	if len(files) == 0 {
+		return nil, fmt.Errorf("campaign: no shard result files given")
+	}
+	out := make([]*ShardResult, 0, len(files))
+	for _, f := range files {
+		sr, err := ReadShardResult(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sr)
+	}
+	return out, nil
+}
+
+// ReadShardResult loads a shard outcome written by WriteShardResult.
+func ReadShardResult(path string) (*ShardResult, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var sr ShardResult
+	if err := json.Unmarshal(b, &sr); err != nil {
+		return nil, fmt.Errorf("campaign: shard result %s: %w", path, err)
+	}
+	return &sr, nil
+}

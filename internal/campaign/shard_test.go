@@ -1,0 +1,297 @@
+package campaign
+
+import (
+	"context"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/worldgen"
+)
+
+func TestShardsPartitionProperties(t *testing.T) {
+	spec := Spec{
+		Maps:        Range(3),
+		Scenarios:   []int{0, 5},
+		Repeats:     2,
+		Generations: []core.Generation{core.V1, core.V3},
+		Timing:      scenario.SILTiming(),
+	}
+	total := spec.Total()
+	runs, err := spec.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 3, 5, total} {
+		shards, err := spec.Shards(n)
+		if err != nil {
+			t.Fatalf("Shards(%d): %v", n, err)
+		}
+		if len(shards) != n {
+			t.Fatalf("Shards(%d) returned %d shards", n, len(shards))
+		}
+		next := 0
+		for i, sh := range shards {
+			if sh.Index != i || sh.Count != n || sh.Total != total {
+				t.Fatalf("Shards(%d)[%d] identity wrong: %+v", n, i, sh)
+			}
+			if sh.Start != next {
+				t.Fatalf("Shards(%d)[%d] starts at %d, want %d (contiguous)", n, i, sh.Start, next)
+			}
+			if size := sh.End - sh.Start; size < total/n || size > total/n+1 {
+				t.Fatalf("Shards(%d)[%d] has %d runs, want balanced %d..%d", n, i, size, total/n, total/n+1)
+			}
+			if len(sh.Runs) != sh.End-sh.Start {
+				t.Fatalf("Shards(%d)[%d] carries %d runs for range [%d,%d)", n, i, len(sh.Runs), sh.Start, sh.End)
+			}
+			for k, ru := range sh.Runs {
+				if ru != runs[sh.Start+k] {
+					t.Fatalf("Shards(%d)[%d] run %d is %+v, want canonical %+v", n, i, k, ru, runs[sh.Start+k])
+				}
+			}
+			next = sh.End
+		}
+		if next != total {
+			t.Fatalf("Shards(%d) covers %d of %d runs", n, next, total)
+		}
+	}
+
+	if _, err := spec.Shards(0); err == nil {
+		t.Error("Shards(0) did not error")
+	}
+	if _, err := spec.Shards(total + 1); err == nil {
+		t.Error("more shards than runs did not error")
+	}
+	if _, err := (Spec{}).Shards(2); err == nil {
+		t.Error("invalid spec did not error")
+	}
+}
+
+// executeShards runs every shard through the full wire format — JSON file
+// round trip included — and returns the persisted results.
+func executeShards(t *testing.T, shards []Shard, opts Options) []*ShardResult {
+	t.Helper()
+	dir := t.TempDir()
+	out := make([]*ShardResult, len(shards))
+	for i, sh := range shards {
+		sub, err := sh.ToSpec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Execute(context.Background(), sub, opts)
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		path := filepath.Join(dir, "shard.json")
+		if err := WriteShardResult(path, sh.Result(rep)); err != nil {
+			t.Fatal(err)
+		}
+		sr, err := ReadShardResult(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = sr
+	}
+	return out
+}
+
+// TestMergeShardsShuffledBitIdentical is the distribution guarantee:
+// shards executed independently (as a remote machine would, from the JSON
+// wire format) and merged in any arrival order produce aggregates
+// bit-identical to a single uninterrupted campaign.
+func TestMergeShardsShuffledBitIdentical(t *testing.T) {
+	spec := resumeSpec()
+	want := uninterrupted(t, spec).Digest()
+
+	shards, err := spec.Shards(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := executeShards(t, shards, Options{Workers: 2})
+
+	perms := [][]int{{2, 0, 1}, {1, 2, 0}, {2, 1, 0}, {0, 1, 2}}
+	for _, perm := range perms {
+		shuffled := make([]*ShardResult, len(results))
+		for i, p := range perm {
+			shuffled[i] = results[p]
+		}
+		merged, err := MergeShards(shuffled)
+		if err != nil {
+			t.Fatalf("order %v: %v", perm, err)
+		}
+		if d := AggregatesDigest(merged); d != want {
+			t.Fatalf("order %v: merged digest %s != uninterrupted %s", perm, d, want)
+		}
+	}
+}
+
+// TestShardsCarryCustomSeeds: a spec with explicit cells and a bespoke
+// seed function (the field-campaign shape) shards by value — the remote
+// end reproduces the seeds without the function.
+func TestShardsCarryCustomSeeds(t *testing.T) {
+	var cells []Cell
+	for i := 0; i < 6; i++ {
+		cells = append(cells, Cell{
+			Gen:         core.V1,
+			MapIdx:      []int{0, 2, 4}[i%3],
+			ScenarioIdx: i % worldgen.NumScenariosPerMap,
+			Rep:         i,
+		})
+	}
+	spec := Spec{
+		Cells:  cells,
+		Timing: scenario.SILTiming(),
+		Seed:   func(c Cell) int64 { return int64(c.Rep)*104_729 + 77 },
+	}
+	want := uninterrupted(t, spec).Digest()
+
+	shards, err := spec.Shards(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range shards {
+		sub, err := sh.ToSpec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		subRuns, err := sub.Runs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, ru := range subRuns {
+			if ru.Seed != sh.Runs[k].Seed {
+				t.Fatalf("shard %d run %d re-derives seed %d, want shipped %d",
+					sh.Index, k, ru.Seed, sh.Runs[k].Seed)
+			}
+		}
+	}
+	merged, err := MergeShards(executeShards(t, shards, Options{Workers: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := AggregatesDigest(merged); d != want {
+		t.Fatalf("custom-seed sharded digest %s != uninterrupted %s", d, want)
+	}
+}
+
+func TestParseShardFlag(t *testing.T) {
+	spec := resumeSpec()
+	sh, sub, err := ParseShardFlag(spec, "2/3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Index != 1 || sh.Count != 3 {
+		t.Errorf("\"2/3\" selected shard %d of %d", sh.Index+1, sh.Count)
+	}
+	if sub.Total() != sh.End-sh.Start {
+		t.Errorf("sub-spec has %d runs, shard range is %d", sub.Total(), sh.End-sh.Start)
+	}
+	for _, bad := range []string{"", "abc", "0/3", "4/3", "-1/3", "1/0", "2/4x", "2/4/6", "2 /4"} {
+		if _, _, err := ParseShardFlag(spec, bad); err == nil {
+			t.Errorf("ParseShardFlag(%q) did not error", bad)
+		}
+	}
+	if _, _, err := ParseShardFlag(spec, "1/9999"); err == nil {
+		t.Error("more shards than runs did not error")
+	}
+
+	if _, err := ReadShardResults(nil); err == nil {
+		t.Error("ReadShardResults(nil) did not error")
+	}
+	if _, err := ReadShardResults([]string{"/nonexistent/shard.json"}); err == nil {
+		t.Error("missing shard file did not error")
+	}
+}
+
+func TestMergeShardsValidation(t *testing.T) {
+	spec := resumeSpec()
+	shards, err := spec.Shards(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := executeShards(t, shards, Options{Workers: 2})
+
+	if _, err := MergeShards(nil); err == nil {
+		t.Error("empty merge did not error")
+	}
+	if _, err := MergeShards(results[:2]); err == nil {
+		t.Error("missing shard did not error")
+	}
+	dup := []*ShardResult{results[0], results[1], results[1]}
+	if _, err := MergeShards(dup); err == nil {
+		t.Error("duplicated shard did not error")
+	}
+
+	foreign := *results[2]
+	foreign.Sig = "0000"
+	if _, err := MergeShards([]*ShardResult{results[0], results[1], &foreign}); err == nil {
+		t.Error("foreign-campaign shard did not error")
+	}
+
+	gap := *results[2]
+	gap.Start++
+	if _, err := MergeShards([]*ShardResult{results[0], results[1], &gap}); err == nil {
+		t.Error("non-tiling shard ranges did not error")
+	}
+
+	short := *results[2]
+	short.End--
+	if _, err := MergeShards([]*ShardResult{results[0], results[1], &short}); err == nil {
+		t.Error("incomplete coverage did not error")
+	}
+}
+
+// TestShardAndCheckpointCompose: a shard can itself be checkpointed and
+// resumed — the distributed and crash-safe layers stack.
+func TestShardAndCheckpointCompose(t *testing.T) {
+	spec := resumeSpec()
+	want := uninterrupted(t, spec).Digest()
+
+	shards, err := spec.Shards(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []*ShardResult
+	for _, sh := range shards {
+		sub, err := sh.ToSpec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "shard.ckpt")
+		// First attempt: cancel after one run, as a crashed worker would.
+		j, err := OpenJournal(path, sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		_, _ = Execute(ctx, sub, Options{
+			Workers:    2,
+			Checkpoint: j,
+			OnResult:   func(Run, scenario.Result) { cancel() },
+		})
+		cancel()
+		j.Close()
+		// Resume the shard to completion.
+		j2, err := OpenJournal(path, sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Execute(context.Background(), sub, Options{Workers: 2, Checkpoint: j2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j2.Close()
+		results = append(results, sh.Result(rep))
+	}
+	rng := rand.New(rand.NewSource(1))
+	rng.Shuffle(len(results), func(i, j int) { results[i], results[j] = results[j], results[i] })
+	merged, err := MergeShards(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := AggregatesDigest(merged); d != want {
+		t.Fatalf("resumed-shard merge digest %s != uninterrupted %s", d, want)
+	}
+}

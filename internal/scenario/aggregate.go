@@ -13,12 +13,17 @@ import (
 //
 // An Aggregate is incremental and mergeable: results stream in through Add
 // and partial aggregates (for example per-worker shards of a parallel
-// campaign) combine with Merge. The derived fields (the mean and rate
-// columns) are kept current after every mutation, so an Aggregate is always
-// ready to print. Rates derived from integer counters (success/collision/
-// poor-landing percentages, the false-negative rate) are exact regardless
-// of how results were sharded; the floating-point means can differ from a
-// single-pass Summarize in the last ulp because summation order changes.
+// campaign, or per-machine shards of a distributed one) combine with
+// Merge. The derived fields (the mean and rate columns) are kept current
+// after every mutation, so an Aggregate is always ready to print.
+//
+// Aggregation is exact and order-independent: the counters are integers
+// and the mean accumulators are 128-bit fixed point (see fixed.go), so any
+// sharding, merge order, or interleaving of Add and Merge over the same
+// result set produces bit-identical aggregates — including the derived
+// float columns, which are pure functions of the accumulators. This is
+// what lets resumed and distributed campaigns verify their merged
+// aggregates against an uninterrupted run with a digest.
 type Aggregate struct {
 	System string
 	Runs   int
@@ -38,10 +43,12 @@ type Aggregate struct {
 	FalseNegativeRate float64
 
 	// Accumulators behind the derived means above. They stay unexported:
-	// consumers read the derived fields, shards combine through Merge.
-	landSum        float64
+	// consumers read the derived fields, shards combine through Merge, and
+	// the JSON codec (codec.go) persists them for distributed merges. The
+	// sums are exact fixed point so merges commute bit-identically.
+	landSum        fixed128
 	landN          int
-	detSum         float64
+	detSum         fixed128
 	detN           int
 	visibleFrames  int
 	detectedFrames int
@@ -67,11 +74,11 @@ func (a *Aggregate) Add(r Result) {
 		a.PoorLanding++
 	}
 	if r.Outcome == Success && !math.IsNaN(r.LandingError) {
-		a.landSum += r.LandingError
+		a.landSum = a.landSum.add(fixedFromFloat(r.LandingError))
 		a.landN++
 	}
 	if !math.IsNaN(r.DetectionError) {
-		a.detSum += r.DetectionError
+		a.detSum = a.detSum.add(fixedFromFloat(r.DetectionError))
 		a.detN++
 	}
 	a.visibleFrames += r.MarkerVisibleFrames
@@ -79,18 +86,19 @@ func (a *Aggregate) Add(r Result) {
 	a.refresh()
 }
 
-// Merge folds another aggregate (typically a per-worker shard of the same
-// campaign) into a. Counters and accumulator sums combine, so a merge of
-// shards equals a Summarize of the concatenated results, up to float
-// summation order in the mean columns. The receiver keeps its System label.
+// Merge folds another aggregate (typically a per-worker or per-machine
+// shard of the same campaign) into a. Counters and fixed-point accumulator
+// sums combine exactly, so a merge of shards is bit-identical to a
+// Summarize of the concatenated results in any order. The receiver keeps
+// its System label.
 func (a *Aggregate) Merge(b Aggregate) {
 	a.Runs += b.Runs
 	a.Success += b.Success
 	a.Collision += b.Collision
 	a.PoorLanding += b.PoorLanding
-	a.landSum += b.landSum
+	a.landSum = a.landSum.add(b.landSum)
 	a.landN += b.landN
-	a.detSum += b.detSum
+	a.detSum = a.detSum.add(b.detSum)
 	a.detN += b.detN
 	a.visibleFrames += b.visibleFrames
 	a.detectedFrames += b.detectedFrames
@@ -101,11 +109,11 @@ func (a *Aggregate) Merge(b Aggregate) {
 func (a *Aggregate) refresh() {
 	a.MeanLandingError = 0
 	if a.landN > 0 {
-		a.MeanLandingError = a.landSum / float64(a.landN)
+		a.MeanLandingError = a.landSum.float() / float64(a.landN)
 	}
 	a.MeanDetectionError = 0
 	if a.detN > 0 {
-		a.MeanDetectionError = a.detSum / float64(a.detN)
+		a.MeanDetectionError = a.detSum.float() / float64(a.detN)
 	}
 	a.FalseNegativeRate = 0
 	if a.visibleFrames > 0 {

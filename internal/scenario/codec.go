@@ -1,0 +1,213 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Wire encoding for campaign persistence and distribution.
+//
+// Checkpoint journals persist per-run Results; shard files persist
+// Aggregates. Both must round-trip bit-exactly: a resumed or merged
+// campaign is verified against an uninterrupted one by digest, so a single
+// flipped mantissa bit would read as corruption. encoding/json already
+// round-trips finite float64s exactly (shortest-representation encoding),
+// leaving two gaps this file closes: NaN (a legal value for the landing
+// and detection metrics, but not a legal JSON number) and the Aggregate's
+// unexported fixed-point accumulators.
+
+// nanFloat is a float64 that encodes non-finite values as JSON strings.
+type nanFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f nanFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *nanFloat) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "NaN":
+			*f = nanFloat(math.NaN())
+		case "+Inf":
+			*f = nanFloat(math.Inf(1))
+		case "-Inf":
+			*f = nanFloat(math.Inf(-1))
+		default:
+			return fmt.Errorf("scenario: invalid float string %q", s)
+		}
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = nanFloat(v)
+	return nil
+}
+
+// resultJSON mirrors Result field for field with NaN-safe floats. The
+// remaining float fields (durations, drift, detection positions) are
+// finite by construction and round-trip exactly as plain JSON numbers.
+type resultJSON struct {
+	Outcome              Outcome    `json:"outcome"`
+	FinalState           core.State `json:"final_state"`
+	Duration             float64    `json:"duration"`
+	Landed               bool       `json:"landed"`
+	LandingError         nanFloat   `json:"landing_error"`
+	DetectionError       nanFloat   `json:"detection_error"`
+	MarkerVisibleFrames  int        `json:"marker_visible_frames"`
+	MarkerDetectedFrames int        `json:"marker_detected_frames"`
+	OnWater              bool       `json:"on_water"`
+	Stats                core.Stats `json:"stats"`
+	MaxGPSDrift          float64    `json:"max_gps_drift"`
+}
+
+// MarshalJSON implements json.Marshaler with a bit-exact, NaN-safe
+// encoding suitable for checkpoint journals.
+func (r Result) MarshalJSON() ([]byte, error) {
+	return json.Marshal(resultJSON{
+		Outcome:              r.Outcome,
+		FinalState:           r.FinalState,
+		Duration:             r.Duration,
+		Landed:               r.Landed,
+		LandingError:         nanFloat(r.LandingError),
+		DetectionError:       nanFloat(r.DetectionError),
+		MarkerVisibleFrames:  r.MarkerVisibleFrames,
+		MarkerDetectedFrames: r.MarkerDetectedFrames,
+		OnWater:              r.OnWater,
+		Stats:                r.Stats,
+		MaxGPSDrift:          r.MaxGPSDrift,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (r *Result) UnmarshalJSON(b []byte) error {
+	var v resultJSON
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*r = Result{
+		Outcome:              v.Outcome,
+		FinalState:           v.FinalState,
+		Duration:             v.Duration,
+		Landed:               v.Landed,
+		LandingError:         float64(v.LandingError),
+		DetectionError:       float64(v.DetectionError),
+		MarkerVisibleFrames:  v.MarkerVisibleFrames,
+		MarkerDetectedFrames: v.MarkerDetectedFrames,
+		OnWater:              v.OnWater,
+		Stats:                v.Stats,
+		MaxGPSDrift:          v.MaxGPSDrift,
+	}
+	return nil
+}
+
+// Digest returns a short hex digest of the result's canonical encoding.
+// Journals store it next to each persisted result so torn or bit-rotted
+// entries are detected on load rather than silently poisoning a resume.
+func (r Result) Digest() string {
+	b, err := json.Marshal(r)
+	if err != nil {
+		// Result marshaling is total over the struct; reaching this means
+		// the codec itself is broken, which must not pass silently.
+		panic(fmt.Sprintf("scenario: result digest: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:16])
+}
+
+// aggregateJSON is the wire form of an Aggregate: the integer counters
+// plus the exact fixed-point accumulators. The derived float columns are
+// deliberately absent — they are recomputed from the accumulators on
+// decode, so an aggregate can never be persisted in an inconsistent state.
+type aggregateJSON struct {
+	System         string `json:"system"`
+	Runs           int    `json:"runs"`
+	Success        int    `json:"success"`
+	Collision      int    `json:"collision"`
+	PoorLanding    int    `json:"poor_landing"`
+	LandSumHi      int64  `json:"land_sum_hi"`
+	LandSumLo      uint64 `json:"land_sum_lo"`
+	LandN          int    `json:"land_n"`
+	DetSumHi       int64  `json:"det_sum_hi"`
+	DetSumLo       uint64 `json:"det_sum_lo"`
+	DetN           int    `json:"det_n"`
+	VisibleFrames  int    `json:"visible_frames"`
+	DetectedFrames int    `json:"detected_frames"`
+}
+
+// MarshalJSON implements json.Marshaler, persisting the accumulators so a
+// decoded aggregate merges bit-identically to the original.
+func (a Aggregate) MarshalJSON() ([]byte, error) {
+	return json.Marshal(aggregateJSON{
+		System:         a.System,
+		Runs:           a.Runs,
+		Success:        a.Success,
+		Collision:      a.Collision,
+		PoorLanding:    a.PoorLanding,
+		LandSumHi:      a.landSum.hi,
+		LandSumLo:      a.landSum.lo,
+		LandN:          a.landN,
+		DetSumHi:       a.detSum.hi,
+		DetSumLo:       a.detSum.lo,
+		DetN:           a.detN,
+		VisibleFrames:  a.visibleFrames,
+		DetectedFrames: a.detectedFrames,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (a *Aggregate) UnmarshalJSON(b []byte) error {
+	var v aggregateJSON
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*a = Aggregate{
+		System:         v.System,
+		Runs:           v.Runs,
+		Success:        v.Success,
+		Collision:      v.Collision,
+		PoorLanding:    v.PoorLanding,
+		landSum:        fixed128{hi: v.LandSumHi, lo: v.LandSumLo},
+		landN:          v.LandN,
+		detSum:         fixed128{hi: v.DetSumHi, lo: v.DetSumLo},
+		detN:           v.DetN,
+		visibleFrames:  v.VisibleFrames,
+		detectedFrames: v.DetectedFrames,
+	}
+	a.refresh()
+	return nil
+}
+
+// Digest returns the hex sha256 of the aggregate's canonical encoding.
+// Because aggregation is exact and order-independent, two campaigns over
+// the same result set — sequential, parallel, resumed from a checkpoint,
+// or merged from distributed shards in any order — digest identically.
+func (a Aggregate) Digest() string {
+	b, err := json.Marshal(a)
+	if err != nil {
+		panic(fmt.Sprintf("scenario: aggregate digest: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

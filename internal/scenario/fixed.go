@@ -1,0 +1,109 @@
+package scenario
+
+import (
+	"math"
+	"math/bits"
+)
+
+// fixed128 is a signed 128-bit fixed-point accumulator with fixedFracBits
+// fractional bits, used for the Aggregate mean accumulators.
+//
+// Why not float64: float addition is neither associative nor (under
+// different groupings) reproducible, so a merge of per-worker or per-shard
+// aggregates could differ from a sequential fold in the last ulp — enough
+// to break the "resumed / sharded campaign is bit-identical to an
+// uninterrupted run" guarantee that the checkpoint and distribution layers
+// enforce with digests. Integer addition IS associative and commutative,
+// so accumulating in fixed point makes every grouping and arrival order
+// produce the same accumulator bits, and therefore the same derived means.
+//
+// Resolution: 96 fractional bits represent any float64 of magnitude in
+// [2^-43, 2^31) exactly (a double's 53-bit mantissa always fits); values
+// below 2^-43 truncate deterministically, values at or above 2^31
+// saturate. Campaign metrics are meters on maps a few hundred meters
+// across, so both edges are far outside the physical range; 31 integer
+// bits leave room for billions of runs of headroom in the sums.
+type fixed128 struct {
+	hi int64
+	lo uint64
+}
+
+// fixedFracBits is the binary point position.
+const fixedFracBits = 96
+
+// fixedFromFloat converts a float64 to fixed point, truncating toward zero
+// below the resolution and saturating at the (physically unreachable)
+// magnitude ceiling. NaN converts to zero: callers exclude NaN metrics
+// before accumulating, exactly like the float code did.
+func fixedFromFloat(v float64) fixed128 {
+	if v == 0 || math.IsNaN(v) {
+		return fixed128{}
+	}
+	neg := math.Signbit(v)
+	if math.IsInf(v, 0) {
+		// Saturate explicitly: uint64(+Inf) below would be
+		// implementation-defined and break cross-platform bit-identity.
+		f := fixed128{hi: math.MaxInt64, lo: math.MaxUint64}
+		if neg {
+			f = f.neg()
+		}
+		return f
+	}
+	fr, exp := math.Frexp(math.Abs(v))
+	m := uint64(math.Ldexp(fr, 53)) // 53-bit mantissa, exact
+	// v = m * 2^(exp-53), so the fixed representation is m shifted to bit
+	// position exp-53+fixedFracBits.
+	shift := exp - 53 + fixedFracBits
+	var f fixed128
+	switch {
+	case shift <= -64:
+		f = fixed128{} // underflow to zero
+	case shift < 0:
+		f.lo = m >> uint(-shift)
+	case shift < 64:
+		f.lo = m << uint(shift)
+		if shift > 0 {
+			f.hi = int64(m >> uint(64-shift))
+		}
+	case shift <= 74: // highest mantissa bit lands at position <= 126
+		f.hi = int64(m << uint(shift-64))
+	default: // |v| >= 2^31: saturate
+		f.hi = math.MaxInt64
+		f.lo = math.MaxUint64
+	}
+	if neg {
+		f = f.neg()
+	}
+	return f
+}
+
+// add returns a+b in two's-complement 128-bit arithmetic.
+func (a fixed128) add(b fixed128) fixed128 {
+	lo, carry := bits.Add64(a.lo, b.lo, 0)
+	return fixed128{hi: int64(uint64(a.hi) + uint64(b.hi) + carry), lo: lo}
+}
+
+// neg returns -a.
+func (a fixed128) neg() fixed128 {
+	lo, borrow := bits.Sub64(0, a.lo, 0)
+	return fixed128{hi: int64(0 - uint64(a.hi) - borrow), lo: lo}
+}
+
+// isZero reports whether a is exactly zero.
+func (a fixed128) isZero() bool { return a.hi == 0 && a.lo == 0 }
+
+// float converts back to float64 (correctly signed, rounded by the two
+// float conversions; the result is a pure deterministic function of the
+// accumulator bits).
+func (a fixed128) float() float64 {
+	neg := a.hi < 0
+	if neg {
+		a = a.neg()
+	}
+	v := math.Ldexp(float64(uint64(a.hi)), 64-fixedFracBits) +
+		math.Ldexp(float64(a.lo), -fixedFracBits)
+	if neg {
+		v = -v
+	}
+	return v
+}

@@ -1,0 +1,189 @@
+package scenario
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// metricValues generates floats shaped like the campaign metrics: meters,
+// spanning tiny to map-scale magnitudes, including exact zeros.
+func metricValues(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		switch rng.Intn(10) {
+		case 0:
+			out[i] = 0
+		case 1:
+			out[i] = math.Ldexp(rng.Float64(), -rng.Intn(40)) // tiny
+		default:
+			out[i] = rng.Float64() * 500 // typical meters
+		}
+	}
+	return out
+}
+
+// TestFixedSumOrderIndependent is the property the whole persistence layer
+// rests on: summing a value set in any order and any grouping yields
+// bit-identical accumulators.
+func TestFixedSumOrderIndependent(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		vals := metricValues(rng, 200)
+
+		var forward fixed128
+		for _, v := range vals {
+			forward = forward.add(fixedFromFloat(v))
+		}
+
+		var backward fixed128
+		for i := len(vals) - 1; i >= 0; i-- {
+			backward = backward.add(fixedFromFloat(vals[i]))
+		}
+		if forward != backward {
+			t.Fatalf("seed %d: forward %+v != backward %+v", seed, forward, backward)
+		}
+
+		// Random contiguous grouping into partial sums, merged shuffled.
+		var parts []fixed128
+		for i := 0; i < len(vals); {
+			j := i + 1 + rng.Intn(30)
+			if j > len(vals) {
+				j = len(vals)
+			}
+			var p fixed128
+			for _, v := range vals[i:j] {
+				p = p.add(fixedFromFloat(v))
+			}
+			parts = append(parts, p)
+			i = j
+		}
+		rng.Shuffle(len(parts), func(i, j int) { parts[i], parts[j] = parts[j], parts[i] })
+		var merged fixed128
+		for _, p := range parts {
+			merged = merged.add(p)
+		}
+		if merged != forward {
+			t.Fatalf("seed %d: shuffled partial sums %+v != forward %+v", seed, merged, forward)
+		}
+	}
+}
+
+func TestFixedConversion(t *testing.T) {
+	cases := []float64{0, 1, 0.5, 2, 1.0 / 3, 123.456, 499.999, math.Pi, 1e-9, 1e6}
+	for _, v := range cases {
+		f := fixedFromFloat(v)
+		back := f.float()
+		if rel := math.Abs(back-v) / math.Max(v, 1e-300); v != 0 && rel > 1e-12 {
+			t.Errorf("float %g round-trips to %g (rel err %g)", v, back, rel)
+		}
+		if v == 0 && !f.isZero() {
+			t.Errorf("zero does not convert to zero: %+v", f)
+		}
+	}
+	// Negative values are signed two's complement.
+	n := fixedFromFloat(-3.25)
+	if got := n.float(); got != -3.25 {
+		t.Errorf("-3.25 round-trips to %g", got)
+	}
+	if s := fixedFromFloat(2.5).add(fixedFromFloat(-3.25)).float(); s != -0.75 {
+		t.Errorf("2.5 + -3.25 = %g, want -0.75", s)
+	}
+	// NaN is excluded upstream; the conversion maps it to zero.
+	if !fixedFromFloat(math.NaN()).isZero() {
+		t.Error("NaN did not convert to zero")
+	}
+	// The saturation ceiling is monotone (no wraparound), and ±Inf
+	// saturates deterministically rather than hitting the
+	// implementation-defined float→uint64 conversion.
+	if sat := fixedFromFloat(1e30); sat.hi != math.MaxInt64 {
+		t.Errorf("1e30 did not saturate: %+v", sat)
+	}
+	if sat := fixedFromFloat(math.Inf(1)); sat.hi != math.MaxInt64 || sat.lo != math.MaxUint64 {
+		t.Errorf("+Inf did not saturate: %+v", sat)
+	}
+	if sat := fixedFromFloat(math.Inf(-1)); sat != fixedFromFloat(math.Inf(1)).neg() {
+		t.Errorf("-Inf did not saturate negatively: %+v", sat)
+	}
+}
+
+// TestFixedExactForRepresentable: doubles whose lowest mantissa bit is at
+// 2^-43 or above convert without loss, so their sums are exact — the
+// normal regime for every campaign metric.
+func TestFixedExactForRepresentable(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		m := float64(rng.Int63n(1 << 30)) // 30-bit integer mantissa
+		exp := rng.Intn(50) - 40          // scale in [2^-40, 2^9]
+		v := math.Ldexp(m, exp)
+		if v >= 1<<30 {
+			continue
+		}
+		if got := fixedFromFloat(v).float(); got != v {
+			t.Fatalf("representable %g converts to %g", v, got)
+		}
+	}
+}
+
+// TestAggregateMergeBitIdentical: folding results one by one, in reverse,
+// or as shuffled merged shards yields byte-identical aggregates (same
+// digest), including the derived float columns.
+func TestAggregateMergeBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var results []Result
+	for i := 0; i < 120; i++ {
+		r := Result{
+			Outcome:              Outcome(rng.Intn(3)),
+			Duration:             rng.Float64() * 200,
+			LandingError:         rng.Float64() * 3,
+			DetectionError:       rng.Float64() * 2,
+			MarkerVisibleFrames:  rng.Intn(50),
+			MarkerDetectedFrames: rng.Intn(40),
+		}
+		if rng.Intn(4) == 0 {
+			r.LandingError = math.NaN()
+		}
+		if rng.Intn(5) == 0 {
+			r.DetectionError = math.NaN()
+		}
+		results = append(results, r)
+	}
+
+	sequential := NewAggregate("sys")
+	for _, r := range results {
+		sequential.Add(r)
+	}
+
+	reverse := NewAggregate("sys")
+	for i := len(results) - 1; i >= 0; i-- {
+		reverse.Add(results[i])
+	}
+	if sequential.Digest() != reverse.Digest() {
+		t.Fatal("reverse-order fold is not bit-identical to sequential fold")
+	}
+
+	var shards []*Aggregate
+	for i := 0; i < len(results); i += 17 {
+		j := i + 17
+		if j > len(results) {
+			j = len(results)
+		}
+		sh := NewAggregate("sys")
+		for _, r := range results[i:j] {
+			sh.Add(r)
+		}
+		shards = append(shards, sh)
+	}
+	rng.Shuffle(len(shards), func(i, j int) { shards[i], shards[j] = shards[j], shards[i] })
+	merged := NewAggregate("sys")
+	for _, sh := range shards {
+		merged.Merge(*sh)
+	}
+	if sequential.Digest() != merged.Digest() {
+		t.Fatal("shuffled shard merge is not bit-identical to sequential fold")
+	}
+	if merged.MeanLandingError != sequential.MeanLandingError ||
+		merged.MeanDetectionError != sequential.MeanDetectionError {
+		t.Fatal("derived means differ despite identical digests")
+	}
+}

@@ -1,0 +1,195 @@
+// Command benchgate is the CI benchmark regression gate: it parses the
+// output of the benchmark smoke step and fails when the performance
+// layer's allocation guarantees rot.
+//
+//	go run ./tools/benchgate -bench bench-smoke.txt -baseline BENCH_2.json
+//
+// Two classes of gate:
+//
+//   - The zero-alloc capture paths (Render, DepthCapture, Raycast,
+//     GroundHeight) must report 0 allocs/op. These paths were driven to
+//     zero steady-state allocations in the PR 2 overhaul; any non-zero
+//     reading means a buffer started escaping again. (The smoke step runs
+//     them for enough iterations that one-time warm-up buffer growth
+//     amortizes to zero.)
+//
+//   - BenchmarkRun (one full closed-loop mission, the unit every
+//     evaluation grid multiplies) must stay within -max-regress of the
+//     committed BENCH_2.json allocation snapshot. Allocation counts are
+//     deterministic enough to gate on in shared CI runners, unlike ns/op.
+//
+// Timing numbers are parsed and reported but never gated — CI machines
+// are too noisy for wall-clock thresholds; the committed snapshot plus
+// the uploaded artifact keep the ns/op history reviewable by humans.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// zeroAllocBenchmarks are the capture paths the perf layer holds at zero
+// steady-state allocations.
+var zeroAllocBenchmarks = []string{
+	"BenchmarkRender",
+	"BenchmarkDepthCapture",
+	"BenchmarkRaycast",
+	"BenchmarkGroundHeight",
+}
+
+// gatedBenchmark is the closed-loop unit gated against the snapshot.
+const gatedBenchmark = "BenchmarkRun"
+
+// measurement is one parsed benchmark result line.
+type measurement struct {
+	NsOp     float64
+	AllocsOp float64
+	HasAlloc bool
+}
+
+// baseline mirrors the slice of BENCH_2.json the gate needs.
+type baseline struct {
+	Benchmarks map[string]struct {
+		After struct {
+			AllocsOp float64 `json:"allocs_op"`
+		} `json:"after"`
+	} `json:"benchmarks"`
+}
+
+func main() {
+	benchPath := flag.String("bench", "bench-smoke.txt", "go test -bench output to gate")
+	basePath := flag.String("baseline", "BENCH_2.json", "committed benchmark snapshot")
+	maxRegress := flag.Float64("max-regress", 0.10, "allowed fractional allocs/op regression for BenchmarkRun")
+	flag.Parse()
+
+	if err := run(*benchPath, *basePath, *maxRegress, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the gate and writes a human-readable verdict table.
+func run(benchPath, basePath string, maxRegress float64, w io.Writer) error {
+	f, err := os.Open(benchPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	results, err := parseBench(f)
+	if err != nil {
+		return fmt.Errorf("parse %s: %w", benchPath, err)
+	}
+
+	baseBytes, err := os.ReadFile(basePath)
+	if err != nil {
+		return err
+	}
+	var base baseline
+	if err := json.Unmarshal(baseBytes, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", basePath, err)
+	}
+
+	var violations []string
+
+	for _, name := range zeroAllocBenchmarks {
+		m, ok := results[name]
+		switch {
+		case !ok:
+			// A silently missing benchmark must fail the gate, or a rename
+			// would disable it forever.
+			violations = append(violations, fmt.Sprintf("%s: missing from %s", name, benchPath))
+		case !m.HasAlloc:
+			violations = append(violations, fmt.Sprintf("%s: no allocs/op column (ReportAllocs lost?)", name))
+		case m.AllocsOp != 0:
+			violations = append(violations,
+				fmt.Sprintf("%s: %.0f allocs/op, want 0 (zero-alloc capture path regressed)", name, m.AllocsOp))
+		default:
+			fmt.Fprintf(w, "ok   %-24s 0 allocs/op (%.0f ns/op)\n", name, m.NsOp)
+		}
+	}
+
+	m, ok := results[gatedBenchmark]
+	b, okBase := base.Benchmarks[gatedBenchmark]
+	switch {
+	case !ok:
+		violations = append(violations, fmt.Sprintf("%s: missing from %s", gatedBenchmark, benchPath))
+	case !okBase:
+		violations = append(violations, fmt.Sprintf("%s: missing from baseline %s", gatedBenchmark, basePath))
+	case !m.HasAlloc:
+		violations = append(violations, fmt.Sprintf("%s: no allocs/op column (ReportAllocs lost?)", gatedBenchmark))
+	default:
+		limit := b.After.AllocsOp * (1 + maxRegress)
+		if m.AllocsOp > limit {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.0f allocs/op exceeds %.0f (baseline %.0f +%.0f%%) — the closed-loop hot path regressed",
+				gatedBenchmark, m.AllocsOp, limit, b.After.AllocsOp, maxRegress*100))
+		} else {
+			fmt.Fprintf(w, "ok   %-24s %.0f allocs/op within %.0f (baseline %.0f +%.0f%%), %.0f ns/op\n",
+				gatedBenchmark, m.AllocsOp, limit, b.After.AllocsOp, maxRegress*100, m.NsOp)
+		}
+	}
+
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(w, "FAIL %s\n", v)
+		}
+		return fmt.Errorf("%d benchmark gate violation(s)", len(violations))
+	}
+	fmt.Fprintln(w, "benchmark gates passed")
+	return nil
+}
+
+// parseBench extracts per-benchmark measurements from `go test -bench`
+// output. Sub-benchmark names keep their slash part; the goroutine suffix
+// (-8) is stripped. Lines without a benchmark shape are ignored, so the
+// file may contain multiple concatenated runs plus test chatter.
+func parseBench(r io.Reader) (map[string]measurement, error) {
+	out := make(map[string]measurement)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var m measurement
+		seen := false
+		for i := 2; i+1 < len(fields); i++ {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsOp = val
+				seen = true
+			case "allocs/op":
+				m.AllocsOp = val
+				m.HasAlloc = true
+				seen = true
+			}
+		}
+		if seen {
+			out[name] = m
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found")
+	}
+	return out, nil
+}

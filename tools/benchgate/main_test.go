@@ -1,0 +1,140 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const goodBench = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCampaign/workers=1-4     1   5011022841 ns/op
+BenchmarkCampaign/workers=4-4     1   1377003199 ns/op
+BenchmarkRun-4                    5    302838874 ns/op   8618862 B/op   11771 allocs/op
+BenchmarkRender-4              1000       408527 ns/op       524 B/op       0 allocs/op
+BenchmarkDepthCapture-4        1000        30587 ns/op        58 B/op       0 allocs/op
+BenchmarkRaycast-4             1000          121.3 ns/op       0 B/op       0 allocs/op
+BenchmarkGroundHeight-4        1000           12.65 ns/op      0 B/op       0 allocs/op
+PASS
+ok  	repro	42.000s
+`
+
+const baselineJSON = `{
+  "benchmarks": {
+    "BenchmarkRun": {
+      "before": {"ns_op": 706667852, "bytes_op": 119566926, "allocs_op": 211321},
+      "after": {"ns_op": 301838874, "bytes_op": 8618862, "allocs_op": 11771}
+    }
+  }
+}`
+
+// gate writes the fixture files and runs the gate, returning its error
+// and output.
+func gate(t *testing.T, bench, baseline string, maxRegress float64) (error, string) {
+	t.Helper()
+	dir := t.TempDir()
+	bp := filepath.Join(dir, "bench-smoke.txt")
+	blp := filepath.Join(dir, "BENCH.json")
+	if err := os.WriteFile(bp, []byte(bench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(blp, []byte(baseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	err := run(bp, blp, maxRegress, &sb)
+	return err, sb.String()
+}
+
+func TestGatePassesHealthyRun(t *testing.T) {
+	err, out := gate(t, goodBench, baselineJSON, 0.10)
+	if err != nil {
+		t.Fatalf("healthy run failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "benchmark gates passed") {
+		t.Errorf("missing pass verdict:\n%s", out)
+	}
+}
+
+// TestGateFailsInjectedAllocRegression is the acceptance check: an
+// injected allocs/op regression (>10% over the committed snapshot) must
+// fail the job.
+func TestGateFailsInjectedAllocRegression(t *testing.T) {
+	injected := strings.Replace(goodBench, "11771 allocs/op", "13500 allocs/op", 1)
+	err, out := gate(t, injected, baselineJSON, 0.10)
+	if err == nil {
+		t.Fatalf("injected +15%% alloc regression passed the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "BenchmarkRun") || !strings.Contains(out, "regressed") {
+		t.Errorf("violation message unclear:\n%s", out)
+	}
+	// Right at the limit passes (the limit is baseline * 1.10).
+	atLimit := strings.Replace(goodBench, "11771 allocs/op", "12948 allocs/op", 1)
+	if err, out := gate(t, atLimit, baselineJSON, 0.10); err != nil {
+		t.Errorf("within-limit allocs failed: %v\n%s", err, out)
+	}
+}
+
+func TestGateFailsNonZeroCapturePath(t *testing.T) {
+	for _, name := range zeroAllocBenchmarks {
+		broken := strings.Replace(goodBench, "0 allocs/op", "3 allocs/op", 1)
+		_ = name
+		err, out := gate(t, broken, baselineJSON, 0.10)
+		if err == nil {
+			t.Fatalf("non-zero capture path passed the gate:\n%s", out)
+		}
+		break // the first replacement hits BenchmarkRender; one is enough
+	}
+}
+
+func TestGateFailsMissingBenchmark(t *testing.T) {
+	var kept []string
+	for _, line := range strings.Split(goodBench, "\n") {
+		if strings.HasPrefix(line, "BenchmarkRaycast") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	err, out := gate(t, strings.Join(kept, "\n"), baselineJSON, 0.10)
+	if err == nil {
+		t.Fatalf("missing benchmark passed the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "BenchmarkRaycast") {
+		t.Errorf("violation does not name the missing benchmark:\n%s", out)
+	}
+}
+
+func TestGateFailsMissingAllocColumn(t *testing.T) {
+	noalloc := strings.Replace(goodBench,
+		"BenchmarkRun-4                    5    302838874 ns/op   8618862 B/op   11771 allocs/op",
+		"BenchmarkRun-4                    5    302838874 ns/op", 1)
+	err, _ := gate(t, noalloc, baselineJSON, 0.10)
+	if err == nil {
+		t.Fatal("missing allocs/op column passed the gate")
+	}
+}
+
+func TestParseBench(t *testing.T) {
+	res, err := parseBench(strings.NewReader(goodBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := res["BenchmarkRun"]
+	if !ok || !m.HasAlloc || m.AllocsOp != 11771 || m.NsOp != 302838874 {
+		t.Errorf("BenchmarkRun parsed as %+v", m)
+	}
+	if m := res["BenchmarkGroundHeight"]; m.NsOp != 12.65 || m.AllocsOp != 0 || !m.HasAlloc {
+		t.Errorf("BenchmarkGroundHeight parsed as %+v", m)
+	}
+	// Sub-benchmarks keep their slash names and tolerate missing alloc
+	// columns.
+	if m, ok := res["BenchmarkCampaign/workers=4"]; !ok || m.HasAlloc {
+		t.Errorf("BenchmarkCampaign/workers=4 parsed as %+v (ok=%v)", m, ok)
+	}
+	if _, err := parseBench(strings.NewReader("no benchmarks here\n")); err == nil {
+		t.Error("empty input did not error")
+	}
+}
