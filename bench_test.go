@@ -489,6 +489,22 @@ func BenchmarkRun(b *testing.B) {
 	}
 }
 
+// BenchmarkRunPipelined is BenchmarkRun with the staged runner: the same
+// mission with perception on a concurrent stage (k = 2 ticks). Gated by
+// tools/benchgate next to BenchmarkRun, so the pipeline's channel/buffer
+// machinery cannot silently start allocating per tick.
+func BenchmarkRunPipelined(b *testing.B) {
+	timing := scenario.SILTiming()
+	timing.Pipeline = scenario.PipelineOn
+	timing.PipelineLatencyTicks = 2
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.RunGridCell(core.V3, 2, 4, 42, timing, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRender times one downward-camera frame capture on a cluttered
 // urban world: footprint scene assembly, ground/marker rasterization, and
 // the photometric condition pass.

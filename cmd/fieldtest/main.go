@@ -49,6 +49,7 @@ func main() {
 	resources := flag.Bool("resources", false, "print the per-second Fig. 7 resource series of one flight")
 	csvPath := flag.String("csv", "", "write the Fig. 7 series of flight 0 as CSV to this path")
 	checkpoint := flag.String("checkpoint", "", "journal file for crash-safe resume (Ctrl-C, rerun the same command to continue)")
+	pipeline := flag.Bool("pipeline", false, "run perception on a concurrent stage; sense-to-act latency emerges from the field profile's stage cost")
 	flag.Parse()
 
 	if *runs < 1 {
@@ -59,8 +60,15 @@ func main() {
 	profile := hil.JetsonNanoMAXN()
 	costs := hil.FieldCosts()
 	plan := hil.DerivePlan(profile, costs)
+	if *pipeline {
+		plan = hil.DerivePipelinedPlan(profile, costs)
+	}
 
-	fmt.Printf("Field profile on %s: CPU demand %.0f%% of capacity\n\n", profile.Name, 100*plan.CPUDemand)
+	fmt.Printf("Field profile on %s: CPU demand %.0f%% of capacity\n", profile.Name, 100*plan.CPUDemand)
+	if *pipeline {
+		fmt.Printf("pipelined perception: on — emergent delivery latency %d ticks\n", plan.Timing.PipelineLatencyTicks)
+	}
+	fmt.Println()
 
 	// One cell per flight: the campaign flew map fieldMaps[i%4] with
 	// scenario i%10 on flight i. Rep carries the flight index so the
@@ -170,6 +178,10 @@ func main() {
 	}
 
 	fmt.Println("\nReal-world results (paper §V-C)")
+	if *pipeline {
+		ps := scenario.ReadPipelineStats()
+		fmt.Printf("  %s\n", telemetry.OverlapSummary(ps.StageBusy, ps.Stall, ps.Wall))
+	}
 	fmt.Printf("  aggregate digest: %s\n", report.Digest())
 	fmt.Printf("  success %.1f%%, collision %.1f%%, poor landing %.1f%% over %d flights (%.1fs wall on %d workers, %.2fx speedup)\n",
 		agg.SuccessRate(), agg.CollisionRate(), agg.PoorLandingRate(), agg.Runs,

@@ -32,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hil"
 	"repro/internal/scenario"
+	"repro/internal/telemetry"
 	"repro/internal/worldgen"
 )
 
@@ -46,6 +47,7 @@ func main() {
 	shard := flag.String("shard", "", "run one shard of the campaign, as i/n (e.g. 2/4)")
 	out := flag.String("out", "", "shard aggregate output file (default hilbench-shard-<i>-of-<n>.json)")
 	merge := flag.Bool("merge", false, "merge shard result files given as arguments and print Table III")
+	pipeline := flag.Bool("pipeline", false, "run perception on a concurrent stage; sense-to-act latency emerges from the platform's stage cost instead of being injected")
 	flag.Parse()
 
 	if *merge {
@@ -64,11 +66,19 @@ func main() {
 	}
 	costs := hil.NanoCosts()
 	plan := hil.DerivePlan(profile, costs)
+	if *pipeline {
+		plan = hil.DerivePipelinedPlan(profile, costs)
+	}
 
 	fmt.Printf("HIL benchmark on %s: CPU demand %.0f%% of capacity\n", profile.Name, 100*plan.CPUDemand)
-	fmt.Printf("  detect period %.2fs (SIL %.2fs), replan interval %.2fs (SIL 0.60s), latency %d ticks\n\n",
+	fmt.Printf("  detect period %.2fs (SIL %.2fs), replan interval %.2fs (SIL 0.60s), latency %d ticks\n",
 		plan.Timing.DetectPeriod, scenario.SILTiming().DetectPeriod,
 		plan.ReplanInterval, plan.Timing.CommandLatencyTicks)
+	if *pipeline {
+		fmt.Printf("  pipelined perception: on — emergent delivery latency %d ticks (from %s stage cost)\n",
+			plan.Timing.PipelineLatencyTicks, profile.Name)
+	}
+	fmt.Println()
 
 	spec := campaign.Spec{
 		Maps:        campaign.Range(*maps),
@@ -162,6 +172,30 @@ func main() {
 	hits, misses, resident := worldgen.Shared.Stats()
 	fmt.Printf("world cache: %d hits / %d generations, %d worlds resident\n",
 		hits, misses, resident)
+	if *pipeline {
+		ps := scenario.ReadPipelineStats()
+		fmt.Printf("%s (%d runs, %d perception batches)\n",
+			telemetry.OverlapSummary(ps.StageBusy, ps.Stall, ps.Wall), ps.Runs, ps.Batches)
+		var batches, detects, depths, maxDelay int
+		var delaySum float64
+		for _, mon := range mons {
+			if mon == nil {
+				continue
+			}
+			b, de, dp, mean, mx := mon.StageStats()
+			batches += b
+			detects += de
+			depths += dp
+			delaySum += mean * float64(b)
+			if mx > maxDelay {
+				maxDelay = mx
+			}
+		}
+		if batches > 0 {
+			fmt.Printf("stage timing: %d batches (%d detect, %d depth), mean delivery %.1f ticks, max %d\n",
+				batches, detects, depths, delaySum/float64(batches), maxDelay)
+		}
+	}
 	fmt.Printf("aggregate digest: %s\n\n", report.Digest())
 	printTableIII(agg)
 

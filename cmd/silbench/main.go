@@ -34,6 +34,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/scenario"
+	"repro/internal/telemetry"
 	"repro/internal/worldgen"
 )
 
@@ -49,6 +50,8 @@ func main() {
 	shard := flag.String("shard", "", "run one shard of the campaign, as i/n (e.g. 2/4)")
 	out := flag.String("out", "", "shard aggregate output file (default silbench-shard-<i>-of-<n>.json)")
 	merge := flag.Bool("merge", false, "merge shard result files given as arguments and print the tables")
+	pipeline := flag.Bool("pipeline", false, "run perception on a concurrent stage (tick-stamped delivery)")
+	pipelineLag := flag.Int("pipeline-lag", 1, "with -pipeline: apply perception results k control ticks after capture (0 = synchronous, bit-identical to inline)")
 	flag.Parse()
 
 	if *merge {
@@ -88,8 +91,17 @@ func main() {
 		Generations: selected,
 		Timing:      scenario.SILTiming(),
 	}
+	if *pipeline {
+		// The knob lives on Timing, so shards and checkpoint journals below
+		// bind to the pipelined profile automatically.
+		spec.Timing.Pipeline = scenario.PipelineOn
+		spec.Timing.PipelineLatencyTicks = *pipelineLag
+	}
 	fmt.Printf("SIL benchmark: %d maps x %d scenarios x %d repeats x %d systems = %d runs on %d workers\n",
 		*maps, *scenarios, *repeats, len(selected), spec.Total(), *workers)
+	if *pipeline {
+		fmt.Printf("pipelined perception: on, delivery latency %d ticks\n", *pipelineLag)
+	}
 
 	// Sharded execution replaces the full grid with one contiguous slice.
 	var activeShard *campaign.Shard
@@ -159,6 +171,11 @@ func main() {
 	hits, misses, resident := worldgen.Shared.Stats()
 	fmt.Printf("world cache: %d hits / %d generations, %d worlds resident\n",
 		hits, misses, resident)
+	if *pipeline {
+		ps := scenario.ReadPipelineStats()
+		fmt.Printf("%s (%d runs, %d perception batches)\n",
+			telemetry.OverlapSummary(ps.StageBusy, ps.Stall, ps.Wall), ps.Runs, ps.Batches)
+	}
 	fmt.Printf("aggregate digest: %s\n", report.Digest())
 
 	if activeShard != nil {

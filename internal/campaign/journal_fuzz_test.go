@@ -1,0 +1,125 @@
+package campaign
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+// Fuzz coverage for checkpoint-journal parsing: the journal is the one
+// file the engine trusts enough to skip work over, so its loader must
+// never panic, never resume from a lie, and treat only a torn final line
+// as repairable. Seed corpora under testdata/fuzz cover the malformed-
+// JSON, truncated-digest and duplicate-index shapes from the field.
+
+// FuzzJournalEntry targets parseEntry, the per-line gate every resume
+// crosses.
+func FuzzJournalEntry(f *testing.F) {
+	r := scenario.Result{Outcome: scenario.Success, Duration: 3.25, Landed: true}
+	line, err := marshalEntry(3, r)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(line, 10)
+	f.Add([]byte(`{"i":3,"d":"0011","r":{}}`), 10)           // digest mismatch
+	f.Add([]byte(`{"i":-1,"d":"00","r":{}}`), 10)            // index underflow
+	f.Add([]byte(`{"i":10,"d":"00","r":{}}`), 10)            // index == total
+	f.Add([]byte(`{"i":1,"d":`), 10)                         // truncated mid-digest
+	f.Add([]byte(`{"i":1,"r":{"landing_error":"NaN"}}`), 10) // digest absent
+	f.Add([]byte(`{"i":1,"d":"zz not hex","r":{"landed":true}}`+"\x00"), 10)
+	f.Add([]byte(``), 1)
+
+	f.Fuzz(func(t *testing.T, line []byte, total int) {
+		if total < 1 || total > 1<<20 {
+			return
+		}
+		e, err := parseEntry(line, total)
+		if err != nil {
+			return // rejected cleanly
+		}
+		if e.Index < 0 || e.Index >= total {
+			t.Fatalf("accepted out-of-range index %d (total %d)", e.Index, total)
+		}
+		if e.Result.Digest() != e.Digest {
+			t.Fatal("accepted an entry whose stored digest does not match its result")
+		}
+	})
+}
+
+// marshalEntry builds a valid journal line the way Append does, so the
+// fuzz seed exercises the accept path too.
+func marshalEntry(i int, r scenario.Result) ([]byte, error) {
+	return json.Marshal(journalEntry{Index: i, Digest: r.Digest(), Result: r})
+}
+
+// FuzzJournalLoad feeds arbitrary file contents to OpenJournal: whatever
+// the bytes, the loader must not panic, and a journal it does accept must
+// only report in-range completed indices whose results verify.
+func FuzzJournalLoad(f *testing.F) {
+	spec := fuzzSpec()
+	sigLine := func() []byte {
+		path := filepath.Join(f.TempDir(), "fresh")
+		j, err := OpenJournal(path, spec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		j.Close()
+		b, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return b
+	}()
+	entry, err := marshalEntry(1, scenario.Result{Outcome: scenario.FailureCollision, Duration: 7})
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add([]byte(``))
+	f.Add(sigLine)                                        // valid empty journal
+	f.Add(append(append([]byte{}, sigLine...), '{'))      // torn first entry
+	f.Add(append(append([]byte{}, sigLine...), entry...)) // entry without newline (torn)
+	dup := append(append([]byte{}, sigLine...), append(entry, '\n')...)
+	dup = append(dup, append(entry, '\n')...)
+	f.Add(dup)                                                  // duplicate run index
+	f.Add([]byte(`{"v":1,"spec":"deadbeef","total":4}` + "\n")) // wrong campaign
+	f.Add([]byte(`{"v":99,"spec":"x","total":4}` + "\n"))       // wrong version
+	f.Add([]byte("\x00\x01\x02 not json\n"))
+
+	f.Fuzz(func(t *testing.T, contents []byte) {
+		path := filepath.Join(t.TempDir(), "journal")
+		if err := os.WriteFile(path, contents, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, err := OpenJournal(path, spec)
+		if err != nil {
+			return // refused cleanly
+		}
+		defer j.Close()
+		for _, i := range j.CompletedIndices() {
+			if i < 0 || i >= spec.Total() {
+				t.Fatalf("journal resumed with out-of-range index %d", i)
+			}
+			if _, ok := j.Completed(i); !ok {
+				t.Fatalf("CompletedIndices lists %d but Completed misses it", i)
+			}
+		}
+	})
+}
+
+// fuzzSpec is a tiny fixed spec the load fuzzer binds journals to.
+func fuzzSpec() Spec {
+	return Spec{
+		Cells: []Cell{
+			{Gen: core.V3, MapIdx: 0, ScenarioIdx: 0, Rep: 0},
+			{Gen: core.V3, MapIdx: 0, ScenarioIdx: 0, Rep: 1},
+			{Gen: core.V3, MapIdx: 1, ScenarioIdx: 0, Rep: 0},
+			{Gen: core.V3, MapIdx: 1, ScenarioIdx: 0, Rep: 1},
+		},
+		Timing: scenario.SILTiming(),
+	}
+}

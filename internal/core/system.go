@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/control"
+	"repro/internal/detect"
 	"repro/internal/geom"
 	"repro/internal/mapping"
 	"repro/internal/planning"
@@ -125,6 +126,12 @@ func (s *System) Clock() float64 { return s.t }
 
 // Map exposes the occupancy map for visualization and analysis tools.
 func (s *System) Map() mapping.Map { return s.deps.Map }
+
+// Detector exposes the detection module so a pipelined runner can invoke
+// inference off the control loop. While a pipelined mission is in flight
+// the perception stage is the detector's only caller: epochs carry
+// precomputed Detections, so Step never reaches it concurrently.
+func (s *System) Detector() detect.Detector { return s.deps.Detector }
 
 // SetReplanInterval overrides the trajectory-revalidation cadence; the HIL
 // harness uses it to apply the platform's achievable planning rate.
@@ -252,10 +259,17 @@ func (s *System) integrateDepth(in SensorEpoch, est control.Estimate) {
 	s.deps.Map.InsertCloud(est.Pos, s.cloudEnds, s.cloudHits)
 }
 
-// processFrame runs detection on a new camera frame and routes accepted
-// target sightings into the state machine.
+// processFrame runs detection on a new camera frame — or consumes the
+// detections a pipelined perception stage already computed for it — and
+// routes accepted target sightings into the state machine.
 func (s *System) processFrame(in SensorEpoch, est control.Estimate) {
-	if in.Frame == nil {
+	var dets []detect.Detection
+	switch {
+	case in.HaveDetections:
+		dets = in.Detections
+	case in.Frame != nil:
+		dets = s.deps.Detector.Detect(in.Frame)
+	default:
 		return
 	}
 	cam := s.cfg.Camera
@@ -264,7 +278,7 @@ func (s *System) processFrame(in SensorEpoch, est control.Estimate) {
 
 	var bestTarget geom.Vec3
 	haveTarget := false
-	for _, det := range s.deps.Detector.Detect(in.Frame) {
+	for _, det := range dets {
 		if det.Confidence < s.cfg.MinConfidence || det.ID != s.cfg.TargetID {
 			continue
 		}

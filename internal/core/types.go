@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/detect"
 	"repro/internal/geom"
 	"repro/internal/vision"
 )
@@ -76,6 +77,14 @@ type SensorEpoch struct {
 	Depth []DepthPoint
 	// DepthYaw is the vehicle yaw at capture time.
 	DepthYaw float64
+
+	// Detections, when HaveDetections is set, carries detector output for
+	// this epoch computed off the control loop (the pipelined runner): the
+	// system routes them exactly as it would its own Detector's output on
+	// Frame, which stays nil in that mode. FrameYaw still describes the
+	// capture pose the detections were made from.
+	Detections     []detect.Detection
+	HaveDetections bool
 }
 
 // Command is the system's output for one tick.

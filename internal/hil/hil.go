@@ -187,6 +187,47 @@ func DerivePlan(p Profile, costs ModuleCosts) Plan {
 	return plan
 }
 
+// PerceptionStageTicks quantizes the pipelined perception stage's
+// per-batch compute into whole control ticks on a profile: one detector
+// inference plus one depth-map integration, run back to back on the
+// stage's core at the profile's clock and efficiency. This is the k of
+// scenario.Timing.PipelineLatencyTicks — results captured at tick T land
+// at tick T+k because that is how long the stage's compute occupies its
+// core, which is exactly the sense-to-act latency the paper measured on
+// the Nano. With NanoCosts, the desktop's ~220 ms batch quantizes to 5
+// ticks of the 50 ms control period; the Nano MAXN's ~620 ms to 13 and
+// the throttled 5 W mode's to 20.
+func PerceptionStageTicks(p Profile, costs ModuleCosts, t scenario.Timing) int {
+	if t.Dt <= 0 {
+		t = scenario.SILTiming()
+	}
+	// Wall milliseconds of one batch on one of this profile's cores.
+	stageMS := (costs.DetectMS + costs.DepthInsertMS) * (refGHz / p.CoreGHz)
+	if p.Efficiency > 0 {
+		stageMS /= p.Efficiency
+	}
+	k := int(math.Ceil(stageMS / (t.Dt * 1000)))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// DerivePipelinedPlan is DerivePlan for the staged runner: instead of
+// injecting the platform's sense-to-act delay as CommandLatencyTicks, the
+// plan switches the pipeline on and lets the latency emerge from measured
+// stage cost (PerceptionStageTicks). Actuation keeps a single transport
+// tick; everything else the synthetic latency used to stand in for —
+// inference time, map integration, queueing — is now carried by the
+// perception stage's tick-stamped delivery itself.
+func DerivePipelinedPlan(p Profile, costs ModuleCosts) Plan {
+	plan := DerivePlan(p, costs)
+	plan.Timing.Pipeline = scenario.PipelineOn
+	plan.Timing.PipelineLatencyTicks = PerceptionStageTicks(p, costs, plan.Timing)
+	plan.Timing.CommandLatencyTicks = 1
+	return plan
+}
+
 // MemoryModelMB estimates resident memory for a mission given the live
 // occupancy-map footprint.
 func MemoryModelMB(p Profile, costs ModuleCosts, mapBytes int) float64 {

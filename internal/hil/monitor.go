@@ -24,6 +24,15 @@ type Monitor struct {
 	// Work accumulated since the last sample, in core-ms at 1 GHz.
 	detectMS, mapMS, planMS, controlMS float64
 	window                             float64
+
+	// Stage-timing counters (pipelined runner): one batch is the detector
+	// and/or depth work of one tick-stamped perception job; delay is the
+	// capture-to-apply distance in control ticks.
+	stageBatches  int
+	stageDetects  int
+	stageDepths   int
+	stageDelaySum int
+	stageDelayMax int
 }
 
 // NewMonitor returns a monitor for a profile.
@@ -42,6 +51,34 @@ func (m *Monitor) RecordPlan() { m.planMS += m.Costs.PlanMS }
 
 // RecordControl notes one control tick.
 func (m *Monitor) RecordControl() { m.controlMS += m.Costs.ControlMS }
+
+// RecordStage notes one applied perception batch of the pipelined runner
+// (scenario.StageObserver): which modules it carried and how many control
+// ticks passed between its capture and its delivery.
+func (m *Monitor) RecordStage(ranDetect, ranDepth bool, delayTicks int) {
+	m.stageBatches++
+	if ranDetect {
+		m.stageDetects++
+	}
+	if ranDepth {
+		m.stageDepths++
+	}
+	m.stageDelaySum += delayTicks
+	if delayTicks > m.stageDelayMax {
+		m.stageDelayMax = delayTicks
+	}
+}
+
+// StageStats summarizes the pipelined perception batches this mission
+// applied: batch/detect/depth counts plus the mean and max tick-stamped
+// delivery delay. All zeros when the mission ran inline.
+func (m *Monitor) StageStats() (batches, detects, depths int, meanDelay float64, maxDelay int) {
+	if m.stageBatches == 0 {
+		return 0, 0, 0, 0, 0
+	}
+	return m.stageBatches, m.stageDetects, m.stageDepths,
+		float64(m.stageDelaySum) / float64(m.stageBatches), m.stageDelayMax
+}
 
 // Advance accrues wall time; every second it emits one sample based on the
 // accumulated work and the live map footprint.

@@ -1,0 +1,96 @@
+package scenario
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// Fuzz coverage for the wire codec. The codec underpins every durability
+// guarantee in the repo — checkpoint resume, shard merge, the golden
+// digest — so its decoders must be total: any byte string either decodes
+// cleanly or errors, never panics, and anything that decodes must survive
+// a re-encode round trip bit-exactly (digest-stable). Seed corpora live
+// under testdata/fuzz and run as regular cases in tier-1 `go test`.
+
+// FuzzResultDecode hammers Result.UnmarshalJSON with arbitrary bytes.
+func FuzzResultDecode(f *testing.F) {
+	valid, err := json.Marshal(Result{
+		Outcome: Success, Duration: 12.5, Landed: true,
+		LandingError: 0.21, DetectionError: math.NaN(),
+		MarkerVisibleFrames: 10, MarkerDetectedFrames: 9,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{"landing_error":"NaN","detection_error":"+Inf"}`))
+	f.Add([]byte(`{"landing_error":"nan"}`)) // wrong case: must error, not panic
+	f.Add([]byte(`{"outcome":999,"stats":{"Detections":-1}}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r Result
+		if err := json.Unmarshal(data, &r); err != nil {
+			return // rejected cleanly
+		}
+		// Accepted input must round-trip digest-stable.
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatalf("decoded result failed to re-encode: %v", err)
+		}
+		var r2 Result
+		if err := json.Unmarshal(b, &r2); err != nil {
+			t.Fatalf("canonical encoding failed to decode: %v", err)
+		}
+		if r.Digest() != r2.Digest() {
+			t.Fatalf("round trip changed the digest:\n in: %s\nout: %s", b, data)
+		}
+	})
+}
+
+// FuzzAggregateDecode hammers Aggregate.UnmarshalJSON, whose payload
+// includes the raw 128-bit fixed-point accumulators — exactly the fields
+// a corrupted shard file would scramble.
+func FuzzAggregateDecode(f *testing.F) {
+	agg := NewAggregate("MLS-V3")
+	agg.Add(Result{Outcome: Success, Landed: true, LandingError: 0.3,
+		DetectionError: 0.2, MarkerVisibleFrames: 4, MarkerDetectedFrames: 4})
+	valid, err := json.Marshal(agg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{"system":"MLS-V1","runs":1,"land_sum_hi":-1,"land_sum_lo":18446744073709551615,"land_n":1}`))
+	f.Add([]byte(`{"runs":"not-a-number"}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var a Aggregate
+		if err := json.Unmarshal(data, &a); err != nil {
+			return
+		}
+		b, err := json.Marshal(a)
+		if err != nil {
+			t.Fatalf("decoded aggregate failed to re-encode: %v", err)
+		}
+		var a2 Aggregate
+		if err := json.Unmarshal(b, &a2); err != nil {
+			t.Fatalf("canonical encoding failed to decode: %v", err)
+		}
+		if a.Digest() != a2.Digest() {
+			t.Fatalf("round trip changed the digest:\n in: %s\nout: %s", b, data)
+		}
+		// Merging a decoded aggregate must also be digest-stable against
+		// merging the original (the shard-merge property).
+		m1 := NewAggregate(a.System)
+		m1.Merge(a)
+		m2 := NewAggregate(a2.System)
+		m2.Merge(a2)
+		if m1.Digest() != m2.Digest() {
+			t.Fatal("merge of decoded aggregate diverged from merge of original")
+		}
+	})
+}

@@ -1,0 +1,169 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/worldgen"
+)
+
+// pipelineTiming returns the SIL profile with the staged runner enabled at
+// delivery latency k.
+func pipelineTiming(k int) Timing {
+	t := SILTiming()
+	t.Pipeline = PipelineOn
+	t.PipelineLatencyTicks = k
+	return t
+}
+
+// TestPipelineSyncMatchesInline is the pipeline's inline oracle: with
+// k == 0 the staged runner performs a synchronous handoff each tick, so
+// every Result must be bit-identical to PipelineOff — same captures, same
+// detections, same accounting, different machinery.
+func TestPipelineSyncMatchesInline(t *testing.T) {
+	type cell struct {
+		gen    core.Generation
+		mi, si int
+	}
+	cells := []cell{
+		{core.V3, 2, 4}, {core.V3, 4, 0}, {core.V1, 1, 5}, {core.V2, 6, 2},
+	}
+	if testing.Short() {
+		cells = cells[:2]
+	}
+	for _, c := range cells {
+		seed := GridSeed(c.gen, c.mi, c.si, 0)
+		off, err := RunGridCell(c.gen, c.mi, c.si, seed, SILTiming(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		on, err := RunGridCell(c.gen, c.mi, c.si, seed, pipelineTiming(0), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameResult(off, on) {
+			t.Fatalf("%v map %d scenario %d: synchronous pipeline diverged from inline\ninline:    %+v\npipelined: %+v",
+				c.gen, c.mi, c.si, off, on)
+		}
+	}
+}
+
+// TestPipelineDeterministic asserts the acceptance property of PipelineOn:
+// same seed + same k → bit-identical Results across repeated runs (the
+// GOMAXPROCS sweep lives in the race stress test).
+func TestPipelineDeterministic(t *testing.T) {
+	seed := GridSeed(core.V3, 2, 4, 1)
+	var first Result
+	for rep := 0; rep < 3; rep++ {
+		r, err := RunGridCell(core.V3, 2, 4, seed, pipelineTiming(3), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep == 0 {
+			first = r
+			continue
+		}
+		if !sameResult(first, r) {
+			t.Fatalf("pipelined run %d diverged from run 0\nfirst: %+v\nrepeat: %+v", rep, first, r)
+		}
+	}
+}
+
+// TestPipelineLatencyChangesDelivery documents that k is a real knob: a
+// large delivery latency must perturb at least one run of a small sweep
+// (if it never did, the pipeline would not be modeling latency at all).
+func TestPipelineLatencyChangesDelivery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep of full missions")
+	}
+	changed := false
+	for _, mi := range []int{2, 4, 8} {
+		seed := GridSeed(core.V3, mi, 4, 0)
+		base, err := RunGridCell(core.V3, mi, 4, seed, pipelineTiming(0), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delayed, err := RunGridCell(core.V3, mi, 4, seed, pipelineTiming(12), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameResult(base, delayed) {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("k=12 produced bit-identical results to k=0 on every cell; latency is not being applied")
+	}
+}
+
+// stageRecorder implements ResourceObserver + StageObserver for the tests.
+type stageRecorder struct {
+	detects, depths, controls int
+	stageBatches              int
+	delays                    []int
+}
+
+func (r *stageRecorder) RecordDetect()                 { r.detects++ }
+func (r *stageRecorder) RecordDepth()                  { r.depths++ }
+func (r *stageRecorder) RecordPlan()                   {}
+func (r *stageRecorder) RecordControl()                { r.controls++ }
+func (r *stageRecorder) Advance(dt, t float64, mb int) {}
+func (r *stageRecorder) RecordStage(det, dep bool, k int) {
+	r.stageBatches++
+	r.delays = append(r.delays, k)
+}
+
+// TestPipelineStageObserver proves every applied perception batch reports
+// its tick-stamped delivery delay — exactly k for every batch — and that
+// module-activity callbacks keep firing under the pipelined runner.
+func TestPipelineStageObserver(t *testing.T) {
+	const k = 2
+	rec := &stageRecorder{}
+	configure := func(sc *worldgen.Scenario, sys *core.System, cfg *RunConfig) {
+		cfg.Observer = rec
+	}
+	if _, err := RunGridCell(core.V3, 2, 4, GridSeed(core.V3, 2, 4, 0), pipelineTiming(k), configure); err != nil {
+		t.Fatal(err)
+	}
+	if rec.stageBatches == 0 {
+		t.Fatal("no perception batches observed")
+	}
+	if rec.detects == 0 || rec.depths == 0 || rec.controls == 0 {
+		t.Fatalf("module activity lost under the pipeline: detects=%d depths=%d controls=%d",
+			rec.detects, rec.depths, rec.controls)
+	}
+	for i, d := range rec.delays {
+		if d != k {
+			t.Fatalf("batch %d delivered with delay %d ticks, want %d", i, d, k)
+		}
+	}
+}
+
+// TestPipelineStatsAccumulate checks the process-wide overlap counters the
+// bench commands report.
+func TestPipelineStatsAccumulate(t *testing.T) {
+	before := ReadPipelineStats()
+	if _, err := RunGridCell(core.V3, 2, 4, GridSeed(core.V3, 2, 4, 2), pipelineTiming(2), nil); err != nil {
+		t.Fatal(err)
+	}
+	after := ReadPipelineStats()
+	if after.Runs != before.Runs+1 {
+		t.Fatalf("Runs %d -> %d, want +1", before.Runs, after.Runs)
+	}
+	if after.Batches <= before.Batches {
+		t.Fatalf("Batches %d -> %d, want growth", before.Batches, after.Batches)
+	}
+	if after.StageBusy <= before.StageBusy || after.Wall <= before.Wall {
+		t.Fatal("stage/wall time did not accumulate")
+	}
+}
+
+// TestPipelineModeString pins the mode labels used in bench output.
+func TestPipelineModeString(t *testing.T) {
+	if PipelineOff.String() != "off" || PipelineOn.String() != "on" {
+		t.Fatalf("mode strings: %q/%q", PipelineOff, PipelineOn)
+	}
+	if PipelineMode(9).String() != "unknown" {
+		t.Fatal("out-of-range mode should stringify as unknown")
+	}
+}

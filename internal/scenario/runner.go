@@ -6,10 +6,18 @@
 //
 // The runner is the only component that touches ground truth; the system
 // under test sees sensors exclusively.
+//
+// Since the pipelined-perception refactor the runner is a small staged
+// subsystem rather than one function: a mission bundles the simulated
+// vehicle, its sensors and the system under test; Timing.Pipeline selects
+// whether perception (detection + depth capture) executes inline on the
+// control loop (PipelineOff, the historical order) or concurrently on its
+// own stage with tick-stamped delivery (PipelineOn, see pipeline.go).
 package scenario
 
 import (
 	"math"
+	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/geom"
@@ -56,9 +64,24 @@ type Timing struct {
 	DetectPeriod float64
 	// DepthPeriod is the depth-capture/mapping period.
 	DepthPeriod float64
-	// CommandLatency delays command application by whole ticks (compute
+	// CommandLatencyTicks delays command application by whole ticks (compute
 	// latency between sensing and actuation).
 	CommandLatencyTicks int
+
+	// Pipeline selects inline (off) or staged (on) perception execution;
+	// see pipeline.go. The knob lives on Timing so it travels everywhere a
+	// deployment profile does: campaign Specs, checkpoint-journal
+	// signatures, and the shard wire format. omitempty keeps the zero
+	// (PipelineOff) encoding byte-identical to the pre-pipeline Timing, so
+	// journals and shard files recorded before this knob existed still
+	// match their campaign's signature.
+	Pipeline PipelineMode `json:",omitempty"`
+	// PipelineLatencyTicks is k when the pipeline is on: perception results
+	// captured at tick T are applied at tick T+k. Zero is a synchronous
+	// handoff (bit-identical to PipelineOff); hil.DerivePipelinedPlan
+	// derives k from measured stage cost so the sense-to-act latency is
+	// emergent rather than injected.
+	PipelineLatencyTicks int `json:",omitempty"`
 }
 
 // SILTiming is the native software-in-the-loop profile.
@@ -68,7 +91,8 @@ func SILTiming() Timing {
 
 // ResourceObserver receives module-activity callbacks during a run so a
 // platform model (internal/hil) can reconstruct CPU/memory series without
-// the runner depending on it.
+// the runner depending on it. Observers may additionally implement
+// StageObserver to see pipelined perception-stage timing.
 type ResourceObserver interface {
 	RecordDetect()
 	RecordDepth()
@@ -144,8 +168,49 @@ func (r Result) FalseNegativeRate() float64 {
 	return float64(miss) / float64(r.MarkerVisibleFrames)
 }
 
-// Run executes one closed-loop mission of sys on scenario sc.
-func Run(sc *worldgen.Scenario, sys *core.System, cfg RunConfig) Result {
+// mission bundles one run's actors: the simulated vehicle and its sensors
+// on the ground-truth side, the system under test on the other, plus the
+// run's accumulating Result. The control loop and (when pipelined) the
+// perception stage share it; field ownership is strict — the stage
+// goroutine touches only the immutable world/scenario, the stage-owned
+// depth and color cameras, and the system's detector.
+type mission struct {
+	sc  *worldgen.Scenario
+	sys *core.System
+	cfg RunConfig
+	t   Timing
+
+	w     *sim.World
+	drone *sim.Drone
+	gps   *sim.GPS
+	imu   *sim.IMU
+	baro  *sim.Baro
+	lidar *sim.LidarAlt
+	// depth and color are owned by the perception side: the control loop
+	// in inline mode, the stage goroutine in pipelined mode.
+	depth   *sim.DepthCamera
+	color   *sim.ColorCamera
+	windRng *rand.Rand
+
+	res   Result
+	now   float64
+	steps int
+
+	// Command latency ring: cmdRing[i%len] is tick i's command, so the
+	// command from CommandLatencyTicks ago is always resident. Fixed-size,
+	// so the latency queue allocates once per run instead of cycling slices.
+	cmdRing []core.Command
+	// Reused depth-point scratch for the inline path: the system copies the
+	// points it keeps within Step, so one buffer serves every depth frame.
+	depthPts []core.DepthPoint
+}
+
+// newMission normalizes the config and assembles the run's actors. Each
+// stochastic concern gets its own RNG stream derived from the run seed
+// with a distinct salt (see the stream-splitting scheme in grid.go) so
+// streams never alias across concerns or runs — and so the depth/color
+// streams can move to the perception stage without perturbing the rest.
+func newMission(sc *worldgen.Scenario, sys *core.System, cfg RunConfig) *mission {
 	t := cfg.Timing
 	if t.Dt <= 0 {
 		t = SILTiming()
@@ -157,154 +222,198 @@ func Run(sc *worldgen.Scenario, sys *core.System, cfg RunConfig) Result {
 		cfg.SuccessRadius = 1.0
 	}
 
-	// Each stochastic concern gets its own RNG stream derived from the run
-	// seed with a distinct salt (see the stream-splitting scheme in
-	// grid.go) so streams never alias across concerns or runs.
-	w := sc.World
-	drone := sim.NewDrone(sim.DefaultDroneConfig(), geom.V3(0, 0, 0.15))
-	gps := sim.NewGPS(subSeed(cfg.Seed, concernGPS), sc.Weather.GPSDegradation)
-	if cfg.RTK {
-		gps.EnableRTK()
+	m := &mission{
+		sc:      sc,
+		sys:     sys,
+		cfg:     cfg,
+		t:       t,
+		w:       sc.World,
+		drone:   sim.NewDrone(sim.DefaultDroneConfig(), geom.V3(0, 0, 0.15)),
+		gps:     sim.NewGPS(subSeed(cfg.Seed, concernGPS), sc.Weather.GPSDegradation),
+		imu:     sim.NewIMU(subSeed(cfg.Seed, concernIMU), 1),
+		baro:    sim.NewBaro(subSeed(cfg.Seed, concernBaro)),
+		lidar:   sim.NewLidarAlt(subSeed(cfg.Seed, concernLidar)),
+		depth:   sim.NewDepthCamera(subSeed(cfg.Seed, concernDepth)),
+		color:   sim.NewColorCamera(subSeed(cfg.Seed, concernColor)),
+		windRng: subRNG(cfg.Seed, concernWind),
+		res:     Result{LandingError: math.NaN(), DetectionError: math.NaN()},
+		steps:   int(cfg.MaxDuration / t.Dt),
+		cmdRing: make([]core.Command, t.CommandLatencyTicks+1),
 	}
-	imu := sim.NewIMU(subSeed(cfg.Seed, concernIMU), 1)
-	baro := sim.NewBaro(subSeed(cfg.Seed, concernBaro))
-	lidar := sim.NewLidarAlt(subSeed(cfg.Seed, concernLidar))
-	depth := sim.NewDepthCamera(subSeed(cfg.Seed, concernDepth))
-	depth.ErroneousRate = cfg.ErroneousDepthRate
-	color := sim.NewColorCamera(subSeed(cfg.Seed, concernColor))
-	windRng := subRNG(cfg.Seed, concernWind)
+	if cfg.RTK {
+		m.gps.EnableRTK()
+	}
+	m.depth.ErroneousRate = cfg.ErroneousDepthRate
+	return m
+}
 
-	res := Result{LandingError: math.NaN(), DetectionError: math.NaN()}
+// Run executes one closed-loop mission of sys on scenario sc.
+func Run(sc *worldgen.Scenario, sys *core.System, cfg RunConfig) Result {
+	m := newMission(sc, sys, cfg)
+	if m.t.Pipeline == PipelineOn {
+		return m.runPipelined()
+	}
+	return m.runInline()
+}
 
+// runInline is the historical single-goroutine loop: perception executes
+// on the control loop, in the exact pre-pipeline operation order (the
+// golden-digest test holds this path to bit-identity).
+func (m *mission) runInline() Result {
 	var nextDetect, nextDepth float64
-	// Command latency ring: cmdRing[i%len] is tick i's command, so the
-	// command from CommandLatencyTicks ago is always resident. Fixed-size,
-	// so the latency queue allocates once per run instead of cycling slices.
-	cmdRing := make([]core.Command, t.CommandLatencyTicks+1)
-	// Reused depth-point scratch: the system copies the points it keeps
-	// within Step, so one buffer serves every depth frame of the run.
-	var depthPts []core.DepthPoint
+	for i := 0; i < m.steps; i++ {
+		m.now += m.t.Dt
+		epoch := m.beginTick()
 
-	steps := int(cfg.MaxDuration / t.Dt)
-	now := 0.0
-	for i := 0; i < steps; i++ {
-		now += t.Dt
-		gps.Step(t.Dt)
-		baro.Step(t.Dt)
-		if b := gps.Bias().Len(); b > res.MaxGPSDrift {
-			res.MaxGPSDrift = b
-		}
-
-		epoch := core.SensorEpoch{
-			Dt:      t.Dt,
-			GPS:     gps.Read(drone.Pos),
-			IMUVel:  imu.ReadVel(drone.Vel),
-			BaroAlt: baro.Read(drone.Pos.Z),
-		}
-		if r, ok := lidar.Read(w, drone.Pos); ok {
-			epoch.LidarRange = r
-			epoch.LidarOK = true
-		}
-
-		if now >= nextDepth {
-			nextDepth = now + t.DepthPeriod
-			returns := depth.Capture(w, drone.Pos, drone.Yaw)
-			if cap(depthPts) < len(returns) {
-				depthPts = make([]core.DepthPoint, len(returns))
-			}
-			pts := depthPts[:len(returns)]
-			for k, rr := range returns {
-				pts[k] = core.DepthPoint{P: rr.Point, Hit: rr.Hit}
-			}
-			epoch.Depth = pts
-			epoch.DepthYaw = drone.Yaw
+		if m.now >= nextDepth {
+			nextDepth = m.now + m.t.DepthPeriod
+			returns := m.depth.Capture(m.w, m.drone.Pos, m.drone.Yaw)
+			m.depthPts = copyDepthPoints(m.depthPts, returns)
+			epoch.Depth = m.depthPts
+			epoch.DepthYaw = m.drone.Yaw
 		}
 
 		markerVisible := false
-		if now >= nextDetect {
-			nextDetect = now + t.DetectPeriod
-			epoch.Frame = color.Capture(w, sc.Weather, drone.Pos, drone.Yaw, drone.Speed())
-			epoch.FrameYaw = drone.Yaw
-			markerVisible = markerInView(w, sc, drone.Pos, drone.Yaw)
+		if m.now >= nextDetect {
+			nextDetect = m.now + m.t.DetectPeriod
+			epoch.Frame = m.color.Capture(m.w, m.sc.Weather, m.drone.Pos, m.drone.Yaw, m.drone.Speed())
+			epoch.FrameYaw = m.drone.Yaw
+			markerVisible = markerInView(m.w, m.sc, m.drone.Pos, m.drone.Yaw)
 			if markerVisible {
-				res.MarkerVisibleFrames++
+				m.res.MarkerVisibleFrames++
 			}
 		}
 
-		detBefore := sys.Stats().Detections
-		plansBefore := sys.Stats().Replans + sys.Stats().PlanFailures
-		cmd := sys.Step(epoch)
-		if markerVisible && sys.Stats().Detections > detBefore {
-			res.MarkerDetectedFrames++
+		cmd := m.stepSystem(epoch, markerVisible)
+		applied := m.actuate(i, cmd)
+		if m.crashed(applied) {
+			return m.res
 		}
-		if obs := cfg.Observer; obs != nil {
-			obs.RecordControl()
-			if epoch.Frame != nil {
-				obs.RecordDetect()
-			}
-			if epoch.Depth != nil {
-				obs.RecordDepth()
-			}
-			if plans := sys.Stats().Replans + sys.Stats().PlanFailures; plans > plansBefore {
-				for k := plansBefore; k < plans; k++ {
-					obs.RecordPlan()
-				}
-			}
-			obs.Advance(t.Dt, now, sys.Map().MemoryBytes())
-		}
-
-		// Command latency (compute delay between sense and act): apply the
-		// command from CommandLatencyTicks ago, or the first command ever
-		// issued while the pipeline is still filling.
-		cmdRing[i%len(cmdRing)] = cmd
-		applied := cmdRing[0]
-		if i >= t.CommandLatencyTicks {
-			applied = cmdRing[(i-t.CommandLatencyTicks)%len(cmdRing)]
-		}
-
-		drone.SetYaw(applied.Yaw)
-		drone.Step(t.Dt, applied.Vel, sc.Weather.GustAt(windRng))
-
-		// Ground-truth safety accounting.
-		if hitObstacle(w, drone.Pos, drone.Cfg.Radius) {
-			res.Outcome = FailureCollision
-			res.FinalState = sys.State()
-			res.Duration = now
-			finishMetrics(&res, sys, sc)
-			return res
-		}
-		if drone.Pos.Z <= drone.Cfg.Radius*0.6 && !drone.Landed() {
-			st := sys.State()
-			if applied.WantLand || st == core.StateFinalDescent || st == core.StateLanded {
-				drone.Land()
-				res.Landed = true
-				res.LandingError = drone.Pos.HorizDist(sc.TrueMarker)
-				res.OnWater = w.OnWater(drone.Pos.X, drone.Pos.Y)
-			} else if now > 2 { // takeoff grace period
-				res.Outcome = FailureCollision
-				res.FinalState = st
-				res.Duration = now
-				finishMetrics(&res, sys, sc)
-				return res
-			}
-		}
-
-		if sys.State().Terminal() || drone.Landed() {
+		if m.sys.State().Terminal() || m.drone.Landed() {
 			break
 		}
 	}
+	return m.classify()
+}
 
-	res.Duration = now
-	res.FinalState = sys.State()
-	finishMetrics(&res, sys, sc)
-
-	switch {
-	case res.Landed && !res.OnWater && res.LandingError <= cfg.SuccessRadius:
-		res.Outcome = Success
-	default:
-		res.Outcome = FailurePoorLanding
+// copyDepthPoints converts one depth capture into the epoch's body-frame
+// DepthPoint form, growing buf as needed — the camera owns the returns
+// slice, so both runners must copy before the next Capture. Shared by the
+// inline runner's scratch and the perception stage's buffer ring.
+func copyDepthPoints(buf []core.DepthPoint, returns []sim.DepthReturn) []core.DepthPoint {
+	if cap(buf) < len(returns) {
+		buf = make([]core.DepthPoint, len(returns))
 	}
-	return res
+	buf = buf[:len(returns)]
+	for i, rr := range returns {
+		buf[i] = core.DepthPoint{P: rr.Point, Hit: rr.Hit}
+	}
+	return buf
+}
+
+// beginTick advances the always-on sensors and assembles the tick's base
+// epoch (GPS, IMU, barometer, lidar) — shared verbatim by both runners.
+func (m *mission) beginTick() core.SensorEpoch {
+	m.gps.Step(m.t.Dt)
+	m.baro.Step(m.t.Dt)
+	if b := m.gps.Bias().Len(); b > m.res.MaxGPSDrift {
+		m.res.MaxGPSDrift = b
+	}
+	epoch := core.SensorEpoch{
+		Dt:      m.t.Dt,
+		GPS:     m.gps.Read(m.drone.Pos),
+		IMUVel:  m.imu.ReadVel(m.drone.Vel),
+		BaroAlt: m.baro.Read(m.drone.Pos.Z),
+	}
+	if r, ok := m.lidar.Read(m.w, m.drone.Pos); ok {
+		epoch.LidarRange = r
+		epoch.LidarOK = true
+	}
+	return epoch
+}
+
+// stepSystem feeds one epoch to the system under test, maintains the
+// Table II detection accounting, and routes module activity to the
+// resource observer.
+func (m *mission) stepSystem(epoch core.SensorEpoch, markerVisible bool) core.Command {
+	detBefore := m.sys.Stats().Detections
+	plansBefore := m.sys.Stats().Replans + m.sys.Stats().PlanFailures
+	cmd := m.sys.Step(epoch)
+	if markerVisible && m.sys.Stats().Detections > detBefore {
+		m.res.MarkerDetectedFrames++
+	}
+	if obs := m.cfg.Observer; obs != nil {
+		obs.RecordControl()
+		if epoch.Frame != nil || epoch.HaveDetections {
+			obs.RecordDetect()
+		}
+		if epoch.Depth != nil {
+			obs.RecordDepth()
+		}
+		if plans := m.sys.Stats().Replans + m.sys.Stats().PlanFailures; plans > plansBefore {
+			for k := plansBefore; k < plans; k++ {
+				obs.RecordPlan()
+			}
+		}
+		obs.Advance(m.t.Dt, m.now, m.sys.Map().MemoryBytes())
+	}
+	return cmd
+}
+
+// actuate applies command latency (compute delay between sense and act):
+// the command from CommandLatencyTicks ago steps the physics, or the first
+// command ever issued while the ring is still filling.
+func (m *mission) actuate(i int, cmd core.Command) core.Command {
+	m.cmdRing[i%len(m.cmdRing)] = cmd
+	applied := m.cmdRing[0]
+	if i >= m.t.CommandLatencyTicks {
+		applied = m.cmdRing[(i-m.t.CommandLatencyTicks)%len(m.cmdRing)]
+	}
+	m.drone.SetYaw(applied.Yaw)
+	m.drone.Step(m.t.Dt, applied.Vel, m.sc.Weather.GustAt(m.windRng))
+	return applied
+}
+
+// crashed performs the ground-truth safety accounting after one physics
+// step; when it returns true the Result is final.
+func (m *mission) crashed(applied core.Command) bool {
+	if hitObstacle(m.w, m.drone.Pos, m.drone.Cfg.Radius) {
+		m.res.Outcome = FailureCollision
+		m.res.FinalState = m.sys.State()
+		m.res.Duration = m.now
+		finishMetrics(&m.res, m.sys, m.sc)
+		return true
+	}
+	if m.drone.Pos.Z <= m.drone.Cfg.Radius*0.6 && !m.drone.Landed() {
+		st := m.sys.State()
+		if applied.WantLand || st == core.StateFinalDescent || st == core.StateLanded {
+			m.drone.Land()
+			m.res.Landed = true
+			m.res.LandingError = m.drone.Pos.HorizDist(m.sc.TrueMarker)
+			m.res.OnWater = m.w.OnWater(m.drone.Pos.X, m.drone.Pos.Y)
+		} else if m.now > 2 { // takeoff grace period
+			m.res.Outcome = FailureCollision
+			m.res.FinalState = st
+			m.res.Duration = m.now
+			finishMetrics(&m.res, m.sys, m.sc)
+			return true
+		}
+	}
+	return false
+}
+
+// classify finalizes a mission that ran to termination without crashing.
+func (m *mission) classify() Result {
+	m.res.Duration = m.now
+	m.res.FinalState = m.sys.State()
+	finishMetrics(&m.res, m.sys, m.sc)
+	switch {
+	case m.res.Landed && !m.res.OnWater && m.res.LandingError <= m.cfg.SuccessRadius:
+		m.res.Outcome = Success
+	default:
+		m.res.Outcome = FailurePoorLanding
+	}
+	return m.res
 }
 
 // finishMetrics fills the detection-deviation metric from the system's
@@ -327,7 +436,9 @@ var downwardIntrinsics = vision.DefaultCamera()
 
 // markerInView reports whether the true target marker is comfortably
 // inside the downward camera frustum at a decodable apparent size — the
-// ground-truth denominator of the Table II false-negative rate.
+// ground-truth denominator of the Table II false-negative rate. Pure over
+// the immutable world, so the perception stage may call it concurrently
+// with the control loop.
 func markerInView(w *sim.World, sc *worldgen.Scenario, pos geom.Vec3, yaw float64) bool {
 	target, ok := w.TargetMarker()
 	if !ok {

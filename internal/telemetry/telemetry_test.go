@@ -3,6 +3,7 @@ package telemetry
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestTableRender(t *testing.T) {
@@ -57,6 +58,54 @@ func TestSeriesStats(t *testing.T) {
 	}
 	if s.Max() != 3 {
 		t.Errorf("max = %v", s.Max())
+	}
+}
+
+func TestOverlapSummary(t *testing.T) {
+	// Fully hidden: the control loop never stalled.
+	s := OverlapSummary(10*time.Second, 0, 40*time.Second)
+	if !strings.Contains(s, "100% of stage cost hidden") {
+		t.Errorf("zero stall should read as fully hidden: %q", s)
+	}
+	// Half hidden.
+	s = OverlapSummary(10*time.Second, 5*time.Second, 40*time.Second)
+	if !strings.Contains(s, "50% of stage cost hidden") {
+		t.Errorf("want 50%% hidden: %q", s)
+	}
+	// Stall can exceed stage busy (scheduling noise): clamp at 0, never
+	// report negative overlap.
+	s = OverlapSummary(time.Second, 3*time.Second, 10*time.Second)
+	if !strings.Contains(s, "0% of stage cost hidden") {
+		t.Errorf("overshooting stall should clamp to 0%%: %q", s)
+	}
+	// No pipelined work at all.
+	s = OverlapSummary(0, 0, 0)
+	if !strings.Contains(s, "no perception stage work") {
+		t.Errorf("empty stats should say so: %q", s)
+	}
+}
+
+func TestTableRowsAndSeriesEdges(t *testing.T) {
+	tab := NewTable("a")
+	if tab.Rows() != 0 {
+		t.Fatal("fresh table has rows")
+	}
+	tab.AddRow(float32(1.5))
+	if tab.Rows() != 1 {
+		t.Fatal("AddRow did not count")
+	}
+
+	var s Series
+	if s.Mean() != 0 || s.Max() != 0 || s.Len() != 0 {
+		t.Fatal("empty series stats should be zero")
+	}
+	s.Add(0, -3)
+	s.Add(1, -1)
+	if s.Max() != -1 {
+		t.Fatalf("all-negative Max = %v, want -1", s.Max())
+	}
+	if s.Mean() != -2 {
+		t.Fatalf("Mean = %v, want -2", s.Mean())
 	}
 }
 

@@ -1,0 +1,140 @@
+package worldgen_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/worldgen"
+)
+
+// Race hardening for the world cache: Acquire/release under concurrent
+// RunGridCell (the campaign workers' access pattern) plus direct
+// Acquire/release churn on a capacity-1 cache, where every acquire
+// contends with eviction. The test lives in an external package so it can
+// exercise the cache through scenario.RunGridCell without an import cycle.
+
+// TestCacheConcurrentRunGridCell drives the shared cache exactly the way
+// parallel campaign workers do: several goroutines flying repetitions of
+// the same two cells, so acquires hit, pin, and release one entry
+// concurrently. Results must match a solo run bit for bit.
+func TestCacheConcurrentRunGridCell(t *testing.T) {
+	type cell struct{ mi, si int }
+	cells := []cell{{2, 4}, {4, 0}}
+	short := func(sc *worldgen.Scenario, sys *core.System, cfg *scenario.RunConfig) {
+		cfg.MaxDuration = 30 // bounded missions: the contention is the point
+	}
+
+	refs := make([]scenario.Result, len(cells))
+	for i, c := range cells {
+		seed := scenario.GridSeed(core.V3, c.mi, c.si, 0)
+		r, err := scenario.RunGridCell(core.V3, c.mi, c.si, seed, scenario.SILTiming(), short)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = r
+	}
+
+	workers := 6
+	if testing.Short() {
+		workers = 3
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := cells[w%len(cells)]
+			seed := scenario.GridSeed(core.V3, c.mi, c.si, 0)
+			r, err := scenario.RunGridCell(core.V3, c.mi, c.si, seed, scenario.SILTiming(), short)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			if want := refs[w%len(cells)]; !sameResultStr(want, r) {
+				t.Errorf("worker %d: concurrent cached run diverged from solo run", w)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCacheAcquireReleaseChurn hammers a private capacity-1 cache from
+// many goroutines across several cells, so every acquire races generation,
+// adoption of a racing generator's entry, pinning, and eviction of the
+// loser. The invariants: no two callers observe different worlds for the
+// same cell, and the refcounted entry a caller holds never gets evicted
+// under it (the world stays usable until release).
+func TestCacheAcquireReleaseChurn(t *testing.T) {
+	cache := worldgen.NewCache(1)
+	type key struct{ mi, si int }
+	cells := []key{{0, 0}, {1, 1}, {2, 2}, {3, 3}}
+
+	iters := 40
+	workers := 8
+	if testing.Short() {
+		iters, workers = 12, 4
+	}
+
+	// Reference marker centers per cell, for cross-goroutine identity
+	// checks without holding worlds.
+	wantMarker := make(map[key][2]float64)
+	for _, c := range cells {
+		sc, release, err := cache.Acquire(c.mi, c.si)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantMarker[c] = [2]float64{sc.TrueMarker.X, sc.TrueMarker.Y}
+		release()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c := cells[(w+i)%len(cells)]
+				sc, release, err := cache.Acquire(c.mi, c.si)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Touch the world while pinned: eviction must never free it
+				// under us.
+				_ = sc.World.GroundHeightAt(sc.TrueMarker.X, sc.TrueMarker.Y)
+				if got := [2]float64{sc.TrueMarker.X, sc.TrueMarker.Y}; got != wantMarker[c] {
+					t.Errorf("cell (%d,%d): marker %v, want %v — cache handed out a wrong world",
+						c.mi, c.si, got, wantMarker[c])
+				}
+				release()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if _, _, resident := cache.Stats(); resident > 1 {
+		t.Errorf("capacity-1 cache holds %d unpinned entries after churn", resident)
+	}
+}
+
+// sameResultStr mirrors the scenario package's bit-exact comparison
+// (Sprintf round-trips floats exactly and treats NaN == NaN).
+func sameResultStr(a, b scenario.Result) bool {
+	return resultString(a) == resultString(b)
+}
+
+func resultString(r scenario.Result) string {
+	b, err := r.MarshalJSON()
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}

@@ -13,8 +13,9 @@
 //     them for enough iterations that one-time warm-up buffer growth
 //     amortizes to zero.)
 //
-//   - BenchmarkRun (one full closed-loop mission, the unit every
-//     evaluation grid multiplies) must stay within -max-regress of the
+//   - The closed-loop mission units — BenchmarkRun (inline runner) and
+//     BenchmarkRunPipelined (staged perception runner), the costs every
+//     evaluation grid multiplies — must stay within -max-regress of the
 //     committed BENCH_2.json allocation snapshot. Allocation counts are
 //     deterministic enough to gate on in shared CI runners, unlike ns/op.
 //
@@ -43,8 +44,8 @@ var zeroAllocBenchmarks = []string{
 	"BenchmarkGroundHeight",
 }
 
-// gatedBenchmark is the closed-loop unit gated against the snapshot.
-const gatedBenchmark = "BenchmarkRun"
+// gatedBenchmarks are the closed-loop units gated against the snapshot.
+var gatedBenchmarks = []string{"BenchmarkRun", "BenchmarkRunPipelined"}
 
 // measurement is one parsed benchmark result line.
 type measurement struct {
@@ -114,24 +115,26 @@ func run(benchPath, basePath string, maxRegress float64, w io.Writer) error {
 		}
 	}
 
-	m, ok := results[gatedBenchmark]
-	b, okBase := base.Benchmarks[gatedBenchmark]
-	switch {
-	case !ok:
-		violations = append(violations, fmt.Sprintf("%s: missing from %s", gatedBenchmark, benchPath))
-	case !okBase:
-		violations = append(violations, fmt.Sprintf("%s: missing from baseline %s", gatedBenchmark, basePath))
-	case !m.HasAlloc:
-		violations = append(violations, fmt.Sprintf("%s: no allocs/op column (ReportAllocs lost?)", gatedBenchmark))
-	default:
-		limit := b.After.AllocsOp * (1 + maxRegress)
-		if m.AllocsOp > limit {
-			violations = append(violations, fmt.Sprintf(
-				"%s: %.0f allocs/op exceeds %.0f (baseline %.0f +%.0f%%) — the closed-loop hot path regressed",
-				gatedBenchmark, m.AllocsOp, limit, b.After.AllocsOp, maxRegress*100))
-		} else {
-			fmt.Fprintf(w, "ok   %-24s %.0f allocs/op within %.0f (baseline %.0f +%.0f%%), %.0f ns/op\n",
-				gatedBenchmark, m.AllocsOp, limit, b.After.AllocsOp, maxRegress*100, m.NsOp)
+	for _, name := range gatedBenchmarks {
+		m, ok := results[name]
+		b, okBase := base.Benchmarks[name]
+		switch {
+		case !ok:
+			violations = append(violations, fmt.Sprintf("%s: missing from %s", name, benchPath))
+		case !okBase:
+			violations = append(violations, fmt.Sprintf("%s: missing from baseline %s", name, basePath))
+		case !m.HasAlloc:
+			violations = append(violations, fmt.Sprintf("%s: no allocs/op column (ReportAllocs lost?)", name))
+		default:
+			limit := b.After.AllocsOp * (1 + maxRegress)
+			if m.AllocsOp > limit {
+				violations = append(violations, fmt.Sprintf(
+					"%s: %.0f allocs/op exceeds %.0f (baseline %.0f +%.0f%%) — the closed-loop hot path regressed",
+					name, m.AllocsOp, limit, b.After.AllocsOp, maxRegress*100))
+			} else {
+				fmt.Fprintf(w, "ok   %-24s %.0f allocs/op within %.0f (baseline %.0f +%.0f%%), %.0f ns/op\n",
+					name, m.AllocsOp, limit, b.After.AllocsOp, maxRegress*100, m.NsOp)
+			}
 		}
 	}
 

@@ -14,6 +14,7 @@ cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkCampaign/workers=1-4     1   5011022841 ns/op
 BenchmarkCampaign/workers=4-4     1   1377003199 ns/op
 BenchmarkRun-4                    5    302838874 ns/op   8618862 B/op   11771 allocs/op
+BenchmarkRunPipelined-4           5    340362629 ns/op   8172180 B/op   11590 allocs/op
 BenchmarkRender-4              1000       408527 ns/op       524 B/op       0 allocs/op
 BenchmarkDepthCapture-4        1000        30587 ns/op        58 B/op       0 allocs/op
 BenchmarkRaycast-4             1000          121.3 ns/op       0 B/op       0 allocs/op
@@ -27,6 +28,9 @@ const baselineJSON = `{
     "BenchmarkRun": {
       "before": {"ns_op": 706667852, "bytes_op": 119566926, "allocs_op": 211321},
       "after": {"ns_op": 301838874, "bytes_op": 8618862, "allocs_op": 11771}
+    },
+    "BenchmarkRunPipelined": {
+      "after": {"ns_op": 340362629, "bytes_op": 8172180, "allocs_op": 11590}
     }
   }
 }`
@@ -78,15 +82,46 @@ func TestGateFailsInjectedAllocRegression(t *testing.T) {
 	}
 }
 
-func TestGateFailsNonZeroCapturePath(t *testing.T) {
-	for _, name := range zeroAllocBenchmarks {
-		broken := strings.Replace(goodBench, "0 allocs/op", "3 allocs/op", 1)
-		_ = name
-		err, out := gate(t, broken, baselineJSON, 0.10)
-		if err == nil {
-			t.Fatalf("non-zero capture path passed the gate:\n%s", out)
+// TestGateCoversPipelinedRun pins the second gated closed-loop unit: a
+// regression in the staged runner's allocations must fail, and dropping
+// the benchmark from the smoke run must fail too (a rename or a lost
+// -bench pattern would otherwise disable the gate forever).
+func TestGateCoversPipelinedRun(t *testing.T) {
+	injected := strings.Replace(goodBench, "11590 allocs/op", "13500 allocs/op", 1)
+	err, out := gate(t, injected, baselineJSON, 0.10)
+	if err == nil {
+		t.Fatalf("pipelined alloc regression passed the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "BenchmarkRunPipelined") {
+		t.Errorf("violation does not name the pipelined benchmark:\n%s", out)
+	}
+
+	var kept []string
+	for _, line := range strings.Split(goodBench, "\n") {
+		if strings.HasPrefix(line, "BenchmarkRunPipelined") {
+			continue
 		}
-		break // the first replacement hits BenchmarkRender; one is enough
+		kept = append(kept, line)
+	}
+	err, out = gate(t, strings.Join(kept, "\n"), baselineJSON, 0.10)
+	if err == nil {
+		t.Fatalf("missing pipelined benchmark passed the gate:\n%s", out)
+	}
+}
+
+func TestGateFailsNonZeroCapturePath(t *testing.T) {
+	// Target the Render line precisely: a bare "0 allocs/op" substring
+	// also matches inside larger counts like "11590 allocs/op".
+	broken := strings.Replace(goodBench, "524 B/op       0 allocs/op", "524 B/op       3 allocs/op", 1)
+	if broken == goodBench {
+		t.Fatal("fixture drifted: BenchmarkRender line not found")
+	}
+	err, out := gate(t, broken, baselineJSON, 0.10)
+	if err == nil {
+		t.Fatalf("non-zero capture path passed the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "BenchmarkRender") {
+		t.Errorf("violation does not name the regressed capture path:\n%s", out)
 	}
 }
 
