@@ -31,6 +31,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/detect"
+	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/hil"
 	"repro/internal/mapping"
@@ -497,6 +498,40 @@ func BenchmarkRunPipelined(b *testing.B) {
 	timing := scenario.SILTiming()
 	timing.Pipeline = scenario.PipelineOn
 	timing.PipelineLatencyTicks = 2
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.RunGridCell(core.V3, 2, 4, 42, timing, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunFaultsOff is BenchmarkRun flown through a Timing profile
+// whose fault plan is nil — the path every nominal campaign takes now that
+// the fault-injection subsystem exists. Gated by tools/benchgate at
+// BenchmarkRun's own allocation budget: the fault wiring must cost the
+// nominal hot path nothing (no injector, no extra RNG streams, no per-tick
+// allocations).
+func BenchmarkRunFaultsOff(b *testing.B) {
+	timing := scenario.SILTiming() // Faults == nil: the zero-alloc path
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.RunGridCell(core.V3, 2, 4, 42, timing, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunFaulted is the same mission under the "degraded" preset
+// plan — reported for visibility (fault campaigns may allocate; they are
+// not gated).
+func BenchmarkRunFaulted(b *testing.B) {
+	plan, err := fault.ParsePlan("degraded")
+	if err != nil {
+		b.Fatal(err)
+	}
+	timing := scenario.SILTiming()
+	timing.Faults = plan
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := scenario.RunGridCell(core.V3, 2, 4, 42, timing, nil); err != nil {

@@ -30,9 +30,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/hil"
 	"repro/internal/scenario"
 	"repro/internal/telemetry"
@@ -45,12 +47,21 @@ var fieldMaps = []int{0, 2, 4, 5}
 
 func main() {
 	runs := flag.Int("runs", 20, "number of field flights")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel flight workers (1 = sequential)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel run workers (1 = sequential)")
 	resources := flag.Bool("resources", false, "print the per-second Fig. 7 resource series of one flight")
 	csvPath := flag.String("csv", "", "write the Fig. 7 series of flight 0 as CSV to this path")
-	checkpoint := flag.String("checkpoint", "", "journal file for crash-safe resume (Ctrl-C, rerun the same command to continue)")
-	pipeline := flag.Bool("pipeline", false, "run perception on a concurrent stage; sense-to-act latency emerges from the field profile's stage cost")
+	checkpoint := flag.String("checkpoint", "", "journal file for crash-safe resume (rerun the same command to continue)")
+	shard := flag.String("shard", "", "run one shard of the campaign, as i/n (e.g. 2/4)")
+	out := flag.String("out", "", "shard aggregate output file (default fieldtest-shard-<i>-of-<n>.json)")
+	merge := flag.Bool("merge", false, "merge shard result files given as arguments and print the tables")
+	pipeline := flag.Bool("pipeline", false, "run perception on a concurrent stage (tick-stamped delivery; sense-to-act latency emerges from stage cost)")
+	faults := flag.String("faults", "", "fault plan: a preset ("+strings.Join(fault.Presets(), ", ")+") or a spec like \"gps-drift@20+30:mag=0.5;depth-dropout@10+15\"")
 	flag.Parse()
+
+	if *merge {
+		mergeMain(flag.Args())
+		return
+	}
 
 	if *runs < 1 {
 		fmt.Fprintln(os.Stderr, "fieldtest: -runs must be at least 1")
@@ -64,9 +75,21 @@ func main() {
 		plan = hil.DerivePipelinedPlan(profile, costs)
 	}
 
+	// The fault plan rides the field timing profile into the campaign
+	// (beyond the field profile's built-in degradations).
+	faultPlan, err := fault.ParsePlan(*faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fieldtest:", err)
+		os.Exit(2)
+	}
+	plan.Timing.Faults = faultPlan
+
 	fmt.Printf("Field profile on %s: CPU demand %.0f%% of capacity\n", profile.Name, 100*plan.CPUDemand)
 	if *pipeline {
 		fmt.Printf("pipelined perception: on — emergent delivery latency %d ticks\n", plan.Timing.PipelineLatencyTicks)
+	}
+	if faultPlan.Active() {
+		fmt.Printf("fault plan: %s\n", faultPlan)
 	}
 	fmt.Println()
 
@@ -88,7 +111,20 @@ func main() {
 		Seed:   func(c campaign.Cell) int64 { return int64(c.Rep)*104_729 + 77 },
 	}
 
-	mons := make([]*hil.Monitor, len(cells))
+	// Sharded execution replaces the flight list with one contiguous slice
+	// (the per-flight seeds ship inside the shard, by value).
+	var activeShard *campaign.Shard
+	if *shard != "" {
+		sh, sub, err := campaign.ParseShardFlag(spec, *shard)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fieldtest:", err)
+			os.Exit(2)
+		}
+		activeShard, spec = sh, sub
+		fmt.Printf("shard %d/%d: flights [%d,%d) of %d\n\n", sh.Index+1, sh.Count, sh.Start, sh.End, sh.Total)
+	}
+
+	mons := make([]*hil.Monitor, spec.Total())
 	spec.Configure = func(ru campaign.Run, sc *worldgen.Scenario, sys *core.System, cfg *scenario.RunConfig) {
 		// Field GPS behaves worse than the simulation assumed: raise the
 		// degradation floor (drift during poor weather despite DOP 2-8).
@@ -197,6 +233,29 @@ func main() {
 		fmt.Printf("  mean CPU %.0f%% aggregate, mean RAM %.2f GB (Fig. 7: above HIL's)\n",
 			meanCPU/float64(count), meanMem/float64(count)/1000)
 	}
+	if row := agg.DependabilityString(); row != "" {
+		fmt.Println("\nDependability (fault campaign)")
+		fmt.Println(row)
+		for _, mon := range mons {
+			if mon != nil && len(mon.FaultEvents()) > 0 {
+				fmt.Println("fault timeline of the first monitored flight:")
+				fmt.Println(telemetry.FormatFaultTimeline(mon.FaultEvents()))
+				break
+			}
+		}
+	}
+
+	if activeShard != nil {
+		path := *out
+		if path == "" {
+			path = fmt.Sprintf("fieldtest-shard-%d-of-%d.json", activeShard.Index+1, activeShard.Count)
+		}
+		if err := campaign.WriteShardResult(path, activeShard.Result(report)); err != nil {
+			fmt.Fprintln(os.Stderr, "fieldtest:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nshard aggregates written to %s — combine with: fieldtest -merge <all shard files>\n", path)
+	}
 
 	if *resources {
 		fmt.Println("\nFig. 7 — per-second resource series of flight 0")
@@ -226,4 +285,34 @@ func main() {
 		}
 		fmt.Printf("\nFig. 7 series written to %s\n", *csvPath)
 	}
+}
+
+// mergeMain recombines shard result files (in any order) into the field
+// campaign's summary.
+func mergeMain(files []string) {
+	shards, err := campaign.ReadShardResults(files)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fieldtest:", err)
+		os.Exit(2)
+	}
+	merged, err := campaign.MergeShards(shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fieldtest:", err)
+		os.Exit(1)
+	}
+	agg := merged[core.V3]
+	if agg == nil {
+		fmt.Fprintln(os.Stderr, "fieldtest: merged shards carry no MLS-V3 aggregate")
+		os.Exit(1)
+	}
+	fmt.Printf("merged %d shards (%d flights)\n", len(shards), shards[0].Total)
+	fmt.Printf("aggregate digest: %s\n", campaign.AggregatesDigest(merged))
+	fmt.Printf("success %.1f%%, collision %.1f%%, poor landing %.1f%% over %d flights\n",
+		agg.SuccessRate(), agg.CollisionRate(), agg.PoorLandingRate(), agg.Runs)
+	fmt.Printf("mean landing error %.2f m, FNR %.2f%%\n", agg.MeanLandingError, 100*agg.FalseNegativeRate)
+	if row := agg.DependabilityString(); row != "" {
+		fmt.Println("\nDependability (fault campaign)")
+		fmt.Println(row)
+	}
+	fmt.Println("(per-flight drift and resource series live on the machines that executed each shard)")
 }

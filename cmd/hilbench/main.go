@@ -27,9 +27,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/hil"
 	"repro/internal/scenario"
 	"repro/internal/telemetry"
@@ -46,8 +48,9 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "journal file for crash-safe resume (rerun the same command to continue)")
 	shard := flag.String("shard", "", "run one shard of the campaign, as i/n (e.g. 2/4)")
 	out := flag.String("out", "", "shard aggregate output file (default hilbench-shard-<i>-of-<n>.json)")
-	merge := flag.Bool("merge", false, "merge shard result files given as arguments and print Table III")
-	pipeline := flag.Bool("pipeline", false, "run perception on a concurrent stage; sense-to-act latency emerges from the platform's stage cost instead of being injected")
+	merge := flag.Bool("merge", false, "merge shard result files given as arguments and print the tables")
+	pipeline := flag.Bool("pipeline", false, "run perception on a concurrent stage (tick-stamped delivery; sense-to-act latency emerges from stage cost)")
+	faults := flag.String("faults", "", "fault plan: a preset ("+strings.Join(fault.Presets(), ", ")+") or a spec like \"gps-drift@20+30:mag=0.5;depth-dropout@10+15\"")
 	flag.Parse()
 
 	if *merge {
@@ -77,6 +80,17 @@ func main() {
 	if *pipeline {
 		fmt.Printf("  pipelined perception: on — emergent delivery latency %d ticks (from %s stage cost)\n",
 			plan.Timing.PipelineLatencyTicks, profile.Name)
+	}
+	// The fault plan rides the HIL timing profile into the campaign — the
+	// comms-blackout kind models exactly this tier's link-loss mode.
+	faultPlan, err := fault.ParsePlan(*faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hilbench:", err)
+		os.Exit(2)
+	}
+	plan.Timing.Faults = faultPlan
+	if faultPlan.Active() {
+		fmt.Printf("  fault plan: %s\n", faultPlan)
 	}
 	fmt.Println()
 
@@ -198,6 +212,17 @@ func main() {
 	}
 	fmt.Printf("aggregate digest: %s\n\n", report.Digest())
 	printTableIII(agg)
+	if row := agg.DependabilityString(); row != "" {
+		fmt.Println("\nDependability (fault campaign)")
+		fmt.Println(row)
+		for _, mon := range mons {
+			if mon != nil && len(mon.FaultEvents()) > 0 {
+				fmt.Println("fault timeline of the first monitored run:")
+				fmt.Println(telemetry.FormatFaultTimeline(mon.FaultEvents()))
+				break
+			}
+		}
+	}
 
 	if monN > 0 {
 		scope := ""
@@ -245,6 +270,10 @@ func mergeMain(files []string) {
 	fmt.Printf("merged %d shards (%d runs)\n", len(shards), shards[0].Total)
 	fmt.Printf("aggregate digest: %s\n\n", campaign.AggregatesDigest(merged))
 	printTableIII(*agg)
+	if row := agg.DependabilityString(); row != "" {
+		fmt.Println("\nDependability (fault campaign)")
+		fmt.Println(row)
+	}
 	fmt.Printf("\nAuxiliary: FNR %.2f%%, mean landing error %.2f m\n",
 		100*agg.FalseNegativeRate, agg.MeanLandingError)
 	fmt.Println("(resource series live on the machines that executed each shard)")

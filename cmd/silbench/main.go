@@ -17,6 +17,15 @@
 // any order. All three paths are bit-identical to one uninterrupted run —
 // compare the printed aggregate digests.
 //
+// Dependability campaigns: -faults applies a fault-injection plan (a
+// preset name or an internal/fault spec string) to every run — the sweep
+// becomes a degraded-conditions benchmark with time-to-recover, abort
+// causes and degraded-mode exposure next to the Table I rates. Plans ride
+// the campaign's Timing, so checkpoints and shards bind to them and a
+// fault campaign stays bit-identical across workers, resume and merges.
+// -fault-sweep runs the whole grid once nominal and once per preset and
+// prints the dependability comparison table.
+//
 // Absolute percentages depend on the synthetic substrate; the comparisons
 // that must hold are the orderings and rough factors (see EXPERIMENTS.md).
 package main
@@ -29,10 +38,12 @@ import (
 	"os/signal"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/scenario"
 	"repro/internal/telemetry"
 	"repro/internal/worldgen"
@@ -50,8 +61,10 @@ func main() {
 	shard := flag.String("shard", "", "run one shard of the campaign, as i/n (e.g. 2/4)")
 	out := flag.String("out", "", "shard aggregate output file (default silbench-shard-<i>-of-<n>.json)")
 	merge := flag.Bool("merge", false, "merge shard result files given as arguments and print the tables")
-	pipeline := flag.Bool("pipeline", false, "run perception on a concurrent stage (tick-stamped delivery)")
+	pipeline := flag.Bool("pipeline", false, "run perception on a concurrent stage (tick-stamped delivery; sense-to-act latency emerges from stage cost)")
 	pipelineLag := flag.Int("pipeline-lag", 1, "with -pipeline: apply perception results k control ticks after capture (0 = synchronous, bit-identical to inline)")
+	faults := flag.String("faults", "", "fault plan: a preset ("+strings.Join(fault.Presets(), ", ")+") or a spec like \"gps-drift@20+30:mag=0.5;depth-dropout@10+15\"")
+	faultSweep := flag.Bool("fault-sweep", false, "run the grid nominal plus once per fault preset and print the dependability table")
 	flag.Parse()
 
 	if *merge {
@@ -97,10 +110,31 @@ func main() {
 		spec.Timing.Pipeline = scenario.PipelineOn
 		spec.Timing.PipelineLatencyTicks = *pipelineLag
 	}
+	// The fault plan lives on Timing too: checkpoints and shards bind to
+	// it, and an empty plan is bit-identical to a nominal sweep.
+	plan, err := fault.ParsePlan(*faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "silbench:", err)
+		os.Exit(2)
+	}
+	spec.Timing.Faults = plan
+
+	if *faultSweep {
+		if *shard != "" || *checkpoint != "" || plan.Active() {
+			fmt.Fprintln(os.Stderr, "silbench: -fault-sweep runs its own campaigns; drop -shard/-checkpoint/-faults")
+			os.Exit(2)
+		}
+		faultSweepMain(spec, selected, *workers)
+		return
+	}
+
 	fmt.Printf("SIL benchmark: %d maps x %d scenarios x %d repeats x %d systems = %d runs on %d workers\n",
 		*maps, *scenarios, *repeats, len(selected), spec.Total(), *workers)
 	if *pipeline {
 		fmt.Printf("pipelined perception: on, delivery latency %d ticks\n", *pipelineLag)
+	}
+	if plan.Active() {
+		fmt.Printf("fault plan: %s\n", plan)
 	}
 
 	// Sharded execution replaces the full grid with one contiguous slice.
@@ -191,6 +225,76 @@ func main() {
 	}
 	// Rows print in -systems order (a shard may cover only some of them).
 	printTables(selected, report.Aggregates)
+	printDependability(selected, report.Aggregates)
+}
+
+// faultSweepMain is the -fault-sweep grid: the same campaign executed once
+// nominal and once per fault preset, summarized as one dependability
+// table. Each campaign prints its own aggregate digest, so any cell of
+// the grid can be re-verified in isolation.
+func faultSweepMain(base campaign.Spec, gens []core.Generation, workers int) {
+	names := append([]string{"nominal"}, fault.Presets()...)
+	fmt.Printf("Fault sweep: %d campaigns x %d runs on %d workers\n\n", len(names), base.Total(), workers)
+
+	tbl := telemetry.NewTable("plan", "system", "success", "collision", "poor-land",
+		"degraded-ticks", "recovered", "MTTR(s)", "aborts")
+	for _, name := range names {
+		spec := base
+		spec.Timing.Faults = nil
+		if name != "nominal" {
+			plan, err := fault.ParsePlan(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "silbench:", err)
+				os.Exit(1)
+			}
+			spec.Timing.Faults = plan
+		}
+		report, err := campaign.Execute(context.Background(), spec,
+			campaign.Options{Workers: workers, DiscardResults: true})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "silbench:", err)
+			os.Exit(1)
+		}
+		for _, gen := range gens {
+			agg := report.Aggregates[gen]
+			if agg == nil {
+				continue
+			}
+			aborts := 0
+			for _, n := range agg.AbortCauses {
+				aborts += n
+			}
+			tbl.AddRow(name, agg.System,
+				fmt.Sprintf("%.1f%%", agg.SuccessRate()),
+				fmt.Sprintf("%.1f%%", agg.CollisionRate()),
+				fmt.Sprintf("%.1f%%", agg.PoorLandingRate()),
+				agg.DegradedTicks,
+				fmt.Sprintf("%d/%d", agg.RecoveredRuns, agg.FaultRuns),
+				agg.MeanTimeToRecover, aborts)
+		}
+		fmt.Printf("  %-10s aggregate digest: %s\n", name, report.Digest())
+	}
+	fmt.Println("\nDependability grid (Table I rates under each fault plan)")
+	tbl.Render(os.Stdout)
+}
+
+// printDependability renders the fault-campaign rows under the tables;
+// silent on nominal sweeps.
+func printDependability(gens []core.Generation, aggs map[core.Generation]*scenario.Aggregate) {
+	printed := false
+	for _, gen := range gens {
+		agg := aggs[gen]
+		if agg == nil {
+			continue
+		}
+		if row := agg.DependabilityString(); row != "" {
+			if !printed {
+				fmt.Println("\nDependability (fault campaign)")
+				printed = true
+			}
+			fmt.Printf("%s\n", row)
+		}
+	}
 }
 
 // mergeMain recombines shard result files (in any order) into the full
@@ -214,6 +318,7 @@ func mergeMain(files []string) {
 	}
 	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
 	printTables(gens, merged)
+	printDependability(gens, merged)
 }
 
 // printTables renders Table I / Table II / auxiliary rows in the given

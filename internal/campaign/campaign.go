@@ -10,10 +10,11 @@
 // callbacks (optionally in canonical grid order), aggregates per-worker
 // shards incrementally, and reports progress with an ETA.
 //
-// The sequential helpers scenario.Batch/BatchScenarios remain as
-// deprecated shims; both they and the campaign workers funnel every cell
-// through scenario.RunGridCell, which is what makes an ordered campaign
-// bit-identical to the sequential engine for the same Spec.
+// Every worker funnels every cell through scenario.RunGridCell, which is
+// what makes an ordered campaign bit-identical to a sequential
+// (-workers=1) execution of the same Spec. (The deprecated sequential
+// helpers scenario.Batch/BatchScenarios were removed once the last
+// callers migrated here.)
 package campaign
 
 import (

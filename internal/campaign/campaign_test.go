@@ -33,6 +33,11 @@ func sameResult(a, b scenario.Result) bool {
 		a.MarkerDetectedFrames == b.MarkerDetectedFrames &&
 		a.OnWater == b.OnWater &&
 		a.MaxGPSDrift == b.MaxGPSDrift &&
+		a.DegradedTicks == b.DegradedTicks &&
+		a.FaultInjections == b.FaultInjections &&
+		a.Recovered == b.Recovered &&
+		a.RecoverySeconds == b.RecoverySeconds &&
+		a.AbortCause == b.AbortCause &&
 		sameStats(a.Stats, b.Stats)
 }
 
@@ -59,17 +64,26 @@ func testSpec() Spec {
 	}
 }
 
-// sequentialResults runs the spec's grid through the deprecated sequential
-// shim, the reference the parallel engine must reproduce bit for bit.
+// sequentialResults drives the spec's grid through RunGridCell in the
+// legacy nested-loop order (generations outermost, then maps, scenarios,
+// repetitions) — the reference the parallel engine must reproduce bit for
+// bit. This is exactly what the removed scenario.BatchScenarios shim did.
 func sequentialResults(t *testing.T, s Spec) []scenario.Result {
 	t.Helper()
 	var out []scenario.Result
 	for _, gen := range s.Generations {
-		res, err := scenario.BatchScenarios(gen, len(s.Maps), s.Scenarios, s.Repeats, s.Timing, nil)
-		if err != nil {
-			t.Fatal(err)
+		for mi := 0; mi < len(s.Maps); mi++ {
+			for _, si := range s.Scenarios {
+				for rep := 0; rep < s.Repeats; rep++ {
+					r, err := scenario.RunGridCell(gen, mi, si,
+						scenario.GridSeed(gen, mi, si, rep), s.Timing, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					out = append(out, r)
+				}
+			}
 		}
-		out = append(out, res...)
 	}
 	return out
 }

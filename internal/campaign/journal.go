@@ -76,7 +76,9 @@ func (s Spec) Signature() (string, error) {
 	}
 	h := sha256.New()
 	enc := json.NewEncoder(h)
-	if err := enc.Encode(s.Timing); err != nil {
+	// Canonical timing: an inactive fault plan encodes as absent, so "no
+	// faults" written as nil and as an empty Plan sign identically.
+	if err := enc.Encode(s.Timing.Canonical()); err != nil {
 		return "", err
 	}
 	for _, ru := range runs {

@@ -84,7 +84,7 @@ func (s Spec) Shards(n int) ([]Shard, error) {
 			End:    end,
 			Total:  total,
 			Sig:    sig,
-			Timing: s.Timing,
+			Timing: s.Timing.Canonical(),
 			Runs:   runs[start:end],
 		}
 	}

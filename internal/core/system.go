@@ -63,6 +63,13 @@ type System struct {
 	yaw    float64
 	lastDt float64
 
+	// detTap, when non-nil, filters or augments every frame's detector
+	// output before it reaches the decision layer — the fault-injection
+	// hook for missed and phantom detections. It runs inside Step for
+	// every runner mode (inline frames and pipelined precomputed
+	// detections alike), so a fault campaign corrupts both identically.
+	detTap func([]detect.Detection) []detect.Detection
+
 	// lastClearPos is the most recent estimate position outside every
 	// inflated obstacle; the failsafe retreats there before climbing.
 	lastClearPos geom.Vec3
@@ -132,6 +139,14 @@ func (s *System) Map() mapping.Map { return s.deps.Map }
 // the perception stage is the detector's only caller: epochs carry
 // precomputed Detections, so Step never reaches it concurrently.
 func (s *System) Detector() detect.Detector { return s.deps.Detector }
+
+// SetDetectionTap installs (or clears, with nil) the detection fault hook:
+// every frame's detector output passes through tap before the decision
+// layer sees it. The tap may return a slice it owns; the system consumes
+// detections within the Step that received them and retains nothing.
+func (s *System) SetDetectionTap(tap func([]detect.Detection) []detect.Detection) {
+	s.detTap = tap
+}
 
 // SetReplanInterval overrides the trajectory-revalidation cadence; the HIL
 // harness uses it to apply the platform's achievable planning rate.
@@ -271,6 +286,9 @@ func (s *System) processFrame(in SensorEpoch, est control.Estimate) {
 		dets = s.deps.Detector.Detect(in.Frame)
 	default:
 		return
+	}
+	if s.detTap != nil {
+		dets = s.detTap(dets)
 	}
 	cam := s.cfg.Camera
 	cam.Pos = est.Pos

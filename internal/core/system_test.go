@@ -469,3 +469,50 @@ func TestOffboardDescentTogglesEstimatorCoast(t *testing.T) {
 		t.Fatal("toggle not applied")
 	}
 }
+
+// TestDetectionTap: the fault-injection hook filters every frame's
+// detections before the decision layer — a tap that drops everything
+// makes the system blind while the untapped baseline sees the marker.
+func TestDetectionTap(t *testing.T) {
+	run := func(tap func([]detect.Detection) []detect.Detection) (*System, int) {
+		sys := testSystem(t, V1)
+		taps := 0
+		if tap != nil {
+			sys.SetDetectionTap(func(d []detect.Detection) []detect.Detection {
+				taps++
+				return tap(d)
+			})
+		}
+		cam := sys.Config().Camera
+		det := detect.Detection{
+			ID:         0, // the test system's target
+			Center:     geom.V2(float64(cam.W)/2, float64(cam.H)/2),
+			SizePx:     30,
+			Confidence: 0.9,
+		}
+		pos := geom.V3(0, 0, 12)
+		vel := geom.Vec3{}
+		for i := 0; i < 40; i++ {
+			epoch := SensorEpoch{Dt: 0.05, GPS: pos, IMUVel: vel,
+				LidarRange: pos.Z, LidarOK: true, BaroAlt: pos.Z}
+			if i >= 20 { // let the estimator settle first
+				epoch.Detections = []detect.Detection{det}
+				epoch.HaveDetections = true
+			}
+			sys.Step(epoch)
+		}
+		return sys, taps
+	}
+
+	base, _ := run(nil)
+	if base.Stats().Detections == 0 {
+		t.Fatal("baseline accepted no detections; the tap test would be vacuous")
+	}
+	blind, taps := run(func([]detect.Detection) []detect.Detection { return nil })
+	if taps == 0 {
+		t.Fatal("detection tap never invoked")
+	}
+	if got := blind.Stats().Detections; got != 0 {
+		t.Errorf("drop-all tap let %d detections through", got)
+	}
+}

@@ -1,0 +1,456 @@
+package fault
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/detect"
+	"repro/internal/geom"
+	"repro/internal/vision"
+)
+
+func testStreams(seed int64) Streams {
+	return Streams{
+		Depth:    rand.New(rand.NewSource(seed + 1)),
+		Color:    rand.New(rand.NewSource(seed + 2)),
+		Detector: rand.New(rand.NewSource(seed + 3)),
+		GPS:      rand.New(rand.NewSource(seed + 4)),
+		Actuator: rand.New(rand.NewSource(seed + 5)),
+		Wind:     rand.New(rand.NewSource(seed + 6)),
+		Comms:    rand.New(rand.NewSource(seed + 7)),
+	}
+}
+
+func TestParsePlanGrammar(t *testing.T) {
+	p, err := ParsePlan("gps-drift@20+30:mag=0.5;depth-dropout@10+15:prob=0.8;comms-blackout@60+5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Fault{
+		{Kind: GPSDrift, Start: 20, Duration: 30, Magnitude: 0.5},
+		{Kind: DepthDropout, Start: 10, Duration: 15, Probability: 0.8},
+		{Kind: CommsBlackout, Start: 60, Duration: 5},
+	}
+	if !reflect.DeepEqual(p.Faults, want) {
+		t.Fatalf("parsed %+v, want %+v", p.Faults, want)
+	}
+
+	// String renders back into the grammar and re-parses to the same plan.
+	p2, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatalf("String() output does not re-parse: %v", err)
+	}
+	if !reflect.DeepEqual(p, p2) {
+		t.Fatalf("String round trip: %v != %v", p, p2)
+	}
+}
+
+func TestParsePlanEmptyAndErrors(t *testing.T) {
+	for _, spec := range []string{"", "none"} {
+		p, err := ParsePlan(spec)
+		if err != nil || p != nil {
+			t.Fatalf("ParsePlan(%q) = %v, %v; want nil, nil", spec, p, err)
+		}
+	}
+	for _, spec := range []string{
+		"no-such-preset",
+		"bogus-kind@10",
+		"gps-drift@x",
+		"gps-drift@10+y",
+		"gps-drift@10:volume=11",
+		"gps-drift@10:mag",
+		"gps-drift@-5",
+		"thrust-loss@10:mag=1.5",
+		"thrust-loss@10:mag=1", // total loss would read as "invalid" at the vehicle tap
+		"gps-drift@20+-30",     // negative duration would silently mean "forever"
+		"depth-dropout@10:prob=2",
+	} {
+		if _, err := ParsePlan(spec); err == nil {
+			t.Errorf("ParsePlan(%q) accepted invalid spec", spec)
+		}
+	}
+}
+
+func TestPresetsParseAndValidate(t *testing.T) {
+	if len(Presets()) == 0 {
+		t.Fatal("no presets")
+	}
+	for _, name := range Presets() {
+		p, err := ParsePlan(name)
+		if err != nil {
+			t.Fatalf("preset %s: %v", name, err)
+		}
+		if !p.Active() {
+			t.Fatalf("preset %s is empty", name)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("preset %s invalid: %v", name, err)
+		}
+	}
+}
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	p, err := ParsePlan("storm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Plan
+	if err := json.Unmarshal(b, &q); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*p, q) {
+		t.Fatalf("JSON round trip: %+v != %+v", *p, q)
+	}
+	b2, err := json.Marshal(&q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Fatalf("re-encode not byte-identical:\n%s\n%s", b, b2)
+	}
+}
+
+func TestPlanActiveNilSafe(t *testing.T) {
+	var p *Plan
+	if p.Active() {
+		t.Error("nil plan reports active")
+	}
+	if (&Plan{}).Active() {
+		t.Error("empty plan reports active")
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("nil plan validate: %v", err)
+	}
+	if got := p.String(); got != "none" {
+		t.Errorf("nil plan String = %q", got)
+	}
+}
+
+// TestInjectorDeterministic: two injectors over the same plan and stream
+// seeds produce identical tick-state sequences and identical perception
+// draws — the property that makes fault campaigns reproducible.
+func TestInjectorDeterministic(t *testing.T) {
+	plan, err := ParsePlan("degraded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() ([]TickState, []bool) {
+		in := NewInjector(plan, testStreams(99), Target{ID: 3, FrameW: 128, FrameH: 128})
+		var states []TickState
+		var drops []bool
+		for i := 0; i < 1500; i++ {
+			now := float64(i+1) * 0.05
+			st := in.Tick(now)
+			st.Events = nil // slice identity differs; edges are covered below
+			states = append(states, st)
+			if i%5 == 0 {
+				drops = append(drops, in.DropDepth(now), in.DropFrame(now))
+			}
+		}
+		return states, drops
+	}
+	s1, d1 := run()
+	s2, d2 := run()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("tick-state sequences differ across identical injectors")
+	}
+	if !reflect.DeepEqual(d1, d2) {
+		t.Fatal("perception draws differ across identical injectors")
+	}
+}
+
+func TestInjectorWindowsAndEvents(t *testing.T) {
+	plan := &Plan{Faults: []Fault{
+		{Kind: WindGust, Start: 1, Duration: 2},
+		{Kind: CommsBlackout, Start: 4, Duration: 1},
+	}}
+	in := NewInjector(plan, testStreams(7), Target{})
+	var degraded, blackout int
+	for i := 0; i < 120; i++ { // 6 s at 50 ms
+		st := in.Tick(float64(i+1) * 0.05)
+		if st.Degraded {
+			degraded++
+		}
+		if st.Blackout {
+			blackout++
+		}
+	}
+	if degraded != 60 { // 2 s gust + 1 s blackout at 20 ticks/s
+		t.Errorf("degraded ticks = %d, want 60", degraded)
+	}
+	if blackout != 20 {
+		t.Errorf("blackout ticks = %d, want 20", blackout)
+	}
+	if got := in.Injections(); got != 2 {
+		t.Errorf("injections = %d, want 2", got)
+	}
+	events := in.Events()
+	if len(events) != 4 { // two activations, two deactivations
+		t.Fatalf("events = %+v, want 4 edges", events)
+	}
+	over, end := in.WindowsOver(6.0)
+	if !over || end != 5.0 {
+		t.Errorf("WindowsOver(6) = %v, %v; want true, 5", over, end)
+	}
+	if over, _ := in.WindowsOver(4.5); over {
+		t.Error("WindowsOver(4.5) = true with the blackout still open")
+	}
+
+	// An unbounded window never reports over.
+	in2 := NewInjector(&Plan{Faults: []Fault{{Kind: GPSDrift, Start: 1}}}, testStreams(8), Target{})
+	in2.Tick(2)
+	if over, _ := in2.WindowsOver(1000); over {
+		t.Error("unbounded window reported over")
+	}
+}
+
+func TestGPSDriftRampsAndReacquires(t *testing.T) {
+	plan := &Plan{Faults: []Fault{{Kind: GPSDrift, Start: 1, Duration: 2, Magnitude: 0.5}}}
+	in := NewInjector(plan, testStreams(3), Target{})
+	var atStart, atEnd geom.Vec3
+	for i := 0; i < 100; i++ {
+		now := float64(i+1) * 0.05
+		st := in.Tick(now)
+		if now == 1.05 {
+			atStart = st.GPSBias
+		}
+		if now == 2.95 {
+			atEnd = st.GPSBias
+		}
+		if now > 3.0 && st.GPSBias != (geom.Vec3{}) {
+			t.Fatalf("bias persists after window: %v at %v", st.GPSBias, now)
+		}
+	}
+	if atEnd.Len() <= atStart.Len() {
+		t.Errorf("drift did not ramp: %v -> %v", atStart.Len(), atEnd.Len())
+	}
+	// ~0.5 m/s for ~1.9 s ≈ 0.95 m.
+	if atEnd.Len() < 0.5 || atEnd.Len() > 1.5 {
+		t.Errorf("drift magnitude %v, want ≈0.95", atEnd.Len())
+	}
+	if atEnd.Z != 0 {
+		t.Errorf("drift has vertical component %v", atEnd.Z)
+	}
+}
+
+// TestGPSDriftOverlapRampsSmoothly: each drift window ramps from its own
+// start, so a second window opening mid-episode adds no instantaneous
+// bias step.
+func TestGPSDriftOverlapRampsSmoothly(t *testing.T) {
+	plan := &Plan{Faults: []Fault{
+		{Kind: GPSDrift, Start: 1, Duration: 100, Magnitude: 0.1},
+		{Kind: GPSDrift, Start: 50, Duration: 10, Magnitude: 0.5},
+	}}
+	in := NewInjector(plan, testStreams(21), Target{})
+	const dt = 0.05
+	var prev geom.Vec3
+	// Stop before the second window's end: its bias legitimately snaps
+	// back at deactivation (receiver reacquires).
+	for i := 0; i < 1170; i++ { // 58.5 s
+		now := float64(i+1) * dt
+		st := in.Tick(now)
+		// Max slope: both windows ramping, 0.6 m/s total.
+		if jump := st.GPSBias.Sub(prev).Len(); jump > 0.61*dt {
+			t.Fatalf("bias stepped %.3f m in one tick at t=%.2f (max smooth ramp %.3f)",
+				jump, now, 0.61*dt)
+		}
+		prev = st.GPSBias
+	}
+}
+
+func TestActuatorFaults(t *testing.T) {
+	plan := &Plan{Faults: []Fault{
+		{Kind: ThrustLoss, Start: 0.01, Duration: 100, Magnitude: 0.4},
+		{Kind: CommandDelay, Start: 0.01, Duration: 100, Magnitude: 3},
+		{Kind: CommandDropout, Start: 0.01, Duration: 100, Probability: 0.5},
+	}}
+	in := NewInjector(plan, testStreams(11), Target{})
+	if got := in.MaxExtraDelayTicks(); got != 3 {
+		t.Errorf("MaxExtraDelayTicks = %d, want 3", got)
+	}
+
+	// Fractional delay magnitudes round up: any active window injects at
+	// least one tick (truncation would make them silent no-ops).
+	frac := NewInjector(&Plan{Faults: []Fault{
+		{Kind: CommandDelay, Start: 0.01, Duration: 10, Magnitude: 0.5},
+	}}, testStreams(12), Target{})
+	if got := frac.MaxExtraDelayTicks(); got != 1 {
+		t.Errorf("fractional MaxExtraDelayTicks = %d, want 1", got)
+	}
+	if st := frac.Tick(1); st.ExtraDelayTicks != 1 {
+		t.Errorf("fractional delay injected %d ticks, want 1", st.ExtraDelayTicks)
+	}
+
+	// Overlapping delay windows do not stack — the injected delay never
+	// exceeds MaxExtraDelayTicks, which sizes the runner's command ring.
+	overlap := NewInjector(&Plan{Faults: []Fault{
+		{Kind: CommandDelay, Start: 1, Duration: 20, Magnitude: 4},
+		{Kind: CommandDelay, Start: 5, Duration: 20, Magnitude: 3},
+	}}, testStreams(13), Target{})
+	bound := overlap.MaxExtraDelayTicks()
+	if bound != 4 {
+		t.Errorf("overlap MaxExtraDelayTicks = %d, want 4", bound)
+	}
+	if st := overlap.Tick(10); st.ExtraDelayTicks != 4 {
+		t.Errorf("overlapping delays injected %d ticks, want the dominating 4 (ring bound %d)",
+			st.ExtraDelayTicks, bound)
+	}
+	drops := 0
+	const ticks = 2000
+	for i := 0; i < ticks; i++ {
+		st := in.Tick(float64(i+1) * 0.05)
+		if st.ThrustFactor != 0.6 {
+			t.Fatalf("thrust factor %v, want 0.6", st.ThrustFactor)
+		}
+		if st.ExtraDelayTicks != 3 {
+			t.Fatalf("extra delay %d, want 3", st.ExtraDelayTicks)
+		}
+		if st.DropCommand {
+			drops++
+		}
+	}
+	if drops < ticks/3 || drops > 2*ticks/3 {
+		t.Errorf("dropout rate %d/%d, want ≈ 1/2", drops, ticks)
+	}
+}
+
+func TestTapDetectionsMissAndPhantom(t *testing.T) {
+	dets := []detect.Detection{
+		{ID: 1, Center: geom.V2(10, 10), Confidence: 0.9},
+		{ID: 2, Center: geom.V2(50, 50), Confidence: 0.8},
+	}
+
+	// Certain miss drops everything.
+	miss := NewInjector(&Plan{Faults: []Fault{{Kind: DetectorMiss, Start: 0.01, Duration: 10}}},
+		testStreams(5), Target{ID: 7, FrameW: 128, FrameH: 128})
+	if got := miss.TapDetections(1, dets); len(got) != 0 {
+		t.Errorf("certain miss left %d detections", len(got))
+	}
+
+	// Certain phantom injects the target ID inside the frame.
+	ph := NewInjector(&Plan{Faults: []Fault{{Kind: DetectorPhantom, Start: 0.01, Duration: 10, Probability: 1}}},
+		testStreams(6), Target{ID: 7, FrameW: 128, FrameH: 128})
+	got := ph.TapDetections(1, dets)
+	if len(got) != 3 {
+		t.Fatalf("phantom tap returned %d detections, want 3", len(got))
+	}
+	p := got[2]
+	if p.ID != 7 {
+		t.Errorf("phantom ID %d, want target 7", p.ID)
+	}
+	if p.Center.X < 0 || p.Center.X > 128 || p.Center.Y < 0 || p.Center.Y > 128 {
+		t.Errorf("phantom center %v outside frame", p.Center)
+	}
+	if p.Confidence < 0.6 || p.Confidence > 1 {
+		t.Errorf("phantom confidence %v", p.Confidence)
+	}
+
+	// Outside every window the tap is the identity.
+	out := ph.TapDetections(100, dets)
+	if len(out) != len(dets) || &out[0] != &dets[0] {
+		t.Error("inactive tap did not pass detections through untouched")
+	}
+}
+
+func TestCorruptFramePerturbsPixels(t *testing.T) {
+	im := vision.NewImage(16, 16)
+	im.Fill(0.5)
+	in := NewInjector(&Plan{Faults: []Fault{{Kind: ColorNoise, Start: 0.01, Duration: 10, Magnitude: 0.2}}},
+		testStreams(9), Target{})
+	in.CorruptFrame(im, 1)
+	changed := 0
+	for _, v := range im.Pix {
+		if v != 0.5 {
+			changed++
+		}
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel %v outside [0,1]", v)
+		}
+	}
+	if changed < len(im.Pix)/2 {
+		t.Errorf("only %d/%d pixels perturbed", changed, len(im.Pix))
+	}
+	// Outside the window the frame is untouched.
+	im2 := vision.NewImage(8, 8)
+	im2.Fill(0.25)
+	in.CorruptFrame(im2, 100)
+	for _, v := range im2.Pix {
+		if v != 0.25 {
+			t.Fatal("inactive CorruptFrame modified the frame")
+		}
+	}
+}
+
+func TestDepthNoiseScale(t *testing.T) {
+	in := NewInjector(&Plan{Faults: []Fault{{Kind: DepthNoise, Start: 5, Duration: 5}}},
+		testStreams(2), Target{})
+	if s := in.DepthNoiseScale(1); s != 1 {
+		t.Errorf("inactive scale %v, want 1", s)
+	}
+	if s := in.DepthNoiseScale(7); s != 6 { // kind default
+		t.Errorf("active scale %v, want default 6", s)
+	}
+}
+
+// TestKindDefaults pins every kind's documented magnitude/probability
+// defaults — campaign reproducibility depends on these never drifting
+// silently.
+func TestKindDefaults(t *testing.T) {
+	mag := map[Kind]float64{
+		DepthNoise: 6, ColorNoise: 0.08, GPSDrift: 0.35,
+		ThrustLoss: 0.4, CommandDelay: 4, WindGust: 2.5,
+		DepthDropout: 0, ColorDropout: 0, DetectorMiss: 0,
+		DetectorPhantom: 0, CommandDropout: 0, CommsBlackout: 0,
+	}
+	prob := map[Kind]float64{
+		DepthDropout: 1, ColorDropout: 1, DetectorMiss: 1,
+		DetectorPhantom: 0.25, CommandDropout: 0.5,
+		DepthNoise: 1, ColorNoise: 1, GPSDrift: 1, ThrustLoss: 1,
+		CommandDelay: 1, WindGust: 1, CommsBlackout: 1,
+	}
+	for _, k := range Kinds() {
+		f := Fault{Kind: k}
+		if got := f.magnitude(); got != mag[k] {
+			t.Errorf("%s default magnitude %v, want %v", k, got, mag[k])
+		}
+		if got := f.probability(); got != prob[k] {
+			t.Errorf("%s default probability %v, want %v", k, got, prob[k])
+		}
+	}
+	// Explicit values win over defaults.
+	f := Fault{Kind: DepthNoise, Magnitude: 2.5, Probability: 0.1}
+	if f.magnitude() != 2.5 || f.probability() != 0.1 {
+		t.Errorf("explicit values not honored: %v %v", f.magnitude(), f.probability())
+	}
+}
+
+// TestDropFrameAndDropDepthWindows: perception-side dropout queries fire
+// only inside their windows and honor certain probabilities.
+func TestDropFrameAndDropDepthWindows(t *testing.T) {
+	plan := &Plan{Faults: []Fault{
+		{Kind: ColorDropout, Start: 5, Duration: 5},
+		{Kind: DepthDropout, Start: 20, Duration: 5},
+	}}
+	in := NewInjector(plan, testStreams(42), Target{})
+	if in.DropFrame(1) || in.DropDepth(1) {
+		t.Error("dropout fired outside every window")
+	}
+	if !in.DropFrame(7) {
+		t.Error("certain color dropout did not fire inside its window")
+	}
+	if in.DropDepth(7) {
+		t.Error("depth dropout fired inside the color window")
+	}
+	if !in.DropDepth(22) {
+		t.Error("certain depth dropout did not fire inside its window")
+	}
+	if in.DropFrame(22) {
+		t.Error("color dropout fired inside the depth window")
+	}
+}

@@ -1,0 +1,316 @@
+package fault
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/detect"
+	"repro/internal/geom"
+	"repro/internal/vision"
+)
+
+// Streams are the per-concern RNG streams of one run's injector, derived
+// by the caller from the run seed with distinct SplitMix64 salts (the
+// scenario package's stream-splitting scheme). Each stream is owned by
+// exactly one goroutine:
+//
+//   - Depth and Color belong to the perception side — the control loop in
+//     an inline mission, the stage goroutine in a pipelined one — exactly
+//     like the cameras whose faults they drive.
+//   - Detector belongs to the control loop (the detection tap runs inside
+//     System.Step in every runner mode).
+//   - GPS, Actuator, Wind and Comms belong to the control loop.
+type Streams struct {
+	Depth    *rand.Rand
+	Color    *rand.Rand
+	Detector *rand.Rand
+	GPS      *rand.Rand
+	Actuator *rand.Rand
+	Wind     *rand.Rand
+	Comms    *rand.Rand
+}
+
+// Target tells the injector what a dangerous phantom detection looks like:
+// the mission's marker ID and the downward camera's frame size.
+type Target struct {
+	ID             int
+	FrameW, FrameH int
+}
+
+// Injector executes one run's fault Plan. Construction is cheap; the
+// runner only builds one when the plan is active, keeping the nil-plan
+// mission on the zero-alloc hot path.
+//
+// Concurrency contract: Tick, TapDetections, GPS/actuator/wind/comms
+// queries and the metric accessors belong to the control-loop goroutine.
+// DropDepth, DepthNoiseScale, DropFrame and CorruptFrame belong to the
+// perception side and touch only the immutable plan plus their own RNG
+// streams, so a pipelined stage may call them concurrently with Tick.
+type Injector struct {
+	plan *Plan
+	s    Streams
+	tgt  Target
+
+	// Control-loop-owned bookkeeping.
+	wasActive []bool // per fault: active on the previous Tick
+	// driftDirs holds each gps-drift window's heading, drawn from the GPS
+	// stream at that window's activation — per window, so overlapping
+	// windows each ramp from their own start instead of stepping.
+	driftDirs  []geom.Vec3
+	injections int
+	events     []Event
+
+	detScratch []detect.Detection
+}
+
+// NewInjector builds the runtime for one run of the plan. The plan must be
+// Active (callers skip construction otherwise) and is retained by
+// reference; it must not be mutated afterwards.
+func NewInjector(p *Plan, s Streams, tgt Target) *Injector {
+	return &Injector{
+		plan:      p,
+		s:         s,
+		tgt:       tgt,
+		wasActive: make([]bool, len(p.Faults)),
+		driftDirs: make([]geom.Vec3, len(p.Faults)),
+	}
+}
+
+// TickState is the control-loop view of one tick's faults. All stochastic
+// control-side draws happen inside Tick, so each concern's stream is
+// consumed at a cadence that depends only on (Plan, tick) — never on
+// system state — which is what keeps fault campaigns bit-identical across
+// worker counts and runner modes.
+type TickState struct {
+	// Degraded reports any active fault this tick (the degraded-mode
+	// ticks metric counts these).
+	Degraded bool
+	// Blackout freezes the system under test and holds the last command.
+	Blackout bool
+	// GPSBias is the injected receiver bias (zero when no drift fault).
+	GPSBias geom.Vec3
+	// ThrustFactor scales the vehicle's velocity authority; 1 = nominal.
+	ThrustFactor float64
+	// ExtraDelayTicks adds actuation latency on top of the timing profile.
+	ExtraDelayTicks int
+	// DropCommand discards this tick's command (controller holds).
+	DropCommand bool
+	// ExtraGust is the injected wind sample for this tick.
+	ExtraGust geom.Vec3
+	// Events carries the activation/deactivation edges that happened this
+	// tick, for the telemetry timeline; nil on most ticks.
+	Events []Event
+}
+
+// Tick advances the injector to mission time now and returns the tick's
+// control-side fault state. Control-loop goroutine only.
+func (in *Injector) Tick(now float64) TickState {
+	st := TickState{ThrustFactor: 1}
+	edges := 0
+	for i := range in.plan.Faults {
+		f := &in.plan.Faults[i]
+		active := f.activeAt(now)
+		if active != in.wasActive[i] {
+			in.wasActive[i] = active
+			in.events = append(in.events, Event{T: now, Kind: f.Kind, Active: active})
+			edges++
+			if active {
+				in.injections++
+				if f.Kind == GPSDrift {
+					// Heading drawn once per window at activation; the
+					// ramp itself is deterministic. When the window ends
+					// the bias snaps back (receiver reacquires).
+					a := in.s.GPS.Float64() * 2 * math.Pi
+					in.driftDirs[i] = geom.V3(math.Cos(a), math.Sin(a), 0)
+				}
+			}
+		}
+		if !active {
+			continue
+		}
+		st.Degraded = true
+		switch f.Kind {
+		case CommsBlackout:
+			st.Blackout = true
+		case GPSDrift:
+			// Each window ramps from its own start, so overlapping windows
+			// superpose smoothly instead of stepping.
+			st.GPSBias = st.GPSBias.Add(in.driftDirs[i].Scale(f.magnitude() * (now - f.Start)))
+		case ThrustLoss:
+			st.ThrustFactor *= 1 - f.magnitude()
+		case CommandDelay:
+			// Overlapping delay windows do not stack: the worst link
+			// dominates. (This also keeps MaxExtraDelayTicks — which sizes
+			// the runner's command ring — an exact bound.)
+			if d := delayTicks(*f); d > st.ExtraDelayTicks {
+				st.ExtraDelayTicks = d
+			}
+		case CommandDropout:
+			if in.s.Actuator.Float64() < f.probability() {
+				st.DropCommand = true
+			}
+		case WindGust:
+			sigma := f.magnitude()
+			st.ExtraGust = st.ExtraGust.Add(geom.V3(
+				in.s.Wind.NormFloat64()*sigma,
+				in.s.Wind.NormFloat64()*sigma,
+				in.s.Wind.NormFloat64()*sigma*0.3,
+			))
+		}
+	}
+	if edges > 0 {
+		st.Events = in.events[len(in.events)-edges:]
+	}
+	return st
+}
+
+// delayTicks resolves a command-delay window's magnitude to whole ticks,
+// rounding up so any active window delays by at least one tick (plain
+// truncation would make fractional magnitudes a silent no-op).
+func delayTicks(f Fault) int {
+	return int(math.Ceil(f.magnitude()))
+}
+
+// MaxExtraDelayTicks returns the largest actuation delay any window can
+// add, for sizing the runner's command ring once per run. Uses the same
+// rounding as Tick, so the ring always covers the injected delay.
+func (in *Injector) MaxExtraDelayTicks() int {
+	max := 0
+	for _, f := range in.plan.Faults {
+		if f.Kind == CommandDelay {
+			if d := delayTicks(f); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// Injections returns the number of fault-window activations so far.
+func (in *Injector) Injections() int { return in.injections }
+
+// Events returns the activation/deactivation timeline so far.
+func (in *Injector) Events() []Event { return in.events }
+
+// WindowsOver reports whether every window of the plan has permanently
+// deactivated by mission time now, and the time the last one ended —
+// the reference point of the time-to-recover metric. Plans containing an
+// unbounded window never report over.
+func (in *Injector) WindowsOver(now float64) (over bool, end float64) {
+	for _, f := range in.plan.Faults {
+		e, bounded := f.end()
+		if !bounded {
+			return false, 0
+		}
+		if e > end {
+			end = e
+		}
+	}
+	return now >= end, end
+}
+
+// --- Perception-side queries (stage goroutine in a pipelined mission) ---
+
+// DropDepth reports whether the depth capture due at mission time now is
+// eaten by a dropout window. Consumes the Depth stream once per active
+// query.
+func (in *Injector) DropDepth(now float64) bool {
+	for _, f := range in.plan.Faults {
+		if f.Kind == DepthDropout && f.activeAt(now) {
+			if in.s.Depth.Float64() < f.probability() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// DepthNoiseScale returns the factor to apply to the depth camera's noise
+// sigma at mission time now (1 = nominal). Pure.
+func (in *Injector) DepthNoiseScale(now float64) float64 {
+	scale := 1.0
+	for _, f := range in.plan.Faults {
+		if f.Kind == DepthNoise && f.activeAt(now) {
+			scale *= f.magnitude()
+		}
+	}
+	return scale
+}
+
+// DropFrame reports whether the camera frame due at mission time now is
+// eaten by a dropout window. Consumes the Color stream once per active
+// query.
+func (in *Injector) DropFrame(now float64) bool {
+	for _, f := range in.plan.Faults {
+		if f.Kind == ColorDropout && f.activeAt(now) {
+			if in.s.Color.Float64() < f.probability() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CorruptFrame applies active color-noise windows to a captured frame in
+// place. Consumes the Color stream; perception side.
+func (in *Injector) CorruptFrame(im *vision.Image, now float64) {
+	sigma := 0.0
+	for _, f := range in.plan.Faults {
+		if f.Kind == ColorNoise && f.activeAt(now) {
+			sigma += f.magnitude()
+		}
+	}
+	if sigma > 0 {
+		im.AddNoise(sigma, in.s.Color)
+	}
+}
+
+// --- Detection tap (control loop, inside System.Step) ---
+
+// TapDetections filters and augments one frame's detector output per the
+// active detector-fault windows at mission time now. The returned slice is
+// injector-owned scratch, valid until the next call — the system consumes
+// detections within the Step that received them.
+func (in *Injector) TapDetections(now float64, dets []detect.Detection) []detect.Detection {
+	missP := -1.0
+	phantomP := -1.0
+	for _, f := range in.plan.Faults {
+		if !f.activeAt(now) {
+			continue
+		}
+		switch f.Kind {
+		case DetectorMiss:
+			if p := f.probability(); p > missP {
+				missP = p
+			}
+		case DetectorPhantom:
+			if p := f.probability(); p > phantomP {
+				phantomP = p
+			}
+		}
+	}
+	if missP < 0 && phantomP < 0 {
+		return dets
+	}
+	out := in.detScratch[:0]
+	for _, d := range dets {
+		// One draw per detection while a miss window is active.
+		if missP >= 0 && in.s.Detector.Float64() < missP {
+			continue
+		}
+		out = append(out, d)
+	}
+	if phantomP >= 0 && in.s.Detector.Float64() < phantomP {
+		out = append(out, detect.Detection{
+			ID: in.tgt.ID,
+			Center: geom.V2(
+				in.s.Detector.Float64()*float64(in.tgt.FrameW),
+				in.s.Detector.Float64()*float64(in.tgt.FrameH),
+			),
+			SizePx:     12 + in.s.Detector.Float64()*20,
+			Confidence: 0.6 + in.s.Detector.Float64()*0.4,
+		})
+	}
+	in.detScratch = out
+	return out
+}

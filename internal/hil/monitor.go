@@ -1,5 +1,9 @@
 package hil
 
+import (
+	"repro/internal/telemetry"
+)
+
 // Sample is one resource-usage observation (Fig. 7 series point).
 type Sample struct {
 	T float64
@@ -33,6 +37,10 @@ type Monitor struct {
 	stageDepths   int
 	stageDelaySum int
 	stageDelayMax int
+
+	// Fault-event timeline (dependability campaigns): every injection and
+	// clearance edge the run's fault plan produced, in mission order.
+	faultEvents []telemetry.FaultEvent
 }
 
 // NewMonitor returns a monitor for a profile.
@@ -68,6 +76,17 @@ func (m *Monitor) RecordStage(ranDetect, ranDepth bool, delayTicks int) {
 		m.stageDelayMax = delayTicks
 	}
 }
+
+// RecordFault notes one fault activation/deactivation edge
+// (scenario.FaultObserver): the fault-event timeline accumulates next to
+// the resource series, so one monitor tells a mission's whole
+// dependability story.
+func (m *Monitor) RecordFault(kind string, active bool, t float64) {
+	m.faultEvents = append(m.faultEvents, telemetry.FaultEvent{T: t, Kind: kind, Active: active})
+}
+
+// FaultEvents returns the recorded fault-event timeline.
+func (m *Monitor) FaultEvents() []telemetry.FaultEvent { return m.faultEvents }
 
 // StageStats summarizes the pipelined perception batches this mission
 // applied: batch/detect/depth counts plus the mean and max tick-stamped

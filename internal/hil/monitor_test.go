@@ -166,3 +166,25 @@ func TestMonitorPeakAndMeans(t *testing.T) {
 		t.Fatalf("mean mem %v out of range (peak %v)", mean, mem)
 	}
 }
+
+// TestMonitorFaultTimeline: the monitor is a scenario.FaultObserver and
+// accumulates the fault-event timeline in mission order.
+func TestMonitorFaultTimeline(t *testing.T) {
+	mon := NewMonitor(JetsonNanoMAXN(), NanoCosts())
+	var _ scenario.FaultObserver = mon
+	if len(mon.FaultEvents()) != 0 {
+		t.Fatal("fresh monitor has fault events")
+	}
+	mon.RecordFault("wind-gust", true, 10)
+	mon.RecordFault("wind-gust", false, 14)
+	evs := mon.FaultEvents()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2", len(evs))
+	}
+	if evs[0].Kind != "wind-gust" || !evs[0].Active || evs[0].T != 10 {
+		t.Errorf("first event %+v", evs[0])
+	}
+	if evs[1].Active || evs[1].T != 14 {
+		t.Errorf("second event %+v", evs[1])
+	}
+}

@@ -3,6 +3,8 @@ package scenario
 import (
 	"fmt"
 	"math"
+	"sort"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/vision"
@@ -42,6 +44,22 @@ type Aggregate struct {
 	// pooled across runs (Table II).
 	FalseNegativeRate float64
 
+	// Dependability rows (fault campaigns). All zero on nominal sweeps —
+	// and omitted from the wire encoding — so pre-fault campaign digests
+	// are unchanged. FaultRuns counts runs that saw at least one active
+	// fault; DegradedTicks and FaultInjections are pooled totals;
+	// RecoveredRuns counts runs whose system returned to a nominal state
+	// after the last fault window, and MeanTimeToRecover averages their
+	// recovery delay (exact fixed-point accumulator, like the other
+	// means). AbortCauses tallies the proximate failure of every aborted
+	// fault-campaign mission.
+	FaultRuns         int
+	DegradedTicks     int
+	FaultInjections   int
+	RecoveredRuns     int
+	MeanTimeToRecover float64
+	AbortCauses       map[string]int
+
 	// Accumulators behind the derived means above. They stay unexported:
 	// consumers read the derived fields, shards combine through Merge, and
 	// the JSON codec (codec.go) persists them for distributed merges. The
@@ -52,6 +70,7 @@ type Aggregate struct {
 	detN           int
 	visibleFrames  int
 	detectedFrames int
+	recSum         fixed128
 }
 
 // NewAggregate returns an empty aggregate row for one system label, ready
@@ -83,6 +102,21 @@ func (a *Aggregate) Add(r Result) {
 	}
 	a.visibleFrames += r.MarkerVisibleFrames
 	a.detectedFrames += r.MarkerDetectedFrames
+	if r.DegradedTicks > 0 || r.FaultInjections > 0 {
+		a.FaultRuns++
+		a.DegradedTicks += r.DegradedTicks
+		a.FaultInjections += r.FaultInjections
+		if r.Recovered {
+			a.RecoveredRuns++
+			a.recSum = a.recSum.add(fixedFromFloat(r.RecoverySeconds))
+		}
+		if r.AbortCause != "" {
+			if a.AbortCauses == nil {
+				a.AbortCauses = make(map[string]int)
+			}
+			a.AbortCauses[r.AbortCause]++
+		}
+	}
 	a.refresh()
 }
 
@@ -102,6 +136,19 @@ func (a *Aggregate) Merge(b Aggregate) {
 	a.detN += b.detN
 	a.visibleFrames += b.visibleFrames
 	a.detectedFrames += b.detectedFrames
+	a.FaultRuns += b.FaultRuns
+	a.DegradedTicks += b.DegradedTicks
+	a.FaultInjections += b.FaultInjections
+	a.RecoveredRuns += b.RecoveredRuns
+	a.recSum = a.recSum.add(b.recSum)
+	if len(b.AbortCauses) > 0 {
+		if a.AbortCauses == nil {
+			a.AbortCauses = make(map[string]int, len(b.AbortCauses))
+		}
+		for cause, n := range b.AbortCauses {
+			a.AbortCauses[cause] += n
+		}
+	}
 	a.refresh()
 }
 
@@ -118,6 +165,10 @@ func (a *Aggregate) refresh() {
 	a.FalseNegativeRate = 0
 	if a.visibleFrames > 0 {
 		a.FalseNegativeRate = float64(a.visibleFrames-a.detectedFrames) / float64(a.visibleFrames)
+	}
+	a.MeanTimeToRecover = 0
+	if a.RecoveredRuns > 0 {
+		a.MeanTimeToRecover = a.recSum.float() / float64(a.RecoveredRuns)
 	}
 }
 
@@ -146,6 +197,32 @@ func Summarize(system string, results []Result) Aggregate {
 	return *a
 }
 
+// DependabilityString renders the fault-campaign row: degraded exposure,
+// recovery behavior, and the abort-cause tally. Empty for nominal sweeps.
+func (a Aggregate) DependabilityString() string {
+	if a.FaultRuns == 0 {
+		return ""
+	}
+	s := fmt.Sprintf("%-8s faulted=%d/%d injections=%d degraded-ticks=%d recovered=%d",
+		a.System, a.FaultRuns, a.Runs, a.FaultInjections, a.DegradedTicks, a.RecoveredRuns)
+	if a.RecoveredRuns > 0 {
+		s += fmt.Sprintf(" mean-time-to-recover=%.1fs", a.MeanTimeToRecover)
+	}
+	if len(a.AbortCauses) > 0 {
+		causes := make([]string, 0, len(a.AbortCauses))
+		for cause := range a.AbortCauses {
+			causes = append(causes, cause)
+		}
+		sort.Strings(causes)
+		parts := make([]string, 0, len(causes))
+		for _, cause := range causes {
+			parts = append(parts, fmt.Sprintf("%s x%d", cause, a.AbortCauses[cause]))
+		}
+		s += " aborts: " + strings.Join(parts, "; ")
+	}
+	return s
+}
+
 // String renders one Table I row.
 func (a Aggregate) String() string {
 	return fmt.Sprintf("%-8s runs=%3d success=%6.2f%% collision=%6.2f%% poor-landing=%6.2f%% FNR=%5.2f%% land-err=%.2fm",
@@ -171,51 +248,8 @@ func BuildSystem(gen core.Generation, sc *worldgen.Scenario, seed int64) (*core.
 	}
 }
 
-// Batch runs one system generation across the full benchmark: every map,
-// every scenario, `repeats` sensor-seed repetitions (the paper uses 3).
-// The onResult callback, when non-nil, observes each run (progress
-// reporting); it must not retain the result's slices.
-//
-// Deprecated: Batch executes the grid sequentially on one core. Describe
-// the sweep as a campaign.Spec and run it through campaign.Execute, which
-// fans the same deterministic grid out across a worker pool. This shim is
-// kept for compatibility and as the reference ordering for the campaign
-// engine's determinism tests.
-func Batch(gen core.Generation, maps, scenariosPerMap, repeats int,
-	timing Timing, onResult func(mapIdx, scIdx, rep int, r Result)) ([]Result, error) {
-	idxs := make([]int, scenariosPerMap)
-	for i := range idxs {
-		idxs[i] = i
-	}
-	return BatchScenarios(gen, maps, idxs, repeats, timing, onResult)
-}
-
-// BatchScenarios is Batch restricted to an explicit scenario-index subset
-// (reduced benchmark sweeps keep the normal/adverse weather mix balanced
-// by choosing indices from both halves).
-//
-// Deprecated: BatchScenarios executes the grid sequentially on one core.
-// Use the campaign package instead (see Batch). The shim delegates every
-// cell to the same RunGridCell primitive the campaign workers execute, so
-// its output is bit-identical to an ordered campaign over the same grid.
-// (campaign layers on top of this package, so the delegation shares the
-// per-cell engine rather than importing campaign, which would cycle.)
-func BatchScenarios(gen core.Generation, maps int, scenarioIdxs []int, repeats int,
-	timing Timing, onResult func(mapIdx, scIdx, rep int, r Result)) ([]Result, error) {
-	var out []Result
-	for mi := 0; mi < maps; mi++ {
-		for _, si := range scenarioIdxs {
-			for rep := 0; rep < repeats; rep++ {
-				r, err := RunGridCell(gen, mi, si, GridSeed(gen, mi, si, rep), timing, nil)
-				if err != nil {
-					return nil, err
-				}
-				if onResult != nil {
-					onResult(mi, si, rep, r)
-				}
-				out = append(out, r)
-			}
-		}
-	}
-	return out, nil
-}
+// The deprecated sequential shims Batch/BatchScenarios that used to live
+// here were removed once every caller migrated to the campaign engine:
+// describe a sweep as a campaign.Spec and run it through campaign.Execute.
+// The reference ordering they provided survives as RunGridCell driven in
+// nested-loop order (what the campaign determinism tests do directly).

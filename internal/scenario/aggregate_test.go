@@ -3,6 +3,7 @@ package scenario
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 )
 
@@ -43,6 +44,13 @@ func aggApprox(a, b float64) bool {
 	return math.Abs(a-b) <= 1e-12*(1+math.Max(math.Abs(a), math.Abs(b)))
 }
 
+// sameAggregate is field-for-field equality. The AbortCauses map makes
+// Aggregate non-comparable with ==; DeepEqual covers it (no aggregate
+// field is ever NaN — refresh zeroes the undefined means).
+func sameAggregate(a, b Aggregate) bool {
+	return reflect.DeepEqual(a, b)
+}
+
 func TestAggregateAddMatchesSummarize(t *testing.T) {
 	results := syntheticResults(57, 3)
 	want := Summarize("sys", results)
@@ -53,7 +61,7 @@ func TestAggregateAddMatchesSummarize(t *testing.T) {
 	}
 	// Incremental Add in slice order is the same single pass Summarize
 	// makes, so every field — floats included — must be bit-identical.
-	if *got != want {
+	if !sameAggregate(*got, want) {
 		t.Fatalf("incremental Add diverges from Summarize:\n got %+v\nwant %+v", *got, want)
 	}
 }

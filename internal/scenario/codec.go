@@ -80,6 +80,19 @@ type resultJSON struct {
 	OnWater              bool       `json:"on_water"`
 	Stats                core.Stats `json:"stats"`
 	MaxGPSDrift          float64    `json:"max_gps_drift"`
+
+	// Dependability metrics (fault campaigns). omitempty keeps the
+	// encoding of a nominal run — where all of these are zero — byte-
+	// identical to the pre-fault codec, so recorded journal digests and
+	// the committed golden sweep digest are unchanged. RecoverySeconds is
+	// finite by construction (never NaN), so a plain float64 suffices;
+	// Recovered disambiguates a genuine zero-delay recovery from the
+	// omitted nominal zero.
+	DegradedTicks   int     `json:"degraded_ticks,omitempty"`
+	FaultInjections int     `json:"fault_injections,omitempty"`
+	Recovered       bool    `json:"recovered,omitempty"`
+	RecoverySeconds float64 `json:"recovery_seconds,omitempty"`
+	AbortCause      string  `json:"abort_cause,omitempty"`
 }
 
 // MarshalJSON implements json.Marshaler with a bit-exact, NaN-safe
@@ -97,6 +110,11 @@ func (r Result) MarshalJSON() ([]byte, error) {
 		OnWater:              r.OnWater,
 		Stats:                r.Stats,
 		MaxGPSDrift:          r.MaxGPSDrift,
+		DegradedTicks:        r.DegradedTicks,
+		FaultInjections:      r.FaultInjections,
+		Recovered:            r.Recovered,
+		RecoverySeconds:      r.RecoverySeconds,
+		AbortCause:           r.AbortCause,
 	})
 }
 
@@ -118,6 +136,11 @@ func (r *Result) UnmarshalJSON(b []byte) error {
 		OnWater:              v.OnWater,
 		Stats:                v.Stats,
 		MaxGPSDrift:          v.MaxGPSDrift,
+		DegradedTicks:        v.DegradedTicks,
+		FaultInjections:      v.FaultInjections,
+		Recovered:            v.Recovered,
+		RecoverySeconds:      v.RecoverySeconds,
+		AbortCause:           v.AbortCause,
 	}
 	return nil
 }
@@ -154,25 +177,45 @@ type aggregateJSON struct {
 	DetN           int    `json:"det_n"`
 	VisibleFrames  int    `json:"visible_frames"`
 	DetectedFrames int    `json:"detected_frames"`
+
+	// Dependability counters (fault campaigns), omitempty for the same
+	// reason as resultJSON's: a nominal aggregate must encode — and
+	// digest — exactly as it did before the fault subsystem existed.
+	// (encoding/json sorts map keys, so AbortCauses digests
+	// deterministically.)
+	FaultRuns       int            `json:"fault_runs,omitempty"`
+	DegradedTicks   int            `json:"degraded_ticks,omitempty"`
+	FaultInjections int            `json:"fault_injections,omitempty"`
+	RecoveredRuns   int            `json:"recovered_runs,omitempty"`
+	RecSumHi        int64          `json:"rec_sum_hi,omitempty"`
+	RecSumLo        uint64         `json:"rec_sum_lo,omitempty"`
+	AbortCauses     map[string]int `json:"abort_causes,omitempty"`
 }
 
 // MarshalJSON implements json.Marshaler, persisting the accumulators so a
 // decoded aggregate merges bit-identically to the original.
 func (a Aggregate) MarshalJSON() ([]byte, error) {
 	return json.Marshal(aggregateJSON{
-		System:         a.System,
-		Runs:           a.Runs,
-		Success:        a.Success,
-		Collision:      a.Collision,
-		PoorLanding:    a.PoorLanding,
-		LandSumHi:      a.landSum.hi,
-		LandSumLo:      a.landSum.lo,
-		LandN:          a.landN,
-		DetSumHi:       a.detSum.hi,
-		DetSumLo:       a.detSum.lo,
-		DetN:           a.detN,
-		VisibleFrames:  a.visibleFrames,
-		DetectedFrames: a.detectedFrames,
+		System:          a.System,
+		Runs:            a.Runs,
+		Success:         a.Success,
+		Collision:       a.Collision,
+		PoorLanding:     a.PoorLanding,
+		LandSumHi:       a.landSum.hi,
+		LandSumLo:       a.landSum.lo,
+		LandN:           a.landN,
+		DetSumHi:        a.detSum.hi,
+		DetSumLo:        a.detSum.lo,
+		DetN:            a.detN,
+		VisibleFrames:   a.visibleFrames,
+		DetectedFrames:  a.detectedFrames,
+		FaultRuns:       a.FaultRuns,
+		DegradedTicks:   a.DegradedTicks,
+		FaultInjections: a.FaultInjections,
+		RecoveredRuns:   a.RecoveredRuns,
+		RecSumHi:        a.recSum.hi,
+		RecSumLo:        a.recSum.lo,
+		AbortCauses:     a.AbortCauses,
 	})
 }
 
@@ -183,17 +226,23 @@ func (a *Aggregate) UnmarshalJSON(b []byte) error {
 		return err
 	}
 	*a = Aggregate{
-		System:         v.System,
-		Runs:           v.Runs,
-		Success:        v.Success,
-		Collision:      v.Collision,
-		PoorLanding:    v.PoorLanding,
-		landSum:        fixed128{hi: v.LandSumHi, lo: v.LandSumLo},
-		landN:          v.LandN,
-		detSum:         fixed128{hi: v.DetSumHi, lo: v.DetSumLo},
-		detN:           v.DetN,
-		visibleFrames:  v.VisibleFrames,
-		detectedFrames: v.DetectedFrames,
+		System:          v.System,
+		Runs:            v.Runs,
+		Success:         v.Success,
+		Collision:       v.Collision,
+		PoorLanding:     v.PoorLanding,
+		landSum:         fixed128{hi: v.LandSumHi, lo: v.LandSumLo},
+		landN:           v.LandN,
+		detSum:          fixed128{hi: v.DetSumHi, lo: v.DetSumLo},
+		detN:            v.DetN,
+		visibleFrames:   v.VisibleFrames,
+		detectedFrames:  v.DetectedFrames,
+		FaultRuns:       v.FaultRuns,
+		DegradedTicks:   v.DegradedTicks,
+		FaultInjections: v.FaultInjections,
+		RecoveredRuns:   v.RecoveredRuns,
+		recSum:          fixed128{hi: v.RecSumHi, lo: v.RecSumLo},
+		AbortCauses:     v.AbortCauses,
 	}
 	a.refresh()
 	return nil

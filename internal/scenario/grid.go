@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/worldgen"
 )
 
@@ -14,9 +15,9 @@ import (
 // parallel: cells share no state and can execute in any order on any
 // worker while reproducing the sequential engine bit for bit.
 //
-// This file holds the per-cell primitive shared by the sequential shims
-// (Batch/BatchScenarios) and the parallel campaign engine, plus the RNG
-// stream-splitting scheme that keeps per-concern noise sources independent.
+// This file holds the per-cell primitive the campaign engine executes,
+// plus the RNG stream-splitting scheme that keeps per-concern noise
+// sources independent.
 
 // GridSeed is the canonical deterministic seed for one grid cell. The
 // multipliers are pairwise-coprime and large enough that no two cells of
@@ -39,9 +40,10 @@ type ConfigureFunc func(sc *worldgen.Scenario, sys *core.System, cfg *RunConfig)
 // repetitions and parallel workers reuse one immutable world per cell
 // instead of regenerating it — builds the system generation with the
 // given seed, applies the timing profile and the optional configure hook,
-// and flies the mission. Both the sequential Batch shims and the parallel
-// campaign engine funnel through this primitive, which is what guarantees
-// their results are bit-identical for the same cells.
+// and flies the mission. Every execution path (parallel campaign workers,
+// sequential -workers=1 campaigns, and the tests' nested reference loops)
+// funnels through this primitive, which is what guarantees their results
+// are bit-identical for the same cells.
 //
 // The acquired Scenario is a private shallow copy: configure hooks may
 // mutate it (weather floors, mission tweaks) freely, but its World is
@@ -94,6 +96,17 @@ const (
 	concernDepth
 	concernColor
 	concernWind
+	// Fault-injection concerns (appended with the fault subsystem): each
+	// fault family draws from its own stream, so an active fault plan
+	// perturbs only its own randomness and a fault campaign stays a pure
+	// function of (seed, plan).
+	concernFaultDepth
+	concernFaultColor
+	concernFaultDetector
+	concernFaultGPS
+	concernFaultActuator
+	concernFaultWind
+	concernFaultComms
 )
 
 // subSeed derives the seed of one concern's RNG stream from the run seed.
@@ -107,4 +120,19 @@ func subSeed(runSeed int64, concern rngConcern) int64 {
 // subRNG returns the dedicated RNG stream of one concern of one run.
 func subRNG(runSeed int64, concern rngConcern) *rand.Rand {
 	return rand.New(rand.NewSource(subSeed(runSeed, concern)))
+}
+
+// faultStreams derives the fault subsystem's per-concern RNG streams from
+// the run seed. Only called when a fault plan is active, so the nil-plan
+// hot path never pays the seven extra allocations.
+func faultStreams(runSeed int64) fault.Streams {
+	return fault.Streams{
+		Depth:    subRNG(runSeed, concernFaultDepth),
+		Color:    subRNG(runSeed, concernFaultColor),
+		Detector: subRNG(runSeed, concernFaultDetector),
+		GPS:      subRNG(runSeed, concernFaultGPS),
+		Actuator: subRNG(runSeed, concernFaultActuator),
+		Wind:     subRNG(runSeed, concernFaultWind),
+		Comms:    subRNG(runSeed, concernFaultComms),
+	}
 }

@@ -73,7 +73,12 @@ type StageObserver interface {
 // plays the role of the physical sensors, which always see the true
 // vehicle state; the system under test still only sees sensor outputs.
 type perceptionJob struct {
-	tick     int
+	tick int
+	// now is the mission time of the capture tick; the stage needs it for
+	// the fault-injection window queries (it must not read the control
+	// loop's clock, and re-deriving it from tick would not reproduce the
+	// control loop's additive accumulation bit for bit).
+	now      float64
 	pos      geom.Vec3
 	yaw      float64
 	speed    float64
@@ -131,22 +136,24 @@ func (st *perceptionStage) run(m *mission) {
 		t0 := time.Now()
 		res := perceptionResult{tick: job.tick}
 		if job.depthDue {
-			returns := m.depth.Capture(m.w, job.pos, job.yaw)
-			buf := copyDepthPoints(st.depthRing[st.ringIdx], returns)
-			st.depthRing[st.ringIdx] = buf
-			st.ringIdx = (st.ringIdx + 1) % len(st.depthRing)
-			res.depthPts = buf
-			res.depthYaw = job.yaw
-			res.haveDepth = true
+			if returns, ok := m.captureDepth(job.pos, job.yaw, job.now); ok {
+				buf := copyDepthPoints(st.depthRing[st.ringIdx], returns)
+				st.depthRing[st.ringIdx] = buf
+				st.ringIdx = (st.ringIdx + 1) % len(st.depthRing)
+				res.depthPts = buf
+				res.depthYaw = job.yaw
+				res.haveDepth = true
+			}
 		}
 		if job.frameDue {
-			frame := m.color.Capture(m.w, m.sc.Weather, job.pos, job.yaw, job.speed)
-			// Inference runs here, inside the stage, so the camera's reused
-			// frame buffer never has to outlive this iteration.
-			res.dets = m.sys.Detector().Detect(frame)
-			res.frameYaw = job.yaw
-			res.haveFrame = true
-			res.markerVisible = markerInView(m.w, m.sc, job.pos, job.yaw)
+			if frame, ok := m.captureFrame(job.pos, job.yaw, job.speed, job.now); ok {
+				// Inference runs here, inside the stage, so the camera's reused
+				// frame buffer never has to outlive this iteration.
+				res.dets = m.sys.Detector().Detect(frame)
+				res.frameYaw = job.yaw
+				res.haveFrame = true
+				res.markerVisible = markerInView(m.w, m.sc, job.pos, job.yaw)
+			}
 		}
 		res.stageNs = time.Since(t0).Nanoseconds()
 		st.results <- res
@@ -239,13 +246,16 @@ func (m *mission) pipelinedLoop(st *perceptionStage, k int) (res Result, batches
 
 	for i := 0; i < m.steps; i++ {
 		m.now += m.t.Dt
+		blackout := m.beginFaultTick()
 		epoch := m.beginTick()
 
 		// Submit before applying so k == 0 means a synchronous handoff
-		// within the same tick (the PipelineOff oracle).
-		if m.now >= nextDepth || m.now >= nextDetect {
+		// within the same tick (the PipelineOff oracle). A blacked-out
+		// link submits nothing: the offboard stack never sees the tick.
+		if !blackout && (m.now >= nextDepth || m.now >= nextDetect) {
 			job := perceptionJob{
 				tick:  i,
+				now:   m.now,
 				pos:   m.drone.Pos,
 				yaw:   m.drone.Yaw,
 				speed: m.drone.Speed(),
@@ -265,7 +275,9 @@ func (m *mission) pipelinedLoop(st *perceptionStage, k int) (res Result, batches
 
 		// Apply the perception result stamped for this tick, blocking until
 		// the stage catches up — the block is what keeps delivery
-		// deterministic; its duration is the pipeline stall.
+		// deterministic; its duration is the pipeline stall. A result due
+		// during a blackout is drained but discarded (the link was down
+		// when it would have arrived), keeping the queue in lockstep.
 		markerVisible := false
 		if pendLen > 0 && pending[pendHead] == i {
 			pendHead = (pendHead + 1) % len(pending)
@@ -275,26 +287,35 @@ func (m *mission) pipelinedLoop(st *perceptionStage, k int) (res Result, batches
 			stallNs += time.Since(t0).Nanoseconds()
 			stageNs += r.stageNs
 			batches++
-			if r.haveDepth {
-				epoch.Depth = r.depthPts
-				epoch.DepthYaw = r.depthYaw
-			}
-			if r.haveFrame {
-				epoch.Detections = r.dets
-				epoch.HaveDetections = true
-				epoch.FrameYaw = r.frameYaw
-				markerVisible = r.markerVisible
-				if markerVisible {
-					m.res.MarkerVisibleFrames++
+			if !blackout {
+				if r.haveDepth {
+					epoch.Depth = r.depthPts
+					epoch.DepthYaw = r.depthYaw
 				}
-			}
-			if so, ok := m.cfg.Observer.(StageObserver); ok {
-				so.RecordStage(r.haveFrame, r.haveDepth, i-r.tick)
+				if r.haveFrame {
+					epoch.Detections = r.dets
+					epoch.HaveDetections = true
+					epoch.FrameYaw = r.frameYaw
+					markerVisible = r.markerVisible
+					if markerVisible {
+						m.res.MarkerVisibleFrames++
+					}
+				}
+				if so, ok := m.cfg.Observer.(StageObserver); ok {
+					so.RecordStage(r.haveFrame, r.haveDepth, i-r.tick)
+				}
 			}
 		}
 
-		cmd := m.stepSystem(epoch, markerVisible)
+		var cmd core.Command
+		if blackout {
+			cmd = m.lastCmd
+		} else {
+			cmd = m.stepSystem(epoch, markerVisible)
+			m.lastCmd = cmd
+		}
 		applied := m.actuate(i, cmd)
+		m.trackRecovery(blackout)
 		if m.crashed(applied) {
 			return m.res, batches, stageNs, stallNs
 		}

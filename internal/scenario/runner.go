@@ -20,6 +20,8 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/sim"
 	"repro/internal/vision"
@@ -82,11 +84,42 @@ type Timing struct {
 	// derives k from measured stage cost so the sense-to-act latency is
 	// emergent rather than injected.
 	PipelineLatencyTicks int `json:",omitempty"`
+
+	// Faults, when non-nil and non-empty, is the run's fault-injection
+	// plan (see internal/fault). Like the pipeline knob it lives on Timing
+	// so it travels everywhere a deployment profile does — campaign Specs,
+	// checkpoint-journal signatures, the shard wire format — and omitempty
+	// keeps the nil encoding byte-identical to the pre-fault Timing, so
+	// recorded journals and shard files still match their signatures. A
+	// nil or empty plan costs nothing: the mission stays on the zero-alloc
+	// hot path, bit-identical to the pre-fault engine (guarded by the
+	// committed golden sweep digest).
+	Faults *fault.Plan `json:",omitempty"`
 }
 
 // SILTiming is the native software-in-the-loop profile.
 func SILTiming() Timing {
 	return Timing{Dt: 0.05, DetectPeriod: 0.25, DepthPeriod: 0.2}
+}
+
+// Canonical returns the timing with an inactive (nil or empty) fault plan
+// normalized to nil. An empty non-nil Plan runs bit-identically to a nil
+// one, so campaign signatures and shard files encode both the same way —
+// otherwise a checkpoint written with `&fault.Plan{}` would refuse to
+// resume under a spec whose plan is nil.
+func (t Timing) Canonical() Timing {
+	if !t.Faults.Active() {
+		t.Faults = nil
+	}
+	return t
+}
+
+// FaultObserver is an optional ResourceObserver extension: observers that
+// implement it receive every fault activation and deactivation edge of a
+// fault campaign, so a platform model (hil.Monitor) can reconstruct the
+// fault-event timeline next to its resource series.
+type FaultObserver interface {
+	RecordFault(kind string, active bool, t float64)
 }
 
 // ResourceObserver receives module-activity callbacks during a run so a
@@ -156,6 +189,23 @@ type Result struct {
 	Stats core.Stats
 	// MaxGPSDrift is the largest GPS bias seen (Fig. 5d analysis).
 	MaxGPSDrift float64
+
+	// Dependability metrics, populated only by fault campaigns (all zero
+	// on nominal runs, and omitted from the wire encoding, so the digests
+	// of pre-fault campaigns are unchanged).
+	//
+	// DegradedTicks counts control ticks with at least one active fault;
+	// FaultInjections counts fault-window activations.
+	DegradedTicks   int
+	FaultInjections int
+	// Recovered reports that the system returned to a nominal state (not
+	// failsafe, not aborted) after the last fault window ended;
+	// RecoverySeconds is how long that took (the time-to-recover metric).
+	Recovered       bool
+	RecoverySeconds float64
+	// AbortCause names the proximate failure that ended an aborted
+	// mission (the last failsafe trigger before the abort).
+	AbortCause string
 }
 
 // FalseNegativeRate returns the per-run detector FNR, or NaN when the
@@ -203,6 +253,20 @@ type mission struct {
 	// Reused depth-point scratch for the inline path: the system copies the
 	// points it keeps within Step, so one buffer serves every depth frame.
 	depthPts []core.DepthPoint
+
+	// Fault-injection state; all nil/zero (and never touched) on the
+	// nominal hot path. inj's control-side state belongs to the control
+	// loop; its depth/color queries belong to the perception side, like
+	// the cameras (see fault.Injector's concurrency contract).
+	inj *fault.Injector
+	// tickFaults is the current tick's control-side fault state.
+	tickFaults fault.TickState
+	// lastCmd is the system's most recent command (held through a comms
+	// blackout); heldCmd is the last command actually applied (held
+	// through a command dropout).
+	lastCmd      core.Command
+	heldCmd      core.Command
+	recoveryDone bool
 }
 
 // newMission normalizes the config and assembles the run's actors. Each
@@ -244,6 +308,26 @@ func newMission(sc *worldgen.Scenario, sys *core.System, cfg RunConfig) *mission
 		m.gps.EnableRTK()
 	}
 	m.depth.ErroneousRate = cfg.ErroneousDepthRate
+
+	// Fault plan: build the injector and its per-concern streams only when
+	// the plan is active, so a nil (or empty) plan adds nothing — no
+	// allocations, no RNG draws, no branches taken — to the hot path.
+	if plan := t.Faults; plan.Active() {
+		m.inj = fault.NewInjector(plan, faultStreams(cfg.Seed), fault.Target{
+			ID:     sys.Config().TargetID,
+			FrameW: downwardIntrinsics.W,
+			FrameH: downwardIntrinsics.H,
+		})
+		// The detection tap runs inside System.Step on the control loop;
+		// m.now is the tick being stepped in every runner mode.
+		sys.SetDetectionTap(func(dets []detect.Detection) []detect.Detection {
+			return m.inj.TapDetections(m.now, dets)
+		})
+		// Command-delay faults need a deeper command history.
+		if extra := m.inj.MaxExtraDelayTicks(); extra > 0 {
+			m.cmdRing = make([]core.Command, t.CommandLatencyTicks+extra+1)
+		}
+	}
 	return m
 }
 
@@ -258,34 +342,49 @@ func Run(sc *worldgen.Scenario, sys *core.System, cfg RunConfig) Result {
 
 // runInline is the historical single-goroutine loop: perception executes
 // on the control loop, in the exact pre-pipeline operation order (the
-// golden-digest test holds this path to bit-identity).
+// golden-digest test holds this path to bit-identity; the fault branches
+// below are never taken without an active plan).
 func (m *mission) runInline() Result {
 	var nextDetect, nextDepth float64
 	for i := 0; i < m.steps; i++ {
 		m.now += m.t.Dt
+		blackout := m.beginFaultTick()
 		epoch := m.beginTick()
 
-		if m.now >= nextDepth {
-			nextDepth = m.now + m.t.DepthPeriod
-			returns := m.depth.Capture(m.w, m.drone.Pos, m.drone.Yaw)
-			m.depthPts = copyDepthPoints(m.depthPts, returns)
-			epoch.Depth = m.depthPts
-			epoch.DepthYaw = m.drone.Yaw
-		}
-
+		var cmd core.Command
 		markerVisible := false
-		if m.now >= nextDetect {
-			nextDetect = m.now + m.t.DetectPeriod
-			epoch.Frame = m.color.Capture(m.w, m.sc.Weather, m.drone.Pos, m.drone.Yaw, m.drone.Speed())
-			epoch.FrameYaw = m.drone.Yaw
-			markerVisible = markerInView(m.w, m.sc, m.drone.Pos, m.drone.Yaw)
-			if markerVisible {
-				m.res.MarkerVisibleFrames++
+		if blackout {
+			// Offboard link down: the stack is frozen — no sensor epochs
+			// in, no new commands out. The flight controller holds the
+			// last commanded setpoint.
+			cmd = m.lastCmd
+		} else {
+			if m.now >= nextDepth {
+				nextDepth = m.now + m.t.DepthPeriod
+				if returns, ok := m.captureDepth(m.drone.Pos, m.drone.Yaw, m.now); ok {
+					m.depthPts = copyDepthPoints(m.depthPts, returns)
+					epoch.Depth = m.depthPts
+					epoch.DepthYaw = m.drone.Yaw
+				}
 			}
-		}
 
-		cmd := m.stepSystem(epoch, markerVisible)
+			if m.now >= nextDetect {
+				nextDetect = m.now + m.t.DetectPeriod
+				if frame, ok := m.captureFrame(m.drone.Pos, m.drone.Yaw, m.drone.Speed(), m.now); ok {
+					epoch.Frame = frame
+					epoch.FrameYaw = m.drone.Yaw
+					markerVisible = markerInView(m.w, m.sc, m.drone.Pos, m.drone.Yaw)
+					if markerVisible {
+						m.res.MarkerVisibleFrames++
+					}
+				}
+			}
+
+			cmd = m.stepSystem(epoch, markerVisible)
+			m.lastCmd = cmd
+		}
 		applied := m.actuate(i, cmd)
+		m.trackRecovery(blackout)
 		if m.crashed(applied) {
 			return m.res
 		}
@@ -294,6 +393,109 @@ func (m *mission) runInline() Result {
 		}
 	}
 	return m.classify()
+}
+
+// beginFaultTick advances the fault injector (when present) to the tick's
+// mission time and applies the control-side taps that precede sensor
+// reads: injected GPS bias and degraded thrust. Returns whether the
+// offboard link is blacked out this tick. A nil injector costs one branch.
+func (m *mission) beginFaultTick() bool {
+	if m.inj == nil {
+		return false
+	}
+	st := m.inj.Tick(m.now)
+	m.tickFaults = st
+	if st.Degraded {
+		m.res.DegradedTicks++
+	}
+	m.gps.SetFaultBias(st.GPSBias)
+	m.drone.SetThrust(st.ThrustFactor)
+	if len(st.Events) > 0 {
+		if fo, ok := m.cfg.Observer.(FaultObserver); ok {
+			for _, ev := range st.Events {
+				fo.RecordFault(string(ev.Kind), ev.Active, ev.T)
+			}
+		}
+	}
+	return st.Blackout
+}
+
+// captureDepth runs one forward depth capture through the fault taps:
+// dropout windows eat the frame, noise bursts scale the camera's range
+// sigma. Perception-side (the stage goroutine calls it in a pipelined
+// mission), so the mission time of the capture arrives as an argument.
+func (m *mission) captureDepth(pos geom.Vec3, yaw, now float64) ([]sim.DepthReturn, bool) {
+	if m.inj == nil {
+		return m.depth.Capture(m.w, pos, yaw), true
+	}
+	if m.inj.DropDepth(now) {
+		return nil, false
+	}
+	if s := m.inj.DepthNoiseScale(now); s != 1 {
+		old := m.depth.NoiseStd
+		m.depth.NoiseStd = old * s
+		returns := m.depth.Capture(m.w, pos, yaw)
+		m.depth.NoiseStd = old
+		return returns, true
+	}
+	return m.depth.Capture(m.w, pos, yaw), true
+}
+
+// captureFrame runs one downward camera capture through the fault taps:
+// dropout windows eat the frame, noise bursts corrupt its pixels.
+// Perception-side, like captureDepth.
+func (m *mission) captureFrame(pos geom.Vec3, yaw, speed, now float64) (*vision.Image, bool) {
+	if m.inj == nil {
+		return m.color.Capture(m.w, m.sc.Weather, pos, yaw, speed), true
+	}
+	if m.inj.DropFrame(now) {
+		return nil, false
+	}
+	frame := m.color.Capture(m.w, m.sc.Weather, pos, yaw, speed)
+	m.inj.CorruptFrame(frame, now)
+	return frame, true
+}
+
+// trackRecovery implements the time-to-recover metric: once every fault
+// window has permanently ended, the first tick where the system is back in
+// a nominal state (not failsafe, not aborted, link up) marks recovery.
+func (m *mission) trackRecovery(blackout bool) {
+	if m.inj == nil || m.recoveryDone || m.res.DegradedTicks == 0 {
+		return
+	}
+	over, end := m.inj.WindowsOver(m.now)
+	if !over || blackout {
+		return
+	}
+	if st := m.sys.State(); st != core.StateFailsafe && st != core.StateAborted {
+		m.res.Recovered = true
+		m.res.RecoverySeconds = m.now - end
+		m.recoveryDone = true
+	}
+}
+
+// finishFaults fills the fault-campaign metrics of the final Result: the
+// injection count and, for aborted missions, the proximate failure cause
+// (the last failsafe trigger before the abort).
+func (m *mission) finishFaults() {
+	if m.inj == nil {
+		return
+	}
+	m.res.FaultInjections = m.inj.Injections()
+	if m.res.FinalState == core.StateAborted {
+		cause := ""
+		for _, ev := range m.sys.Events() {
+			switch ev.To {
+			case core.StateFailsafe:
+				cause = ev.Cause
+			case core.StateAborted:
+				if cause == "" {
+					cause = ev.Cause
+				}
+			}
+		}
+		m.res.AbortCause = cause
+	}
 }
 
 // copyDepthPoints converts one depth capture into the epoch's body-frame
@@ -362,15 +564,30 @@ func (m *mission) stepSystem(epoch core.SensorEpoch, markerVisible bool) core.Co
 
 // actuate applies command latency (compute delay between sense and act):
 // the command from CommandLatencyTicks ago steps the physics, or the first
-// command ever issued while the ring is still filling.
+// command ever issued while the ring is still filling. Actuator faults
+// stretch the latency (command-delay), drop the tick's command entirely
+// (the controller holds the last applied one), and add injected gusts; the
+// nominal path is unchanged — the gust draw consumes the same windRng
+// sample in the same place.
 func (m *mission) actuate(i int, cmd core.Command) core.Command {
 	m.cmdRing[i%len(m.cmdRing)] = cmd
+	latency := m.t.CommandLatencyTicks
+	wind := m.sc.Weather.GustAt(m.windRng)
+	if m.inj != nil {
+		latency += m.tickFaults.ExtraDelayTicks
+		wind = wind.Add(m.tickFaults.ExtraGust)
+	}
 	applied := m.cmdRing[0]
-	if i >= m.t.CommandLatencyTicks {
-		applied = m.cmdRing[(i-m.t.CommandLatencyTicks)%len(m.cmdRing)]
+	if i >= latency {
+		applied = m.cmdRing[(i-latency)%len(m.cmdRing)]
+	}
+	if m.inj != nil && m.tickFaults.DropCommand {
+		applied = m.heldCmd
+	} else {
+		m.heldCmd = applied
 	}
 	m.drone.SetYaw(applied.Yaw)
-	m.drone.Step(m.t.Dt, applied.Vel, m.sc.Weather.GustAt(m.windRng))
+	m.drone.Step(m.t.Dt, applied.Vel, wind)
 	return applied
 }
 
@@ -382,6 +599,7 @@ func (m *mission) crashed(applied core.Command) bool {
 		m.res.FinalState = m.sys.State()
 		m.res.Duration = m.now
 		finishMetrics(&m.res, m.sys, m.sc)
+		m.finishFaults()
 		return true
 	}
 	if m.drone.Pos.Z <= m.drone.Cfg.Radius*0.6 && !m.drone.Landed() {
@@ -396,6 +614,7 @@ func (m *mission) crashed(applied core.Command) bool {
 			m.res.FinalState = st
 			m.res.Duration = m.now
 			finishMetrics(&m.res, m.sys, m.sc)
+			m.finishFaults()
 			return true
 		}
 	}
@@ -407,6 +626,7 @@ func (m *mission) classify() Result {
 	m.res.Duration = m.now
 	m.res.FinalState = m.sys.State()
 	finishMetrics(&m.res, m.sys, m.sc)
+	m.finishFaults()
 	switch {
 	case m.res.Landed && !m.res.OnWater && m.res.LandingError <= m.cfg.SuccessRadius:
 		m.res.Outcome = Success

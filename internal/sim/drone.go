@@ -38,6 +38,10 @@ type Drone struct {
 	Yaw float64
 
 	landed bool
+	// thrust scales the achieved velocity authority (1 = nominal). The
+	// fault-injection subsystem degrades it to model partial power loss;
+	// Step branches on it so the nominal path stays bit-identical.
+	thrust float64
 }
 
 // NewDrone places a drone at pos.
@@ -54,7 +58,16 @@ func NewDrone(cfg DroneConfig, pos geom.Vec3) *Drone {
 	if cfg.Tau <= 0 {
 		cfg.Tau = 0.55
 	}
-	return &Drone{Cfg: cfg, Pos: pos}
+	return &Drone{Cfg: cfg, Pos: pos, thrust: 1}
+}
+
+// SetThrust sets the velocity-authority factor in (0, 1]; 1 restores
+// nominal performance (the actuator tap of the fault subsystem).
+func (d *Drone) SetThrust(f float64) {
+	if f <= 0 || f > 1 {
+		f = 1
+	}
+	d.thrust = f
 }
 
 // Step advances the dynamics by dt seconds under the given velocity
@@ -64,6 +77,9 @@ func (d *Drone) Step(dt float64, cmd geom.Vec3, wind geom.Vec3) {
 		return
 	}
 	cmd = cmd.ClampLen(d.Cfg.MaxSpeed)
+	if d.thrust != 1 {
+		cmd = cmd.Scale(d.thrust)
+	}
 	// Air-relative first-order velocity tracking; wind advects the frame.
 	target := cmd.Add(wind.Scale(0.35)) // partial wind rejection by attitude controller
 	acc := target.Sub(d.Vel).Scale(1 / d.Cfg.Tau).ClampLen(d.Cfg.MaxAccel)

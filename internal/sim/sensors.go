@@ -23,7 +23,12 @@ type GPS struct {
 	DriftBound float64
 
 	bias geom.Vec3
-	rng  *rand.Rand
+	// faultBias is an externally injected receiver bias (fault-injection
+	// campaigns: jamming/multipath on demand). It adds to the weather-driven
+	// OU walk in Read and Bias, so drift metrics see it too; the zero value
+	// keeps both on their historical code path bit for bit.
+	faultBias geom.Vec3
+	rng       *rand.Rand
 }
 
 // NewGPS returns a receiver with the given seed. degradation in [0,1]
@@ -57,15 +62,30 @@ func (g *GPS) Step(dt float64) {
 
 // Read returns the measured position for a true position.
 func (g *GPS) Read(truth geom.Vec3) geom.Vec3 {
-	return truth.Add(g.bias).Add(geom.V3(
+	p := truth.Add(g.bias)
+	if g.faultBias != (geom.Vec3{}) {
+		p = p.Add(g.faultBias)
+	}
+	return p.Add(geom.V3(
 		g.rng.NormFloat64()*g.NoiseStd,
 		g.rng.NormFloat64()*g.NoiseStd,
 		g.rng.NormFloat64()*g.NoiseStd*1.5,
 	))
 }
 
-// Bias exposes the current drift for ground-truth analysis (Fig. 5d).
-func (g *GPS) Bias() geom.Vec3 { return g.bias }
+// Bias exposes the current drift for ground-truth analysis (Fig. 5d),
+// including any injected fault bias.
+func (g *GPS) Bias() geom.Vec3 {
+	if g.faultBias != (geom.Vec3{}) {
+		return g.bias.Add(g.faultBias)
+	}
+	return g.bias
+}
+
+// SetFaultBias injects (or clears, with the zero vector) an additional
+// receiver bias. RTK does not remove it: an injected drift models an
+// interference condition corrections cannot fix.
+func (g *GPS) SetFaultBias(b geom.Vec3) { g.faultBias = b }
 
 // EnableRTK switches the receiver to RTK-corrected output: centimeter
 // noise and no drift — the base-station mitigation the paper proposes for

@@ -448,3 +448,54 @@ func TestGPSRTKMode(t *testing.T) {
 		t.Errorf("RTK fix error %v", fix.HorizDist(geom.V3(10, 10, 0)))
 	}
 }
+
+// TestGPSFaultBias: an injected receiver bias offsets Read and is visible
+// through Bias (so drift metrics see it), and clearing it restores the
+// nominal paths exactly.
+func TestGPSFaultBias(t *testing.T) {
+	g := NewGPS(3, 0)
+	g.NoiseStd = 0 // isolate the bias
+	truth := geom.V3(10, 20, 30)
+	if got := g.Read(truth); got != truth {
+		t.Fatalf("calm receiver reads %v, want truth %v", got, truth)
+	}
+	fb := geom.V3(4, -2, 0)
+	g.SetFaultBias(fb)
+	if got := g.Read(truth); got != truth.Add(fb) {
+		t.Errorf("faulted read %v, want %v", got, truth.Add(fb))
+	}
+	if got := g.Bias(); got != fb {
+		t.Errorf("Bias() = %v, want injected %v", got, fb)
+	}
+	g.SetFaultBias(geom.Vec3{})
+	if got := g.Read(truth); got != truth {
+		t.Errorf("cleared fault bias still offsets reads: %v", got)
+	}
+	if got := g.Bias(); got != (geom.Vec3{}) {
+		t.Errorf("cleared Bias() = %v", got)
+	}
+}
+
+// TestDroneThrustFault: a degraded thrust factor scales the achievable
+// velocity; out-of-range factors reset to nominal.
+func TestDroneThrustFault(t *testing.T) {
+	fly := func(thrust float64) float64 {
+		d := NewDrone(DefaultDroneConfig(), geom.V3(0, 0, 10))
+		d.SetThrust(thrust)
+		for i := 0; i < 200; i++ {
+			d.Step(0.05, geom.V3(5, 0, 0), geom.Vec3{})
+		}
+		return d.Vel.X
+	}
+	full := fly(1)
+	half := fly(0.5)
+	if half >= full*0.7 {
+		t.Errorf("thrust 0.5 converged to %v, nominal %v — no degradation", half, full)
+	}
+	if got := fly(0); got != full {
+		t.Errorf("invalid thrust 0 not reset to nominal: %v vs %v", got, full)
+	}
+	if got := fly(7); got != full {
+		t.Errorf("invalid thrust 7 not reset to nominal: %v vs %v", got, full)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 )
 
 // Image is a grayscale image with intensities in [0, 1].
@@ -69,6 +70,25 @@ func (im *Image) Clone() *Image {
 	out := NewImage(im.W, im.H)
 	copy(out.Pix, im.Pix)
 	return out
+}
+
+// AddNoise perturbs every pixel with zero-mean Gaussian noise of the given
+// sigma, clamped to [0, 1] — the sensor-degradation tap the fault-injection
+// subsystem applies on top of the weather's photometric conditions. All
+// randomness is caller-seeded, like the rest of the package.
+func (im *Image) AddNoise(sigma float64, rng *rand.Rand) {
+	if sigma <= 0 {
+		return
+	}
+	for i, v := range im.Pix {
+		v += rng.NormFloat64() * sigma
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		}
+		im.Pix[i] = v
+	}
 }
 
 // Bilinear samples the image at fractional coordinates with bilinear

@@ -178,3 +178,27 @@ func TestWritePGM(t *testing.T) {
 		t.Errorf("pixels = %v", pix[:3])
 	}
 }
+
+func TestAddNoise(t *testing.T) {
+	im := NewImage(16, 16)
+	im.Fill(0.5)
+	im.AddNoise(0, rand.New(rand.NewSource(1)))
+	for _, v := range im.Pix {
+		if v != 0.5 {
+			t.Fatal("sigma 0 modified the image")
+		}
+	}
+	im.AddNoise(0.3, rand.New(rand.NewSource(1)))
+	changed := 0
+	for _, v := range im.Pix {
+		if v != 0.5 {
+			changed++
+		}
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel %v escaped [0,1]", v)
+		}
+	}
+	if changed < len(im.Pix)/2 {
+		t.Errorf("only %d/%d pixels perturbed", changed, len(im.Pix))
+	}
+}

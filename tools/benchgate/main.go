@@ -45,7 +45,10 @@ var zeroAllocBenchmarks = []string{
 }
 
 // gatedBenchmarks are the closed-loop units gated against the snapshot.
-var gatedBenchmarks = []string{"BenchmarkRun", "BenchmarkRunPipelined"}
+// BenchmarkRunFaultsOff is the nominal mission flown through the fault
+// subsystem's disabled path; it shares BenchmarkRun's allocation budget,
+// so the fault wiring cannot quietly tax every nominal campaign.
+var gatedBenchmarks = []string{"BenchmarkRun", "BenchmarkRunPipelined", "BenchmarkRunFaultsOff"}
 
 // measurement is one parsed benchmark result line.
 type measurement struct {

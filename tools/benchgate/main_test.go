@@ -15,6 +15,7 @@ BenchmarkCampaign/workers=1-4     1   5011022841 ns/op
 BenchmarkCampaign/workers=4-4     1   1377003199 ns/op
 BenchmarkRun-4                    5    302838874 ns/op   8618862 B/op   11771 allocs/op
 BenchmarkRunPipelined-4           5    340362629 ns/op   8172180 B/op   11590 allocs/op
+BenchmarkRunFaultsOff-4           5    315340870 ns/op   8514950 B/op   11328 allocs/op
 BenchmarkRender-4              1000       408527 ns/op       524 B/op       0 allocs/op
 BenchmarkDepthCapture-4        1000        30587 ns/op        58 B/op       0 allocs/op
 BenchmarkRaycast-4             1000          121.3 ns/op       0 B/op       0 allocs/op
@@ -31,6 +32,9 @@ const baselineJSON = `{
     },
     "BenchmarkRunPipelined": {
       "after": {"ns_op": 340362629, "bytes_op": 8172180, "allocs_op": 11590}
+    },
+    "BenchmarkRunFaultsOff": {
+      "after": {"ns_op": 315340870, "bytes_op": 8514950, "allocs_op": 11771}
     }
   }
 }`
@@ -106,6 +110,32 @@ func TestGateCoversPipelinedRun(t *testing.T) {
 	err, out = gate(t, strings.Join(kept, "\n"), baselineJSON, 0.10)
 	if err == nil {
 		t.Fatalf("missing pipelined benchmark passed the gate:\n%s", out)
+	}
+}
+
+// TestGateCoversFaultsOffRun pins the third gated closed-loop unit: the
+// fault subsystem's disabled path shares BenchmarkRun's allocation budget,
+// and losing the benchmark from the smoke run must fail the gate.
+func TestGateCoversFaultsOffRun(t *testing.T) {
+	injected := strings.Replace(goodBench, "11328 allocs/op", "13500 allocs/op", 1)
+	err, out := gate(t, injected, baselineJSON, 0.10)
+	if err == nil {
+		t.Fatalf("faults-off alloc regression passed the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "BenchmarkRunFaultsOff") {
+		t.Errorf("violation does not name the faults-off benchmark:\n%s", out)
+	}
+
+	var kept []string
+	for _, line := range strings.Split(goodBench, "\n") {
+		if strings.HasPrefix(line, "BenchmarkRunFaultsOff") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	err, out = gate(t, strings.Join(kept, "\n"), baselineJSON, 0.10)
+	if err == nil {
+		t.Fatalf("missing faults-off benchmark passed the gate:\n%s", out)
 	}
 }
 
