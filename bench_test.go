@@ -506,6 +506,24 @@ func BenchmarkRunPipelined(b *testing.B) {
 	}
 }
 
+// BenchmarkRunFast is BenchmarkRun through the tolerance-verified fast
+// profile: coarse-to-fine NCC, bundled depth traversal, deduplicated
+// collision checks, and both perception and planning on concurrent stages
+// (k = 2 each). Gated by tools/benchgate as a RATIO against BenchmarkRun
+// in the same run — fast mode must stay >= 1.8x — plus its own allocation
+// budget. Fast results are NOT bit-identical to exact ones; their
+// aggregate fidelity is enforced by campaign.VerifyFast (silbench
+// -verify-fast).
+func BenchmarkRunFast(b *testing.B) {
+	timing := scenario.SILTiming().WithFast()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.RunGridCell(core.V3, 2, 4, 42, timing, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRunFaultsOff is BenchmarkRun flown through a Timing profile
 // whose fault plan is nil — the path every nominal campaign takes now that
 // the fault-injection subsystem exists. Gated by tools/benchgate at

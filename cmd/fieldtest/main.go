@@ -56,6 +56,7 @@ func main() {
 	merge := flag.Bool("merge", false, "merge shard result files given as arguments and print the tables")
 	pipeline := flag.Bool("pipeline", false, "run perception on a concurrent stage (tick-stamped delivery; sense-to-act latency emerges from stage cost)")
 	faults := flag.String("faults", "", "fault plan: a preset ("+strings.Join(fault.Presets(), ", ")+") or a spec like \"gps-drift@20+30:mag=0.5;depth-dropout@10+15\"")
+	fastMode := flag.Bool("fast", false, "fast engine mode: tolerance-verified approximate kernels (not valid for bit-identity comparisons against exact-engine digests)")
 	flag.Parse()
 
 	if *merge {
@@ -83,10 +84,19 @@ func main() {
 		os.Exit(2)
 	}
 	plan.Timing.Faults = faultPlan
+	if *fastMode {
+		// WithFast preserves the latency the derived plan already carries.
+		// Fast digests are only comparable to other fast digests — see
+		// silbench -verify-fast for the tolerance contract.
+		plan.Timing = plan.Timing.WithFast()
+	}
 
 	fmt.Printf("Field profile on %s: CPU demand %.0f%% of capacity\n", profile.Name, 100*plan.CPUDemand)
 	if *pipeline {
 		fmt.Printf("pipelined perception: on — emergent delivery latency %d ticks\n", plan.Timing.PipelineLatencyTicks)
+	}
+	if *fastMode {
+		fmt.Printf("fast engine mode: on (digests comparable to fast runs only)\n")
 	}
 	if faultPlan.Active() {
 		fmt.Printf("fault plan: %s\n", faultPlan)

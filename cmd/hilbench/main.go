@@ -51,6 +51,7 @@ func main() {
 	merge := flag.Bool("merge", false, "merge shard result files given as arguments and print the tables")
 	pipeline := flag.Bool("pipeline", false, "run perception on a concurrent stage (tick-stamped delivery; sense-to-act latency emerges from stage cost)")
 	faults := flag.String("faults", "", "fault plan: a preset ("+strings.Join(fault.Presets(), ", ")+") or a spec like \"gps-drift@20+30:mag=0.5;depth-dropout@10+15\"")
+	fastMode := flag.Bool("fast", false, "fast engine mode: tolerance-verified approximate kernels (not valid for bit-identity comparisons against exact-engine digests)")
 	flag.Parse()
 
 	if *merge {
@@ -91,6 +92,14 @@ func main() {
 	plan.Timing.Faults = faultPlan
 	if faultPlan.Active() {
 		fmt.Printf("  fault plan: %s\n", faultPlan)
+	}
+	if *fastMode {
+		// WithFast preserves the latency the derived plan already carries
+		// (the emergent -pipeline delivery ticks). Fast digests are only
+		// comparable to other fast digests — see silbench -verify-fast for
+		// the tolerance contract.
+		plan.Timing = plan.Timing.WithFast()
+		fmt.Printf("  fast engine mode: on (digests comparable to fast runs only)\n")
 	}
 	fmt.Println()
 

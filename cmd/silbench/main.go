@@ -65,10 +65,20 @@ func main() {
 	pipelineLag := flag.Int("pipeline-lag", 1, "with -pipeline: apply perception results k control ticks after capture (0 = synchronous, bit-identical to inline)")
 	faults := flag.String("faults", "", "fault plan: a preset ("+strings.Join(fault.Presets(), ", ")+") or a spec like \"gps-drift@20+30:mag=0.5;depth-dropout@10+15\"")
 	faultSweep := flag.Bool("fault-sweep", false, "run the grid nominal plus once per fault preset and print the dependability table")
+	fastMode := flag.Bool("fast", false, "fast engine mode: tolerance-verified approximate kernels (not valid for bit-identity comparisons against exact-engine digests)")
+	verifyFast := flag.Bool("verify-fast", false, "fly the A/B equivalence sweeps (exact vs fast engine) and print the tolerance report; exits nonzero on a contract violation")
+	verifyShort := flag.Bool("verify-short", false, "with -verify-fast: trim the sweeps for a quick CI pass")
 	flag.Parse()
 
 	if *merge {
 		mergeMain(flag.Args())
+		return
+	}
+	if *verifyFast {
+		if *workers < 1 {
+			*workers = runtime.GOMAXPROCS(0)
+		}
+		verifyFastMain(*workers, *verifyShort, *progress)
 		return
 	}
 
@@ -110,6 +120,13 @@ func main() {
 		spec.Timing.Pipeline = scenario.PipelineOn
 		spec.Timing.PipelineLatencyTicks = *pipelineLag
 	}
+	if *fastMode {
+		// WithFast preserves a caller-set pipeline latency, so -fast
+		// composes with -pipeline/-pipeline-lag. Fast digests are only
+		// comparable to other fast digests: the mode trades bit-identity
+		// with the exact engine for throughput (see -verify-fast).
+		spec.Timing = spec.Timing.WithFast()
+	}
 	// The fault plan lives on Timing too: checkpoints and shards bind to
 	// it, and an empty plan is bit-identical to a nominal sweep.
 	plan, err := fault.ParsePlan(*faults)
@@ -132,6 +149,10 @@ func main() {
 		*maps, *scenarios, *repeats, len(selected), spec.Total(), *workers)
 	if *pipeline {
 		fmt.Printf("pipelined perception: on, delivery latency %d ticks\n", *pipelineLag)
+	}
+	if *fastMode {
+		fmt.Printf("fast engine mode: on (perception lag %d ticks, plan lag %d ticks; digests comparable to fast runs only)\n",
+			spec.Timing.PipelineLatencyTicks, spec.Timing.PlanLatencyTicks)
 	}
 	if plan.Active() {
 		fmt.Printf("fault plan: %s\n", plan)
@@ -205,7 +226,7 @@ func main() {
 	hits, misses, resident := worldgen.Shared.Stats()
 	fmt.Printf("world cache: %d hits / %d generations, %d worlds resident\n",
 		hits, misses, resident)
-	if *pipeline {
+	if *pipeline || *fastMode {
 		ps := scenario.ReadPipelineStats()
 		fmt.Printf("%s (%d runs, %d perception batches)\n",
 			telemetry.OverlapSummary(ps.StageBusy, ps.Stall, ps.Wall), ps.Runs, ps.Batches)
@@ -226,6 +247,37 @@ func main() {
 	// Rows print in -systems order (a shard may cover only some of them).
 	printTables(selected, report.Aggregates)
 	printDependability(selected, report.Aggregates)
+}
+
+// verifyFastMain is the -verify-fast entry: the A/B equivalence campaign
+// (every verification sweep flown with the exact engine and again with
+// Timing.WithFast) checked against the committed tolerance contract. The
+// verdict is deterministic across repeats and worker counts; a violation
+// exits nonzero so CI can gate on it.
+func verifyFastMain(workers int, short, progress bool) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := campaign.VerifyFastOptions{Workers: workers, Short: short}
+	if progress {
+		opts.OnProgress = func(sweep string, done, total int) {
+			fmt.Fprintf(os.Stderr, "silbench: verify-fast sweep %q done (%d/%d)\n", sweep, done, total)
+		}
+	}
+	mode := "full"
+	if short {
+		mode = "short"
+	}
+	fmt.Printf("verify-fast: exact-vs-fast equivalence sweeps (%s) on %d workers\n\n", mode, workers)
+	eq, err := campaign.VerifyFast(ctx, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "silbench:", err)
+		os.Exit(1)
+	}
+	fmt.Print(eq.String())
+	if !eq.OK() {
+		os.Exit(1)
+	}
 }
 
 // faultSweepMain is the -fault-sweep grid: the same campaign executed once

@@ -30,24 +30,14 @@ import (
 
 const goldenPath = "testdata/golden_sweep_digest.txt"
 
-// goldenSpec is the 48-run cross-generation verification sweep.
-func goldenSpec() Spec {
-	return Spec{
-		Maps:        []int{1, 2, 4, 8},
-		Scenarios:   []int{0, 5},
-		Repeats:     2,
-		Generations: []core.Generation{core.V1, core.V2, core.V3},
-		Timing:      scenario.SILTiming(), // PipelineOff: the historical inline order
-	}
-}
-
-// TestGoldenSweepDigest executes the sweep and compares both digests
-// against the committed golden file.
+// TestGoldenSweepDigest executes the sweep (GoldenGridSpec, shared with
+// the fast-mode A/B verification in verifyfast.go) and compares both
+// digests against the committed golden file.
 func TestGoldenSweepDigest(t *testing.T) {
 	if testing.Short() {
 		t.Skip("48 full closed-loop missions")
 	}
-	spec := goldenSpec()
+	spec := GoldenGridSpec()
 	rep, err := Execute(context.Background(), spec, Options{})
 	if err != nil {
 		t.Fatal(err)

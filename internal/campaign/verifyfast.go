@@ -1,0 +1,312 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/scenario"
+)
+
+// This file is the fast engine mode's verification harness: the committed
+// tolerance contract (Tolerance), the A/B sweeps that exercise it
+// (VerifyFast), and the printed equivalence report (FastEquivalence).
+//
+// Fast mode trades bit-identity for speed — coarse-to-fine NCC, bundled
+// ray and collision kernels, lattice ground rendering, an anytime planner
+// cutoff — so its correctness claim cannot be a digest. It is an aggregate
+// claim instead: over seeded sweeps, the dependability metrics the paper
+// reports (success rate, recovery time, degraded exposure, abort causes)
+// must stay within the tolerances below of the exact engine's. The sweeps
+// are deterministic (fixed grid seeds, campaign engine determinism), so a
+// tolerance violation is a real regression, never flake.
+
+// Tolerance bounds how far fast-mode aggregates may drift from the exact
+// engine's over a verification sweep. The zero value is invalid; use
+// DefaultTolerance for the committed contract.
+type Tolerance struct {
+	// SuccessRatePts bounds |Δ success rate| in percentage points.
+	SuccessRatePts float64
+	// MTTRSeconds bounds |Δ mean time to recover| in seconds, on sweeps
+	// where both engines recovered at least one run.
+	MTTRSeconds float64
+	// DegradedTicksFrac bounds the relative change in pooled degraded
+	// ticks: |fast−exact| / max(exact, 1).
+	DegradedTicksFrac float64
+	// AbortShiftFrac bounds the total-variation distance between the two
+	// abort-cause distributions, normalized by sweep runs — the fraction
+	// of the sweep whose abort story fast mode may re-tell.
+	AbortShiftFrac float64
+}
+
+// DefaultTolerance is the committed fast-mode equivalence contract, sized
+// from the observed A/B deltas with headroom for legitimate drift when
+// kernels are retuned (BENCH_3.json records the measurements behind it).
+func DefaultTolerance() Tolerance {
+	return Tolerance{
+		SuccessRatePts:    13.0,
+		MTTRSeconds:       10.0,
+		DegradedTicksFrac: 0.35,
+		AbortShiftFrac:    0.25,
+	}
+}
+
+// GoldenGridSpec returns the 48-run cross-generation verification sweep:
+// V1/V2/V3 x 4 maps x 2 scenarios x 2 reps under native SIL timing. The
+// exact engine's digest over this grid is the committed bit-identity
+// golden (testdata/golden_sweep_digest.txt); the same grid is the nominal
+// half of the fast-mode A/B verification.
+func GoldenGridSpec() Spec {
+	return Spec{
+		Maps:        []int{1, 2, 4, 8},
+		Scenarios:   []int{0, 5},
+		Repeats:     2,
+		Generations: []core.Generation{core.V1, core.V2, core.V3},
+		Timing:      scenario.SILTiming(),
+	}
+}
+
+// verifySweeps enumerates the A/B verification campaign: the nominal
+// golden grid plus fault-preset sweeps on the full system (V3 carries
+// every fast kernel — learned NCC, RRT*, staged stages). short trims the
+// nominal grid to one generation for quick CI passes.
+func verifySweeps(short bool) []verifySweep {
+	nominal := GoldenGridSpec()
+	if short {
+		nominal.Generations = []core.Generation{core.V3}
+	}
+	sweeps := []verifySweep{{name: "nominal", spec: nominal}}
+	for _, preset := range []string{"storm", "degraded"} {
+		plan, err := fault.ParsePlan(preset)
+		if err != nil {
+			panic("campaign: fault preset " + preset + " vanished: " + err.Error())
+		}
+		timing := scenario.SILTiming()
+		timing.Faults = plan
+		sweeps = append(sweeps, verifySweep{
+			name: "fault:" + preset,
+			spec: Spec{
+				Maps:        []int{1, 4},
+				Scenarios:   []int{0, 5},
+				Repeats:     2,
+				Generations: []core.Generation{core.V3},
+				Timing:      timing,
+			},
+		})
+	}
+	return sweeps
+}
+
+type verifySweep struct {
+	name string
+	spec Spec
+}
+
+// SweepDelta is one row of the equivalence report: the exact-vs-fast
+// aggregate comparison for one (sweep, generation) pair.
+type SweepDelta struct {
+	Sweep  string
+	System string
+	Runs   int
+
+	ExactSuccessRate, FastSuccessRate float64
+	ExactMTTR, FastMTTR               float64
+	ExactDegraded, FastDegraded       int
+	ExactAborts, FastAborts           map[string]int
+	// AbortShift is the total-variation distance between the abort-cause
+	// distributions, as a fraction of sweep runs.
+	AbortShift float64
+
+	// Violations lists every tolerance the row exceeds; empty means the
+	// row is within contract.
+	Violations []string
+}
+
+// FastEquivalence is the outcome of a VerifyFast campaign.
+type FastEquivalence struct {
+	Tol  Tolerance
+	Rows []SweepDelta
+	// TotalRuns counts missions flown per engine (the A/B doubles it).
+	TotalRuns int
+}
+
+// OK reports whether every row stayed within the tolerance contract.
+func (e *FastEquivalence) OK() bool {
+	for _, r := range e.Rows {
+		if len(r.Violations) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the printed equivalence report.
+func (e *FastEquivalence) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fast-mode equivalence: %d runs per engine, tolerance {success ±%.1fpts, MTTR ±%.1fs, degraded ±%.0f%%, abort shift ≤%.0f%%}\n",
+		e.TotalRuns, e.Tol.SuccessRatePts, e.Tol.MTTRSeconds, 100*e.Tol.DegradedTicksFrac, 100*e.Tol.AbortShiftFrac)
+	for _, r := range e.Rows {
+		status := "ok"
+		if len(r.Violations) > 0 {
+			status = "VIOLATION: " + strings.Join(r.Violations, "; ")
+		}
+		fmt.Fprintf(&b, "  %-14s %-4s runs=%-3d success %6.2f%% -> %6.2f%%  mttr %5.1fs -> %5.1fs  degraded %6d -> %6d  abort-shift %5.1f%%  %s\n",
+			r.Sweep, r.System, r.Runs,
+			r.ExactSuccessRate, r.FastSuccessRate,
+			r.ExactMTTR, r.FastMTTR,
+			r.ExactDegraded, r.FastDegraded,
+			100*r.AbortShift, status)
+		if len(r.ExactAborts) > 0 || len(r.FastAborts) > 0 {
+			fmt.Fprintf(&b, "  %-14s      aborts exact{%s} fast{%s}\n", "", causeString(r.ExactAborts), causeString(r.FastAborts))
+		}
+	}
+	if e.OK() {
+		b.WriteString("  PASS: fast mode within tolerance of the exact engine\n")
+	} else {
+		b.WriteString("  FAIL: fast mode drifted outside the tolerance contract\n")
+	}
+	return b.String()
+}
+
+func causeString(m map[string]int) string {
+	if len(m) == 0 {
+		return ""
+	}
+	causes := make([]string, 0, len(m))
+	for c := range m {
+		causes = append(causes, c)
+	}
+	sort.Strings(causes)
+	parts := make([]string, 0, len(causes))
+	for _, c := range causes {
+		parts = append(parts, fmt.Sprintf("%s x%d", c, m[c]))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// VerifyFastOptions tunes a verification campaign.
+type VerifyFastOptions struct {
+	// Workers is the campaign worker-pool size (<= 0: GOMAXPROCS). The
+	// verdict is worker-count independent — the campaign engine is
+	// deterministic in both modes.
+	Workers int
+	// Short trims the nominal sweep for quick CI passes.
+	Short bool
+	// Tol overrides the committed contract when non-zero.
+	Tol Tolerance
+	// OnProgress observes each sweep as it finishes.
+	OnProgress func(sweep string, done, total int)
+}
+
+// VerifyFast flies every verification sweep twice — exact engine, then
+// fast engine (Timing.WithFast) — and checks the aggregate deltas against
+// the tolerance contract. The result is deterministic for a given
+// (sweeps, tolerance) pair: identical across repeats and worker counts.
+func VerifyFast(ctx context.Context, opts VerifyFastOptions) (*FastEquivalence, error) {
+	tol := opts.Tol
+	if tol == (Tolerance{}) {
+		tol = DefaultTolerance()
+	}
+	sweeps := verifySweeps(opts.Short)
+	eq := &FastEquivalence{Tol: tol}
+	for i, sw := range sweeps {
+		exact, err := Execute(ctx, sw.spec, Options{Workers: opts.Workers, DiscardResults: true})
+		if err != nil {
+			return nil, fmt.Errorf("verify-fast: %s exact sweep: %w", sw.name, err)
+		}
+		fastSpec := sw.spec
+		fastSpec.Timing = fastSpec.Timing.WithFast()
+		fast, err := Execute(ctx, fastSpec, Options{Workers: opts.Workers, DiscardResults: true})
+		if err != nil {
+			return nil, fmt.Errorf("verify-fast: %s fast sweep: %w", sw.name, err)
+		}
+		eq.TotalRuns += sw.spec.Total()
+		for _, gen := range sw.spec.Generations {
+			ea, fa := exact.Aggregates[gen], fast.Aggregates[gen]
+			if ea == nil || fa == nil {
+				return nil, fmt.Errorf("verify-fast: %s: missing %v aggregate", sw.name, gen)
+			}
+			eq.Rows = append(eq.Rows, compareAggregates(sw.name, tol, *ea, *fa))
+		}
+		if opts.OnProgress != nil {
+			opts.OnProgress(sw.name, i+1, len(sweeps))
+		}
+	}
+	return eq, nil
+}
+
+// compareAggregates builds one report row and applies the tolerances.
+func compareAggregates(sweep string, tol Tolerance, exact, fast scenario.Aggregate) SweepDelta {
+	d := SweepDelta{
+		Sweep:            sweep,
+		System:           exact.System,
+		Runs:             exact.Runs,
+		ExactSuccessRate: exact.SuccessRate(),
+		FastSuccessRate:  fast.SuccessRate(),
+		ExactMTTR:        exact.MeanTimeToRecover,
+		FastMTTR:         fast.MeanTimeToRecover,
+		ExactDegraded:    exact.DegradedTicks,
+		FastDegraded:     fast.DegradedTicks,
+		ExactAborts:      exact.AbortCauses,
+		FastAborts:       fast.AbortCauses,
+	}
+	if dv := math.Abs(d.FastSuccessRate - d.ExactSuccessRate); dv > tol.SuccessRatePts {
+		d.Violations = append(d.Violations,
+			fmt.Sprintf("success rate Δ%.2fpts > %.2f", dv, tol.SuccessRatePts))
+	}
+	// MTTR only compares when both engines recovered something: a mean
+	// over zero runs is 0 by convention, not a measured recovery time.
+	if exact.RecoveredRuns > 0 && fast.RecoveredRuns > 0 {
+		if dv := math.Abs(d.FastMTTR - d.ExactMTTR); dv > tol.MTTRSeconds {
+			d.Violations = append(d.Violations,
+				fmt.Sprintf("MTTR Δ%.1fs > %.1f", dv, tol.MTTRSeconds))
+		}
+	}
+	if exact.DegradedTicks > 0 || fast.DegradedTicks > 0 {
+		base := float64(exact.DegradedTicks)
+		if base < 1 {
+			base = 1
+		}
+		if dv := math.Abs(float64(fast.DegradedTicks-exact.DegradedTicks)) / base; dv > tol.DegradedTicksFrac {
+			d.Violations = append(d.Violations,
+				fmt.Sprintf("degraded ticks Δ%.0f%% > %.0f%%", 100*dv, 100*tol.DegradedTicksFrac))
+		}
+	}
+	d.AbortShift = abortShift(exact, fast)
+	if d.AbortShift > tol.AbortShiftFrac {
+		d.Violations = append(d.Violations,
+			fmt.Sprintf("abort-cause shift %.0f%% > %.0f%%", 100*d.AbortShift, 100*tol.AbortShiftFrac))
+	}
+	return d
+}
+
+// abortShift is the total-variation distance between the two abort-cause
+// count vectors, normalized by sweep runs (equal on both sides): half the
+// L1 distance between "fraction of runs aborted for cause c" histograms,
+// with the non-aborted remainder as an implicit extra cause.
+func abortShift(exact, fast scenario.Aggregate) float64 {
+	if exact.Runs == 0 {
+		return 0
+	}
+	causes := map[string]bool{}
+	for c := range exact.AbortCauses {
+		causes[c] = true
+	}
+	for c := range fast.AbortCauses {
+		causes[c] = true
+	}
+	l1, eTot, fTot := 0.0, 0, 0
+	for c := range causes {
+		e, f := exact.AbortCauses[c], fast.AbortCauses[c]
+		l1 += math.Abs(float64(f-e) / float64(exact.Runs))
+		eTot += e
+		fTot += f
+	}
+	// Implicit "did not abort" bucket keeps the histograms normalized.
+	l1 += math.Abs(float64((exact.Runs-eTot)-(fast.Runs-fTot)) / float64(exact.Runs))
+	return l1 / 2
+}

@@ -1,0 +1,139 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// These tests pin the equivalence report itself — the tolerance
+// comparisons and the rendering silbench -verify-fast prints — without
+// flying any missions, so they run in -short suites. The sweeps behind
+// the report are exercised by TestVerifyFastContract.
+
+func agg(system string, runs, success, degraded, recovered int, mttr float64, aborts map[string]int) scenario.Aggregate {
+	return scenario.Aggregate{
+		System:            system,
+		Runs:              runs,
+		Success:           success,
+		DegradedTicks:     degraded,
+		RecoveredRuns:     recovered,
+		MeanTimeToRecover: mttr,
+		AbortCauses:       aborts,
+	}
+}
+
+func TestCompareAggregatesWithinTolerance(t *testing.T) {
+	tol := DefaultTolerance()
+	exact := agg("MLS-V3", 16, 12, 4000, 2, 3.5, map[string]int{"battery": 2})
+	fast := agg("MLS-V3", 16, 11, 4700, 2, 5.0, map[string]int{"battery": 3})
+	d := compareAggregates("nominal", tol, exact, fast)
+	if len(d.Violations) != 0 {
+		t.Fatalf("in-contract deltas flagged: %v", d.Violations)
+	}
+	if d.Sweep != "nominal" || d.System != "MLS-V3" || d.Runs != 16 {
+		t.Fatalf("row metadata wrong: %+v", d)
+	}
+	if d.ExactSuccessRate != 75.0 || d.FastSuccessRate != 68.75 {
+		t.Fatalf("success rates %v -> %v", d.ExactSuccessRate, d.FastSuccessRate)
+	}
+}
+
+func TestCompareAggregatesFlagsEachTolerance(t *testing.T) {
+	tol := DefaultTolerance()
+	exact := agg("MLS-V3", 16, 16, 1000, 4, 1.0, nil)
+
+	// Success-rate drift beyond the contract.
+	fast := agg("MLS-V3", 16, 8, 1000, 4, 1.0, nil)
+	if d := compareAggregates("s", tol, exact, fast); len(d.Violations) != 1 ||
+		!strings.Contains(d.Violations[0], "success rate") {
+		t.Fatalf("success violation not flagged: %v", d.Violations)
+	}
+
+	// MTTR drift — only compared when both engines recovered runs.
+	fast = agg("MLS-V3", 16, 16, 1000, 4, 15.0, nil)
+	if d := compareAggregates("s", tol, exact, fast); len(d.Violations) != 1 ||
+		!strings.Contains(d.Violations[0], "MTTR") {
+		t.Fatalf("MTTR violation not flagged: %v", d.Violations)
+	}
+	fast.RecoveredRuns = 0
+	if d := compareAggregates("s", tol, exact, fast); len(d.Violations) != 0 {
+		t.Fatalf("MTTR compared against an unrecovered sweep: %v", d.Violations)
+	}
+
+	// Degraded-exposure drift, relative to the exact engine's ticks.
+	fast = agg("MLS-V3", 16, 16, 2000, 4, 1.0, nil)
+	if d := compareAggregates("s", tol, exact, fast); len(d.Violations) != 1 ||
+		!strings.Contains(d.Violations[0], "degraded") {
+		t.Fatalf("degraded violation not flagged: %v", d.Violations)
+	}
+
+	// Abort-story rewrite: every abort changes cause.
+	exact = agg("MLS-V3", 16, 8, 0, 0, 0, map[string]int{"battery": 8})
+	fast = agg("MLS-V3", 16, 8, 0, 0, 0, map[string]int{"geofence": 8})
+	d := compareAggregates("s", tol, exact, fast)
+	if d.AbortShift != 0.5 {
+		t.Fatalf("abort shift = %v, want 0.5 (8 of 16 runs re-told)", d.AbortShift)
+	}
+	if len(d.Violations) != 1 || !strings.Contains(d.Violations[0], "abort-cause") {
+		t.Fatalf("abort violation not flagged: %v", d.Violations)
+	}
+}
+
+func TestAbortShiftProperties(t *testing.T) {
+	// Identical histograms shift nothing; so does an empty sweep.
+	a := agg("MLS-V3", 8, 4, 0, 0, 0, map[string]int{"battery": 2, "geofence": 1})
+	if s := abortShift(a, a); s != 0 {
+		t.Fatalf("self shift = %v", s)
+	}
+	if s := abortShift(agg("x", 0, 0, 0, 0, 0, nil), a); s != 0 {
+		t.Fatalf("empty-sweep shift = %v", s)
+	}
+	// Moving one abort of 8 runs into the non-aborted bucket shifts 1/8.
+	b := agg("MLS-V3", 8, 4, 0, 0, 0, map[string]int{"battery": 1, "geofence": 1})
+	if s := abortShift(a, b); s != 0.125 {
+		t.Fatalf("one-run shift = %v, want 0.125", s)
+	}
+}
+
+func TestFastEquivalenceReport(t *testing.T) {
+	eq := &FastEquivalence{
+		Tol:       DefaultTolerance(),
+		TotalRuns: 48,
+		Rows: []SweepDelta{{
+			Sweep: "nominal", System: "MLS-V3", Runs: 16,
+			ExactSuccessRate: 75, FastSuccessRate: 68.75,
+			ExactAborts: map[string]int{"battery": 2, "geofence": 1},
+			FastAborts:  map[string]int{"battery": 3},
+		}},
+	}
+	if !eq.OK() {
+		t.Fatal("violation-free report not OK")
+	}
+	out := eq.String()
+	for _, want := range []string{
+		"48 runs per engine",
+		"nominal", "MLS-V3",
+		"battery x2, geofence x1", "battery x3",
+		"PASS: fast mode within tolerance",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	eq.Rows[0].Violations = []string{"success rate Δ20.00pts > 13.00"}
+	if eq.OK() {
+		t.Fatal("violating report still OK")
+	}
+	out = eq.String()
+	if !strings.Contains(out, "VIOLATION: success rate") ||
+		!strings.Contains(out, "FAIL: fast mode drifted outside the tolerance contract") {
+		t.Errorf("violating report misrendered:\n%s", out)
+	}
+
+	if causeString(nil) != "" {
+		t.Error("empty cause map renders non-empty")
+	}
+}

@@ -1,0 +1,46 @@
+package campaign
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// TestVerifyFastContract is the fast engine mode's acceptance gate: the
+// full A/B verification campaign (golden grid + fault presets, exact vs
+// fast) must stay within the committed tolerance contract. The sweeps are
+// deterministic, so a failure here is a real kernel regression.
+func TestVerifyFastContract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("160 full closed-loop missions")
+	}
+	eq, err := VerifyFast(context.Background(), VerifyFastOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", eq)
+	if !eq.OK() {
+		t.Fatalf("fast mode outside tolerance contract:\n%s", eq)
+	}
+}
+
+// TestVerifyFastDeterministicAcrossWorkers: the verification verdict —
+// every delta row, not just the boolean — must not depend on the worker
+// count, or CI and local runs could disagree about the same engines.
+func TestVerifyFastDeterministicAcrossWorkers(t *testing.T) {
+	var ref *FastEquivalence
+	for _, workers := range []int{1, 4} {
+		eq, err := VerifyFast(context.Background(), VerifyFastOptions{Workers: workers, Short: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = eq
+			continue
+		}
+		if !reflect.DeepEqual(ref.Rows, eq.Rows) {
+			t.Fatalf("verification rows depend on worker count\n1 worker: %+v\n%d workers: %+v",
+				ref.Rows, workers, eq.Rows)
+		}
+	}
+}

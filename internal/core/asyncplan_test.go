@@ -1,0 +1,189 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/planning"
+)
+
+// plannedSystem returns a V3 system with a few warm-up ticks flown, so the
+// estimator holds a sane pose for plan requests.
+func plannedSystem(t *testing.T) *System {
+	t.Helper()
+	sys := testSystem(t, V3)
+	pos := geom.V3(0, 0, 8)
+	vel := geom.Vec3{}
+	stepN(sys, &pos, &vel, 10, nil)
+	return sys
+}
+
+func TestPlanStageRequestAndDeliver(t *testing.T) {
+	sys := plannedSystem(t)
+	var starts, goals []geom.Vec3
+	sys.EnablePlanStage(func(start, goal geom.Vec3) {
+		starts = append(starts, start)
+		goals = append(goals, goal)
+	})
+
+	goal := geom.V3(20, 5, 6)
+	est := sys.Estimate()
+	if sys.PlanPending() {
+		t.Fatal("pending before any request")
+	}
+	if !sys.requestPlan(est, goal) {
+		t.Fatal("staged request reported failure")
+	}
+	if !sys.PlanPending() || len(goals) != 1 || goals[0] != goal {
+		t.Fatalf("request not submitted: pending=%v goals=%v", sys.PlanPending(), goals)
+	}
+	// A second request while one is in flight keeps hovering, no new submit.
+	if !sys.requestPlan(est, goal) || len(goals) != 1 {
+		t.Fatalf("pending request re-submitted: %d submits", len(goals))
+	}
+
+	path, err := sys.PlanOnStage(starts[0], goals[0])
+	if err != nil {
+		t.Fatalf("stage planning failed: %v", err)
+	}
+	replans := sys.Stats().Replans
+	sys.DeliverPlan(path, nil)
+	if sys.PlanPending() {
+		t.Fatal("still pending after delivery")
+	}
+	if got := sys.Stats().Replans; got != replans+1 {
+		t.Fatalf("Replans = %d, want %d", got, replans+1)
+	}
+	// Delivery without a pending request is a no-op.
+	sys.DeliverPlan(path, nil)
+	if got := sys.Stats().Replans; got != replans+1 {
+		t.Fatalf("no-op delivery changed Replans to %d", got)
+	}
+}
+
+func TestPlanStageStaleDeliveryDropped(t *testing.T) {
+	sys := plannedSystem(t)
+	sys.EnablePlanStage(func(start, goal geom.Vec3) {})
+	sys.requestPlan(sys.Estimate(), geom.V3(20, 0, 6))
+	// The decision layer moved on while the plan was in flight.
+	sys.state = StateFailsafe
+	replans := sys.Stats().Replans
+	sys.DeliverPlan([]geom.Vec3{{}, {X: 1}}, nil)
+	if sys.PlanPending() {
+		t.Fatal("still pending after stale delivery")
+	}
+	if sys.Stats().Replans != replans {
+		t.Fatal("stale plan was applied")
+	}
+}
+
+func TestPlanStageDeliveryFallbacks(t *testing.T) {
+	// FallbackStraight: a failed staged plan flies the direct line.
+	sys := plannedSystem(t)
+	sys.EnablePlanStage(func(start, goal geom.Vec3) {})
+	sys.cfg.Fallback = FallbackStraight
+	sys.requestPlan(sys.Estimate(), geom.V3(20, 0, 6))
+	sys.DeliverPlan(nil, planning.ErrNoPath)
+	st := sys.Stats()
+	if st.PlanFailures != 1 || st.PlanFallbacks != 1 || !sys.flyingFallback {
+		t.Fatalf("straight fallback not taken: %+v flyingFallback=%v", st, sys.flyingFallback)
+	}
+
+	// FallbackFailsafe: the failure aborts into failsafe at delivery time.
+	sys = plannedSystem(t)
+	sys.EnablePlanStage(func(start, goal geom.Vec3) {})
+	sys.cfg.Fallback = FallbackFailsafe
+	sys.requestPlan(sys.Estimate(), geom.V3(20, 0, 6))
+	sys.DeliverPlan(nil, planning.ErrNoPath)
+	if sys.State() != StateFailsafe {
+		t.Fatalf("state = %v, want failsafe after failed staged plan", sys.State())
+	}
+}
+
+func TestPlanStageDeferredMapWrites(t *testing.T) {
+	sys := plannedSystem(t)
+	sys.EnablePlanStage(func(start, goal geom.Vec3) {})
+	sys.requestPlan(sys.Estimate(), geom.V3(20, 0, 6))
+
+	epoch := SensorEpoch{
+		Depth: []DepthPoint{
+			{P: geom.V3(2, 0, -5), Hit: true},
+			{P: geom.V3(0, 2, -5), Hit: false},
+			{P: geom.V3(1, 1, -5), Hit: true},
+		},
+	}
+	sys.deferMapWrites(epoch, sys.Estimate())
+	if len(sys.defOps) == 0 {
+		t.Fatal("no deferred ops queued while a plan is in flight")
+	}
+	// The cloud op keeps every ray: fast insertion is off, so no decimation.
+	cloud := &sys.defOps[len(sys.defOps)-1]
+	if cloud.recenter || len(cloud.ends) != 3 {
+		t.Fatalf("cloud op = recenter=%v ends=%d, want 3 rays", cloud.recenter, len(cloud.ends))
+	}
+	// Abandoning still flushes the sensor history.
+	sys.AbandonPlan()
+	if sys.PlanPending() || len(sys.defOps) != 0 {
+		t.Fatal("abandon did not flush deferred ops")
+	}
+	// Abandon without a pending request is a no-op.
+	sys.AbandonPlan()
+}
+
+func TestDisablePlanStageFlushesPending(t *testing.T) {
+	sys := plannedSystem(t)
+	sys.EnablePlanStage(func(start, goal geom.Vec3) {})
+	sys.requestPlan(sys.Estimate(), geom.V3(20, 0, 6))
+	sys.deferMapWrites(SensorEpoch{Depth: []DepthPoint{{P: geom.V3(2, 0, -5), Hit: true}}}, sys.Estimate())
+	sys.DisablePlanStage()
+	if sys.PlanPending() || len(sys.defOps) != 0 {
+		t.Fatal("disable did not discard the pending request and flush")
+	}
+	// Idempotent when nothing is pending.
+	sys.DisablePlanStage()
+}
+
+func TestFastKernelsCloudParity(t *testing.T) {
+	sys := plannedSystem(t)
+	if par := sys.nextCloudParity(); par != -1 {
+		t.Fatalf("parity = %d with fast insertion off, want -1", par)
+	}
+	sys.EnableFastKernels()
+	if !sys.fastInsert {
+		t.Fatal("EnableFastKernels did not arm bundled insertion")
+	}
+	// The phase alternates per capture so dropped fan columns fill on the
+	// next cycle.
+	a, b, c := sys.nextCloudParity(), sys.nextCloudParity(), sys.nextCloudParity()
+	if a == -1 || a == b || b == c || a != c {
+		t.Fatalf("parity sequence %d,%d,%d does not alternate", a, b, c)
+	}
+
+	// With fast insertion armed, deferMapWrites decimates miss rays by the
+	// capture phase while keeping every hit.
+	sys.EnablePlanStage(func(start, goal geom.Vec3) {})
+	sys.requestPlan(sys.Estimate(), geom.V3(20, 0, 6))
+	epoch := SensorEpoch{
+		Depth: []DepthPoint{
+			{P: geom.V3(2, 0, -5), Hit: true},
+			{P: geom.V3(0, 2, -5), Hit: false},
+			{P: geom.V3(1, 1, -5), Hit: false},
+			{P: geom.V3(1, 2, -5), Hit: false},
+		},
+	}
+	sys.deferMapWrites(epoch, sys.Estimate())
+	cloud := &sys.defOps[len(sys.defOps)-1]
+	hits := 0
+	for _, h := range cloud.hits {
+		if h {
+			hits++
+		}
+	}
+	if hits != 1 {
+		t.Fatalf("decimation dropped a hit ray: %d hits kept", hits)
+	}
+	if misses := len(cloud.hits) - hits; misses != 1 || len(cloud.ends) != 2 {
+		t.Fatalf("2x miss decimation kept %d of 3 misses (%d rays total)", misses, len(cloud.ends))
+	}
+	sys.AbandonPlan()
+}

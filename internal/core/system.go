@@ -79,6 +79,29 @@ type System struct {
 	// Reusable point-cloud buffers for depth integration.
 	cloudEnds []geom.Vec3
 	cloudHits []bool
+	// fastInsert bundles depth clouds before map fusion (fast engine mode):
+	// hit rays always integrate, miss rays decimate 2x with a phase that
+	// alternates per capture (cloudSeq) so dropped columns fill on the next
+	// further cycles. Adjacent fan rays diverge past the voxel size at
+	// range, so this cuts most far-field free-space updates the octree
+	// walks.
+	fastInsert bool
+	cloudSeq   int
+
+	// estHist is a short ring of per-tick fused estimates (a TF buffer in
+	// miniature): pipelined epochs arrive LagTicks after capture, and
+	// projecting them needs the pose belief from the capture tick, not the
+	// delivery tick (SensorEpoch.LagTicks).
+	estHist  [64]control.Estimate
+	estHistN int
+
+	// Staged-planning state (see asyncplan.go); all nil/zero — and planTo
+	// takes one extra branch — when no plan stage is attached.
+	planSubmit  func(start, goal geom.Vec3)
+	planPending bool
+	planGoal    geom.Vec3
+	planState   State
+	defOps      []deferredMapOp
 }
 
 // NewSystem wires a system from explicit dependencies. Most callers use
@@ -191,6 +214,8 @@ func (s *System) Step(in SensorEpoch) Command {
 		Dt: in.Dt, GPS: in.GPS, IMUVel: in.IMUVel,
 		LidarRange: in.LidarRange, LidarOK: in.LidarOK, BaroAlt: in.BaroAlt,
 	})
+	s.estHist[s.estHistN%len(s.estHist)] = est
+	s.estHistN++
 
 	s.integrateDepth(in, est)
 	s.processFrame(in, est)
@@ -245,16 +270,40 @@ func (s *System) Step(in SensorEpoch) Command {
 	return cmd
 }
 
+// pastEstimate returns the fused estimate from lag ticks ago (0: the one
+// computed this tick), clamped to the retained history — the pose the
+// system believed at a pipelined epoch's capture tick.
+func (s *System) pastEstimate(lag int) control.Estimate {
+	if lag >= s.estHistN {
+		lag = s.estHistN - 1
+	}
+	if lag >= len(s.estHist) {
+		lag = len(s.estHist) - 1
+	}
+	if lag < 0 {
+		lag = 0
+	}
+	return s.estHist[(s.estHistN-1-lag)%len(s.estHist)]
+}
+
 // integrateDepth transforms body-frame depth returns with the ESTIMATED
-// pose and fuses them into the occupancy map — state-estimate error
-// therefore corrupts the map exactly as the paper observed in the field.
+// pose — the belief at the capture tick, per SensorEpoch.LagTicks — and
+// fuses them into the occupancy map: state-estimate error therefore
+// corrupts the map exactly as the paper observed in the field.
 func (s *System) integrateDepth(in SensorEpoch, est control.Estimate) {
+	if s.planPending {
+		// A staged plan is in flight: the stage is reading the map, so
+		// postpone the writes until delivery (asyncplan.go).
+		s.deferMapWrites(in, est)
+		return
+	}
 	if s.deps.LocalMap != nil {
 		s.deps.LocalMap.Recenter(est.Pos)
 	}
 	if len(in.Depth) == 0 {
 		return
 	}
+	capPos := s.pastEstimate(in.LagTicks).Pos
 	cy, sy := math.Cos(in.DepthYaw), math.Sin(in.DepthYaw)
 	if cap(s.cloudEnds) < len(in.Depth) {
 		s.cloudEnds = make([]geom.Vec3, 0, len(in.Depth))
@@ -262,16 +311,20 @@ func (s *System) integrateDepth(in SensorEpoch, est control.Estimate) {
 	}
 	s.cloudEnds = s.cloudEnds[:0]
 	s.cloudHits = s.cloudHits[:0]
-	for _, d := range in.Depth {
+	par := s.nextCloudParity()
+	for i, d := range in.Depth {
+		if par >= 0 && !d.Hit && i&1 != par {
+			continue
+		}
 		w := geom.V3(
 			d.P.X*cy-d.P.Y*sy,
 			d.P.X*sy+d.P.Y*cy,
 			d.P.Z,
-		).Add(est.Pos)
+		).Add(capPos)
 		s.cloudEnds = append(s.cloudEnds, w)
 		s.cloudHits = append(s.cloudHits, d.Hit)
 	}
-	s.deps.Map.InsertCloud(est.Pos, s.cloudEnds, s.cloudHits)
+	s.deps.Map.InsertCloud(capPos, s.cloudEnds, s.cloudHits)
 }
 
 // processFrame runs detection on a new camera frame — or consumes the
@@ -291,7 +344,7 @@ func (s *System) processFrame(in SensorEpoch, est control.Estimate) {
 		dets = s.detTap(dets)
 	}
 	cam := s.cfg.Camera
-	cam.Pos = est.Pos
+	cam.Pos = s.pastEstimate(in.LagTicks).Pos
 	cam.Yaw = in.FrameYaw
 
 	var bestTarget geom.Vec3
@@ -349,6 +402,9 @@ func (s *System) beginValidation(est control.Estimate) {
 // planTo builds and loads a trajectory to goal, honoring the generation's
 // fallback behavior. Returns false when the system entered failsafe.
 func (s *System) planTo(est control.Estimate, goal geom.Vec3) bool {
+	if s.planSubmit != nil {
+		return s.requestPlan(est, goal)
+	}
 	s.lastReplanT = s.t
 	path, err := s.deps.Planner.Plan(est.Pos, goal, s.deps.Map)
 	s.flyingFallback = false

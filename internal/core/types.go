@@ -85,6 +85,15 @@ type SensorEpoch struct {
 	// capture pose the detections were made from.
 	Detections     []detect.Detection
 	HaveDetections bool
+
+	// LagTicks is how many ticks ago this epoch's frame and depth capture
+	// were taken (0: this tick — the inline runner). A pipelined runner
+	// stamps its delivery delay here so the system can project the capture
+	// with its pose estimate FROM the capture tick (a TF-style lookup into
+	// its pose history) instead of the delivery tick's — the vehicle's
+	// drift over the stage latency would otherwise mislocate every
+	// detection and depth return by drift x latency.
+	LagTicks int
 }
 
 // Command is the system's output for one tick.

@@ -46,10 +46,31 @@ func adaptiveThreshold(im *vision.Image, window int, offset float64, s *detScrat
 		s.mask = make([]bool, im.W*im.H)
 	}
 	mask := s.mask[:im.W*im.H]
+	// Border rows and columns need BoxMean's clamping; interior pixels —
+	// the bulk of the frame — take the clamp-free path, which is
+	// bit-identical on in-bounds windows.
+	xIn0, xIn1 := window, im.W-1-window
 	for y := 0; y < im.H; y++ {
-		for x := 0; x < im.W; x++ {
-			m := ig.BoxMean(x-window, y-window, x+window, y+window)
-			mask[y*im.W+x] = im.Pix[y*im.W+x] < m-offset
+		base := y * im.W
+		if y < window || y+window >= im.H || xIn0 > xIn1 {
+			for x := 0; x < im.W; x++ {
+				m := ig.BoxMean(x-window, y-window, x+window, y+window)
+				mask[base+x] = im.Pix[base+x] < m-offset
+			}
+			continue
+		}
+		y0, y1 := y-window, y+window
+		for x := 0; x < xIn0; x++ {
+			m := ig.BoxMean(x-window, y0, x+window, y1)
+			mask[base+x] = im.Pix[base+x] < m-offset
+		}
+		for x := xIn0; x <= xIn1; x++ {
+			m := ig.BoxMeanInterior(x-window, y0, x+window, y1)
+			mask[base+x] = im.Pix[base+x] < m-offset
+		}
+		for x := xIn1 + 1; x < im.W; x++ {
+			m := ig.BoxMean(x-window, y0, x+window, y1)
+			mask[base+x] = im.Pix[base+x] < m-offset
 		}
 	}
 	return mask

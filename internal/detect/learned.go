@@ -40,8 +40,18 @@ type Learned struct {
 	// proposal generation.
 	ProposalOffset float64
 
+	// Fast selects the coarse-to-fine verify (see learned_fast.go); set it
+	// through EnableFast, which also builds the float32 template banks. Off
+	// (the zero value), the detector runs the exact verify untouched.
+	Fast bool
+
 	templates []learnedTemplate
 	scratch   detScratch
+
+	// Fast-path state, nil/zero until EnableFast.
+	fastTpl []fastTemplate
+	fastCs  []float32
+	fastScr fastScratch
 }
 
 // learnedTemplate is one normalized template with per-quadrant
@@ -188,7 +198,14 @@ func (l *Learned) Detect(im *vision.Image) []Detection {
 		if comp.width < l.MinSidePx || comp.squareness() < 0.35 {
 			continue
 		}
-		if det, ok := l.verify(im, comp); ok {
+		var det Detection
+		var ok bool
+		if l.Fast {
+			det, ok = l.verifyFast(im, comp)
+		} else {
+			det, ok = l.verify(im, comp)
+		}
+		if ok {
 			out = append(out, det)
 		}
 	}

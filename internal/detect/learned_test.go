@@ -1,0 +1,222 @@
+package detect
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vision"
+)
+
+// drawMarker rasterizes one marker pad (quiet zone included) axis-aligned
+// onto the image: a square of side pad centered at (cx, cy), rotated by ang.
+// The verified grid region (quiet zone excluded) has side 0.8*pad, matching
+// what the proposal stage reports as component width on a real frame.
+func drawMarker(im *vision.Image, m vision.Marker, cx, cy, pad, ang float64) {
+	cos, sin := math.Cos(ang), math.Sin(ang)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			dx, dy := float64(x)+0.5-cx, float64(y)+0.5-cy
+			// Rotate into the marker frame.
+			u := (dx*cos+dy*sin)/pad + 0.5
+			v := (-dx*sin+dy*cos)/pad + 0.5
+			if u >= 0 && u < 1 && v >= 0 && v < 1 {
+				im.Set(x, y, m.PatternAt(u, v))
+			}
+		}
+	}
+}
+
+// markerFrame builds a flat-ground frame with one axis-aligned (or rotated)
+// marker pad of side pad at (cx, cy), and returns the grid-region side the
+// detector's verify stage works in.
+func markerFrame(cx, cy, pad, ang float64) (*vision.Image, vision.Marker, float64) {
+	dict := vision.DefaultDictionary()
+	im := vision.NewImage(160, 120)
+	im.Fill(0.7)
+	m := dict.Markers[0]
+	drawMarker(im, m, cx, cy, pad, ang)
+	return im, m, 0.8 * pad
+}
+
+// TestVerifyScaleSelection locks the multi-scale search: the returned
+// SizePx must be width*scale for the scale that best matches the true
+// marker size, for proposals that under- and over-estimate it.
+func TestVerifyScaleSelection(t *testing.T) {
+	im, m, grid := markerFrame(80, 60, 50, 0)
+	l := NewLearnedV3(vision.DefaultDictionary())
+	for _, tc := range []struct {
+		name      string
+		width     float64
+		wantScale float64
+	}{
+		{"exact-estimate", grid, 1.0},
+		{"under-estimate", grid / 1.2, 1.2},
+		{"over-estimate", grid / 0.85, 0.85},
+	} {
+		comp := &component{cx: 80, cy: 60, width: tc.width, height: tc.width}
+		det, ok := l.verify(im, comp)
+		if !ok {
+			t.Fatalf("%s: marker not verified", tc.name)
+		}
+		if det.ID != m.ID {
+			t.Errorf("%s: id %d, want %d", tc.name, det.ID, m.ID)
+		}
+		want := tc.width * tc.wantScale
+		if math.Abs(det.SizePx-want) > 1e-9 {
+			t.Errorf("%s: SizePx %.3f, want width*%.2f = %.3f",
+				tc.name, det.SizePx, tc.wantScale, want)
+		}
+	}
+}
+
+// TestVerifyAngleSweep locks the angle search window: a proposal whose
+// angle estimate is off by up to the ±0.10 rad sweep still verifies; one
+// rotated far beyond it does not.
+func TestVerifyAngleSweep(t *testing.T) {
+	l := NewLearnedV3(vision.DefaultDictionary())
+	// Marker rotated 0.10 rad, proposal estimate 0: the +0.10 sweep pose
+	// lands exactly on it.
+	im, m, grid := markerFrame(80, 60, 50, 0.10)
+	det, ok := l.verify(im, &component{cx: 80, cy: 60, width: grid, height: grid})
+	if !ok || det.ID != m.ID {
+		t.Fatalf("0.10 rad inside the sweep: ok=%v id=%d", ok, det.ID)
+	}
+	// Rotated 0.45 rad (~26°) with estimate 0: every swept pose is ≥0.35
+	// rad off — the NCC collapses and the proposal must be rejected.
+	im2, _, _ := markerFrame(80, 60, 50, 0.45)
+	if det, ok := l.verify(im2, &component{cx: 80, cy: 60, width: grid, height: grid}); ok {
+		t.Fatalf("0.45 rad beyond the sweep verified (id=%d conf=%.2f)", det.ID, det.Confidence)
+	}
+}
+
+// TestVerifyBorderProposal locks the frame-edge policy of samplePatch: up
+// to 25% of samples may fall outside (marker at the frame edge), beyond
+// that every pose is rejected.
+func TestVerifyBorderProposal(t *testing.T) {
+	l := NewLearnedV3(vision.DefaultDictionary())
+	// Grid side 40 centered 16 px from the left edge: 2 of 20 sample
+	// columns fall outside — tolerated, must still verify.
+	im, m, grid := markerFrame(16, 60, 50, 0)
+	det, ok := l.verify(im, &component{cx: 16, cy: 60, width: grid, height: grid})
+	if !ok || det.ID != m.ID {
+		t.Fatalf("edge marker within tolerance: ok=%v id=%d", ok, det.ID)
+	}
+	// Pushed into the corner: ~half the patch is outside at every scale —
+	// no pose survives sampling, the proposal is rejected.
+	im2, _, _ := markerFrame(8, 8, 50, 0)
+	if _, ok := l.verify(im2, &component{cx: 8, cy: 8, width: grid, height: grid}); ok {
+		t.Fatal("corner marker with >25% outside verified")
+	}
+}
+
+// TestVerifySubThreshold locks the acceptance floor: proposals over flat
+// ground and over unstructured clutter score below both TauFull and the
+// quadrant-vote fallback and must be rejected.
+func TestVerifySubThreshold(t *testing.T) {
+	l := NewLearnedV3(vision.DefaultDictionary())
+	// Flat ground: the normalized patch is all zeros, NCC exactly 0.
+	flat := vision.NewImage(160, 120)
+	flat.Fill(0.7)
+	if _, ok := l.verify(flat, &component{cx: 80, cy: 60, width: 40, height: 40}); ok {
+		t.Fatal("flat patch verified")
+	}
+	// Checkerboard clutter: dark and square like a proposal, but
+	// uncorrelated with every template.
+	clutter := vision.NewImage(160, 120)
+	clutter.Fill(0.7)
+	for y := 40; y < 80; y++ {
+		for x := 60; x < 100; x++ {
+			if (x/2+y/2)%2 == 0 {
+				clutter.Set(x, y, 0.05)
+			}
+		}
+	}
+	if det, ok := l.verify(clutter, &component{cx: 80, cy: 60, width: 40, height: 40}); ok {
+		t.Fatalf("checkerboard verified (id=%d conf=%.2f)", det.ID, det.Confidence)
+	}
+}
+
+// TestVerifyDeterministic locks the tie-break discipline: the pose loop
+// takes a new winner only on a strictly greater rank, so repeated verifies
+// of one frame are bitwise identical.
+func TestVerifyDeterministic(t *testing.T) {
+	im, _, grid := markerFrame(80, 60, 50, 0.05)
+	for _, fast := range []bool{false, true} {
+		l := NewLearnedV3(vision.DefaultDictionary())
+		if fast {
+			l.EnableFast()
+		}
+		comp := &component{cx: 80, cy: 60, width: grid, height: grid, angle: 0.05}
+		var first Detection
+		for i := 0; i < 5; i++ {
+			var d Detection
+			var ok bool
+			if fast {
+				d, ok = l.verifyFast(im, comp)
+			} else {
+				d, ok = l.verify(im, comp)
+			}
+			if !ok {
+				t.Fatalf("fast=%v iter %d: not verified", fast, i)
+			}
+			if i == 0 {
+				first = d
+			} else if d != first {
+				t.Fatalf("fast=%v iter %d: %+v != %+v", fast, i, d, first)
+			}
+		}
+	}
+}
+
+// TestLearnedFastAgreement bounds the per-frame effect of the coarse-to-
+// fine gates: over rendered trials spanning clear and degraded conditions,
+// the fast verify must agree with the exact verify on (hit, ID) for nearly
+// every frame, and must never lose more than one hit per condition.
+func TestLearnedFastAgreement(t *testing.T) {
+	dict := vision.DefaultDictionary()
+	for _, cond := range []struct {
+		name string
+		c    vision.Conditions
+	}{
+		{"clear", vision.Conditions{}},
+		{"degraded", vision.Conditions{Brightness: -0.15, RainNoise: 0.04, MotionBlur: 2, Fog: 0.3}},
+	} {
+		t.Run(cond.name, func(t *testing.T) {
+			exact := NewLearnedV3(dict)
+			fast := NewLearnedV3(dict)
+			fast.EnableFast()
+			const n = 30
+			disagree := 0
+			exactHits, fastHits := 0, 0
+			for i := 0; i < n; i++ {
+				im, id, _ := renderTrial(t, i, 10, cond.c)
+				eh := hasID(exact.Detect(im), id)
+				fh := hasID(fast.Detect(im), id)
+				if eh {
+					exactHits++
+				}
+				if fh {
+					fastHits++
+				}
+				if eh != fh {
+					disagree++
+				}
+			}
+			if disagree > 1 {
+				t.Errorf("%s: fast/exact disagree on %d/%d frames", cond.name, disagree, n)
+			}
+			if fastHits < exactHits-1 {
+				t.Errorf("%s: fast hits %d vs exact %d", cond.name, fastHits, exactHits)
+			}
+		})
+	}
+}
+
+func hasID(dets []Detection, id int) bool {
+	for _, d := range dets {
+		if d.ID == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,77 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParsePlan drives the -faults flag grammar parser with arbitrary
+// input. Three properties must hold for every input:
+//
+//  1. ParsePlan never panics — it is fed directly from the command line.
+//  2. An accepted plan validates: ParsePlan's error path is the only
+//     gate, so whatever it returns must already satisfy Plan.Validate.
+//  3. The grammar round-trips: String() renders in the same grammar, so
+//     re-parsing an accepted plan's rendering must succeed and reproduce
+//     the rendering exactly. This pins String and ParsePlan as inverses,
+//     which the bench tools rely on when echoing a plan into logs that
+//     are later replayed.
+func FuzzParsePlan(f *testing.F) {
+	// The documented grammar, corner by corner: presets, bare windows,
+	// durations, options, multi-fault plans, surrounding whitespace, and
+	// the inputs the parser must reject without panicking.
+	seeds := []string{
+		"",
+		"none",
+		"storm",
+		"degraded",
+		"gps-drift@20",
+		"gps-drift@20+30",
+		"gps-drift@20+30:mag=0.5",
+		"depth-dropout@10+15:prob=0.8",
+		"gps-drift@20+30:mag=0.5;depth-dropout@10+15",
+		"comms-blackout@60+5;thrust-loss@30+20:mag=0.35",
+		"detector-phantom@50+30:prob=0.25,mag=2",
+		"  wind-gust@12.5+7.25 : mag=3 ",
+		"gps-drift@-1",
+		"thrust-loss@10:mag=1",
+		"bogus-kind@5",
+		"gps-drift@",
+		"@10",
+		"gps-drift@20:mag",
+		"gps-drift@20:vol=3",
+		"gps-drift@1e309",
+		";;;",
+		"not-a-preset",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParsePlan(spec)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("ParsePlan(%q) accepted a plan that fails Validate: %v", spec, err)
+		}
+		if !p.Active() {
+			// nil or empty plans render as "none", which parses back to nil;
+			// nothing further to round-trip.
+			return
+		}
+		rendered := p.String()
+		p2, err := ParsePlan(rendered)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q) = %q, which does not re-parse: %v", spec, rendered, err)
+		}
+		if got := p2.String(); got != rendered {
+			t.Fatalf("round trip diverges: ParsePlan(%q) renders %q, re-parse renders %q",
+				spec, rendered, got)
+		}
+		if strings.ContainsAny(rendered, " \t\n") {
+			t.Fatalf("String() output %q contains whitespace; must be flag-safe", rendered)
+		}
+	})
+}

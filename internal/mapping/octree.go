@@ -229,13 +229,13 @@ func (o *Octree) InsertRay(origin, end geom.Vec3, hit bool) {
 
 // update applies a log-odds delta to the leaf containing p, expanding
 // pruned regions on the way down and re-pruning on the way back up.
-// updateRec reports the resulting leaf value directly, which saves the
+// The descent reports the resulting leaf value directly, which saves the
 // second root-to-leaf descent a State query would cost.
 func (o *Octree) update(p geom.Vec3, delta float32) {
 	if !o.contains(p) {
 		return
 	}
-	lo, observed, _ := o.updateRec(o.root, o.center, o.halfSize, 0, p, delta)
+	lo, observed := o.updateLeaf(p, delta)
 
 	occ := observed && lo > occupiedThreshold
 	ix, iy, iz := voxelOf(p, o.res)
@@ -262,92 +262,108 @@ func (o *Octree) paintInflation(ix, iy, iz int, delta int32) {
 	}
 }
 
-// updateRec descends to the leaf at max depth, creating and expanding
-// nodes as needed, then prunes homogeneous children while unwinding.
+// updateLeaf descends to the leaf at max depth, creating and expanding
+// nodes as needed, then prunes homogeneous children while unwinding an
+// explicit ancestor stack (the loop form of the former recursive descent,
+// bit-identical in float ops and prune order but without the per-level
+// call overhead — this is the hottest path of every depth-cloud fusion).
 // It returns the leaf's resulting log-odds and observed flag — the values
-// a State query at p would see — plus whether anything in the subtree
-// changed. A no-change update cannot create prune opportunities (the tree
-// is fully pruned after every mutating update), so the unwind skips the
-// sibling-uniformity checks entirely.
-func (o *Octree) updateRec(n *octNode, c geom.Vec3, half float64, level int, p geom.Vec3, delta float32) (float32, bool, bool) {
-	if level == o.depth {
-		wasObs, wasLo := n.observed, n.logOdds
-		n.observed = true
-		n.logOdds += delta
-		if n.logOdds > logOddsMax {
-			n.logOdds = logOddsMax
-		}
-		if n.logOdds < logOddsMin {
-			n.logOdds = logOddsMin
-		}
-		return n.logOdds, true, !wasObs || n.logOdds != wasLo
-	}
-	expanded := false
-	if n.children == nil {
-		if n.observed {
-			// Saturation short-circuit: this pruned region is uniform at
-			// n.logOdds; if the clamped update leaves the leaf's value
-			// unchanged (log-odds pinned at a clamp bound), the expand →
-			// update → re-prune round trip reproduces the exact pre-call
-			// tree, so skip it. Steady-state misses through established
-			// free space and hits on saturated surfaces all take this path.
-			nv := n.logOdds + delta
-			if nv > logOddsMax {
-				nv = logOddsMax
+// a State query at p would see.
+//
+// One flag tracks "anything mutated": expansions cascade to the leaf (a
+// pushed-down child repeats its parent's failed saturation check), so the
+// saturation short-circuit can only fire when no node above it expanded —
+// exactly the no-mutation case. A no-change update cannot create prune
+// opportunities (the tree is fully pruned after every mutating update), so
+// the unwind then skips the sibling-uniformity checks entirely.
+func (o *Octree) updateLeaf(p geom.Vec3, delta float32) (float32, bool) {
+	// stack holds the path of inner nodes above the current one; the tree
+	// is at most ~32 levels deep for any sane halfSize/res ratio.
+	var stack [32]*octNode
+	n := o.root
+	c := o.center
+	half := o.halfSize
+	level := 0
+	changed := false
+	for level < o.depth {
+		if n.children == nil {
+			if n.observed {
+				// Saturation short-circuit: this pruned region is uniform at
+				// n.logOdds; if the clamped update leaves the leaf's value
+				// unchanged (log-odds pinned at a clamp bound), the expand →
+				// update → re-prune round trip reproduces the exact pre-call
+				// tree, so skip it. Steady-state misses through established
+				// free space and hits on saturated surfaces all take this path.
+				nv := n.logOdds + delta
+				if nv > logOddsMax {
+					nv = logOddsMax
+				}
+				if nv < logOddsMin {
+					nv = logOddsMin
+				}
+				if nv == n.logOdds {
+					return n.logOdds, true
+				}
 			}
-			if nv < logOddsMin {
-				nv = logOddsMin
-			}
-			if nv == n.logOdds {
-				return n.logOdds, true, false
-			}
-		}
-		// Expand: push the aggregated value down to fresh children.
-		expanded = true
-		n.children = o.newChildren()
-		if n.observed {
-			for i := range n.children {
-				ch := o.newNode()
-				ch.logOdds = n.logOdds
-				ch.observed = true
-				n.children[i] = ch
+			// Expand: push the aggregated value down to fresh children.
+			changed = true
+			n.children = o.newChildren()
+			if n.observed {
+				for i := range n.children {
+					ch := o.newNode()
+					ch.logOdds = n.logOdds
+					ch.observed = true
+					n.children[i] = ch
+				}
 			}
 		}
+		stack[level] = n
+		half /= 2
+		idx := 0
+		if p.X >= c.X {
+			idx |= 1
+			c.X += half
+		} else {
+			c.X -= half
+		}
+		if p.Y >= c.Y {
+			idx |= 2
+			c.Y += half
+		} else {
+			c.Y -= half
+		}
+		if p.Z >= c.Z {
+			idx |= 4
+			c.Z += half
+		} else {
+			c.Z -= half
+		}
+		child := n.children[idx]
+		if child == nil {
+			child = o.newNode()
+			child.logOdds = 0
+			child.observed = false
+			n.children[idx] = child
+			changed = true
+		}
+		n = child
+		level++
 	}
-	half /= 2
-	idx := 0
-	if p.X >= c.X {
-		idx |= 1
-		c.X += half
-	} else {
-		c.X -= half
+	wasObs, wasLo := n.observed, n.logOdds
+	n.observed = true
+	n.logOdds += delta
+	if n.logOdds > logOddsMax {
+		n.logOdds = logOddsMax
 	}
-	if p.Y >= c.Y {
-		idx |= 2
-		c.Y += half
-	} else {
-		c.Y -= half
+	if n.logOdds < logOddsMin {
+		n.logOdds = logOddsMin
 	}
-	if p.Z >= c.Z {
-		idx |= 4
-		c.Z += half
-	} else {
-		c.Z -= half
+	if changed || !wasObs || n.logOdds != wasLo {
+		for l := level - 1; l >= 0; l-- {
+			o.tryPrune(stack[l])
+		}
 	}
-	child := n.children[idx]
-	if child == nil {
-		child = o.newNode()
-		child.logOdds = 0
-		child.observed = false
-		n.children[idx] = child
-		expanded = true
-	}
-	lo, observed, changed := o.updateRec(child, c, half, level+1, p, delta)
-	changed = changed || expanded
-	if changed {
-		o.tryPrune(n)
-	}
-	return lo, observed, changed
+	return n.logOdds, true
 }
 
 // tryPrune collapses n's children into n when all eight exist, are leaves,

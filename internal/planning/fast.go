@@ -1,0 +1,117 @@
+package planning
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/mapping"
+)
+
+// Deduplicated collision stepping (fast engine mode).
+//
+// SegmentClear probes the map at every CollisionStep along an edge, but
+// voxel-resolution maps (the V3 octree, the V2 local grid) answer Blocked
+// identically for every point inside one voxel — at the planner's 0.3 m
+// step against 0.5 m voxels, roughly 40% of the probes repeat the voxel
+// the previous sample just answered. fastSegmentClear quantizes each
+// sample to its voxel first and probes only when the voxel changes, in a
+// 4-wide manually-unrolled walk.
+//
+// The kernel is exact up to voxel-boundary samples: a probe is skipped
+// only when the sample quantizes to the voxel just probed, and Blocked is
+// constant within a voxel. (The quantization here and the map's can
+// disagree on points landing exactly on a voxel face — a measure-zero
+// set; fast mode's tolerance contract absorbs it.)
+
+// fastSegmentClear is SegmentClear with per-voxel probe deduplication.
+// Falls back to the exact walk on maps without a voxel resolution.
+func fastSegmentClear(m mapping.Map, a, b geom.Vec3, step float64) bool {
+	res := m.Resolution()
+	if res <= 0 {
+		return SegmentClear(m, a, b, step)
+	}
+	if step <= 0 {
+		step = res / 2
+	}
+	l := a.Dist(b)
+	n := int(l/step) + 1
+	invN := 1 / float64(n)
+	inv := 1 / res
+	dx, dy, dz := b.X-a.X, b.Y-a.Y, b.Z-a.Z
+	const unset = math.MinInt32
+	lx, ly, lz := int32(unset), int32(unset), int32(unset)
+
+	i := 0
+	for ; i+3 <= n; i += 4 {
+		t0 := float64(i) * invN
+		x0, y0, z0 := a.X+dx*t0, a.Y+dy*t0, a.Z+dz*t0
+		vx, vy, vz := int32(math.Floor(x0*inv)), int32(math.Floor(y0*inv)), int32(math.Floor(z0*inv))
+		if vx != lx || vy != ly || vz != lz {
+			lx, ly, lz = vx, vy, vz
+			if m.Blocked(geom.V3(x0, y0, z0)) {
+				return false
+			}
+		}
+		t1 := float64(i+1) * invN
+		x1, y1, z1 := a.X+dx*t1, a.Y+dy*t1, a.Z+dz*t1
+		vx, vy, vz = int32(math.Floor(x1*inv)), int32(math.Floor(y1*inv)), int32(math.Floor(z1*inv))
+		if vx != lx || vy != ly || vz != lz {
+			lx, ly, lz = vx, vy, vz
+			if m.Blocked(geom.V3(x1, y1, z1)) {
+				return false
+			}
+		}
+		t2 := float64(i+2) * invN
+		x2, y2, z2 := a.X+dx*t2, a.Y+dy*t2, a.Z+dz*t2
+		vx, vy, vz = int32(math.Floor(x2*inv)), int32(math.Floor(y2*inv)), int32(math.Floor(z2*inv))
+		if vx != lx || vy != ly || vz != lz {
+			lx, ly, lz = vx, vy, vz
+			if m.Blocked(geom.V3(x2, y2, z2)) {
+				return false
+			}
+		}
+		t3 := float64(i+3) * invN
+		x3, y3, z3 := a.X+dx*t3, a.Y+dy*t3, a.Z+dz*t3
+		vx, vy, vz = int32(math.Floor(x3*inv)), int32(math.Floor(y3*inv)), int32(math.Floor(z3*inv))
+		if vx != lx || vy != ly || vz != lz {
+			lx, ly, lz = vx, vy, vz
+			if m.Blocked(geom.V3(x3, y3, z3)) {
+				return false
+			}
+		}
+	}
+	for ; i <= n; i++ {
+		t := float64(i) * invN
+		x, y, z := a.X+dx*t, a.Y+dy*t, a.Z+dz*t
+		vx, vy, vz := int32(math.Floor(x*inv)), int32(math.Floor(y*inv)), int32(math.Floor(z*inv))
+		if vx != lx || vy != ly || vz != lz {
+			lx, ly, lz = vx, vy, vz
+			if m.Blocked(geom.V3(x, y, z)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// fastShortcut is Shortcut with the deduplicated edge checks.
+func fastShortcut(m mapping.Map, path []geom.Vec3, step float64) []geom.Vec3 {
+	if len(path) <= 2 {
+		return path
+	}
+	out := make([]geom.Vec3, 0, len(path))
+	out = append(out, path[0])
+	i := 0
+	for i < len(path)-1 {
+		j := i + 1
+		for k := len(path) - 1; k > j; k-- {
+			if fastSegmentClear(m, path[i], path[k], step) {
+				j = k
+				break
+			}
+		}
+		out = append(out, path[j])
+		i = j
+	}
+	return out
+}

@@ -48,7 +48,11 @@ func DefaultRRTStarConfig() RRTStarConfig {
 // uses against the global octree (§III-C).
 type RRTStar struct {
 	Cfg RRTStarConfig
-	rng *rand.Rand
+	// Fast routes edge checks through the deduplicated collision kernel
+	// (fast.go) — part of the tolerance-verified fast engine mode. Off (the
+	// zero value), every check runs the exact SegmentClear walk.
+	Fast bool
+	rng  *rand.Rand
 
 	// Reused per-attempt buffers. pts mirrors nodes' positions so the
 	// nearest-neighbor scan — the planner's hottest loop — streams a dense
@@ -149,8 +153,15 @@ func (r *RRTStar) attempt(start, goal geom.Vec3, m mapping.Map, scale float64) (
 	r.grid.insert(0, start)
 	bestGoal := -1
 	bestCost := math.Inf(1)
-
+	// Fast mode runs anytime: once a goal connection exists, an eighth of
+	// the budget is granted for rewiring refinement and the search stops.
+	// The exact planner always spends the full budget (asymptotic
+	// optimality is part of the bit-identity surface).
+	cutoff := maxIter
 	for iter := 0; iter < maxIter; iter++ {
+		if iter >= cutoff {
+			break
+		}
 		var sample geom.Vec3
 		if r.rng.Float64() < cfg.GoalBias {
 			sample = goal
@@ -181,7 +192,7 @@ func (r *RRTStar) attempt(start, goal geom.Vec3, m mapping.Map, scale float64) (
 			continue
 		}
 		newP := nodes[nearest].p.Add(dir.ClampLen(cfg.StepSize))
-		if m.Blocked(newP) || !SegmentClear(m, nodes[nearest].p, newP, cfg.CollisionStep) {
+		if m.Blocked(newP) || !r.segClear(m, nodes[nearest].p, newP) {
 			continue
 		}
 
@@ -206,7 +217,7 @@ func (r *RRTStar) attempt(start, goal geom.Vec3, m mapping.Map, scale float64) (
 		r.neighbors = neighbors
 		for _, i := range neighbors {
 			c := nodes[i].cost + nodes[i].p.Dist(newP)
-			if c < cost && SegmentClear(m, nodes[i].p, newP, cfg.CollisionStep) {
+			if c < cost && r.segClear(m, nodes[i].p, newP) {
 				cost = c
 				parent = i
 			}
@@ -219,7 +230,7 @@ func (r *RRTStar) attempt(start, goal geom.Vec3, m mapping.Map, scale float64) (
 		// Rewire neighbors through the new node when cheaper.
 		for _, i := range neighbors {
 			c := cost + newP.Dist(nodes[i].p)
-			if c < nodes[i].cost && SegmentClear(m, newP, nodes[i].p, cfg.CollisionStep) {
+			if c < nodes[i].cost && r.segClear(m, newP, nodes[i].p) {
 				nodes[i].parent = newIdx
 				nodes[i].cost = c
 			}
@@ -227,9 +238,12 @@ func (r *RRTStar) attempt(start, goal geom.Vec3, m mapping.Map, scale float64) (
 
 		// Goal connection.
 		if newP.Dist(goal) <= cfg.GoalTolerance ||
-			(newP.Dist(goal) <= cfg.StepSize && SegmentClear(m, newP, goal, cfg.CollisionStep)) {
+			(newP.Dist(goal) <= cfg.StepSize && r.segClear(m, newP, goal)) {
 			c := cost + newP.Dist(goal)
 			if c < bestCost {
+				if r.Fast && bestGoal < 0 {
+					cutoff = iter + maxIter/8
+				}
 				bestCost = c
 				bestGoal = newIdx
 			}
@@ -249,7 +263,19 @@ func (r *RRTStar) attempt(start, goal geom.Vec3, m mapping.Map, scale float64) (
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 		rev[i], rev[j] = rev[j], rev[i]
 	}
+	if r.Fast {
+		return fastShortcut(m, rev, cfg.CollisionStep), nil
+	}
 	return Shortcut(m, rev, cfg.CollisionStep), nil
+}
+
+// segClear is the edge check of the sampling loops: the exact SegmentClear
+// walk, or the deduplicated kernel in fast mode.
+func (r *RRTStar) segClear(m mapping.Map, a, b geom.Vec3) bool {
+	if r.Fast {
+		return fastSegmentClear(m, a, b, r.Cfg.CollisionStep)
+	}
+	return SegmentClear(m, a, b, r.Cfg.CollisionStep)
 }
 
 var _ Planner = (*RRTStar)(nil)

@@ -248,6 +248,8 @@ func (m *mission) pipelinedLoop(st *perceptionStage, k int) (res Result, batches
 		m.now += m.t.Dt
 		blackout := m.beginFaultTick()
 		epoch := m.beginTick()
+		m.curTick = i
+		m.deliverDuePlan(i, blackout)
 
 		// Submit before applying so k == 0 means a synchronous handoff
 		// within the same tick (the PipelineOff oracle). A blacked-out
@@ -288,6 +290,9 @@ func (m *mission) pipelinedLoop(st *perceptionStage, k int) (res Result, batches
 			stageNs += r.stageNs
 			batches++
 			if !blackout {
+				// Stamp the delivery delay so the system projects the
+				// capture with its pose belief from the capture tick.
+				epoch.LagTicks = i - r.tick
 				if r.haveDepth {
 					epoch.Depth = r.depthPts
 					epoch.DepthYaw = r.depthYaw

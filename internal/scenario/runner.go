@@ -95,6 +95,30 @@ type Timing struct {
 	// hot path, bit-identical to the pre-fault engine (guarded by the
 	// committed golden sweep digest).
 	Faults *fault.Plan `json:",omitempty"`
+
+	// Fast enables the tolerance-verified fast engine mode: the learned
+	// detector's coarse-to-fine NCC prefilter, the simulator's bundled
+	// depth-ray traversal, and the planner's deduplicated collision-step
+	// kernel. Unlike every knob before it, fast mode is deliberately NOT
+	// bit-identical to the exact engine — it is instead verified
+	// statistically equivalent by campaign.VerifyFast against committed
+	// aggregate tolerances, so it is not valid for bit-identity-gated
+	// comparisons (golden digests, shard merges against exact runs). The
+	// off state is bit-identical to the historical engine and alloc-neutral
+	// (guarded by the committed golden sweep digest), and omitempty keeps
+	// the zero encoding byte-identical for recorded journals and shards.
+	Fast bool `json:",omitempty"`
+	// PlanLatencyTicks, when positive, runs path planning on its own
+	// concurrent stage with tick-stamped delivery, mirroring the perception
+	// stage: a plan requested at tick T is applied at tick T+k, and the
+	// vehicle holds position until it arrives. This models the paper's
+	// "trajectory failed to create in time" directly — planning latency
+	// becomes hover time instead of a stretched replan cadence. Deliveries
+	// block the control loop until the stage catches up, so the applied
+	// plan sequence is a pure function of (seed, k): deterministic at any
+	// GOMAXPROCS. Zero runs the planner inline on the control loop,
+	// bit-identical to the historical engine.
+	PlanLatencyTicks int `json:",omitempty"`
 }
 
 // SILTiming is the native software-in-the-loop profile.
@@ -110,6 +134,31 @@ func SILTiming() Timing {
 func (t Timing) Canonical() Timing {
 	if !t.Faults.Active() {
 		t.Faults = nil
+	}
+	return t
+}
+
+// WithFast returns t with the canonical fast engine profile applied: the
+// fast kernels on, perception pipelined, and the planner staged. This is
+// the profile `-fast` selects in the bench commands and the one
+// campaign.VerifyFast holds to the committed tolerances.
+//
+// Unless t already chose latencies, perception delivers one detect period
+// after capture — the point where the stage's compute window matches the
+// cadence it must sustain, so the control loop stops stalling on it — and
+// plans deliver two ticks after the request, modeling the planner node's
+// turnaround.
+func (t Timing) WithFast() Timing {
+	t.Fast = true
+	t.Pipeline = PipelineOn
+	if t.PipelineLatencyTicks == 0 {
+		t.PipelineLatencyTicks = 2
+		if t.Dt > 0 && t.DetectPeriod > t.Dt {
+			t.PipelineLatencyTicks = int(math.Round(t.DetectPeriod / t.Dt))
+		}
+	}
+	if t.PlanLatencyTicks == 0 {
+		t.PlanLatencyTicks = 2
 	}
 	return t
 }
@@ -267,6 +316,18 @@ type mission struct {
 	lastCmd      core.Command
 	heldCmd      core.Command
 	recoveryDone bool
+
+	// Staged-planner state; all nil/zero (one branch per tick) without
+	// PlanLatencyTicks. curTick is the control loop's current tick index,
+	// read by submitPlan to stamp requests; planDue is the delivery tick of
+	// the in-flight request.
+	plans        *planStage
+	curTick      int
+	planDue      int
+	planInFlight bool
+	planCount    int64
+	planStageNs  int64
+	planStallNs  int64
 }
 
 // newMission normalizes the config and assembles the run's actors. Each
@@ -328,12 +389,26 @@ func newMission(sc *worldgen.Scenario, sys *core.System, cfg RunConfig) *mission
 			m.cmdRing = make([]core.Command, t.CommandLatencyTicks+extra+1)
 		}
 	}
+
+	// Fast engine mode: switch the modules that ship a fast kernel. Off
+	// costs one branch here and nothing per tick.
+	if t.Fast {
+		m.depth.Fast = true
+		m.color.Fast = true
+		sys.EnableFastKernels()
+	}
 	return m
 }
 
 // Run executes one closed-loop mission of sys on scenario sc.
 func Run(sc *worldgen.Scenario, sys *core.System, cfg RunConfig) Result {
 	m := newMission(sc, sys, cfg)
+	if k := m.t.PlanLatencyTicks; k >= 1 {
+		m.plans = newPlanStage(k)
+		go m.plans.run(m)
+		m.sys.EnablePlanStage(m.submitPlan)
+		defer m.finishPlanStage()
+	}
 	if m.t.Pipeline == PipelineOn {
 		return m.runPipelined()
 	}
@@ -350,6 +425,8 @@ func (m *mission) runInline() Result {
 		m.now += m.t.Dt
 		blackout := m.beginFaultTick()
 		epoch := m.beginTick()
+		m.curTick = i
+		m.deliverDuePlan(i, blackout)
 
 		var cmd core.Command
 		markerVisible := false

@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"math"
+	"slices"
+
+	"repro/internal/geom"
+)
+
+// Column-bundled depth capture (fast engine mode).
+//
+// Capture runs one grid traversal per ray — Cols x Rows walks per frame.
+// But every ray in one fan column shares the same azimuth: their XY
+// projections are the same line (pitch only rescales the XY speed), so
+// they cross exactly the same grid cells in the same order. captureFast
+// therefore walks each column ONCE — along the column's longest-reaching
+// row, with no early termination — gathering the column's candidate
+// obstacles, then processes the rays in the exact row-major order of
+// Capture against their column's candidate lists.
+//
+// The kernel is bit-identical to Capture (TestCaptureFastIdentical):
+//   - The column candidate set is a conservative superset of each ray's
+//     per-ray traversal set (same line, greater or equal XY reach, no
+//     best-hit early-out), and a superset cannot change a minimum.
+//   - The soft-canopy RNG contract survives: candidates are deduplicated
+//     and sorted ascending, the order softTrees requires, and every extra
+//     candidate the bundle adds lies in a cell whose entry parameter
+//     exceeds the ray's final pre-tree best — so its hit (if any) is
+//     beyond the running best and consumes no RNG draw, exactly as if the
+//     per-ray walk had pruned it.
+//   - The per-ray noise draws happen in pass two, in fan order.
+//
+// The saving is the traversal overhead: Cols walks and Cols sorts per
+// frame instead of Cols x Rows.
+
+// captureFast is the bundled-traversal capture. ok=false when the world
+// or fan shape cannot take the fast path (no index, degenerate fan); the
+// caller falls back to the exact capture having consumed no RNG.
+func (d *DepthCamera) captureFast(w *World, pos geom.Vec3, yaw float64) ([]DepthReturn, bool) {
+	ix := w.index
+	if ix == nil || d.Rows < 2 || d.Cols < 2 {
+		return nil, false
+	}
+	dirs := d.rayFan()
+	cols, rows := d.Cols, d.Rows
+	cy, sy := math.Cos(yaw), math.Sin(yaw)
+
+	// The bundle walks along the row with the largest XY reach (smallest
+	// |pitch|): its traversal covers every other row's as a prefix.
+	midRow := 0
+	bestXY := -1.0
+	for r := 0; r < rows; r++ {
+		bd := dirs[r*cols]
+		if xy := math.Hypot(bd.X, bd.Y); xy > bestXY {
+			bestXY = xy
+			midRow = r
+		}
+	}
+
+	if len(d.seen) < len(w.Trees) {
+		d.seen = make([]uint32, len(w.Trees))
+	}
+	if len(d.seenB) < len(w.Buildings) {
+		d.seenB = make([]uint32, len(w.Buildings))
+	}
+	if cap(d.colOff) < 2*(cols+1) {
+		d.colOff = make([]int32, 2*(cols+1))
+	}
+	d.colOff = d.colOff[:2*(cols+1)]
+	treeOff := d.colOff[:cols+1]
+	bldOff := d.colOff[cols+1:]
+	d.colTree = d.colTree[:0]
+	d.colBld = d.colBld[:0]
+
+	// Pass one: one traversal per column gathers deduplicated candidates.
+	for c := 0; c < cols; c++ {
+		treeOff[c] = int32(len(d.colTree))
+		bldOff[c] = int32(len(d.colBld))
+		d.stamp++
+		if d.stamp == 0 { // wrapped: stale stamps could collide, reset
+			for i := range d.seen {
+				d.seen[i] = 0
+			}
+			for i := range d.seenB {
+				d.seenB[i] = 0
+			}
+			d.stamp = 1
+		}
+		bd := dirs[midRow*cols+c]
+		wd := geom.V3(bd.X*cy-bd.Y*sy, bd.X*sy+bd.Y*cy, bd.Z)
+		wk, ok := ix.startWalk(geom.Ray{Origin: pos, Dir: wd}, d.MaxRange)
+		if ok {
+			for {
+				cell, _, more := wk.next()
+				if !more {
+					break
+				}
+				for _, bi := range cell.buildings {
+					if d.seenB[bi] != d.stamp {
+						d.seenB[bi] = d.stamp
+						d.colBld = append(d.colBld, bi)
+					}
+				}
+				for _, ti := range cell.trees {
+					if d.seen[ti] != d.stamp {
+						d.seen[ti] = d.stamp
+						d.colTree = append(d.colTree, ti)
+					}
+				}
+			}
+		}
+		slices.Sort(d.colTree[treeOff[c]:])
+	}
+	treeOff[cols] = int32(len(d.colTree))
+	bldOff[cols] = int32(len(d.colBld))
+
+	// Pass two: the rays, in the exact fan order of Capture.
+	out := d.buf[:0]
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			bd := dirs[r*cols+c]
+			wd := geom.V3(bd.X*cy-bd.Y*sy, bd.X*sy+bd.Y*cy, bd.Z)
+			ray := geom.Ray{Origin: pos, Dir: wd}
+			best := math.Inf(1)
+			if wd.Z < -1e-12 {
+				tg := -pos.Z / wd.Z
+				if tg >= 0 && tg <= d.MaxRange {
+					best = tg
+				}
+			}
+			for _, bi := range d.colBld[bldOff[c]:bldOff[c+1]] {
+				if tb, hit := ray.IntersectAABB(w.Buildings[bi], d.MaxRange); hit && tb < best {
+					best = tb
+				}
+			}
+			if trees := d.colTree[treeOff[c]:treeOff[c+1]]; len(trees) > 0 {
+				best = d.softTrees(w, ray, best, trees)
+			}
+			if math.IsInf(best, 1) {
+				out = append(out, DepthReturn{Point: bd.Scale(d.MaxRange), Hit: false})
+				continue
+			}
+			t := best + d.rng.NormFloat64()*d.NoiseStd
+			if t < 0.1 {
+				t = 0.1
+			}
+			out = append(out, DepthReturn{Point: bd.Scale(t), Hit: true})
+		}
+	}
+	out = d.appendSpurious(out)
+	d.buf = out
+	return out, true
+}
+
+// appendSpurious injects the per-frame spurious cluster (field profile /
+// state-estimate errors) — shared by both capture paths so their RNG
+// consumption stays identical.
+func (d *DepthCamera) appendSpurious(out []DepthReturn) []DepthReturn {
+	if d.ErroneousRate > 0 && d.rng.Float64() < d.ErroneousRate {
+		n := 4 + d.rng.Intn(6)
+		base := geom.V3(2+d.rng.Float64()*5, (d.rng.Float64()-0.5)*4, (d.rng.Float64()-0.5)*2)
+		for i := 0; i < n; i++ {
+			p := base.Add(geom.V3(d.rng.Float64(), d.rng.Float64(), d.rng.Float64()).Scale(0.5))
+			out = append(out, DepthReturn{Point: p, Hit: true})
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// clutterWorld builds a randomized world with enough trees and buildings
+// that the column bundles carry real candidate lists (including soft-canopy
+// RNG draws), indexed like worldgen leaves its worlds.
+func clutterWorld(seed int64, trees, buildings int) *World {
+	rng := rand.New(rand.NewSource(seed))
+	w := &World{Bounds: geom.NewAABB(geom.V3(-80, -80, 0), geom.V3(80, 80, 50))}
+	for i := 0; i < buildings; i++ {
+		cx := (rng.Float64() - 0.5) * 120
+		cy := (rng.Float64() - 0.5) * 120
+		hw := 2 + rng.Float64()*6
+		hd := 2 + rng.Float64()*6
+		h := 4 + rng.Float64()*18
+		w.Buildings = append(w.Buildings,
+			geom.NewAABB(geom.V3(cx-hw, cy-hd, 0), geom.V3(cx+hw, cy+hd, h)))
+	}
+	for i := 0; i < trees; i++ {
+		w.Trees = append(w.Trees, geom.Cylinder{
+			Center: geom.V2((rng.Float64()-0.5)*140, (rng.Float64()-0.5)*140),
+			Radius: 1 + rng.Float64()*2.5,
+			BaseZ:  0,
+			TopZ:   4 + rng.Float64()*8,
+		})
+	}
+	w.BuildIndex()
+	return w
+}
+
+// TestCaptureFastIdentical is the bit-identity contract of the bundled
+// capture kernel: for the same camera seed, the fast and exact paths must
+// return byte-for-byte identical frames — including every soft-canopy and
+// noise RNG draw — across cluttered worlds, poses, and yaw angles.
+func TestCaptureFastIdentical(t *testing.T) {
+	for _, wc := range []struct {
+		name             string
+		trees, buildings int
+	}{
+		{"dense", 120, 30},
+		{"sparse", 8, 3},
+		{"treeless", 0, 20},
+		{"empty", 0, 0},
+	} {
+		t.Run(wc.name, func(t *testing.T) {
+			w := clutterWorld(31+int64(len(wc.name)), wc.trees, wc.buildings)
+			exact := NewDepthCamera(42)
+			fast := NewDepthCamera(42)
+			fast.Fast = true
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < 150; i++ {
+				pos := geom.V3((rng.Float64()-0.5)*120, (rng.Float64()-0.5)*120, 1+rng.Float64()*20)
+				yaw := rng.Float64() * 6.3
+				a := exact.Capture(w, pos, yaw)
+				b := fast.Capture(w, pos, yaw)
+				if len(a) != len(b) {
+					t.Fatalf("pose %d: %d vs %d returns", i, len(a), len(b))
+				}
+				for k := range a {
+					if a[k] != b[k] {
+						t.Fatalf("pose %d return %d: exact %+v fast %+v", i, k, a[k], b[k])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCaptureFastSpuriousRNG locks the shared RNG tail: with a spurious
+// cluster rate the two paths must still agree, proving appendSpurious sits
+// at the same point of the RNG stream on both.
+func TestCaptureFastSpuriousRNG(t *testing.T) {
+	w := clutterWorld(5, 60, 15)
+	exact := NewDepthCamera(9)
+	exact.ErroneousRate = 0.5
+	fast := NewDepthCamera(9)
+	fast.ErroneousRate = 0.5
+	fast.Fast = true
+	for i := 0; i < 80; i++ {
+		pos := geom.V3(float64(i%10)*8-40, float64(i/10)*8-40, 6)
+		a := exact.Capture(w, pos, float64(i)*0.21)
+		b := fast.Capture(w, pos, float64(i)*0.21)
+		if len(a) != len(b) {
+			t.Fatalf("pose %d: %d vs %d returns", i, len(a), len(b))
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("pose %d return %d: exact %+v fast %+v", i, k, a[k], b[k])
+			}
+		}
+	}
+}
+
+// TestCaptureFastFallback: on a world without an index the fast camera must
+// fall back to the exact path without having consumed any RNG.
+func TestCaptureFastFallback(t *testing.T) {
+	w := clutterWorld(11, 40, 10)
+	w.DropIndex()
+	exact := NewDepthCamera(3)
+	fast := NewDepthCamera(3)
+	fast.Fast = true
+	for i := 0; i < 20; i++ {
+		pos := geom.V3(float64(i)*3-30, 0, 8)
+		a := exact.Capture(w, pos, 0.5)
+		b := fast.Capture(w, pos, 0.5)
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Fatalf("pose %d: fallback diverged", i)
+		}
+	}
+}
+
+// BenchmarkDepthCaptureFast is BenchmarkDepthCapture through the bundled
+// kernel, for local comparison (the gated numbers live at the repo root).
+func BenchmarkDepthCaptureFast(b *testing.B) {
+	w := clutterWorld(1, 120, 30)
+	d := NewDepthCamera(2)
+	d.Fast = true
+	pos := geom.V3(10, 5, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(d.Capture(w, pos, 0.7)) == 0 {
+			b.Fatal("no returns")
+		}
+	}
+}

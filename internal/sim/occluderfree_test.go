@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestOccluderFreeRect pins the frame-level occluder cull's soundness and
+// its index/linear equivalence: a rectangle reported free must contain no
+// point where OccluderAt blocks, and the indexed answer must match the
+// linear reference scan.
+func TestOccluderFreeRect(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		w := randomWorld(seed)
+		w.BuildIndex()
+		naive := randomWorld(seed)
+
+		rng := rand.New(rand.NewSource(seed + 2000))
+		free, blocked := 0, 0
+		for q := 0; q < 500; q++ {
+			x0 := (rng.Float64() - 0.5) * 220
+			y0 := (rng.Float64() - 0.5) * 220
+			x1 := x0 + rng.Float64()*18
+			y1 := y0 + rng.Float64()*18
+
+			got := w.OccluderFreeRect(x0, y0, x1, y1)
+			if lin := naive.OccluderFreeRect(x0, y0, x1, y1); got != lin {
+				t.Fatalf("seed %d: OccluderFreeRect(%v,%v,%v,%v) = %v indexed, %v linear",
+					seed, x0, y0, x1, y1, got, lin)
+			}
+			if got {
+				free++
+				// Soundness: no sampled point inside a free rectangle may be
+				// occluded (this is what lets the renderer skip OccluderAt).
+				for s := 0; s < 25; s++ {
+					px := x0 + rng.Float64()*(x1-x0)
+					py := y0 + rng.Float64()*(y1-y0)
+					if _, _, isBlocked := w.OccluderAt(px, py); isBlocked {
+						t.Fatalf("seed %d: rect (%v,%v)-(%v,%v) reported free but (%v,%v) is occluded",
+							seed, x0, y0, x1, y1, px, py)
+					}
+				}
+			} else {
+				blocked++
+			}
+		}
+		// The random world is dense but not solid: both answers must occur,
+		// or the test proves nothing.
+		if free == 0 || blocked == 0 {
+			t.Fatalf("seed %d: degenerate sampling (%d free, %d blocked)", seed, free, blocked)
+		}
+	}
+}

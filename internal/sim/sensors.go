@@ -189,6 +189,11 @@ type DepthCamera struct {
 	// the "erroneous pointclouds" of Fig. 5c. Scaled up by GPS drift in
 	// the field profile.
 	ErroneousRate float64
+	// Fast routes Capture through the column-bundled traversal kernel
+	// (fastcapture.go) — part of the fast engine mode. The kernel is
+	// bit-identical to the exact capture; off (the zero value), nothing
+	// changes.
+	Fast bool
 
 	rng *rand.Rand
 
@@ -203,6 +208,14 @@ type DepthCamera struct {
 	cand     []int32       // candidate tree indices for one soft raycast
 	seen     []uint32      // per-tree visit stamps (dedupe across grid cells)
 	stamp    uint32
+
+	// Column-bundle scratch for the fast capture kernel (fastcapture.go):
+	// flat per-column candidate lists plus their offsets, and building
+	// visit stamps (trees reuse seen/stamp above).
+	seenB   []uint32
+	colTree []int32
+	colBld  []int32
+	colOff  []int32
 }
 
 // NewDepthCamera returns a D435-like sensor model.
@@ -261,6 +274,13 @@ func (d *DepthCamera) rayFan() []geom.Vec3 {
 // The returned slice is owned by the camera and reused by the next
 // Capture; callers that need the points past that must copy them.
 func (d *DepthCamera) Capture(w *World, pos geom.Vec3, yaw float64) []DepthReturn {
+	if d.Fast {
+		if out, ok := d.captureFast(w, pos, yaw); ok {
+			return out
+		}
+		// Preconditions unmet (no index, degenerate fan): exact path below,
+		// no RNG consumed yet.
+	}
 	out := d.buf[:0]
 	cy, sy := math.Cos(yaw), math.Sin(yaw)
 	for _, bd := range d.rayFan() {
@@ -278,14 +298,7 @@ func (d *DepthCamera) Capture(w *World, pos geom.Vec3, yaw float64) []DepthRetur
 		out = append(out, DepthReturn{Point: bd.Scale(t), Hit: true})
 	}
 	// Spurious cluster injection (field profile / state-estimate errors).
-	if d.ErroneousRate > 0 && d.rng.Float64() < d.ErroneousRate {
-		n := 4 + d.rng.Intn(6)
-		base := geom.V3(2+d.rng.Float64()*5, (d.rng.Float64()-0.5)*4, (d.rng.Float64()-0.5)*2)
-		for i := 0; i < n; i++ {
-			p := base.Add(geom.V3(d.rng.Float64(), d.rng.Float64(), d.rng.Float64()).Scale(0.5))
-			out = append(out, DepthReturn{Point: p, Hit: true})
-		}
-	}
+	out = d.appendSpurious(out)
 	d.buf = out
 	return out
 }
@@ -403,18 +416,24 @@ func (d *DepthCamera) softTrees(w *World, ray geom.Ray, best float64, cand []int
 // which is how GPS drift becomes marker-position error.
 type ColorCamera struct {
 	Intrinsics vision.Camera
-	rng        *rand.Rand
+	// Fast renders the ground texture from a half-resolution lattice
+	// (vision.Scene.FastGround) — part of the tolerance-verified fast
+	// engine mode. Markers and occluders stay exact; off (the zero value),
+	// frames are bit-identical to the exact renderer.
+	Fast bool
+	rng  *rand.Rand
 
 	// Reused per-frame capture state: the footprint-filtered sub-world and
 	// its per-frame grid index, the scene wrapper, the output frame, and
 	// the motion-blur scratch. A camera belongs to one run and must not be
 	// shared across goroutines.
-	sub      World
-	subIndex spatialIndex
-	scene    vision.Scene
-	occFn    func(x, y float64) (float64, float64, bool)
-	frame    *vision.Image
-	blur     *vision.Image
+	sub       World
+	subIndex  spatialIndex
+	scene     vision.Scene
+	occFn     func(x, y float64) (float64, float64, bool)
+	occFreeFn func(x0, y0, x1, y1 float64) bool
+	frame     *vision.Image
+	blur      *vision.Image
 }
 
 // NewColorCamera returns the downward D435i-color-stream stand-in.
@@ -444,20 +463,26 @@ func (c *ColorCamera) Capture(w *World, weather Weather, pos geom.Vec3, yaw, spe
 	}
 	c.scene.Markers = c.sub.Markers
 	if c.occFn == nil {
-		// Bound once: the method value closes over the reused sub-world.
+		// Bound once: the method values close over the reused sub-world.
 		c.occFn = c.sub.OccluderAt
+		c.occFreeFn = c.sub.OccluderFreeRect
 	}
 	// An empty footprint can never occlude, so skip the per-pixel occluder
 	// callback entirely — identical pixels, one indirect call less each.
+	// A non-empty footprint still often misses the frame's actual ground
+	// rectangle (the filter disk carries corner and slack margin); the
+	// renderer culls that case per frame through OccluderFree.
 	if len(c.sub.Buildings) == 0 && len(c.sub.Trees) == 0 && len(c.sub.Water) == 0 {
 		c.scene.OccluderAt = nil
 	} else {
 		c.scene.OccluderAt = c.occFn
+		c.scene.OccluderFree = c.occFreeFn
 	}
 	if c.frame == nil || c.frame.W != cam.W || c.frame.H != cam.H {
 		c.frame = vision.NewImage(cam.W, cam.H)
 		c.blur = vision.NewImage(cam.W, cam.H)
 	}
+	c.scene.FastGround = c.Fast
 	c.scene.RenderInto(cam, c.frame)
 	cond := weather.FrameConditions(c.rng, speed)
 	cond.ApplyReusing(c.frame, pos.Z, c.rng, c.blur)

@@ -229,6 +229,61 @@ func (w *World) OccluderAt(x, y float64) (albedo, top float64, blocked bool) {
 	return alb, h, true
 }
 
+// OccluderFreeRect reports that no occluder — building footprint, tree
+// footprint or water rectangle — overlaps the axis-aligned ground rectangle
+// [x0,x1]x[y0,y1]. A true result proves OccluderAt returns blocked=false at
+// every point inside the rectangle, which lets the renderer drop the
+// per-pixel occluder query for a whole frame. False is conservative (tree
+// footprints are tested by bounding box): the rectangle may still be clear,
+// and the caller falls back to the exact per-pixel path.
+func (w *World) OccluderFreeRect(x0, y0, x1, y1 float64) bool {
+	for i := range w.Water {
+		wa := &w.Water[i]
+		if x0 <= wa.Max.X && x1 >= wa.Min.X && y0 <= wa.Max.Y && y1 >= wa.Min.Y {
+			return false
+		}
+	}
+	if ix := w.index; ix != nil {
+		cx0, cy0, cx1, cy1, ok := ix.cellRange(x0, y0, x1, y1)
+		if !ok {
+			return true
+		}
+		for cy := cy0; cy <= cy1; cy++ {
+			for cx := cx0; cx <= cx1; cx++ {
+				cell := &ix.cells[cy*ix.nx+cx]
+				for _, bi := range cell.buildings {
+					b := &w.Buildings[bi]
+					if x0 <= b.Max.X && x1 >= b.Min.X && y0 <= b.Max.Y && y1 >= b.Min.Y {
+						return false
+					}
+				}
+				for _, ti := range cell.trees {
+					tr := &w.Trees[ti]
+					if x0 <= tr.Center.X+tr.Radius && x1 >= tr.Center.X-tr.Radius &&
+						y0 <= tr.Center.Y+tr.Radius && y1 >= tr.Center.Y-tr.Radius {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	for i := range w.Buildings {
+		b := &w.Buildings[i]
+		if x0 <= b.Max.X && x1 >= b.Min.X && y0 <= b.Max.Y && y1 >= b.Min.Y {
+			return false
+		}
+	}
+	for i := range w.Trees {
+		tr := &w.Trees[i]
+		if x0 <= tr.Center.X+tr.Radius && x1 >= tr.Center.X-tr.Radius &&
+			y0 <= tr.Center.Y+tr.Radius && y1 >= tr.Center.Y-tr.Radius {
+			return false
+		}
+	}
+	return true
+}
+
 // Scene builds the downward-camera scene for rendering.
 func (w *World) Scene() *vision.Scene {
 	return &vision.Scene{
@@ -237,8 +292,9 @@ func (w *World) Scene() *vision.Scene {
 			Base:     w.GroundBase,
 			Contrast: w.GroundContrast,
 		},
-		Markers:    w.Markers,
-		OccluderAt: w.OccluderAt,
+		Markers:      w.Markers,
+		OccluderAt:   w.OccluderAt,
+		OccluderFree: w.OccluderFreeRect,
 	}
 }
 

@@ -253,6 +253,19 @@ func (ig *Integral) BoxMean(x0, y0, x1, y1 int) float64 {
 	return s / float64((x1-x0+1)*(y1-y0+1))
 }
 
+// BoxMeanInterior is BoxMean for rectangles already known to lie fully
+// inside the table (0 <= x0 <= x1 < W, 0 <= y0 <= y1 < H): it skips the
+// clamping, and the sum and division are operand-for-operand the same as
+// BoxMean's, so both methods return bit-identical values on in-bounds
+// rectangles. The adaptive-threshold stage uses it for the pixels whose
+// window never crosses the border — the bulk of every frame.
+func (ig *Integral) BoxMeanInterior(x0, y0, x1, y1 int) float64 {
+	stride := ig.W + 1
+	s := ig.sum[(y1+1)*stride+(x1+1)] - ig.sum[y0*stride+(x1+1)] -
+		ig.sum[(y1+1)*stride+x0] + ig.sum[y0*stride+x0]
+	return s / float64((x1-x0+1)*(y1-y0+1))
+}
+
 // BoxBlur returns a box-blurred copy of im with the given radius.
 func BoxBlur(im *Image, radius int) *Image {
 	if radius <= 0 {

@@ -21,17 +21,41 @@ type Scene struct {
 	// at what height. Used for rooftops, tree canopies and water.
 	OccluderAt func(x, y float64) (albedo float64, top float64, blocked bool)
 
+	// OccluderFree, when non-nil, reports that no occluder intersects the
+	// axis-aligned ground rectangle [x0,x1]x[y0,y1]. The renderer asks it
+	// once per frame with the frame's ground footprint; a true answer lets
+	// the per-pixel OccluderAt query be skipped for the whole frame with
+	// bit-identical output (every pixel's query would have returned
+	// blocked=false). May answer false conservatively.
+	OccluderFree func(x0, y0, x1, y1 float64) bool
+
+	// FastGround renders the ground texture from a reduced sample lattice
+	// (every 4th column, every 2nd row), bilinearly interpolated in pixel
+	// space (fast engine mode). The texture's feature size — the noise
+	// octaves span ~0.8 m — is an order of magnitude above the per-pixel
+	// ground footprint, so the lattice stays well above Nyquist. Markers and
+	// occluders stay exact per pixel — only the smooth noise field is
+	// approximated. Off (the zero value), every pixel samples the texture
+	// exactly.
+	FastGround bool
+
 	// markerBoxes holds the per-frame conservative ground-space bounding
 	// boxes of the markers, so the per-pixel loop only evaluates the exact
 	// (rotated) pad containment inside a marker's box.
 	markerBoxes []groundBox
 	// ground memoizes noise-lattice corner hashes across adjacent pixels.
 	ground groundSampler
+	// FastGround scratch: the lattice rows bracketing the current pixel-row
+	// pair, their blend, and the expanded full-width texture row.
+	rowLo, rowHi, rowMid, groundRow []float64
 }
 
-// groundBox is an axis-aligned ground-plane rectangle.
+// groundBox is an axis-aligned ground-plane rectangle around one marker,
+// carrying the pad's frame-hoisted rotation terms (cos(-Yaw), sin(-Yaw))
+// so the per-pixel containment test needs no trigonometry.
 type groundBox struct {
 	minX, minY, maxX, maxY float64
+	cosN, sinN             float64
 }
 
 // Render draws the scene as seen by cam by inverse-projecting every pixel
@@ -73,10 +97,16 @@ func (s *Scene) RenderInto(cam Camera, im *Image) {
 		boxes[i] = groundBox{
 			minX: m.Center.X - half, minY: m.Center.Y - half,
 			maxX: m.Center.X + half, maxY: m.Center.Y + half,
+			cosN: mathCos(-m.Yaw), sinN: mathSin(-m.Yaw),
 		}
 	}
 
 	s.ground.reset(s.Ground)
+	occ := s.occluderForFrame(cam, h)
+	if s.FastGround {
+		s.renderFastGround(cam, im, boxes, occ)
+		return
+	}
 	cos, sin := mathCos(cam.Yaw), mathSin(cam.Yaw)
 	cw, ch := float64(cam.W)/2, float64(cam.H)/2
 	for py := 0; py < cam.H; py++ {
@@ -92,8 +122,8 @@ func (s *Scene) RenderInto(cam Camera, im *Image) {
 			gx := cam.Pos.X + dx*h
 			gy := cam.Pos.Y + dy*h
 
-			if s.OccluderAt != nil {
-				if alb, top, blocked := s.OccluderAt(gx, gy); blocked && top < h {
+			if occ != nil {
+				if alb, top, blocked := occ(gx, gy); blocked && top < h {
 					// The occluder top replaces the ground along the pixel's
 					// vertical sample ray; its albedo is flat, so no
 					// re-projection onto the top surface is needed.
@@ -108,7 +138,7 @@ func (s *Scene) RenderInto(cam Camera, im *Image) {
 				if gx < b.minX || gx > b.maxX || gy < b.minY || gy > b.maxY {
 					continue
 				}
-				if u, v, ok := s.Markers[i].ContainsGround(p); ok {
+				if u, v, ok := s.Markers[i].ContainsGroundRot(p, b.cosN, b.sinN); ok {
 					val = s.Markers[i].Marker.PatternAt(u, v)
 					onMarker = true
 					break
@@ -120,6 +150,170 @@ func (s *Scene) RenderInto(cam Camera, im *Image) {
 			im.Pix[py*cam.W+px] = val
 		}
 	}
+}
+
+// occluderForFrame resolves the per-pixel occluder callback for one frame:
+// when an OccluderFree query is available and reports the frame's ground
+// footprint clear, the callback is dropped (nil) for the whole frame. The
+// footprint AABB is exact — the ground projection is affine in pixel
+// coordinates at fixed altitude, so the four corner pixels bound every
+// pixel center — padded by a millimeter to absorb the incremental pixel
+// walk's float drift. The cull never changes a pixel: it only removes
+// queries that were guaranteed to answer "not blocked".
+func (s *Scene) occluderForFrame(cam Camera, h float64) func(x, y float64) (float64, float64, bool) {
+	occ := s.OccluderAt
+	if occ == nil || s.OccluderFree == nil {
+		return occ
+	}
+	cos, sin := mathCos(cam.Yaw), mathSin(cam.Yaw)
+	cw, ch := float64(cam.W)/2, float64(cam.H)/2
+	minX, minY := cam.Pos.X, cam.Pos.Y
+	maxX, maxY := cam.Pos.X, cam.Pos.Y
+	for corner := 0; corner < 4; corner++ {
+		px, py := 0, 0
+		if corner&1 != 0 {
+			px = cam.W - 1
+		}
+		if corner&2 != 0 {
+			py = cam.H - 1
+		}
+		lx := (float64(px) + 0.5 - cw) / cam.FocalPx
+		ly := (float64(py) + 0.5 - ch) / cam.FocalPx
+		gx := cam.Pos.X + (lx*cos-ly*sin)*h
+		gy := cam.Pos.Y + (lx*sin+ly*cos)*h
+		if gx < minX {
+			minX = gx
+		} else if gx > maxX {
+			maxX = gx
+		}
+		if gy < minY {
+			minY = gy
+		} else if gy > maxY {
+			maxY = gy
+		}
+	}
+	const cullPad = 1e-3
+	if s.OccluderFree(minX-cullPad, minY-cullPad, maxX+cullPad, maxY+cullPad) {
+		return nil
+	}
+	return occ
+}
+
+// renderFastGround is the FastGround pixel loop: same inverse projection,
+// same exact per-pixel occluder and marker evaluation, but ground-texture
+// values come from a lattice sampled at every second pixel in x and y and
+// bilinearly interpolated between. The noise field is C1-smooth at feature
+// scales of meters while the lattice spacing is centimeters of ground, so
+// the interpolation error is far below the photometric-conditioning noise;
+// campaign.VerifyFast bounds the aggregate effect.
+func (s *Scene) renderFastGround(cam Camera, im *Image, boxes []groundBox, occ func(x, y float64) (float64, float64, bool)) {
+	h := cam.Pos.Z
+	cos, sin := mathCos(cam.Yaw), mathSin(cam.Yaw)
+	cw, ch := float64(cam.W)/2, float64(cam.H)/2
+	const strideX = 4
+	// Lattice columns sit at px = strideX*j; one extra column past the right
+	// edge closes the last interpolation span.
+	nx := (cam.W-1)/strideX + 2
+	if cap(s.rowLo) < nx {
+		s.rowLo = make([]float64, nx)
+		s.rowHi = make([]float64, nx)
+		s.rowMid = make([]float64, nx)
+	}
+	if cap(s.groundRow) < cam.W {
+		s.groundRow = make([]float64, cam.W)
+	}
+	rowLo, rowHi, rowMid := s.rowLo[:nx], s.rowHi[:nx], s.rowMid[:nx]
+	gRow := s.groundRow[:cam.W]
+	// Per-pixel ground step along a pixel row (the projection is linear in
+	// px at fixed py, so the loop walks the ground incrementally).
+	stepX := cos / cam.FocalPx * h
+	stepY := sin / cam.FocalPx * h
+
+	// sampleRow fills dst with the ground texture along lattice row py.
+	// Raster order is preserved across calls, which is what keeps the
+	// sampler's one-cell memo effective.
+	sampleRow := func(py int, dst []float64) {
+		ly := (float64(py) + 0.5 - ch) / cam.FocalPx
+		lx := (0.5 - cw) / cam.FocalPx
+		gx := cam.Pos.X + (lx*cos-ly*sin)*h
+		gy := cam.Pos.Y + (lx*sin+ly*cos)*h
+		for j := 0; j < nx; j++ {
+			dst[j] = s.ground.at(gx, gy)
+			gx += strideX * stepX
+			gy += strideX * stepY
+		}
+	}
+
+	sampleRow(0, rowLo)
+	for py := 0; py < cam.H; py++ {
+		if py%2 == 0 {
+			if py > 0 {
+				// Entering a new row pair: the high row becomes the low one.
+				rowLo, rowHi = rowHi, rowLo
+			}
+			hiY := py + 2
+			if hiY >= cam.H {
+				hiY = cam.H - 1
+			}
+			sampleRow(hiY, rowHi)
+		}
+		// Expand the lattice into a full-width texture row: lattice pixels
+		// take the sample, the pixels between them interpolate linearly; odd
+		// pixel rows blend the two bracketing lattice rows first.
+		src := rowLo
+		if py%2 == 1 {
+			for j := 0; j < nx; j++ {
+				rowMid[j] = 0.5 * (rowLo[j] + rowHi[j])
+			}
+			src = rowMid
+		}
+		for j := 0; j+1 < nx; j++ {
+			at := strideX * j
+			if at >= cam.W {
+				break
+			}
+			a := src[j]
+			d := (src[j+1] - a) / strideX
+			for o := 0; o < strideX && at+o < cam.W; o++ {
+				gRow[at+o] = a + float64(o)*d
+			}
+		}
+
+		base := py * cam.W
+		ly := (float64(py) + 0.5 - ch) / cam.FocalPx
+		lx := (0.5 - cw) / cam.FocalPx
+		gx := cam.Pos.X + (lx*cos-ly*sin)*h
+		gy := cam.Pos.Y + (lx*sin+ly*cos)*h
+		for px := 0; px < cam.W; px++ {
+			if occ != nil {
+				if alb, top, blocked := occ(gx, gy); blocked && top < h {
+					im.Pix[base+px] = alb
+					gx += stepX
+					gy += stepY
+					continue
+				}
+			}
+			val, onMarker := 0.0, false
+			for i := range boxes {
+				b := &boxes[i]
+				if gx < b.minX || gx > b.maxX || gy < b.minY || gy > b.maxY {
+					continue
+				}
+				if u, v, ok := s.Markers[i].ContainsGroundRot(geom.V3(gx, gy, 0), b.cosN, b.sinN); ok {
+					val = s.Markers[i].Marker.PatternAt(u, v)
+					onMarker = true
+					break
+				}
+			}
+			if !onMarker {
+				val = gRow[px]
+			}
+			im.Pix[base+px] = val
+			gx += stepX
+			gy += stepY
+		}
+	}
+	s.rowLo, s.rowHi = rowLo, rowHi
 }
 
 // Conditions models the photometric state of one captured frame. Zero

@@ -1,0 +1,120 @@
+package vision
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestOccluderFrameCull pins the frame-level occluder cull: when
+// OccluderFree reports the frame's ground footprint clear, the per-pixel
+// OccluderAt query is skipped entirely and the pixels are bit-identical to
+// the un-culled render. When it reports otherwise, the per-pixel path runs
+// unchanged.
+func TestOccluderFrameCull(t *testing.T) {
+	for _, fast := range []bool{false, true} {
+		s, cam := testScene()
+		s.FastGround = fast
+		cam.Yaw = 0.3 // exercise the rotated-footprint corner bound
+		occCalls := 0
+		s.OccluderAt = func(x, y float64) (float64, float64, bool) {
+			occCalls++
+			return 0, 0, false // clear everywhere: culling must not change pixels
+		}
+		baseline := s.Render(cam)
+		if occCalls == 0 {
+			t.Fatal("baseline render never queried the occluder")
+		}
+
+		var rect [4]float64
+		freeCalls := 0
+		s.OccluderFree = func(x0, y0, x1, y1 float64) bool {
+			rect = [4]float64{x0, y0, x1, y1}
+			freeCalls++
+			return true
+		}
+		occCalls = 0
+		culled := s.Render(cam)
+		if freeCalls != 1 {
+			t.Fatalf("fast=%v: OccluderFree asked %d times, want once per frame", fast, freeCalls)
+		}
+		if occCalls != 0 {
+			t.Fatalf("fast=%v: culled render still made %d per-pixel queries", fast, occCalls)
+		}
+		for i := range baseline.Pix {
+			if baseline.Pix[i] != culled.Pix[i] {
+				t.Fatalf("fast=%v: culled pixel %d differs", fast, i)
+			}
+		}
+		// The queried rectangle must cover the whole ground footprint: every
+		// pixel-center projection lies inside it.
+		for _, px := range []int{0, cam.W / 2, cam.W - 1} {
+			for _, py := range []int{0, cam.H / 2, cam.H - 1} {
+				g, ok := cam.PixelToGround(float64(px)+0.5, float64(py)+0.5, 0)
+				if !ok {
+					continue
+				}
+				if g.X < rect[0] || g.X > rect[2] || g.Y < rect[1] || g.Y > rect[3] {
+					t.Fatalf("fast=%v: pixel (%d,%d) ground point %v outside culled rect %v",
+						fast, px, py, g, rect)
+				}
+			}
+		}
+
+		// A declined cull keeps the per-pixel occluder in force.
+		s.OccluderAt = func(x, y float64) (float64, float64, bool) { return 0.2, 5, true }
+		s.OccluderFree = func(x0, y0, x1, y1 float64) bool { return false }
+		blocked := s.Render(cam)
+		for i, v := range blocked.Pix {
+			if v != 0.2 {
+				t.Fatalf("fast=%v: pixel %d = %v, want occluder albedo after declined cull", fast, i, v)
+			}
+		}
+	}
+}
+
+// TestBoxMeanInteriorMatchesBoxMean pins the clamp-free integral query the
+// adaptive threshold uses for interior pixels: bit-identical to BoxMean on
+// every in-bounds rectangle.
+func TestBoxMeanInteriorMatchesBoxMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	im := NewImage(37, 23)
+	for i := range im.Pix {
+		im.Pix[i] = rng.Float64()
+	}
+	ig := NewIntegral(im)
+	for trial := 0; trial < 500; trial++ {
+		x0, y0 := rng.Intn(im.W), rng.Intn(im.H)
+		x1 := x0 + rng.Intn(im.W-x0)
+		y1 := y0 + rng.Intn(im.H-y0)
+		a := ig.BoxMean(x0, y0, x1, y1)
+		b := ig.BoxMeanInterior(x0, y0, x1, y1)
+		if a != b {
+			t.Fatalf("BoxMeanInterior(%d,%d,%d,%d) = %v, BoxMean = %v", x0, y0, x1, y1, b, a)
+		}
+	}
+}
+
+// TestContainsGroundRotMatchesContainsGround pins the hoisted-rotation
+// containment test against the trig-per-call original.
+func TestContainsGroundRotMatchesContainsGround(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	d := DefaultDictionary()
+	for trial := 0; trial < 200; trial++ {
+		mi := MarkerInstance{
+			Marker: d.Markers[trial%len(d.Markers)],
+			Center: geom.V3(rng.Float64()*20-10, rng.Float64()*20-10, 0),
+			Size:   0.5 + rng.Float64()*3,
+			Yaw:    rng.Float64()*12 - 6,
+		}
+		cos, sin := mathCos(-mi.Yaw), mathSin(-mi.Yaw)
+		p := geom.V3(mi.Center.X+rng.Float64()*6-3, mi.Center.Y+rng.Float64()*6-3, 0)
+		u1, v1, ok1 := mi.ContainsGround(p)
+		u2, v2, ok2 := mi.ContainsGroundRot(p, cos, sin)
+		if u1 != u2 || v1 != v2 || ok1 != ok2 {
+			t.Fatalf("trial %d: ContainsGround=(%v,%v,%v) Rot=(%v,%v,%v)",
+				trial, u1, v1, ok1, u2, v2, ok2)
+		}
+	}
+}

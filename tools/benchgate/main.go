@@ -2,7 +2,7 @@
 // output of the benchmark smoke step and fails when the performance
 // layer's allocation guarantees rot.
 //
-//	go run ./tools/benchgate -bench bench-smoke.txt -baseline BENCH_2.json
+//	go run ./tools/benchgate -bench bench-smoke.txt -baseline BENCH_3.json
 //
 // Two classes of gate:
 //
@@ -13,15 +13,23 @@
 //     them for enough iterations that one-time warm-up buffer growth
 //     amortizes to zero.)
 //
-//   - The closed-loop mission units — BenchmarkRun (inline runner) and
-//     BenchmarkRunPipelined (staged perception runner), the costs every
-//     evaluation grid multiplies — must stay within -max-regress of the
-//     committed BENCH_2.json allocation snapshot. Allocation counts are
-//     deterministic enough to gate on in shared CI runners, unlike ns/op.
+//   - The closed-loop mission units — BenchmarkRun (inline runner),
+//     BenchmarkRunPipelined (staged perception runner) and BenchmarkRunFast
+//     (fast engine mode), the costs every evaluation grid multiplies —
+//     must stay within -max-regress of the committed allocation snapshot.
+//     Allocation counts are deterministic enough to gate on in shared CI
+//     runners, unlike ns/op. BenchmarkRun doubles as the fast-off gate:
+//     it flies with Timing.Fast unset, so its budget catches any cost the
+//     fast mode leaks into the exact engine.
 //
-// Timing numbers are parsed and reported but never gated — CI machines
-// are too noisy for wall-clock thresholds; the committed snapshot plus
-// the uploaded artifact keep the ns/op history reviewable by humans.
+//   - The fast-mode speedup: BenchmarkRunFast must run at least
+//     -min-fast-speedup times faster than BenchmarkRun *within the same
+//     smoke output*. The two benchmarks share machine, load and process,
+//     so the ratio cancels the noise that makes absolute ns/op ungateable.
+//
+// Absolute timing numbers are parsed and reported but never gated — CI
+// machines are too noisy for wall-clock thresholds; the committed snapshot
+// plus the uploaded artifact keep the ns/op history reviewable by humans.
 package main
 
 import (
@@ -48,7 +56,16 @@ var zeroAllocBenchmarks = []string{
 // BenchmarkRunFaultsOff is the nominal mission flown through the fault
 // subsystem's disabled path; it shares BenchmarkRun's allocation budget,
 // so the fault wiring cannot quietly tax every nominal campaign.
-var gatedBenchmarks = []string{"BenchmarkRun", "BenchmarkRunPipelined", "BenchmarkRunFaultsOff"}
+// BenchmarkRunFast is the same mission in fast engine mode; its alloc
+// budget keeps the approximate kernels from buying speed with garbage.
+var gatedBenchmarks = []string{"BenchmarkRun", "BenchmarkRunPipelined", "BenchmarkRunFaultsOff", "BenchmarkRunFast"}
+
+// Fast-speedup ratio gate operands: fastRatioNum must be at least
+// -min-fast-speedup times faster than fastRatioDen in the same smoke file.
+const (
+	fastRatioDen = "BenchmarkRun"
+	fastRatioNum = "BenchmarkRunFast"
+)
 
 // measurement is one parsed benchmark result line.
 type measurement struct {
@@ -68,18 +85,19 @@ type baseline struct {
 
 func main() {
 	benchPath := flag.String("bench", "bench-smoke.txt", "go test -bench output to gate")
-	basePath := flag.String("baseline", "BENCH_2.json", "committed benchmark snapshot")
+	basePath := flag.String("baseline", "BENCH_3.json", "committed benchmark snapshot")
 	maxRegress := flag.Float64("max-regress", 0.10, "allowed fractional allocs/op regression for BenchmarkRun")
+	minFastSpeedup := flag.Float64("min-fast-speedup", 1.8, "required BenchmarkRun/BenchmarkRunFast ns/op ratio (0 disables the gate)")
 	flag.Parse()
 
-	if err := run(*benchPath, *basePath, *maxRegress, os.Stdout); err != nil {
+	if err := run(*benchPath, *basePath, *maxRegress, *minFastSpeedup, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(1)
 	}
 }
 
 // run executes the gate and writes a human-readable verdict table.
-func run(benchPath, basePath string, maxRegress float64, w io.Writer) error {
+func run(benchPath, basePath string, maxRegress, minFastSpeedup float64, w io.Writer) error {
 	f, err := os.Open(benchPath)
 	if err != nil {
 		return err
@@ -137,6 +155,28 @@ func run(benchPath, basePath string, maxRegress float64, w io.Writer) error {
 			} else {
 				fmt.Fprintf(w, "ok   %-24s %.0f allocs/op within %.0f (baseline %.0f +%.0f%%), %.0f ns/op\n",
 					name, m.AllocsOp, limit, b.After.AllocsOp, maxRegress*100, m.NsOp)
+			}
+		}
+	}
+
+	if minFastSpeedup > 0 {
+		den, okDen := results[fastRatioDen]
+		num, okNum := results[fastRatioNum]
+		switch {
+		case !okDen || !okNum:
+			violations = append(violations, fmt.Sprintf(
+				"fast-speedup: need both %s and %s in %s", fastRatioDen, fastRatioNum, benchPath))
+		case num.NsOp <= 0:
+			violations = append(violations, fmt.Sprintf("fast-speedup: %s reports no ns/op", fastRatioNum))
+		default:
+			ratio := den.NsOp / num.NsOp
+			if ratio < minFastSpeedup {
+				violations = append(violations, fmt.Sprintf(
+					"fast-speedup: %s/%s = %.2fx, want >= %.2fx (fast engine mode lost its headroom)",
+					fastRatioDen, fastRatioNum, ratio, minFastSpeedup))
+			} else {
+				fmt.Fprintf(w, "ok   %-24s %.2fx >= %.2fx (%s %.0f ns/op vs %s %.0f ns/op)\n",
+					"fast-speedup", ratio, minFastSpeedup, fastRatioDen, den.NsOp, fastRatioNum, num.NsOp)
 			}
 		}
 	}

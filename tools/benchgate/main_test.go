@@ -16,6 +16,7 @@ BenchmarkCampaign/workers=4-4     1   1377003199 ns/op
 BenchmarkRun-4                    5    302838874 ns/op   8618862 B/op   11771 allocs/op
 BenchmarkRunPipelined-4           5    340362629 ns/op   8172180 B/op   11590 allocs/op
 BenchmarkRunFaultsOff-4           5    315340870 ns/op   8514950 B/op   11328 allocs/op
+BenchmarkRunFast-4                5    149000000 ns/op   8665360 B/op   10258 allocs/op
 BenchmarkRender-4              1000       408527 ns/op       524 B/op       0 allocs/op
 BenchmarkDepthCapture-4        1000        30587 ns/op        58 B/op       0 allocs/op
 BenchmarkRaycast-4             1000          121.3 ns/op       0 B/op       0 allocs/op
@@ -35,6 +36,9 @@ const baselineJSON = `{
     },
     "BenchmarkRunFaultsOff": {
       "after": {"ns_op": 315340870, "bytes_op": 8514950, "allocs_op": 11771}
+    },
+    "BenchmarkRunFast": {
+      "after": {"ns_op": 149000000, "bytes_op": 8665360, "allocs_op": 10258}
     }
   }
 }`
@@ -53,7 +57,7 @@ func gate(t *testing.T, bench, baseline string, maxRegress float64) (error, stri
 		t.Fatal(err)
 	}
 	var sb strings.Builder
-	err := run(bp, blp, maxRegress, &sb)
+	err := run(bp, blp, maxRegress, 1.8, &sb)
 	return err, sb.String()
 }
 
@@ -136,6 +140,46 @@ func TestGateCoversFaultsOffRun(t *testing.T) {
 	err, out = gate(t, strings.Join(kept, "\n"), baselineJSON, 0.10)
 	if err == nil {
 		t.Fatalf("missing faults-off benchmark passed the gate:\n%s", out)
+	}
+}
+
+// TestGateCoversFastRun pins the fast-engine gates: an alloc regression in
+// fast mode fails, a fast mission that lost its speed headroom fails, and
+// dropping the benchmark from the smoke run fails (it would silently
+// disable both the alloc and the ratio gate).
+func TestGateCoversFastRun(t *testing.T) {
+	injected := strings.Replace(goodBench, "10258 allocs/op", "13500 allocs/op", 1)
+	err, out := gate(t, injected, baselineJSON, 0.10)
+	if err == nil {
+		t.Fatalf("fast-mode alloc regression passed the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "BenchmarkRunFast") {
+		t.Errorf("violation does not name the fast benchmark:\n%s", out)
+	}
+
+	// Fast mode at 1.2x instead of >= 1.8x must fail the ratio gate.
+	slow := strings.Replace(goodBench, "5    149000000 ns/op   8665360 B/op", "5    252000000 ns/op   8665360 B/op", 1)
+	if slow == goodBench {
+		t.Fatal("fixture drifted: BenchmarkRunFast line not found")
+	}
+	err, out = gate(t, slow, baselineJSON, 0.10)
+	if err == nil {
+		t.Fatalf("1.2x fast mode passed the >=1.8x ratio gate:\n%s", out)
+	}
+	if !strings.Contains(out, "fast-speedup") {
+		t.Errorf("violation does not name the ratio gate:\n%s", out)
+	}
+
+	var kept []string
+	for _, line := range strings.Split(goodBench, "\n") {
+		if strings.HasPrefix(line, "BenchmarkRunFast") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	err, out = gate(t, strings.Join(kept, "\n"), baselineJSON, 0.10)
+	if err == nil {
+		t.Fatalf("missing fast benchmark passed the gate:\n%s", out)
 	}
 }
 
