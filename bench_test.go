@@ -23,12 +23,15 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/coord"
 	"repro/internal/core"
 	"repro/internal/detect"
 	"repro/internal/fault"
@@ -815,4 +818,93 @@ func BenchmarkMitigations_RTKOffboard(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sys.Step(epoch)
 	}
+}
+
+// BenchmarkDispatchOverhead prices the fleet transport: one iteration
+// runs the same small campaign twice at equal total engine parallelism —
+// directly through campaign.Execute, and through a loopback coordinator
+// with one joined worker (leases, heartbeats, gzip uploads, digest
+// verification, merge). The reported overhead-% metric is what
+// tools/benchgate holds at <= 5%: past that, -serve/-join would tax every
+// fleet campaign. Digest equality is asserted every iteration, so the
+// benchmark doubles as a correctness smoke.
+func BenchmarkDispatchOverhead(b *testing.B) {
+	// Big enough that lease sizing amortizes dispatch the way a real
+	// campaign does; a handful of runs would be all tail (one lease per
+	// run, each paying engine spin-up) and measure the wrong regime.
+	spec := campaign.Spec{
+		Maps:        campaign.Range(4),
+		Scenarios:   []int{0, 5},
+		Repeats:     1,
+		Generations: []core.Generation{core.V1},
+		Timing:      scenario.SILTiming(),
+	}
+	ctx := context.Background()
+	// Warm the shared world cache so neither side pays first-touch world
+	// generation inside the timed region.
+	if _, err := campaign.Execute(ctx, spec, campaign.Options{Workers: 2, Ordered: true}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var direct, fleet time.Duration
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		rep, err := campaign.Execute(ctx, spec, campaign.Options{Workers: 2, Ordered: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		direct += time.Since(t0)
+
+		// The fleet side pays for everything dispatch adds: coordinator
+		// construction, the HTTP server, lease round-trips, uploads, merge.
+		t1 := time.Now()
+		c, err := coord.NewCoordinator(coord.Config{Spec: spec, LeaseTTL: 30 * time.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := httptest.NewServer(c.Handler())
+		if _, err := coord.Work(ctx, coord.WorkerOptions{
+			Addr: srv.URL, Name: "bench", EngineWorkers: 2,
+			PollInterval: 5 * time.Millisecond,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		fleet += time.Since(t1)
+		srv.Close()
+		if c.Digest() != rep.Digest() {
+			b.Fatalf("fleet digest %s != direct %s", c.Digest(), rep.Digest())
+		}
+	}
+	b.ReportMetric(100*(fleet.Seconds()-direct.Seconds())/direct.Seconds(), "overhead-%")
+}
+
+// BenchmarkCellAffinity measures the scheduler-level world-cache hit rate
+// of cell-affine lease placement against the random-segment baseline on a
+// paper-scale grid (all three generations, so every cell recurs twice) —
+// the throughput-snapshot number behind the coordinator's affinity
+// policy. Pure scheduling; no missions fly.
+func BenchmarkCellAffinity(b *testing.B) {
+	spec := campaign.Spec{
+		Maps:        campaign.Range(10),
+		Scenarios:   benchScenarios,
+		Repeats:     2,
+		Generations: []core.Generation{core.V1, core.V2, core.V3},
+		Timing:      scenario.SILTiming(),
+	}
+	const workers = 8
+	var affine, random coord.AffinityStats
+	for i := 0; i < b.N; i++ {
+		var err error
+		if affine, err = coord.SimulateScheduling(spec, workers, true); err != nil {
+			b.Fatal(err)
+		}
+		if random, err = coord.SimulateScheduling(spec, workers, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if affine.HitRate() <= random.HitRate() {
+		b.Fatalf("affine placement (%.3f) should beat random (%.3f)", affine.HitRate(), random.HitRate())
+	}
+	b.ReportMetric(100*affine.HitRate(), "affine-hit-%")
+	b.ReportMetric(100*random.HitRate(), "random-hit-%")
 }

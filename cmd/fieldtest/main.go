@@ -29,12 +29,10 @@ import (
 	"math"
 	"os"
 	"os/signal"
-	"runtime"
-	"strings"
 
 	"repro/internal/campaign"
+	"repro/internal/cliutil"
 	"repro/internal/core"
-	"repro/internal/fault"
 	"repro/internal/hil"
 	"repro/internal/scenario"
 	"repro/internal/telemetry"
@@ -47,20 +45,23 @@ var fieldMaps = []int{0, 2, 4, 5}
 
 func main() {
 	runs := flag.Int("runs", 20, "number of field flights")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel run workers (1 = sequential)")
+	cf := cliutil.Register(flag.CommandLine)
 	resources := flag.Bool("resources", false, "print the per-second Fig. 7 resource series of one flight")
 	csvPath := flag.String("csv", "", "write the Fig. 7 series of flight 0 as CSV to this path")
-	checkpoint := flag.String("checkpoint", "", "journal file for crash-safe resume (rerun the same command to continue)")
-	shard := flag.String("shard", "", "run one shard of the campaign, as i/n (e.g. 2/4)")
-	out := flag.String("out", "", "shard aggregate output file (default fieldtest-shard-<i>-of-<n>.json)")
-	merge := flag.Bool("merge", false, "merge shard result files given as arguments and print the tables")
-	pipeline := flag.Bool("pipeline", false, "run perception on a concurrent stage (tick-stamped delivery; sense-to-act latency emerges from stage cost)")
-	faults := flag.String("faults", "", "fault plan: a preset ("+strings.Join(fault.Presets(), ", ")+") or a spec like \"gps-drift@20+30:mag=0.5;depth-dropout@10+15\"")
-	fastMode := flag.Bool("fast", false, "fast engine mode: tolerance-verified approximate kernels (not valid for bit-identity comparisons against exact-engine digests)")
 	flag.Parse()
+	if err := cf.Validate(); err != nil {
+		cliutil.Fatal("fieldtest", 2, err)
+	}
 
-	if *merge {
+	if cf.Merge {
 		mergeMain(flag.Args())
+		return
+	}
+	if cf.Join != "" {
+		// A worker needs no spec of its own: leases carry the campaign and
+		// name the run-configuration profile (weather floors, depth-error
+		// rate) to apply.
+		cf.Distributed("fieldtest", campaign.Spec{}, "")
 		return
 	}
 
@@ -72,19 +73,18 @@ func main() {
 	profile := hil.JetsonNanoMAXN()
 	costs := hil.FieldCosts()
 	plan := hil.DerivePlan(profile, costs)
-	if *pipeline {
+	if cf.Pipeline {
 		plan = hil.DerivePipelinedPlan(profile, costs)
 	}
 
 	// The fault plan rides the field timing profile into the campaign
 	// (beyond the field profile's built-in degradations).
-	faultPlan, err := fault.ParsePlan(*faults)
+	faultPlan, err := cf.FaultPlan()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fieldtest:", err)
-		os.Exit(2)
+		cliutil.Fatal("fieldtest", 2, err)
 	}
 	plan.Timing.Faults = faultPlan
-	if *fastMode {
+	if cf.Fast {
 		// WithFast preserves the latency the derived plan already carries.
 		// Fast digests are only comparable to other fast digests — see
 		// silbench -verify-fast for the tolerance contract.
@@ -92,10 +92,10 @@ func main() {
 	}
 
 	fmt.Printf("Field profile on %s: CPU demand %.0f%% of capacity\n", profile.Name, 100*plan.CPUDemand)
-	if *pipeline {
+	if cf.Pipeline {
 		fmt.Printf("pipelined perception: on — emergent delivery latency %d ticks\n", plan.Timing.PipelineLatencyTicks)
 	}
-	if *fastMode {
+	if cf.Fast {
 		fmt.Printf("fast engine mode: on (digests comparable to fast runs only)\n")
 	}
 	if faultPlan.Active() {
@@ -121,17 +121,25 @@ func main() {
 		Seed:   func(c campaign.Cell) int64 { return int64(c.Rep)*104_729 + 77 },
 	}
 
+	// Fleet mode: workers resolve the "field" profile to the same weather
+	// floors and fault rates the configure hook below applies locally.
+	if aggs, handled := cf.Distributed("fieldtest", spec, "field"); handled {
+		if agg := aggs[core.V3]; agg != nil {
+			a := *agg
+			a.System = "MLS-V3-field"
+			fmt.Printf("success %.1f%%, collision %.1f%%, poor landing %.1f%% over %d flights\n",
+				a.SuccessRate(), a.CollisionRate(), a.PoorLandingRate(), a.Runs)
+			fmt.Printf("mean landing error %.2f m, FNR %.2f%%\n", a.MeanLandingError, 100*a.FalseNegativeRate)
+			fmt.Println("(per-flight drift and resource series live on the worker machines)")
+		}
+		return
+	}
+
 	// Sharded execution replaces the flight list with one contiguous slice
 	// (the per-flight seeds ship inside the shard, by value).
-	var activeShard *campaign.Shard
-	if *shard != "" {
-		sh, sub, err := campaign.ParseShardFlag(spec, *shard)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "fieldtest:", err)
-			os.Exit(2)
-		}
-		activeShard, spec = sh, sub
-		fmt.Printf("shard %d/%d: flights [%d,%d) of %d\n\n", sh.Index+1, sh.Count, sh.Start, sh.End, sh.Total)
+	activeShard, spec, err := cf.ApplyShard("fieldtest", spec)
+	if err != nil {
+		cliutil.Fatal("fieldtest", 2, err)
 	}
 
 	mons := make([]*hil.Monitor, spec.Total())
@@ -156,36 +164,27 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	opts := campaign.Options{
-		Workers: *workers,
-		Ordered: true, // flight log prints in flight order
-	}
+	// Ordered delivery keeps the flight log in flight order.
+	opts := cf.Options("fieldtest")
 	var drifts []float64
 	opts.OnResult = func(ru campaign.Run, r scenario.Result) {
 		drifts = append(drifts, r.MaxGPSDrift)
 		fmt.Printf("  flight %2d map%d sc%d: %-12s landErr=%.2fm drift=%.2fm\n",
 			ru.Rep, ru.MapIdx, ru.ScenarioIdx, r.Outcome, r.LandingError, r.MaxGPSDrift)
 	}
-	if *checkpoint != "" {
-		j, err := campaign.OpenJournal(*checkpoint, spec)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "fieldtest:", err)
-			os.Exit(1)
-		}
+	j, err := cf.OpenCheckpoint(spec)
+	if err != nil {
+		cliutil.Fatal("fieldtest", 1, err)
+	}
+	if j != nil {
 		defer j.Close()
-		if done := j.Len(); done > 0 {
-			fmt.Printf("checkpoint %s: resuming — %d/%d flights already flown (replayed below)\n",
-				*checkpoint, done, spec.Total())
-		}
 		opts.Checkpoint = j
 	}
 
 	report, err := campaign.Execute(ctx, spec, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fieldtest:", err)
-		if *checkpoint != "" && ctx.Err() != nil {
-			fmt.Fprintf(os.Stderr, "fieldtest: flown flights are journaled in %s — rerun the same command to resume\n", *checkpoint)
-		}
+		cf.CheckpointHint("fieldtest", ctx.Err() != nil)
 		os.Exit(1)
 	}
 
@@ -224,7 +223,7 @@ func main() {
 	}
 
 	fmt.Println("\nReal-world results (paper §V-C)")
-	if *pipeline {
+	if cf.Pipeline {
 		ps := scenario.ReadPipelineStats()
 		fmt.Printf("  %s\n", telemetry.OverlapSummary(ps.StageBusy, ps.Stall, ps.Wall))
 	}
@@ -256,15 +255,9 @@ func main() {
 	}
 
 	if activeShard != nil {
-		path := *out
-		if path == "" {
-			path = fmt.Sprintf("fieldtest-shard-%d-of-%d.json", activeShard.Index+1, activeShard.Count)
+		if err := cf.WriteShardOut("fieldtest", activeShard, report); err != nil {
+			cliutil.Fatal("fieldtest", 1, err)
 		}
-		if err := campaign.WriteShardResult(path, activeShard.Result(report)); err != nil {
-			fmt.Fprintln(os.Stderr, "fieldtest:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("\nshard aggregates written to %s — combine with: fieldtest -merge <all shard files>\n", path)
 	}
 
 	if *resources {

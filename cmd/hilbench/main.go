@@ -26,12 +26,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"runtime"
-	"strings"
 
 	"repro/internal/campaign"
+	"repro/internal/cliutil"
 	"repro/internal/core"
-	"repro/internal/fault"
 	"repro/internal/hil"
 	"repro/internal/scenario"
 	"repro/internal/telemetry"
@@ -43,19 +41,21 @@ func main() {
 	scenarios := flag.Int("scenarios", worldgen.NumScenariosPerMap, "scenarios per map (1-10)")
 	repeats := flag.Int("repeats", 1, "sensor-seed repetitions per scenario")
 	mode := flag.String("mode", "maxn", "power mode: maxn or 5w")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel run workers (1 = sequential)")
+	cf := cliutil.Register(flag.CommandLine)
 	verbose := flag.Bool("v", false, "print per-run results")
-	checkpoint := flag.String("checkpoint", "", "journal file for crash-safe resume (rerun the same command to continue)")
-	shard := flag.String("shard", "", "run one shard of the campaign, as i/n (e.g. 2/4)")
-	out := flag.String("out", "", "shard aggregate output file (default hilbench-shard-<i>-of-<n>.json)")
-	merge := flag.Bool("merge", false, "merge shard result files given as arguments and print the tables")
-	pipeline := flag.Bool("pipeline", false, "run perception on a concurrent stage (tick-stamped delivery; sense-to-act latency emerges from stage cost)")
-	faults := flag.String("faults", "", "fault plan: a preset ("+strings.Join(fault.Presets(), ", ")+") or a spec like \"gps-drift@20+30:mag=0.5;depth-dropout@10+15\"")
-	fastMode := flag.Bool("fast", false, "fast engine mode: tolerance-verified approximate kernels (not valid for bit-identity comparisons against exact-engine digests)")
 	flag.Parse()
+	if err := cf.Validate(); err != nil {
+		cliutil.Fatal("hilbench", 2, err)
+	}
 
-	if *merge {
+	if cf.Merge {
 		mergeMain(flag.Args())
+		return
+	}
+	if cf.Join != "" {
+		// A worker needs no spec of its own: leases carry the campaign and
+		// name the run-configuration profile to apply.
+		cf.Distributed("hilbench", campaign.Spec{}, "")
 		return
 	}
 
@@ -65,12 +65,14 @@ func main() {
 	}
 
 	profile := hil.JetsonNanoMAXN()
+	coordProfile := "hil-maxn"
 	if *mode == "5w" {
 		profile = hil.JetsonNano5W()
+		coordProfile = "hil-5w"
 	}
 	costs := hil.NanoCosts()
 	plan := hil.DerivePlan(profile, costs)
-	if *pipeline {
+	if cf.Pipeline {
 		plan = hil.DerivePipelinedPlan(profile, costs)
 	}
 
@@ -78,22 +80,21 @@ func main() {
 	fmt.Printf("  detect period %.2fs (SIL %.2fs), replan interval %.2fs (SIL 0.60s), latency %d ticks\n",
 		plan.Timing.DetectPeriod, scenario.SILTiming().DetectPeriod,
 		plan.ReplanInterval, plan.Timing.CommandLatencyTicks)
-	if *pipeline {
+	if cf.Pipeline {
 		fmt.Printf("  pipelined perception: on — emergent delivery latency %d ticks (from %s stage cost)\n",
 			plan.Timing.PipelineLatencyTicks, profile.Name)
 	}
 	// The fault plan rides the HIL timing profile into the campaign — the
 	// comms-blackout kind models exactly this tier's link-loss mode.
-	faultPlan, err := fault.ParsePlan(*faults)
+	faultPlan, err := cf.FaultPlan()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "hilbench:", err)
-		os.Exit(2)
+		cliutil.Fatal("hilbench", 2, err)
 	}
 	plan.Timing.Faults = faultPlan
 	if faultPlan.Active() {
 		fmt.Printf("  fault plan: %s\n", faultPlan)
 	}
-	if *fastMode {
+	if cf.Fast {
 		// WithFast preserves the latency the derived plan already carries
 		// (the emergent -pipeline delivery ticks). Fast digests are only
 		// comparable to other fast digests — see silbench -verify-fast for
@@ -116,15 +117,19 @@ func main() {
 		},
 	}
 
-	var activeShard *campaign.Shard
-	if *shard != "" {
-		sh, sub, err := campaign.ParseShardFlag(spec, *shard)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "hilbench:", err)
-			os.Exit(2)
+	// Fleet mode: workers resolve the named profile to the same
+	// replan/guard cadences this process would apply locally.
+	if aggs, handled := cf.Distributed("hilbench", spec, coordProfile); handled {
+		if agg := aggs[core.V3]; agg != nil {
+			printTableIII(*agg)
+			fmt.Println("(resource series live on the worker machines)")
 		}
-		activeShard, spec = sh, sub
-		fmt.Printf("shard %d/%d: runs [%d,%d) of %d\n\n", sh.Index+1, sh.Count, sh.Start, sh.End, sh.Total)
+		return
+	}
+
+	activeShard, spec, err := cf.ApplyShard("hilbench", spec)
+	if err != nil {
+		cliutil.Fatal("hilbench", 2, err)
 	}
 
 	// One monitor per run, attached by the configure hook; workers write
@@ -140,7 +145,7 @@ func main() {
 		cfg.Observer = mon
 	}
 
-	opts := campaign.Options{Workers: *workers, Ordered: true}
+	opts := cf.Options("hilbench")
 	if *verbose {
 		opts.OnResult = func(ru campaign.Run, r scenario.Result) {
 			fmt.Printf("  map%d sc%d rep%d: %s (%.1fs)\n",
@@ -151,26 +156,19 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	if *checkpoint != "" {
-		j, err := campaign.OpenJournal(*checkpoint, spec)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "hilbench:", err)
-			os.Exit(1)
-		}
+	j, err := cf.OpenCheckpoint(spec)
+	if err != nil {
+		cliutil.Fatal("hilbench", 1, err)
+	}
+	if j != nil {
 		defer j.Close()
-		if done := j.Len(); done > 0 {
-			fmt.Printf("checkpoint %s: resuming with %d/%d runs already on record\n",
-				*checkpoint, done, spec.Total())
-		}
 		opts.Checkpoint = j
 	}
 
 	report, err := campaign.Execute(ctx, spec, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hilbench:", err)
-		if *checkpoint != "" && ctx.Err() != nil {
-			fmt.Fprintf(os.Stderr, "hilbench: progress is journaled in %s — rerun the same command to resume\n", *checkpoint)
-		}
+		cf.CheckpointHint("hilbench", ctx.Err() != nil)
 		os.Exit(1)
 	}
 
@@ -195,7 +193,7 @@ func main() {
 	hits, misses, resident := worldgen.Shared.Stats()
 	fmt.Printf("world cache: %d hits / %d generations, %d worlds resident\n",
 		hits, misses, resident)
-	if *pipeline {
+	if cf.Pipeline {
 		ps := scenario.ReadPipelineStats()
 		fmt.Printf("%s (%d runs, %d perception batches)\n",
 			telemetry.OverlapSummary(ps.StageBusy, ps.Stall, ps.Wall), ps.Runs, ps.Batches)
@@ -247,15 +245,9 @@ func main() {
 		100*agg.FalseNegativeRate, agg.MeanLandingError)
 
 	if activeShard != nil {
-		path := *out
-		if path == "" {
-			path = fmt.Sprintf("hilbench-shard-%d-of-%d.json", activeShard.Index+1, activeShard.Count)
+		if err := cf.WriteShardOut("hilbench", activeShard, report); err != nil {
+			cliutil.Fatal("hilbench", 1, err)
 		}
-		if err := campaign.WriteShardResult(path, activeShard.Result(report)); err != nil {
-			fmt.Fprintln(os.Stderr, "hilbench:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("\nshard aggregates written to %s — combine with: hilbench -merge <all shard files>\n", path)
 	}
 }
 

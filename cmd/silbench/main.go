@@ -36,12 +36,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"runtime"
 	"sort"
-	"strings"
-	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/scenario"
@@ -54,40 +52,34 @@ func main() {
 	scenarios := flag.Int("scenarios", worldgen.NumScenariosPerMap, "scenarios per map (1-10)")
 	repeats := flag.Int("repeats", 3, "sensor-seed repetitions per scenario (paper: 3)")
 	gens := flag.String("systems", "1,2,3", "comma-separated system generations to run")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel run workers (1 = sequential)")
-	progress := flag.Bool("progress", false, "print campaign progress with ETA to stderr")
+	cf := cliutil.Register(flag.CommandLine)
 	verbose := flag.Bool("v", false, "print per-run results")
-	checkpoint := flag.String("checkpoint", "", "journal file for crash-safe resume (rerun the same command to continue)")
-	shard := flag.String("shard", "", "run one shard of the campaign, as i/n (e.g. 2/4)")
-	out := flag.String("out", "", "shard aggregate output file (default silbench-shard-<i>-of-<n>.json)")
-	merge := flag.Bool("merge", false, "merge shard result files given as arguments and print the tables")
-	pipeline := flag.Bool("pipeline", false, "run perception on a concurrent stage (tick-stamped delivery; sense-to-act latency emerges from stage cost)")
 	pipelineLag := flag.Int("pipeline-lag", 1, "with -pipeline: apply perception results k control ticks after capture (0 = synchronous, bit-identical to inline)")
-	faults := flag.String("faults", "", "fault plan: a preset ("+strings.Join(fault.Presets(), ", ")+") or a spec like \"gps-drift@20+30:mag=0.5;depth-dropout@10+15\"")
 	faultSweep := flag.Bool("fault-sweep", false, "run the grid nominal plus once per fault preset and print the dependability table")
-	fastMode := flag.Bool("fast", false, "fast engine mode: tolerance-verified approximate kernels (not valid for bit-identity comparisons against exact-engine digests)")
 	verifyFast := flag.Bool("verify-fast", false, "fly the A/B equivalence sweeps (exact vs fast engine) and print the tolerance report; exits nonzero on a contract violation")
 	verifyShort := flag.Bool("verify-short", false, "with -verify-fast: trim the sweeps for a quick CI pass")
 	flag.Parse()
+	if err := cf.Validate(); err != nil {
+		cliutil.Fatal("silbench", 2, err)
+	}
 
-	if *merge {
+	if cf.Merge {
 		mergeMain(flag.Args())
 		return
 	}
+	if cf.Join != "" {
+		// A worker needs no spec of its own: leases carry the campaign.
+		cf.Distributed("silbench", campaign.Spec{}, "")
+		return
+	}
 	if *verifyFast {
-		if *workers < 1 {
-			*workers = runtime.GOMAXPROCS(0)
-		}
-		verifyFastMain(*workers, *verifyShort, *progress)
+		verifyFastMain(cf.Workers, *verifyShort, cf.Progress)
 		return
 	}
 
 	if *maps < 1 || *maps > 10 || *scenarios < 1 || *scenarios > worldgen.NumScenariosPerMap {
 		fmt.Fprintln(os.Stderr, "silbench: -maps must be 1-10 and -scenarios 1-10")
 		os.Exit(2)
-	}
-	if *workers < 1 {
-		*workers = runtime.GOMAXPROCS(0)
 	}
 
 	var selected []core.Generation
@@ -114,13 +106,13 @@ func main() {
 		Generations: selected,
 		Timing:      scenario.SILTiming(),
 	}
-	if *pipeline {
+	if cf.Pipeline {
 		// The knob lives on Timing, so shards and checkpoint journals below
 		// bind to the pipelined profile automatically.
 		spec.Timing.Pipeline = scenario.PipelineOn
 		spec.Timing.PipelineLatencyTicks = *pipelineLag
 	}
-	if *fastMode {
+	if cf.Fast {
 		// WithFast preserves a caller-set pipeline latency, so -fast
 		// composes with -pipeline/-pipeline-lag. Fast digests are only
 		// comparable to other fast digests: the mode trades bit-identity
@@ -129,28 +121,37 @@ func main() {
 	}
 	// The fault plan lives on Timing too: checkpoints and shards bind to
 	// it, and an empty plan is bit-identical to a nominal sweep.
-	plan, err := fault.ParsePlan(*faults)
+	plan, err := cf.FaultPlan()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "silbench:", err)
-		os.Exit(2)
+		cliutil.Fatal("silbench", 2, err)
 	}
 	spec.Timing.Faults = plan
 
 	if *faultSweep {
-		if *shard != "" || *checkpoint != "" || plan.Active() {
+		if cf.Shard != "" || cf.Checkpoint != "" || plan.Active() {
 			fmt.Fprintln(os.Stderr, "silbench: -fault-sweep runs its own campaigns; drop -shard/-checkpoint/-faults")
 			os.Exit(2)
 		}
-		faultSweepMain(spec, selected, *workers)
+		faultSweepMain(spec, selected, cf.Workers)
+		return
+	}
+
+	// Fleet mode: -serve dispatches this exact spec to joining workers and
+	// prints the same tables from the digest-verified merge.
+	if aggs, handled := cf.Distributed("silbench", spec, ""); handled {
+		if aggs != nil {
+			printTables(selected, aggs)
+			printDependability(selected, aggs)
+		}
 		return
 	}
 
 	fmt.Printf("SIL benchmark: %d maps x %d scenarios x %d repeats x %d systems = %d runs on %d workers\n",
-		*maps, *scenarios, *repeats, len(selected), spec.Total(), *workers)
-	if *pipeline {
+		*maps, *scenarios, *repeats, len(selected), spec.Total(), cf.Workers)
+	if cf.Pipeline {
 		fmt.Printf("pipelined perception: on, delivery latency %d ticks\n", *pipelineLag)
 	}
-	if *fastMode {
+	if cf.Fast {
 		fmt.Printf("fast engine mode: on (perception lag %d ticks, plan lag %d ticks; digests comparable to fast runs only)\n",
 			spec.Timing.PipelineLatencyTicks, spec.Timing.PlanLatencyTicks)
 	}
@@ -159,38 +160,20 @@ func main() {
 	}
 
 	// Sharded execution replaces the full grid with one contiguous slice.
-	var activeShard *campaign.Shard
-	if *shard != "" {
-		sh, sub, err := campaign.ParseShardFlag(spec, *shard)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "silbench:", err)
-			os.Exit(2)
-		}
-		activeShard, spec = sh, sub
-		fmt.Printf("shard %d/%d: runs [%d,%d) of %d\n", sh.Index+1, sh.Count, sh.Start, sh.End, sh.Total)
+	activeShard, spec, err := cf.ApplyShard("silbench", spec)
+	if err != nil {
+		cliutil.Fatal("silbench", 2, err)
 	}
-	fmt.Println()
+	if activeShard == nil {
+		fmt.Println()
+	}
 
-	opts := campaign.Options{
-		Workers: *workers,
-		// Ordered delivery keeps -v output in the exact sequential order.
-		Ordered: true,
-	}
+	// Ordered delivery keeps -v output in the exact sequential order.
+	opts := cf.Options("silbench")
 	if *verbose {
 		opts.OnResult = func(ru campaign.Run, r scenario.Result) {
 			fmt.Printf("  %s map%d sc%d rep%d: %s (%.1fs)\n",
 				ru.Gen, ru.MapIdx, ru.ScenarioIdx, ru.Rep, r.Outcome, r.Duration)
-		}
-	}
-	if *progress {
-		lastTick := time.Time{}
-		opts.OnProgress = func(p campaign.Progress) {
-			if time.Since(lastTick) < 2*time.Second && p.Done != p.Total {
-				return
-			}
-			lastTick = time.Now()
-			fmt.Fprintf(os.Stderr, "silbench: %d/%d runs, elapsed %s, ETA %s\n",
-				p.Done, p.Total, p.Elapsed.Round(time.Second), p.ETA.Round(time.Second))
 		}
 	}
 
@@ -198,26 +181,19 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	if *checkpoint != "" {
-		j, err := campaign.OpenJournal(*checkpoint, spec)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "silbench:", err)
-			os.Exit(1)
-		}
+	j, err := cf.OpenCheckpoint(spec)
+	if err != nil {
+		cliutil.Fatal("silbench", 1, err)
+	}
+	if j != nil {
 		defer j.Close()
-		if done := j.Len(); done > 0 {
-			fmt.Printf("checkpoint %s: resuming with %d/%d runs already on record\n",
-				*checkpoint, done, spec.Total())
-		}
 		opts.Checkpoint = j
 	}
 
 	report, err := campaign.Execute(ctx, spec, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "silbench:", err)
-		if *checkpoint != "" && ctx.Err() != nil {
-			fmt.Fprintf(os.Stderr, "silbench: progress is journaled in %s — rerun the same command to resume\n", *checkpoint)
-		}
+		cf.CheckpointHint("silbench", ctx.Err() != nil)
 		os.Exit(1)
 	}
 
@@ -226,7 +202,7 @@ func main() {
 	hits, misses, resident := worldgen.Shared.Stats()
 	fmt.Printf("world cache: %d hits / %d generations, %d worlds resident\n",
 		hits, misses, resident)
-	if *pipeline || *fastMode {
+	if cf.Pipeline || cf.Fast {
 		ps := scenario.ReadPipelineStats()
 		fmt.Printf("%s (%d runs, %d perception batches)\n",
 			telemetry.OverlapSummary(ps.StageBusy, ps.Stall, ps.Wall), ps.Runs, ps.Batches)
@@ -234,15 +210,9 @@ func main() {
 	fmt.Printf("aggregate digest: %s\n", report.Digest())
 
 	if activeShard != nil {
-		path := *out
-		if path == "" {
-			path = fmt.Sprintf("silbench-shard-%d-of-%d.json", activeShard.Index+1, activeShard.Count)
+		if err := cf.WriteShardOut("silbench", activeShard, report); err != nil {
+			cliutil.Fatal("silbench", 1, err)
 		}
-		if err := campaign.WriteShardResult(path, activeShard.Result(report)); err != nil {
-			fmt.Fprintln(os.Stderr, "silbench:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("shard aggregates written to %s — combine with: silbench -merge <all shard files>\n", path)
 	}
 	// Rows print in -systems order (a shard may cover only some of them).
 	printTables(selected, report.Aggregates)

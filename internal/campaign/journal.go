@@ -45,12 +45,9 @@ type journalHeader struct {
 	Total int    `json:"total"`
 }
 
-// journalEntry is one finished run.
-type journalEntry struct {
-	Index  int             `json:"i"`
-	Digest string          `json:"d"`
-	Result scenario.Result `json:"r"`
-}
+// A journal line after the header is one RunEntry (merge.go) — the same
+// wire shape a coordinator worker uploads, so streaming a journal to a
+// coordinator is a byte-for-byte replay of its entries.
 
 // Journal persists finished run indices and results for one campaign.
 // Methods are safe for concurrent use by campaign workers.
@@ -196,16 +193,13 @@ func (j *Journal) load() error {
 }
 
 // parseEntry decodes and integrity-checks one journal line.
-func parseEntry(line []byte, total int) (journalEntry, error) {
-	var e journalEntry
+func parseEntry(line []byte, total int) (RunEntry, error) {
+	var e RunEntry
 	if err := json.Unmarshal(line, &e); err != nil {
 		return e, fmt.Errorf("bad JSON: %v", err)
 	}
-	if e.Index < 0 || e.Index >= total {
-		return e, fmt.Errorf("run index %d out of range [0,%d)", e.Index, total)
-	}
-	if d := e.Result.Digest(); d != e.Digest {
-		return e, fmt.Errorf("run %d: digest mismatch (stored %s, computed %s)", e.Index, e.Digest, d)
+	if err := e.Verify(total); err != nil {
+		return e, err
 	}
 	return e, nil
 }
@@ -272,7 +266,7 @@ func (j *Journal) CompletedIndices() []int {
 // Append durably records one finished run: one write, one flush, one
 // fsync, so a crash can tear at most the line being appended.
 func (j *Journal) Append(ru Run, r scenario.Result) error {
-	line, err := json.Marshal(journalEntry{Index: ru.Index, Digest: r.Digest(), Result: r})
+	line, err := json.Marshal(RunEntry{Index: ru.Index, Digest: r.Digest(), Result: r})
 	if err != nil {
 		return fmt.Errorf("campaign: journal append: %w", err)
 	}

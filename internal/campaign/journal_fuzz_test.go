@@ -53,7 +53,7 @@ func FuzzJournalEntry(f *testing.F) {
 // marshalEntry builds a valid journal line the way Append does, so the
 // fuzz seed exercises the accept path too.
 func marshalEntry(i int, r scenario.Result) ([]byte, error) {
-	return json.Marshal(journalEntry{Index: i, Digest: r.Digest(), Result: r})
+	return json.Marshal(RunEntry{Index: i, Digest: r.Digest(), Result: r})
 }
 
 // FuzzJournalLoad feeds arbitrary file contents to OpenJournal: whatever

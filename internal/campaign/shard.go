@@ -101,20 +101,32 @@ func (sh Shard) ToSpec() (Spec, error) {
 	if len(sh.Runs) == 0 {
 		return Spec{}, fmt.Errorf("campaign: shard %d has no runs", sh.Index)
 	}
-	cells := make([]Cell, len(sh.Runs))
-	seeds := make(map[Cell]int64, len(sh.Runs))
-	for i, ru := range sh.Runs {
+	return RunsSpec(sh.Runs, sh.Timing), nil
+}
+
+// RunsSpec builds an executable sub-campaign Spec from resolved runs plus
+// a timing profile — the shared core of Shard.ToSpec and the coordinator
+// lease format. Seeds are restored from the runs by value (not
+// re-derived), so the sub-spec executes identically even when the
+// originating Spec used a custom Seed function. The runs' canonical
+// Index values are NOT preserved: the sub-spec re-enumerates from 0, and
+// callers that need canonical indices must map back through the run list
+// they passed in.
+func RunsSpec(runs []Run, timing scenario.Timing) Spec {
+	cells := make([]Cell, len(runs))
+	seeds := make(map[Cell]int64, len(runs))
+	for i, ru := range runs {
 		cells[i] = ru.Cell
 		seeds[ru.Cell] = ru.Seed
 	}
 	return Spec{
 		Cells:  cells,
-		Timing: sh.Timing,
+		Timing: timing,
 		// Seed is always a pure function of the cell (the canonical
 		// GridSeed or the originating custom Seed func), so a by-cell
 		// lookup reproduces it faithfully.
 		Seed: func(c Cell) int64 { return seeds[c] },
-	}, nil
+	}
 }
 
 // ShardResult is the persisted outcome of one executed shard — the other

@@ -1,0 +1,169 @@
+// Package cliutil is the shared command-line layer of the bench tools.
+// silbench, hilbench, fieldtest and campaignd all run the same campaign
+// machinery, so the campaign flag soup (-workers, -progress, -checkpoint,
+// -shard/-out/-merge, -pipeline, -faults, -fast) and the distributed
+// campaign entry points (-serve, -join) are defined once here; each cmd
+// keeps only the flags that are genuinely its own (grid dimensions,
+// power modes, report selection).
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/fault"
+)
+
+// CampaignFlags bundles the flags every campaign tool shares.
+type CampaignFlags struct {
+	Workers    int
+	Progress   bool
+	Checkpoint string
+	Shard      string
+	Out        string
+	Merge      bool
+	Pipeline   bool
+	Faults     string
+	Fast       bool
+
+	// Distributed-campaign mode (see distributed.go).
+	Serve      string
+	Join       string
+	WorkerName string
+	LeaseTTL   time.Duration
+}
+
+// Register installs the shared campaign flags on fs (normally
+// flag.CommandLine) and returns the bundle they fill.
+func Register(fs *flag.FlagSet) *CampaignFlags {
+	f := &CampaignFlags{}
+	fs.IntVar(&f.Workers, "workers", runtime.GOMAXPROCS(0), "parallel run workers (1 = sequential)")
+	fs.BoolVar(&f.Progress, "progress", false, "print campaign progress with ETA to stderr")
+	fs.StringVar(&f.Checkpoint, "checkpoint", "",
+		"journal file for crash-safe resume (rerun the same command to continue); with -join: a journal directory")
+	fs.StringVar(&f.Shard, "shard", "", "run one shard of the campaign, as i/n (e.g. 2/4)")
+	fs.StringVar(&f.Out, "out", "",
+		"shard aggregate output file (default <tool>-shard-<i>-of-<n>.json); with -serve: the merged campaign result file")
+	fs.BoolVar(&f.Merge, "merge", false, "merge shard result files given as arguments and print the tables")
+	fs.BoolVar(&f.Pipeline, "pipeline", false,
+		"run perception on a concurrent stage (tick-stamped delivery; sense-to-act latency emerges from stage cost)")
+	fs.StringVar(&f.Faults, "faults", "",
+		"fault plan: a preset ("+strings.Join(fault.Presets(), ", ")+") or a spec like \"gps-drift@20+30:mag=0.5;depth-dropout@10+15\"")
+	fs.BoolVar(&f.Fast, "fast", false,
+		"fast engine mode: tolerance-verified approximate kernels (not valid for bit-identity comparisons against exact-engine digests)")
+	fs.StringVar(&f.Serve, "serve", "",
+		"serve this campaign as a fleet coordinator on this address (e.g. :9131) instead of executing locally")
+	fs.StringVar(&f.Join, "join", "",
+		"join the coordinator at this base URL (e.g. http://host:9131) as a worker; the coordinator defines the campaign, so grid flags are ignored")
+	fs.StringVar(&f.WorkerName, "name", "",
+		"worker name for -join (a stable name keeps cell-affinity history and lease journals across restarts; default host:pid)")
+	fs.DurationVar(&f.LeaseTTL, "lease-ttl", 30*time.Second,
+		"with -serve: how long a lease may miss heartbeats before it is re-dispatched")
+	return f
+}
+
+// Validate rejects flag combinations that cannot mean anything.
+func (f *CampaignFlags) Validate() error {
+	if f.Serve != "" && f.Join != "" {
+		return fmt.Errorf("-serve and -join are mutually exclusive (one process is either coordinator or worker)")
+	}
+	if f.Serve != "" && (f.Shard != "" || f.Merge) {
+		return fmt.Errorf("-serve dispatches the whole campaign; drop -shard/-merge")
+	}
+	if f.Join != "" && (f.Shard != "" || f.Merge) {
+		return fmt.Errorf("-join takes its work from the coordinator; drop -shard/-merge")
+	}
+	if f.Workers < 1 {
+		f.Workers = runtime.GOMAXPROCS(0)
+	}
+	return nil
+}
+
+// FaultPlan parses -faults.
+func (f *CampaignFlags) FaultPlan() (*fault.Plan, error) { return fault.ParsePlan(f.Faults) }
+
+// Options builds the engine options the shared flags describe: worker
+// count, ordered delivery, and (with -progress) a throttled ETA line on
+// stderr prefixed with the tool name.
+func (f *CampaignFlags) Options(tool string) campaign.Options {
+	opts := campaign.Options{Workers: f.Workers, Ordered: true}
+	if f.Progress {
+		lastTick := time.Time{}
+		opts.OnProgress = func(p campaign.Progress) {
+			if time.Since(lastTick) < 2*time.Second && p.Done != p.Total {
+				return
+			}
+			lastTick = time.Now()
+			fmt.Fprintf(os.Stderr, "%s: %d/%d runs, elapsed %s, ETA %s\n",
+				tool, p.Done, p.Total, p.Elapsed.Round(time.Second), p.ETA.Round(time.Second))
+		}
+	}
+	return opts
+}
+
+// ApplyShard resolves -shard against the full spec: it returns the
+// original spec untouched when the flag is unset, or the selected shard
+// plus its executable sub-spec (printing the standard range banner).
+func (f *CampaignFlags) ApplyShard(tool string, spec campaign.Spec) (*campaign.Shard, campaign.Spec, error) {
+	if f.Shard == "" {
+		return nil, spec, nil
+	}
+	sh, sub, err := campaign.ParseShardFlag(spec, f.Shard)
+	if err != nil {
+		return nil, spec, err
+	}
+	fmt.Printf("shard %d/%d: runs [%d,%d) of %d\n\n", sh.Index+1, sh.Count, sh.Start, sh.End, sh.Total)
+	return sh, sub, nil
+}
+
+// OpenCheckpoint opens -checkpoint for the spec (nil when unset),
+// printing the standard resume banner when the journal already holds
+// finished runs.
+func (f *CampaignFlags) OpenCheckpoint(spec campaign.Spec) (*campaign.Journal, error) {
+	if f.Checkpoint == "" {
+		return nil, nil
+	}
+	j, err := campaign.OpenJournal(f.Checkpoint, spec)
+	if err != nil {
+		return nil, err
+	}
+	if done := j.Len(); done > 0 {
+		fmt.Printf("checkpoint %s: resuming with %d/%d runs already on record\n",
+			f.Checkpoint, done, spec.Total())
+	}
+	return j, nil
+}
+
+// CheckpointHint prints the rerun-to-resume hint after an interrupted
+// campaign.
+func (f *CampaignFlags) CheckpointHint(tool string, interrupted bool) {
+	if f.Checkpoint != "" && interrupted {
+		fmt.Fprintf(os.Stderr, "%s: progress is journaled in %s — rerun the same command to resume\n",
+			tool, f.Checkpoint)
+	}
+}
+
+// WriteShardOut persists an executed shard's aggregates to -out (or the
+// tool's default name) and prints the merge hint.
+func (f *CampaignFlags) WriteShardOut(tool string, sh *campaign.Shard, rep *campaign.Report) error {
+	path := f.Out
+	if path == "" {
+		path = fmt.Sprintf("%s-shard-%d-of-%d.json", tool, sh.Index+1, sh.Count)
+	}
+	if err := campaign.WriteShardResult(path, sh.Result(rep)); err != nil {
+		return err
+	}
+	fmt.Printf("\nshard aggregates written to %s — combine with: %s -merge <all shard files>\n", path, tool)
+	return nil
+}
+
+// Fatal prints a tool-prefixed error and exits with the given code.
+func Fatal(tool string, code int, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(code)
+}

@@ -1,0 +1,180 @@
+package cliutil
+
+import (
+	"context"
+	"flag"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+func testSpec() campaign.Spec {
+	return campaign.Spec{
+		Maps:        campaign.Range(4),
+		Scenarios:   campaign.Range(2),
+		Repeats:     1,
+		Generations: []core.Generation{core.V1},
+		Timing:      scenario.SILTiming(),
+	}
+}
+
+func parse(t *testing.T, args ...string) *CampaignFlags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestRegisterAndValidate(t *testing.T) {
+	f := parse(t, "-workers", "3", "-progress", "-fast", "-pipeline", "-faults", "gps-drift@20+30")
+	if f.Workers != 3 || !f.Progress || !f.Fast || !f.Pipeline {
+		t.Fatalf("flags not bound: %+v", f)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := f.FaultPlan()
+	if err != nil || plan == nil {
+		t.Fatalf("fault plan: %v, %v", plan, err)
+	}
+
+	// Zero workers falls back to GOMAXPROCS.
+	f = parse(t, "-workers", "0")
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Workers < 1 {
+		t.Fatalf("workers not defaulted: %d", f.Workers)
+	}
+
+	bad := [][]string{
+		{"-serve", ":9131", "-join", "http://x:9131"},
+		{"-serve", ":9131", "-shard", "1/2"},
+		{"-serve", ":9131", "-merge"},
+		{"-join", "http://x:9131", "-shard", "1/2"},
+		{"-join", "http://x:9131", "-merge"},
+	}
+	for _, args := range bad {
+		if err := parse(t, args...).Validate(); err == nil {
+			t.Errorf("Validate(%v): want error, got nil", args)
+		}
+	}
+}
+
+func TestOptionsCarriesWorkersAndProgress(t *testing.T) {
+	f := parse(t, "-workers", "2")
+	opts := f.Options("test")
+	if opts.Workers != 2 || !opts.Ordered || opts.OnProgress != nil {
+		t.Fatalf("options without -progress: %+v", opts)
+	}
+	f = parse(t, "-workers", "2", "-progress")
+	opts = f.Options("test")
+	if opts.OnProgress == nil {
+		t.Fatal("options with -progress: no OnProgress callback")
+	}
+	// The throttled callback must tolerate being driven directly.
+	opts.OnProgress(campaign.Progress{Done: 1, Total: 2})
+	opts.OnProgress(campaign.Progress{Done: 2, Total: 2})
+}
+
+func TestApplyShard(t *testing.T) {
+	spec := testSpec()
+
+	f := parse(t)
+	sh, sub, err := f.ApplyShard("test", spec)
+	if err != nil || sh != nil {
+		t.Fatalf("unset -shard: %v, %v", sh, err)
+	}
+	if sub.Total() != spec.Total() {
+		t.Fatalf("unset -shard changed the spec: %d != %d", sub.Total(), spec.Total())
+	}
+
+	f = parse(t, "-shard", "2/4")
+	sh, sub, err = f.ApplyShard("test", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Index != 1 || sh.Count != 4 {
+		t.Fatalf("shard selection: %+v", sh)
+	}
+	if sub.Total() >= spec.Total() || sub.Total() != sh.End-sh.Start {
+		t.Fatalf("sub-spec size %d for shard [%d,%d)", sub.Total(), sh.Start, sh.End)
+	}
+
+	f = parse(t, "-shard", "9/4")
+	if _, _, err := f.ApplyShard("test", spec); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+}
+
+func TestOpenCheckpointRoundTrip(t *testing.T) {
+	spec := testSpec()
+
+	f := parse(t)
+	j, err := f.OpenCheckpoint(spec)
+	if err != nil || j != nil {
+		t.Fatalf("unset -checkpoint: %v, %v", j, err)
+	}
+
+	path := filepath.Join(t.TempDir(), "test.ckpt")
+	f = parse(t, "-checkpoint", path)
+	j, err = f.OpenCheckpoint(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j == nil || j.Len() != 0 {
+		t.Fatalf("fresh journal: %v", j)
+	}
+	j.Close()
+
+	// Reopening binds to the same spec; a different grid must refuse.
+	j, err = f.OpenCheckpoint(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	other := spec
+	other.Repeats = 2
+	if _, err := f.OpenCheckpoint(other); err == nil {
+		t.Fatal("journal accepted a different campaign")
+	}
+
+	f.CheckpointHint("test", true)  // exercises the hint path
+	f.CheckpointHint("test", false) // and the silent one
+}
+
+func TestWriteShardOut(t *testing.T) {
+	spec := testSpec()
+	shards, err := spec.Shards(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := &shards[0]
+	sub, err := sh.ToSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := campaign.Execute(context.Background(), sub, campaign.Options{Workers: 2, Ordered: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "out.json")
+	f := parse(t, "-out", path)
+	if err := f.WriteShardOut("test", sh, rep); err != nil {
+		t.Fatal(err)
+	}
+	res, err := campaign.ReadShardResult(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Start != sh.Start || res.End != sh.End || res.Sig == "" {
+		t.Fatalf("shard result round-trip: %+v", res)
+	}
+}

@@ -1,0 +1,165 @@
+package coord
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/hil"
+	"repro/internal/scenario"
+)
+
+// The loopback suite runs the real distributed stack — coordinator and
+// workers in one process over 127.0.0.1, real engine, real HTTP — and
+// holds it to the repo's core invariant: a fleet-merged campaign is
+// bit-identical to an uninterrupted single-machine run, even with a
+// worker killed mid-lease. These tests fly full closed-loop missions, so
+// they are trimmed out of -short CI (the loopback smoke job covers the
+// path there).
+
+// TestLoopbackFleetDigestIdentity is the at-least-once proof: 4 workers,
+// one rigged to die mid-lease without uploading; the lease expires,
+// re-dispatches, and the merged digest still equals the direct run's.
+func TestLoopbackFleetDigestIdentity(t *testing.T) {
+	spec := campaign.Spec{
+		Maps:        campaign.Range(3),
+		Scenarios:   []int{0, 5},
+		Repeats:     2,
+		Generations: []core.Generation{core.V1},
+		Timing:      scenario.SILTiming(),
+	}
+	direct, err := campaign.Execute(context.Background(), spec, campaign.Options{Workers: 4, Ordered: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := NewCoordinator(Config{
+		Spec:     spec,
+		LeaseTTL: time.Second,
+		MaxLease: 4, // several leases, so losing one matters
+		Log:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// The chaos worker goes first, alone, so it is guaranteed a lease; it
+	// dies after one run with its results journaled but never uploaded.
+	chaosDir := t.TempDir()
+	_, err = Work(ctx, WorkerOptions{
+		Addr: srv.URL, Name: "chaos", CheckpointDir: chaosDir,
+		PollInterval: 20 * time.Millisecond, FlushEvery: 64, DieAfterRuns: 1,
+	})
+	if !errors.Is(err, errChaosDeath) {
+		t.Fatalf("chaos worker: err = %v, want chaos death", err)
+	}
+	if left, _ := filepath.Glob(filepath.Join(chaosDir, "lease-*.journal")); len(left) == 0 {
+		t.Fatal("dead worker should leave its lease journal behind")
+	}
+
+	// Three survivors drain the campaign, re-flying the lost range once
+	// the coordinator expires the dead worker's lease.
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = Work(ctx, WorkerOptions{
+				Addr: srv.URL, Name: []string{"w0", "w1", "w2"}[i],
+				CheckpointDir: t.TempDir(),
+				PollInterval:  20 * time.Millisecond, FlushEvery: 2,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+
+	select {
+	case <-c.Done():
+	default:
+		t.Fatal("workers exited but the campaign is not complete")
+	}
+	st := c.Status()
+	if st.Expired < 1 {
+		t.Fatalf("expected the chaos worker's lease to expire, status %+v", st)
+	}
+	if got, want := c.Digest(), direct.Digest(); got != want {
+		t.Fatalf("fleet digest %s != direct digest %s", got, want)
+	}
+	sh := c.ShardResult()
+	if sh.Total != spec.Total() || sh.Sig != c.merger.Sig() {
+		t.Fatalf("shard result %+v inconsistent with campaign", sh)
+	}
+	// The -out artifact round-trips through the existing -merge path.
+	merged, err := campaign.MergeShards([]*campaign.ShardResult{sh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := campaign.AggregatesDigest(merged); d != direct.Digest() {
+		t.Fatalf("merged shard digest %s != direct %s", d, direct.Digest())
+	}
+}
+
+// TestLoopbackFleetProfile round-trips a named run-configuration profile:
+// the coordinator ships only the profile name, the worker resolves it to
+// the same Configure hook a local hilbench run installs, and the digests
+// agree.
+func TestLoopbackFleetProfile(t *testing.T) {
+	plan := hil.DerivePlan(hil.JetsonNanoMAXN(), hil.NanoCosts())
+	spec := campaign.Spec{
+		Maps:        campaign.Range(1),
+		Scenarios:   campaign.Range(2),
+		Repeats:     1,
+		Generations: []core.Generation{core.V3},
+		Timing:      plan.Timing,
+		Seed: func(c campaign.Cell) int64 {
+			return int64(c.MapIdx)*1_000_003 + int64(c.ScenarioIdx)*9_176 + int64(c.Rep)*77_711 + 300
+		},
+	}
+
+	directSpec := spec
+	fn, err := ResolveProfile("hil-maxn", spec.Timing.Canonical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	directSpec.Configure = fn
+	direct, err := campaign.Execute(context.Background(), directSpec, campaign.Options{Workers: 2, Ordered: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := NewCoordinator(Config{Spec: spec, Profile: "hil-maxn", LeaseTTL: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if _, err := Work(ctx, WorkerOptions{
+		Addr: srv.URL, Name: "w0", EngineWorkers: 2, PollInterval: 20 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := c.Digest(), direct.Digest(); got != want {
+		t.Fatalf("profile fleet digest %s != direct digest %s", got, want)
+	}
+}

@@ -1,0 +1,130 @@
+package coord
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/hil"
+	"repro/internal/scenario"
+	"repro/internal/worldgen"
+)
+
+// Run-configuration profiles: the one piece of a campaign that cannot
+// travel the wire. A Spec's Timing, cells and seeds serialize into a
+// lease, but its Configure hook is a function — hilbench stretches replan
+// cadences to the Jetson budget, fieldtest floors the weather and raises
+// the spurious-depth rate — and those hooks CHANGE RESULTS, so a worker
+// that skipped them would compute digests that never match the
+// coordinator's reference. Leases therefore carry a profile *name*, and
+// both sides resolve it through this registry; the worker rebuilds the
+// exact hook from the name plus the lease's timing.
+//
+// Observation-only configuration (resource monitors, observers) is
+// deliberately NOT part of a profile: like the file-based shard flow,
+// resource series live on the machines that executed the runs.
+
+// ConfigureFunc mirrors campaign.Spec.Configure.
+type ConfigureFunc = func(campaign.Run, *worldgen.Scenario, *core.System, *scenario.RunConfig)
+
+// ProfileFunc builds the per-run configure hook for a lease, given the
+// lease's timing (pipeline mode rides the timing, and the derived plan
+// depends on it).
+type ProfileFunc func(timing scenario.Timing) ConfigureFunc
+
+var (
+	profileMu sync.RWMutex
+	profiles  = map[string]ProfileFunc{}
+)
+
+// RegisterProfile adds a named profile; both coordinator and worker
+// binaries must register the same names (the built-ins below cover the
+// three bench tools). Registering an existing name panics — silent
+// replacement would let two binaries disagree about what a name means.
+func RegisterProfile(name string, f ProfileFunc) {
+	profileMu.Lock()
+	defer profileMu.Unlock()
+	if name == "" || f == nil {
+		panic("coord: RegisterProfile needs a name and a func")
+	}
+	if _, dup := profiles[name]; dup {
+		panic("coord: profile " + name + " registered twice")
+	}
+	profiles[name] = f
+}
+
+// ResolveProfile returns the configure hook for a lease, or nil for the
+// empty profile (plain grid runs). An unknown name is an error: executing
+// the lease without its hook would produce wrong-but-plausible results.
+func ResolveProfile(name string, timing scenario.Timing) (ConfigureFunc, error) {
+	if name == "" {
+		return nil, nil
+	}
+	profileMu.RLock()
+	f := profiles[name]
+	profileMu.RUnlock()
+	if f == nil {
+		return nil, fmt.Errorf("coord: unknown profile %q (known: %v) — worker build too old?", name, ProfileNames())
+	}
+	return f(timing), nil
+}
+
+// ProfileNames lists the registered profiles, sorted.
+func ProfileNames() []string {
+	profileMu.RLock()
+	defer profileMu.RUnlock()
+	names := make([]string, 0, len(profiles))
+	for n := range profiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	// The three bench tools' run configurations, exactly as their cmds
+	// apply them locally.
+	RegisterProfile("hil-maxn", hilProfile(hil.JetsonNanoMAXN, hil.NanoCosts))
+	RegisterProfile("hil-5w", hilProfile(hil.JetsonNano5W, hil.NanoCosts))
+	RegisterProfile("field", fieldProfile)
+}
+
+// hilProfile reproduces cmd/hilbench's configure hook: replan and guard
+// cadences from the compute-budget plan (pipelined when the lease timing
+// says so).
+func hilProfile(profile func() hil.Profile, costs func() hil.ModuleCosts) ProfileFunc {
+	return func(timing scenario.Timing) ConfigureFunc {
+		plan := hil.DerivePlan(profile(), costs())
+		if timing.Pipeline == scenario.PipelineOn {
+			plan = hil.DerivePipelinedPlan(profile(), costs())
+		}
+		return func(_ campaign.Run, _ *worldgen.Scenario, sys *core.System, _ *scenario.RunConfig) {
+			sys.SetReplanInterval(plan.ReplanInterval)
+			sys.SetGuardInterval(plan.GuardInterval)
+		}
+	}
+}
+
+// fieldProfile reproduces cmd/fieldtest's configure hook: the field
+// plan's cadences plus the real-world degradations — weather floors (GPS
+// drift despite healthy DOP, ground-effect gusts) and the Fig. 5c
+// spurious-depth rate.
+func fieldProfile(timing scenario.Timing) ConfigureFunc {
+	plan := hil.DerivePlan(hil.JetsonNanoMAXN(), hil.FieldCosts())
+	if timing.Pipeline == scenario.PipelineOn {
+		plan = hil.DerivePipelinedPlan(hil.JetsonNanoMAXN(), hil.FieldCosts())
+	}
+	return func(_ campaign.Run, sc *worldgen.Scenario, sys *core.System, cfg *scenario.RunConfig) {
+		if sc.Weather.GPSDegradation < 0.5 {
+			sc.Weather.GPSDegradation = 0.5
+		}
+		if sc.Weather.GustStd < 1.0 {
+			sc.Weather.GustStd = 1.0
+		}
+		sys.SetReplanInterval(plan.ReplanInterval)
+		sys.SetGuardInterval(plan.GuardInterval)
+		cfg.ErroneousDepthRate = 0.04
+	}
+}

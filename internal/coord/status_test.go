@@ -1,0 +1,140 @@
+package coord
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/scenario"
+	"repro/internal/vision"
+	"repro/internal/worldgen"
+)
+
+// TestStatusEndpoint walks /v1/status through a campaign's life: fresh,
+// mid-lease with merged runs, and complete (digest published).
+func TestStatusEndpoint(t *testing.T) {
+	spec := rejectSpec(1) // 1 map x 2 scenarios x 1 repeat = 2 runs
+	c, srv := newTestCoordinator(t, Config{Spec: spec, MinLease: 2, MaxLease: 2})
+
+	getStatus := func() Status {
+		resp, err := http.Get(srv.URL + PathStatus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status endpoint: %s", resp.Status)
+		}
+		var st Status
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	st := getStatus()
+	if st.Total != 2 || st.Done != 0 || st.Complete {
+		t.Fatalf("fresh status: %+v", st)
+	}
+
+	lease := grantLease(t, srv, "w")
+	st = getStatus()
+	if st.Leased != 2 || st.Workers != 1 || st.Leases != 1 {
+		t.Fatalf("mid-lease status: %+v", st)
+	}
+
+	entries := []campaign.RunEntry{fakeEntry(0, 10), fakeEntry(1, 20)}
+	resp, body := postResults(t, srv, lease.Sig, lease.ID, gzEntries(t, entries), true, leaseDigest(entries))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload: %s: %s", resp.Status, body)
+	}
+
+	st = getStatus()
+	if !st.Complete || st.Done != 2 || st.Digest == "" {
+		t.Fatalf("complete status: %+v", st)
+	}
+	if st.Digest != c.Digest() {
+		t.Fatalf("status digest %s != coordinator digest %s", st.Digest, c.Digest())
+	}
+	if got := c.Aggregates(); len(got) != 1 {
+		t.Fatalf("aggregates: want 1 generation, got %d", len(got))
+	}
+	select {
+	case <-c.Done():
+	case <-time.After(time.Second):
+		t.Fatal("done channel did not close")
+	}
+}
+
+func TestLeaseTTLAndWorkerSummaryString(t *testing.T) {
+	l := Lease{TTLSeconds: 1.5}
+	if got, want := l.TTL(), 1500*time.Millisecond; got != want {
+		t.Fatalf("TTL() = %v, want %v", got, want)
+	}
+	s := WorkerSummary{Leases: 3, Abandoned: 1, Runs: 7, Uploaded: 6, Duplicates: 2}
+	str := s.String()
+	for _, frag := range []string{"3 leases", "1 abandoned", "7 runs", "6 uploaded", "2 already merged"} {
+		if !strings.Contains(str, frag) {
+			t.Fatalf("summary %q missing %q", str, frag)
+		}
+	}
+}
+
+// TestProfileHooksConfigure executes each built-in profile's configure
+// hook against a real system, in both pipeline modes — the hooks are what
+// make a fleet run reproduce the standalone tools' campaigns, so they
+// must at least apply their cadence and degradation settings untouched.
+func TestProfileHooksConfigure(t *testing.T) {
+	dict := vision.DefaultDictionary()
+	timings := map[string]scenario.Timing{
+		"inline":    scenario.SILTiming(),
+		"pipelined": func() scenario.Timing { tm := scenario.SILTiming(); tm.Pipeline = scenario.PipelineOn; return tm }(),
+	}
+	for mode, timing := range timings {
+		for _, name := range ProfileNames() {
+			hook, err := ResolveProfile(name, timing)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, mode, err)
+			}
+			sys, err := core.NewV1(7, geom.Vec3{}, dict)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := &worldgen.Scenario{}
+			cfg := &scenario.RunConfig{}
+			hook(campaign.Run{}, sc, sys, cfg)
+			if name == "field" {
+				if sc.Weather.GPSDegradation < 0.5 {
+					t.Errorf("field/%s: GPS degradation floor not applied: %v", mode, sc.Weather.GPSDegradation)
+				}
+				if sc.Weather.GustStd < 1.0 {
+					t.Errorf("field/%s: gust floor not applied: %v", mode, sc.Weather.GustStd)
+				}
+				if cfg.ErroneousDepthRate != 0.04 {
+					t.Errorf("field/%s: erroneous depth rate = %v, want 0.04", mode, cfg.ErroneousDepthRate)
+				}
+			}
+		}
+	}
+}
+
+func TestRegisterProfileGuards(t *testing.T) {
+	mustPanic := func(name string, f ProfileFunc) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("RegisterProfile(%q) did not panic", name)
+			}
+		}()
+		RegisterProfile(name, f)
+	}
+	mustPanic("", fieldProfile)      // empty name
+	mustPanic("broken", nil)         // nil func
+	mustPanic("field", fieldProfile) // duplicate of a built-in
+}

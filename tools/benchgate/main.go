@@ -22,6 +22,12 @@
 //     it flies with Timing.Fast unset, so its budget catches any cost the
 //     fast mode leaks into the exact engine.
 //
+//   - The fleet dispatch overhead: BenchmarkDispatchOverhead reports the
+//     loopback coordinator's wall-time cost over direct execution as an
+//     overhead-% metric; it must stay at or below 5%. Like the fast-mode
+//     ratio, both sides run in one process on one machine, so the
+//     percentage is stable enough to gate where absolute ns/op is not.
+//
 //   - The fast-mode speedup: BenchmarkRunFast must run at least
 //     -min-fast-speedup times faster than BenchmarkRun *within the same
 //     smoke output*. The two benchmarks share machine, load and process,
@@ -67,11 +73,28 @@ const (
 	fastRatioNum = "BenchmarkRunFast"
 )
 
+// metricGates bound custom b.ReportMetric units against fixed ceilings.
+// BenchmarkDispatchOverhead times the same campaign through the loopback
+// fleet coordinator and directly through campaign.Execute at equal total
+// engine workers; the lease/heartbeat/upload machinery must price in at
+// no more than 5% — past that, -serve/-join would tax every fleet run.
+var metricGates = []struct {
+	Bench string
+	Unit  string
+	Max   float64
+	Why   string
+}{
+	{"BenchmarkDispatchOverhead", "overhead-%", 5.0, "fleet dispatch overhead vs direct execution"},
+}
+
 // measurement is one parsed benchmark result line.
 type measurement struct {
 	NsOp     float64
 	AllocsOp float64
 	HasAlloc bool
+	// Metrics holds every other "value unit" pair on the line, including
+	// custom b.ReportMetric units like "overhead-%".
+	Metrics map[string]float64
 }
 
 // baseline mirrors the slice of BENCH_2.json the gate needs.
@@ -159,6 +182,23 @@ func run(benchPath, basePath string, maxRegress, minFastSpeedup float64, w io.Wr
 		}
 	}
 
+	for _, g := range metricGates {
+		m, ok := results[g.Bench]
+		val, okMetric := m.Metrics[g.Unit]
+		switch {
+		case !ok:
+			violations = append(violations, fmt.Sprintf("%s: missing from %s", g.Bench, benchPath))
+		case !okMetric:
+			violations = append(violations, fmt.Sprintf(
+				"%s: no %s metric (ReportMetric call lost?)", g.Bench, g.Unit))
+		case val > g.Max:
+			violations = append(violations, fmt.Sprintf(
+				"%s: %s = %.2f exceeds %.2f — %s regressed", g.Bench, g.Unit, val, g.Max, g.Why))
+		default:
+			fmt.Fprintf(w, "ok   %-24s %s = %.2f within %.2f\n", g.Bench, g.Unit, val, g.Max)
+		}
+	}
+
 	if minFastSpeedup > 0 {
 		den, okDen := results[fastRatioDen]
 		num, okNum := results[fastRatioNum]
@@ -224,6 +264,12 @@ func parseBench(r io.Reader) (map[string]measurement, error) {
 			case "allocs/op":
 				m.AllocsOp = val
 				m.HasAlloc = true
+				seen = true
+			default:
+				if m.Metrics == nil {
+					m.Metrics = make(map[string]float64)
+				}
+				m.Metrics[fields[i+1]] = val
 				seen = true
 			}
 		}

@@ -17,6 +17,8 @@ BenchmarkRun-4                    5    302838874 ns/op   8618862 B/op   11771 al
 BenchmarkRunPipelined-4           5    340362629 ns/op   8172180 B/op   11590 allocs/op
 BenchmarkRunFaultsOff-4           5    315340870 ns/op   8514950 B/op   11328 allocs/op
 BenchmarkRunFast-4                5    149000000 ns/op   8665360 B/op   10258 allocs/op
+BenchmarkDispatchOverhead-4       1    812000000 ns/op      1.73 overhead-%
+BenchmarkCellAffinity-4         100       581034 ns/op      41.7 affine-hit-%      8.3 random-hit-%
 BenchmarkRender-4              1000       408527 ns/op       524 B/op       0 allocs/op
 BenchmarkDepthCapture-4        1000        30587 ns/op        58 B/op       0 allocs/op
 BenchmarkRaycast-4             1000          121.3 ns/op       0 B/op       0 allocs/op
@@ -180,6 +182,45 @@ func TestGateCoversFastRun(t *testing.T) {
 	err, out = gate(t, strings.Join(kept, "\n"), baselineJSON, 0.10)
 	if err == nil {
 		t.Fatalf("missing fast benchmark passed the gate:\n%s", out)
+	}
+}
+
+// TestGateCoversDispatchOverhead pins the fleet transport's price gate:
+// an overhead-% above the 5% ceiling must fail, right at the ceiling
+// passes, and losing the benchmark or its ReportMetric call from the
+// smoke run must fail too.
+func TestGateCoversDispatchOverhead(t *testing.T) {
+	injected := strings.Replace(goodBench, "1.73 overhead-%", "7.20 overhead-%", 1)
+	if injected == goodBench {
+		t.Fatal("fixture drifted: BenchmarkDispatchOverhead line not found")
+	}
+	err, out := gate(t, injected, baselineJSON, 0.10)
+	if err == nil {
+		t.Fatalf("7.2%% dispatch overhead passed the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "BenchmarkDispatchOverhead") || !strings.Contains(out, "overhead-%") {
+		t.Errorf("violation does not name the overhead gate:\n%s", out)
+	}
+
+	atLimit := strings.Replace(goodBench, "1.73 overhead-%", "5.00 overhead-%", 1)
+	if err, out := gate(t, atLimit, baselineJSON, 0.10); err != nil {
+		t.Errorf("at-ceiling overhead failed: %v\n%s", err, out)
+	}
+
+	noMetric := strings.Replace(goodBench, "      1.73 overhead-%", "", 1)
+	if err, out := gate(t, noMetric, baselineJSON, 0.10); err == nil {
+		t.Fatalf("missing overhead-%% metric passed the gate:\n%s", out)
+	}
+
+	var kept []string
+	for _, line := range strings.Split(goodBench, "\n") {
+		if strings.HasPrefix(line, "BenchmarkDispatchOverhead") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	if err, out := gate(t, strings.Join(kept, "\n"), baselineJSON, 0.10); err == nil {
+		t.Fatalf("missing dispatch benchmark passed the gate:\n%s", out)
 	}
 }
 
