@@ -53,6 +53,7 @@ func main() {
 	repeats := flag.Int("repeats", 3, "sensor-seed repetitions per scenario (paper: 3)")
 	gens := flag.String("systems", "1,2,3", "comma-separated system generations to run")
 	cf := cliutil.Register(flag.CommandLine)
+	sf := cliutil.RegisterSearch(flag.CommandLine)
 	verbose := flag.Bool("v", false, "print per-run results")
 	pipelineLag := flag.Int("pipeline-lag", 1, "with -pipeline: apply perception results k control ticks after capture (0 = synchronous, bit-identical to inline)")
 	faultSweep := flag.Bool("fault-sweep", false, "run the grid nominal plus once per fault preset and print the dependability table")
@@ -133,6 +134,18 @@ func main() {
 			os.Exit(2)
 		}
 		faultSweepMain(spec, selected, cf.Workers)
+		return
+	}
+
+	if sf.Active() {
+		if cf.Shard != "" || cf.Checkpoint != "" || plan.Active() {
+			fmt.Fprintln(os.Stderr, "silbench: -fault-search composes its own probe plans; drop -shard/-checkpoint/-faults")
+			os.Exit(2)
+		}
+		// The search flies one cell under the selected timing profile
+		// (-pipeline/-fast ride spec.Timing like everywhere else), for the
+		// first generation of -systems.
+		faultSearchMain(cf, sf, selected[0], spec.Timing, *verbose)
 		return
 	}
 

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"repro/internal/campaign"
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/faultsearch"
+	"repro/internal/scenario"
+)
+
+// faultSearchMain is the -fault-search entry: adversarial search for the
+// minimal failure-inducing fault plan of each selected model on one grid
+// cell, rendered as the dependability-frontier report (text, and JSON
+// with -search-json).
+//
+// After the search, every minimized plan is verified end to end: the
+// plan's grammar string is re-parsed through fault.ParsePlan and re-flown
+// from scratch, and the replay must reproduce the flip with the same
+// failure cause — the committed proof that the frontier rows are
+// replayable artifacts, not search-state extrapolations. Any violation
+// (including a search-log probe strictly smaller than its minimized plan
+// that flipped) exits nonzero, so CI can gate on this path.
+func faultSearchMain(cf *cliutil.CampaignFlags, sf *cliutil.SearchFlags,
+	gen core.Generation, timing scenario.Timing, verbose bool) {
+	models, err := faultsearch.SelectModels(sf.Search)
+	if err != nil {
+		cliutil.Fatal("silbench", 2, err)
+	}
+	mapIdx, scIdx, rep, err := sf.ParseCell()
+	if err != nil {
+		cliutil.Fatal("silbench", 2, err)
+	}
+	cell := campaign.Cell{Gen: gen, MapIdx: mapIdx, ScenarioIdx: scIdx, Rep: rep}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	mode := "full"
+	if sf.Quick {
+		mode = "quick"
+	}
+	fmt.Printf("fault search (%s): %d models on %s map%d sc%d rep%d, %d search workers\n\n",
+		mode, len(models), gen, mapIdx, scIdx, rep, cf.Workers)
+
+	outcomes := make(map[string]*faultsearch.Outcome, len(models))
+	cfg := faultsearch.GenerateConfig{
+		Cell:    cell,
+		Timing:  timing,
+		Models:  models,
+		Search:  sf.Config(),
+		Workers: cf.Workers,
+		// OnOutcome runs under Generate's lock: collect (and optionally
+		// tick progress), render afterwards in model order.
+		OnOutcome: func(o *faultsearch.Outcome) {
+			outcomes[o.Model] = o
+			if cf.Progress {
+				fmt.Fprintf(os.Stderr, "silbench: %s -> %s (%d probes)\n", o.Model, o.Status, len(o.Probes))
+			}
+		},
+	}
+	ft, err := faultsearch.Generate(ctx, cfg)
+	if err != nil {
+		cliutil.Fatal("silbench", 1, err)
+	}
+
+	for _, m := range models {
+		if o := outcomes[m.Name]; o != nil {
+			faultsearch.RenderOutcome(os.Stdout, o, verbose)
+		}
+	}
+	fmt.Println()
+	faultsearch.RenderFrontier(os.Stdout, ft)
+	fmt.Printf("\nfrontier digest: %s\n", ft.Digest())
+
+	if sf.JSON != "" {
+		if err := ft.WriteFile(sf.JSON); err != nil {
+			cliutil.Fatal("silbench", 1, err)
+		}
+		fmt.Printf("frontier table written to %s\n", sf.JSON)
+	}
+
+	// Replay verification: every minimal plan must reproduce its flip and
+	// cause when re-parsed from its grammar string and flown fresh.
+	prober := &faultsearch.CellProber{Cell: cell, Timing: timing}
+	verified := 0
+	for _, row := range ft.Rows {
+		if row.Status != faultsearch.StatusMinimal {
+			continue
+		}
+		plan, err := fault.ParsePlan(row.Plan)
+		if err != nil {
+			cliutil.Fatal("silbench", 1, fmt.Errorf("frontier row %s: plan %q does not re-parse: %w", row.Model, row.Plan, err))
+		}
+		r, err := prober.Probe(ctx, plan)
+		if err != nil {
+			cliutil.Fatal("silbench", 1, err)
+		}
+		if !faultsearch.Flipped(r) {
+			cliutil.Fatal("silbench", 1, fmt.Errorf("frontier row %s: replaying %q did not flip the mission", row.Model, row.Plan))
+		}
+		if got := faultsearch.Cause(r); got != row.Cause {
+			cliutil.Fatal("silbench", 1, fmt.Errorf("frontier row %s: replay failure cause %q, search found %q", row.Model, got, row.Cause))
+		}
+		verified++
+	}
+	fmt.Printf("replay verification: %d/%d minimal plans re-parsed, re-flown and reproduced their failure cause\n",
+		verified, verified)
+}

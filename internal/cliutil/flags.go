@@ -4,7 +4,9 @@
 // -shard/-out/-merge, -pipeline, -faults, -fast) and the distributed
 // campaign entry points (-serve, -join) are defined once here; each cmd
 // keeps only the flags that are genuinely its own (grid dimensions,
-// power modes, report selection).
+// power modes, report selection). The adversarial fault-search flags
+// (-fault-search and friends, see RegisterSearch) are registered
+// separately because only tools exposing that surface want them.
 package cliutil
 
 import (

@@ -25,6 +25,12 @@ import (
 // Observation-only configuration (resource monitors, observers) is
 // deliberately NOT part of a profile: like the file-based shard flow,
 // resource series live on the machines that executed the runs.
+//
+// Fault plans need no profile either: a fault.Plan is plain data riding
+// scenario.Timing, so it serializes into the lease like any other timing
+// field and every worker injects the identical faults with no named
+// registration — only behavior-changing *functions* go through this
+// registry.
 
 // ConfigureFunc mirrors campaign.Spec.Configure.
 type ConfigureFunc = func(campaign.Run, *worldgen.Scenario, *core.System, *scenario.RunConfig)

@@ -1,0 +1,163 @@
+package fault
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// docs_test verifies docs/faults.md against the implementation so the
+// grammar reference cannot drift from the code: every fenced ```plan
+// example must parse, the kind table must match the Infos() catalog
+// field by field, and every preset must appear with its exact rendered
+// plan string.
+
+func readFaultsDoc(t *testing.T) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("..", "..", "docs", "faults.md"))
+	if err != nil {
+		t.Fatalf("docs/faults.md unreadable: %v", err)
+	}
+	return string(b)
+}
+
+// planFences extracts the lines of every ```plan fenced block.
+func planFences(doc string) []string {
+	var lines []string
+	inFence := false
+	for _, line := range strings.Split(doc, "\n") {
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case trimmed == "```plan":
+			inFence = true
+		case inFence && strings.HasPrefix(trimmed, "```"):
+			inFence = false
+		case inFence && trimmed != "":
+			lines = append(lines, trimmed)
+		}
+	}
+	return lines
+}
+
+func TestDocsPlanExamplesParse(t *testing.T) {
+	doc := readFaultsDoc(t)
+	examples := planFences(doc)
+	if len(examples) < 10 {
+		t.Fatalf("only %d ```plan examples found — fence extraction broken?", len(examples))
+	}
+	for _, ex := range examples {
+		p, err := ParsePlan(ex)
+		if err != nil {
+			t.Errorf("documented plan %q does not parse: %v", ex, err)
+			continue
+		}
+		// Documented plans must also round-trip through the renderer.
+		if p.Active() {
+			back, err := ParsePlan(p.String())
+			if err != nil || back.String() != p.String() {
+				t.Errorf("documented plan %q does not round-trip (%q, %v)", ex, p.String(), err)
+			}
+		}
+	}
+}
+
+func TestDocsKindTableMatchesInfos(t *testing.T) {
+	doc := readFaultsDoc(t)
+	// Rows look like: | `kind` | axis | unit | default | search max |
+	rows := map[string][]string{}
+	for _, line := range strings.Split(doc, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "| `") {
+			continue
+		}
+		cells := strings.Split(strings.Trim(line, "|"), "|")
+		for i := range cells {
+			cells[i] = strings.TrimSpace(cells[i])
+		}
+		if len(cells) != 5 {
+			continue
+		}
+		name := strings.Trim(cells[0], "`")
+		rows[name] = cells[1:]
+	}
+	fmtNum := func(v float64) string {
+		if v == 0 {
+			return ""
+		}
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	for _, in := range Infos() {
+		row, ok := rows[string(in.Kind)]
+		if !ok {
+			t.Errorf("docs kind table is missing %q", in.Kind)
+			continue
+		}
+		def := in.DefaultMagnitude
+		if in.Axis == AxisProbability {
+			def = in.DefaultProbability
+		}
+		if in.Axis == AxisNone {
+			def = 0
+		}
+		want := []string{string(in.Axis), in.Unit, fmtNum(def), fmtNum(in.SearchMax)}
+		for i, w := range want {
+			if row[i] != w {
+				t.Errorf("docs kind table %s column %d: %q, code says %q", in.Kind, i+1, row[i], w)
+			}
+		}
+		// Each kind also gets a prose bullet.
+		if !strings.Contains(doc, "- `"+string(in.Kind)+"` —") {
+			t.Errorf("docs kind list is missing the %q bullet", in.Kind)
+		}
+	}
+	if len(rows) != len(Infos()) {
+		t.Errorf("docs kind table has %d rows, code has %d kinds", len(rows), len(Infos()))
+	}
+}
+
+func TestDocsPresetsMatchCatalog(t *testing.T) {
+	doc := readFaultsDoc(t)
+	examples := planFences(doc)
+	documented := map[string]bool{}
+	for _, ex := range examples {
+		documented[ex] = true
+	}
+	for _, name := range Presets() {
+		if !strings.Contains(doc, "### `"+name+"`") {
+			t.Errorf("docs preset catalog is missing the %q section", name)
+		}
+		p, ok := preset(name)
+		if !ok {
+			t.Fatalf("preset %q vanished", name)
+		}
+		if !documented[p.String()] {
+			t.Errorf("docs preset %q plan drifted: code renders %q, not found in any ```plan fence",
+				name, p.String())
+		}
+	}
+	// The heading count bounds extra (stale) preset sections.
+	headings := strings.Count(doc, "\n### `")
+	if headings != len(Presets()) {
+		t.Errorf("docs have %d preset sections, code has %d presets", headings, len(Presets()))
+	}
+}
+
+func TestDocsGrammarExampleMatchesGodoc(t *testing.T) {
+	// The canonical example in the ParsePlan godoc must also appear in the
+	// docs, so the two stay aligned.
+	doc := readFaultsDoc(t)
+	const canonical = "gps-drift@20+30:mag=0.5"
+	if !strings.Contains(doc, canonical) {
+		t.Errorf("docs lost the canonical grammar example %q", canonical)
+	}
+	if _, err := ParsePlan(canonical); err != nil {
+		t.Errorf("canonical example no longer parses: %v", err)
+	}
+	// Sanity: an invalid spec is documented as rejected.
+	if _, err := ParsePlan(fmt.Sprintf("thrust-loss@10:mag=%g", 1.0)); err == nil {
+		t.Error("thrust-loss mag=1 accepted despite the documented < 1 rule")
+	}
+}

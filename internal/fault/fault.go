@@ -132,40 +132,23 @@ func (f Fault) end() (float64, bool) {
 	return f.Start + f.Duration, true
 }
 
-// magnitude resolves the kind default.
+// magnitude resolves the kind default from the Info table.
 func (f Fault) magnitude() float64 {
 	if f.Magnitude > 0 {
 		return f.Magnitude
 	}
-	switch f.Kind {
-	case DepthNoise:
-		return 6
-	case ColorNoise:
-		return 0.08
-	case GPSDrift:
-		return 0.35
-	case ThrustLoss:
-		return 0.4
-	case CommandDelay:
-		return 4
-	case WindGust:
-		return 2.5
-	}
-	return 0
+	in, _ := KindInfo(f.Kind)
+	return in.DefaultMagnitude
 }
 
-// probability resolves the kind default.
+// probability resolves the kind default from the Info table; kinds
+// without a documented default draw unconditionally.
 func (f Fault) probability() float64 {
 	if f.Probability > 0 {
 		return f.Probability
 	}
-	switch f.Kind {
-	case DetectorPhantom:
-		return 0.25
-	case CommandDropout:
-		return 0.5
-	case DepthDropout, ColorDropout, DetectorMiss:
-		return 1
+	if in, ok := KindInfo(f.Kind); ok && in.DefaultProbability > 0 {
+		return in.DefaultProbability
 	}
 	return 1
 }

@@ -1,0 +1,93 @@
+package fault
+
+// Axis names the severity axis of a fault kind: the one knob that scales
+// how hard the kind hits. Deterministic search (internal/faultsearch) and
+// the documentation generator both key off it, which is why it lives here
+// next to the kinds instead of in the tooling.
+type Axis string
+
+const (
+	// AxisMagnitude: severity is Fault.Magnitude (a physical quantity —
+	// sigma scale, m/s, ticks, fraction of authority).
+	AxisMagnitude Axis = "magnitude"
+	// AxisProbability: severity is Fault.Probability (the per-event rate
+	// of a stochastic kind).
+	AxisProbability Axis = "probability"
+	// AxisNone: the kind is binary — the window is either active or not
+	// (comms-blackout). Only the window itself can be minimized.
+	AxisNone Axis = "none"
+)
+
+// Info is the severity-axis metadata of one fault kind. It is the single
+// source of truth for kind defaults: the injector's magnitude/probability
+// resolution, the fault-plan grammar reference in docs/faults.md (guarded
+// by docs_test.go), and the faultsearch severity bisection all read this
+// table, so they cannot drift apart.
+type Info struct {
+	Kind Kind
+	// Summary is the one-line description of what the kind injects.
+	Summary string
+	// Axis names the severity axis Minimize searches.
+	Axis Axis
+	// Unit is the human unit of the severity axis ("x sigma", "m/s", ...);
+	// empty for AxisNone.
+	Unit string
+	// DefaultMagnitude is the magnitude a zero Fault.Magnitude resolves
+	// to; 0 for kinds without a magnitude axis.
+	DefaultMagnitude float64
+	// DefaultProbability is the probability a zero Fault.Probability
+	// resolves to; 0 for kinds that never draw.
+	DefaultProbability float64
+	// SearchMax bounds the severity bisection: the most severe value a
+	// frontier search may probe (1 for probability axes, a model-breaking
+	// ceiling for magnitude axes, and <1 for thrust-loss because Validate
+	// rejects a total loss).
+	SearchMax float64
+}
+
+// infos is ordered exactly like Kinds(). Append only; the table is
+// documentation-stable the same way the Kind strings are wire-stable.
+var infos = []Info{
+	{Kind: DepthDropout, Summary: "suppresses forward depth captures (the mapper goes blind)",
+		Axis: AxisProbability, Unit: "drop probability/frame", DefaultProbability: 1, SearchMax: 1},
+	{Kind: DepthNoise, Summary: "multiplies the depth camera's range-noise sigma",
+		Axis: AxisMagnitude, Unit: "x sigma", DefaultMagnitude: 6, SearchMax: 12},
+	{Kind: ColorDropout, Summary: "suppresses downward camera frames (the detector sees nothing)",
+		Axis: AxisProbability, Unit: "drop probability/frame", DefaultProbability: 1, SearchMax: 1},
+	{Kind: ColorNoise, Summary: "adds zero-mean pixel noise beyond the weather",
+		Axis: AxisMagnitude, Unit: "pixel sigma", DefaultMagnitude: 0.08, SearchMax: 0.4},
+	{Kind: DetectorMiss, Summary: "drops detections leaving the detector",
+		Axis: AxisProbability, Unit: "miss probability/detection", DefaultProbability: 1, SearchMax: 1},
+	{Kind: DetectorPhantom, Summary: "injects spurious target detections at random image positions",
+		Axis: AxisProbability, Unit: "phantom probability/frame", DefaultProbability: 0.25, SearchMax: 1},
+	{Kind: GPSDrift, Summary: "adds a position-bias ramp in a random horizontal direction",
+		Axis: AxisMagnitude, Unit: "m/s drift rate", DefaultMagnitude: 0.35, SearchMax: 3},
+	{Kind: ThrustLoss, Summary: "scales achieved velocity authority by (1 - magnitude)",
+		Axis: AxisMagnitude, Unit: "fraction of authority lost", DefaultMagnitude: 0.4, SearchMax: 0.95},
+	{Kind: CommandDelay, Summary: "adds whole control ticks of extra actuation latency",
+		Axis: AxisMagnitude, Unit: "ticks", DefaultMagnitude: 4, SearchMax: 40},
+	{Kind: CommandDropout, Summary: "drops the tick's command (the FCU holds the last one)",
+		Axis: AxisProbability, Unit: "drop probability/tick", DefaultProbability: 0.5, SearchMax: 1},
+	{Kind: WindGust, Summary: "adds zero-mean gusts on top of the scenario's weather",
+		Axis: AxisMagnitude, Unit: "m/s gust sigma", DefaultMagnitude: 2.5, SearchMax: 8},
+	{Kind: CommsBlackout, Summary: "severs the offboard link (stack frozen, FCU holds setpoint)",
+		Axis: AxisNone, SearchMax: 1},
+}
+
+// Infos returns the severity metadata of every kind, in Kinds() order.
+// The slice is a copy; mutate freely.
+func Infos() []Info {
+	out := make([]Info, len(infos))
+	copy(out, infos)
+	return out
+}
+
+// KindInfo returns the severity metadata of one kind.
+func KindInfo(k Kind) (Info, bool) {
+	for _, in := range infos {
+		if in.Kind == k {
+			return in, true
+		}
+	}
+	return Info{}, false
+}

@@ -1,0 +1,241 @@
+package faultsearch
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/scenario"
+)
+
+// landscapeProber gives each model its own deterministic flip landscape,
+// keyed off the model name, so frontier tables built on it exercise every
+// terminal status.
+func landscapeProber(m Model) Prober {
+	switch {
+	case strings.Contains(m.Name, "robust"):
+		return &fakeProber{flip: func(_, _, _ float64) bool { return false }}
+	case strings.Contains(m.Name, "doomed"):
+		return &fakeProber{baselineFail: true}
+	default:
+		// Flip threshold varies per model so rows differ.
+		thr := float64(len(m.Name)%5 + 3)
+		return &fakeProber{flip: func(_, dur, sev float64) bool {
+			return dur >= thr && sev >= m.MaxSeverity/2
+		}}
+	}
+}
+
+func fakeModels(n int) []Model {
+	names := []string{"alpha", "robust-beta", "doomed-gamma", "delta", "epsilon",
+		"zeta", "eta", "theta", "iota", "kappa"}
+	ms := make([]Model, 0, n)
+	for i := 0; i < n; i++ {
+		axis := fault.AxisMagnitude
+		if i%3 == 2 {
+			axis = fault.AxisNone
+		}
+		m := testModel(2, axis)
+		m.Name = names[i%len(names)] + fmt.Sprintf("-%d", i)
+		ms = append(ms, m)
+	}
+	return ms
+}
+
+func testCell() campaign.Cell {
+	return campaign.Cell{Gen: core.V3, MapIdx: 4, ScenarioIdx: 0, Rep: 0}
+}
+
+func TestGenerateWorkerCountInvariance(t *testing.T) {
+	// The acceptance bar of the subsystem: the frontier table is
+	// bit-identical at any worker count. Run the same fake-prober
+	// generation at 1 and 8 workers and compare the canonical encodings.
+	gen := func(workers int) *Frontier {
+		ft, err := Generate(context.Background(), GenerateConfig{
+			Cell:      testCell(),
+			Models:    fakeModels(10),
+			Search:    Config{TimeTol: 0.5, SevTolFrac: 0.05},
+			Workers:   workers,
+			NewProber: landscapeProber,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return ft
+	}
+	seq, par := gen(1), gen(8)
+	sb, err := seq.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := par.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(sb) != string(pb) {
+		t.Fatalf("frontier tables diverge across worker counts:\n-- workers=1 --\n%s\n-- workers=8 --\n%s", sb, pb)
+	}
+	if seq.Digest() != par.Digest() {
+		t.Fatalf("digests diverge: %s != %s", seq.Digest(), par.Digest())
+	}
+	// Rows must land in model order, not completion order.
+	models := fakeModels(10)
+	for i, r := range seq.Rows {
+		if r.Model != models[i].Name {
+			t.Fatalf("row %d is %q, want %q (model order)", i, r.Model, models[i].Name)
+		}
+	}
+}
+
+func TestGenerateStatuses(t *testing.T) {
+	ft, err := Generate(context.Background(), GenerateConfig{
+		Cell:      testCell(),
+		Models:    fakeModels(3), // alpha-0 minimal, robust-beta-1, doomed-gamma-2
+		Search:    Config{TimeTol: 0.5, SevTolFrac: 0.05},
+		NewProber: landscapeProber,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{StatusMinimal, StatusRobust, StatusBaselineFailed}
+	for i, r := range ft.Rows {
+		if r.Status != want[i] {
+			t.Errorf("row %s status %q, want %q", r.Model, r.Status, want[i])
+		}
+	}
+	min := ft.Rows[0]
+	if min.Plan == "" || min.Cause == "" || min.Duration <= 0 {
+		t.Errorf("minimal row incomplete: %+v", min)
+	}
+	if ft.Rows[1].Plan != "" || ft.Rows[2].Plan != "" {
+		t.Error("non-minimal rows carry plans")
+	}
+	if _, ok := ft.FindRow("robust-beta-1"); !ok {
+		t.Error("FindRow missed a present model")
+	}
+	if _, ok := ft.FindRow("nope"); ok {
+		t.Error("FindRow invented a row")
+	}
+}
+
+func TestFrontierRoundTrip(t *testing.T) {
+	ft, err := Generate(context.Background(), GenerateConfig{
+		Cell:      testCell(),
+		Models:    fakeModels(4),
+		Search:    Config{TimeTol: 0.5, SevTolFrac: 0.05},
+		NewProber: landscapeProber,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ft.json")
+	if err := ft.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFrontier(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Digest() != ft.Digest() {
+		t.Fatalf("round-trip digest %s != %s", back.Digest(), ft.Digest())
+	}
+	if !reflect.DeepEqual(back.Rows, ft.Rows) {
+		t.Error("rows mutated through JSON round trip")
+	}
+}
+
+func TestReadFrontierVersionSkew(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "old.json")
+	if err := os.WriteFile(path, []byte(`{"version": 99, "rows": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrontier(path); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("err = %v, want version-skew refusal", err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrontier(bad); err == nil {
+		t.Fatal("truncated table accepted")
+	}
+}
+
+func TestCellRefRoundTrip(t *testing.T) {
+	for _, gen := range []core.Generation{core.V1, core.V2, core.V3} {
+		c := campaign.Cell{Gen: gen, MapIdx: 2, ScenarioIdx: 5, Rep: 1}
+		back, err := RefOf(c).Cell()
+		if err != nil || back != c {
+			t.Errorf("%s: round trip %+v, err %v", gen, back, err)
+		}
+	}
+	if _, err := (CellRef{System: "MLS-V9"}).Cell(); err == nil {
+		t.Error("unknown system accepted")
+	}
+}
+
+func TestGeneratePropagatesSearchError(t *testing.T) {
+	_, err := Generate(context.Background(), GenerateConfig{
+		Cell:   testCell(),
+		Models: fakeModels(3),
+		Search: Config{TimeTol: 1e-12, SevTolFrac: 1e-12, MaxProbes: 5},
+		NewProber: func(Model) Prober {
+			return &fakeProber{flip: func(_, _, _ float64) bool { return true }}
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "probe budget") {
+		t.Fatalf("err = %v, want propagated probe-budget error", err)
+	}
+}
+
+// TestCommittedFrontierReplays recomputes one searched model against the
+// live engine and compares it to the committed quick table — the same
+// check tools/frontiergen -check runs over the full catalog, scoped down
+// so the test suite stays fast. Catching a drift here means engine
+// behavior changed and the tables need regenerating (and the diff
+// reviewing).
+func TestCommittedFrontierReplays(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live engine probes in -short mode")
+	}
+	committed, err := ReadFrontier(filepath.Join("testdata", "frontier_quick_v3.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const model = "comms-blackout"
+	want, ok := committed.FindRow(model)
+	if !ok {
+		t.Fatalf("committed v3 table has no %s row", model)
+	}
+	m, ok := ModelByName(model)
+	if !ok {
+		t.Fatal("model vanished from catalog")
+	}
+	cell, err := committed.Cell.Cell()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, err := Generate(context.Background(), GenerateConfig{
+		Cell:   cell,
+		Timing: scenario.SILTiming(),
+		Models: []Model{m},
+		Search: QuickConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ft.Rows[0]
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("recomputed %s row diverged from committed table:\ngot  %+v\nwant %+v\n(regenerate with: go run ./tools/frontiergen)", model, got, want)
+	}
+	if ft.BaselineSeconds != committed.BaselineSeconds {
+		t.Errorf("baseline %.6f, committed %.6f", ft.BaselineSeconds, committed.BaselineSeconds)
+	}
+}

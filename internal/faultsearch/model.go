@@ -1,0 +1,171 @@
+package faultsearch
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fault"
+)
+
+// Model is one searchable fault family: a mapping from the search
+// coordinates (window start, window duration, severity) to a concrete
+// fault.Plan. The twelve atomic kinds are models, and so are correlated
+// composites — a correlated model emits several coupled windows into one
+// Plan, which is all the existing plan grammar and wire format need to
+// express it, so a minimized correlated plan replays through every tool
+// exactly like an atomic one.
+type Model struct {
+	// Name identifies the model in reports, frontier tables and the
+	// -fault-search flag. Atomic models are named after their kind.
+	Name string
+	// Summary is the one-line description shown by the model catalog.
+	Summary string
+	// Axis is the severity axis being searched; AxisNone models are
+	// binary and skip the severity phase (severity pins to 1).
+	Axis fault.Axis
+	// Unit is the human unit of severity (empty for AxisNone).
+	Unit string
+	// MaxSeverity is the upper bound of the severity bisection and the
+	// severity of the failure envelope probe.
+	MaxSeverity float64
+	// Compose builds the probe plan for one search coordinate. A
+	// non-positive duration or severity must return an inactive (nil)
+	// plan: fault.Fault encodes "until mission end" as Duration == 0, so
+	// the search must never let a shrinking window alias into a permanent
+	// fault.
+	Compose func(start, duration, severity float64) *fault.Plan
+}
+
+// atomicModel wraps one fault kind as a searchable model.
+func atomicModel(in fault.Info) Model {
+	kind := in.Kind
+	m := Model{
+		Name:        string(in.Kind),
+		Summary:     in.Summary,
+		Axis:        in.Axis,
+		Unit:        in.Unit,
+		MaxSeverity: in.SearchMax,
+	}
+	m.Compose = func(start, duration, severity float64) *fault.Plan {
+		if duration <= 0 || severity <= 0 {
+			return nil
+		}
+		f := fault.Fault{Kind: kind, Start: start, Duration: duration}
+		switch in.Axis {
+		case fault.AxisMagnitude:
+			f.Magnitude = severity
+		case fault.AxisProbability:
+			f.Probability = min(severity, 1)
+		}
+		return &fault.Plan{Faults: []fault.Fault{f}}
+	}
+	return m
+}
+
+// gpsUnderGust is the first correlated-fault model: weather-conditioned
+// GPS degradation. A wind-gust carrier window activates, and the GPS
+// drift ramp activates under it — the §V-C field observation that
+// position drift arrives with gust fronts, expressed as two coupled
+// windows in one ordinary Plan. The carrier's gust sigma is fixed at a
+// storm-grade 3 m/s; the searched severity is the drift rate underneath,
+// so the minimized plan answers "how little drift, inside a gust front,
+// still downs the mission?".
+func gpsUnderGust() Model {
+	return Model{
+		Name:        "gps-under-gust",
+		Summary:     "correlated: gps-drift ramp activating inside a 3 m/s wind-gust front",
+		Axis:        fault.AxisMagnitude,
+		Unit:        "m/s drift rate",
+		MaxSeverity: 3,
+		Compose: func(start, duration, severity float64) *fault.Plan {
+			if duration <= 0 || severity <= 0 {
+				return nil
+			}
+			return &fault.Plan{Faults: []fault.Fault{
+				{Kind: fault.WindGust, Start: start, Duration: duration, Magnitude: 3},
+				{Kind: fault.GPSDrift, Start: start, Duration: duration, Magnitude: severity},
+			}}
+		},
+	}
+}
+
+// blindLanding is a correlated perception-loss model: depth and color
+// dropouts in the same window — the "camera module brown-out" failure
+// where both imagers share a bus. Severity is the shared drop
+// probability.
+func blindLanding() Model {
+	return Model{
+		Name:        "blind-landing",
+		Summary:     "correlated: depth + color dropout sharing one window (camera bus brown-out)",
+		Axis:        fault.AxisProbability,
+		Unit:        "drop probability/frame",
+		MaxSeverity: 1,
+		Compose: func(start, duration, severity float64) *fault.Plan {
+			if duration <= 0 || severity <= 0 {
+				return nil
+			}
+			p := min(severity, 1)
+			return &fault.Plan{Faults: []fault.Fault{
+				{Kind: fault.DepthDropout, Start: start, Duration: duration, Probability: p},
+				{Kind: fault.ColorDropout, Start: start, Duration: duration, Probability: p},
+			}}
+		},
+	}
+}
+
+// Models lists every searchable model in stable order: the twelve atomic
+// kinds in fault.Kinds() order, then the correlated composites.
+func Models() []Model {
+	out := make([]Model, 0, len(fault.Kinds())+2)
+	for _, in := range fault.Infos() {
+		out = append(out, atomicModel(in))
+	}
+	out = append(out, gpsUnderGust(), blindLanding())
+	return out
+}
+
+// ModelNames lists the model names in Models() order.
+func ModelNames() []string {
+	ms := Models()
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		names[i] = m.Name
+	}
+	return names
+}
+
+// ModelByName resolves one model.
+func ModelByName(name string) (Model, bool) {
+	for _, m := range Models() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Model{}, false
+}
+
+// SelectModels resolves a -fault-search selection: "all", one name, or a
+// comma-separated list.
+func SelectModels(sel string) ([]Model, error) {
+	sel = strings.TrimSpace(sel)
+	if sel == "" || sel == "all" {
+		return Models(), nil
+	}
+	var out []Model
+	for _, name := range strings.Split(sel, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		m, ok := ModelByName(name)
+		if !ok {
+			return nil, fmt.Errorf("faultsearch: unknown model %q (have %s)",
+				name, strings.Join(ModelNames(), ", "))
+		}
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("faultsearch: selection %q names no model", sel)
+	}
+	return out, nil
+}

@@ -1,0 +1,73 @@
+package faultsearch
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+// RenderFrontier writes the dependability-frontier table as text: one row
+// per model with the minimized window, severity and induced failure.
+func RenderFrontier(w io.Writer, f *Frontier) {
+	fmt.Fprintf(w, "Dependability frontier — %s map%d sc%d rep%d (baseline %.1fs, time tol %.3gs, severity tol %.3g)\n",
+		f.Cell.System, f.Cell.Map, f.Cell.Scenario, f.Cell.Rep,
+		f.BaselineSeconds, f.TimeTol, f.SevTolFrac)
+	tbl := telemetry.NewTable("model", "status", "window", "severity", "probes", "induced failure")
+	for _, r := range f.Rows {
+		window, severity, cause := "-", "-", "-"
+		if r.Status == StatusMinimal {
+			window = fmt.Sprintf("@%.1f+%.1fs", r.Start, r.Duration)
+			severity = FormatSeverity(r.Severity, r.Unit)
+			cause = r.Cause
+		}
+		tbl.AddRow(r.Model, r.Status, window, severity, r.Probes, cause)
+	}
+	tbl.Render(w)
+}
+
+// FormatSeverity renders a severity with its unit ("-" for binary
+// models, whose severity is pinned to 1).
+func FormatSeverity(sev float64, unit string) string {
+	if unit == "" {
+		return "-"
+	}
+	return strings.TrimSpace(fmt.Sprintf("%.3g %s", sev, unit))
+}
+
+// RenderOutcome writes one search outcome in full: the phase-by-phase
+// probe log and the minimized plan.
+func RenderOutcome(w io.Writer, o *Outcome, verbose bool) {
+	switch o.Status {
+	case StatusBaselineFailed:
+		fmt.Fprintf(w, "%s: baseline already fails (%s) — nothing to flip\n", o.Model, o.BaselineCause)
+		return
+	case StatusRobust:
+		fmt.Fprintf(w, "%s: robust — the full-mission envelope at max severity does not flip this cell (%d probes)\n",
+			o.Model, len(o.Probes))
+		return
+	}
+	fmt.Fprintf(w, "%s: minimal failure-inducing plan after %d probes\n", o.Model, len(o.Probes))
+	fmt.Fprintf(w, "  window   @%.2f+%.2fs (baseline mission %.1fs)\n", o.Start, o.Duration, o.BaselineSeconds)
+	if o.Unit != "" {
+		fmt.Fprintf(w, "  severity %s\n", FormatSeverity(o.Severity, o.Unit))
+	}
+	fmt.Fprintf(w, "  plan     %s\n", o.PlanString())
+	fmt.Fprintf(w, "  failure  %s\n", o.Cause)
+	if verbose {
+		fmt.Fprintln(w, "  probe log:")
+		for _, p := range o.Probes {
+			verdict := "pass"
+			if p.Flipped {
+				verdict = "FLIP"
+			}
+			detail := ""
+			if p.Cause != "" {
+				detail = " (" + p.Cause + ")"
+			}
+			fmt.Fprintf(w, "    %3d %-9s @%.2f+%.2fs sev %.3g -> %s%s [%.1fs mission]\n",
+				p.Seq, p.Phase, p.Start, p.Duration, p.Severity, verdict, detail, p.MissionSeconds)
+		}
+	}
+}

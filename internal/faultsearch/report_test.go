@@ -1,0 +1,117 @@
+package faultsearch
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/scenario"
+)
+
+func TestRenderFrontier(t *testing.T) {
+	ft, err := Generate(context.Background(), GenerateConfig{
+		Cell:      testCell(),
+		Models:    fakeModels(3),
+		Search:    Config{TimeTol: 0.5, SevTolFrac: 0.05},
+		NewProber: landscapeProber,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	RenderFrontier(&sb, ft)
+	out := sb.String()
+	for _, want := range []string{
+		"Dependability frontier", "MLS-V3 map4 sc0 rep0",
+		"alpha-0", "robust-beta-1", "doomed-gamma-2",
+		StatusMinimal, StatusRobust, StatusBaselineFailed,
+		"collision", // the minimal row's induced failure
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frontier rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderOutcome(t *testing.T) {
+	fp := &fakeProber{flip: func(_, dur, sev float64) bool { return dur >= 5 && sev >= 1 }}
+	o, err := Minimize(context.Background(), fp, testModel(2, fault.AxisMagnitude),
+		Config{TimeTol: 0.5, SevTolFrac: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	RenderOutcome(&sb, o, true)
+	out := sb.String()
+	for _, want := range []string{"minimal failure-inducing plan", "window", "severity",
+		"plan     gps-drift@", "failure  collision", "probe log:", "FLIP", PhaseEnvelope} {
+		if !strings.Contains(out, want) {
+			t.Errorf("outcome rendering missing %q:\n%s", want, out)
+		}
+	}
+
+	sb.Reset()
+	RenderOutcome(&sb, &Outcome{Model: "m", Status: StatusRobust, Probes: make([]Probe, 2)}, false)
+	if !strings.Contains(sb.String(), "robust") {
+		t.Errorf("robust rendering: %s", sb.String())
+	}
+	sb.Reset()
+	RenderOutcome(&sb, &Outcome{Model: "m", Status: StatusBaselineFailed, BaselineCause: "collision"}, false)
+	if !strings.Contains(sb.String(), "baseline already fails") {
+		t.Errorf("baseline-failed rendering: %s", sb.String())
+	}
+}
+
+func TestFormatSeverity(t *testing.T) {
+	if got := FormatSeverity(0.125, "drop probability/frame"); got != "0.125 drop probability/frame" {
+		t.Errorf("FormatSeverity = %q", got)
+	}
+	if got := FormatSeverity(1, ""); got != "-" {
+		t.Errorf("binary severity = %q, want -", got)
+	}
+}
+
+func TestQuickConfigIsCoarser(t *testing.T) {
+	q, d := QuickConfig().withDefaults(), Config{}.withDefaults()
+	if q.TimeTol <= d.TimeTol || q.SevTolFrac <= d.SevTolFrac {
+		t.Errorf("quick profile %+v is not coarser than default %+v", q, d)
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	o := &Outcome{}
+	if o.PlanString() != "" {
+		t.Errorf("nil plan renders %q", o.PlanString())
+	}
+	o.Plan = &fault.Plan{Faults: []fault.Fault{{Kind: fault.GPSDrift, Start: 1, Duration: 2, Magnitude: 0.5}}}
+	if o.PlanString() != "gps-drift@1+2:mag=0.5" {
+		t.Errorf("plan renders %q", o.PlanString())
+	}
+}
+
+// TestCellProberShort flies two real probes — nominal and a
+// full-envelope blackout — through the campaign engine, covering the
+// probe primitive in the short suite (the full frontier recomputation is
+// the non-short TestCommittedFrontierReplays).
+func TestCellProberShort(t *testing.T) {
+	cp := &CellProber{Cell: testCell(), Timing: scenario.SILTiming()}
+	base, err := cp.Probe(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Flipped(base) {
+		t.Fatalf("reference cell fails its baseline: %s", Cause(base))
+	}
+	if base.Duration <= 0 {
+		t.Fatalf("baseline mission duration %.2f", base.Duration)
+	}
+	m, _ := ModelByName(string(fault.CommsBlackout))
+	r, err := cp.Probe(context.Background(), m.Compose(0, base.Duration, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Flipped(r) || Cause(r) == "" {
+		t.Fatalf("full-mission blackout did not flip the cell (outcome %s)", r.Outcome)
+	}
+}

@@ -1,0 +1,383 @@
+package faultsearch
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/scenario"
+)
+
+// fakeProber drives Minimize with a synthetic flip landscape: a pure
+// function of the probe's (start, duration, severity) coordinates. It
+// records every composed plan so tests can assert the search never flew
+// a degenerate one (e.g. a zero-duration "until mission end" fault).
+type fakeProber struct {
+	// flip decides whether an active plan fails the mission.
+	flip func(start, dur, sev float64) bool
+	// baselineFail makes the nominal (nil-plan) probe fail.
+	baselineFail bool
+	// err, when set, is returned on every probe.
+	err   error
+	plans []*fault.Plan
+	calls int
+}
+
+const fakeHorizon = 40.0
+
+func (fp *fakeProber) Probe(_ context.Context, plan *fault.Plan) (scenario.Result, error) {
+	fp.calls++
+	if fp.err != nil {
+		return scenario.Result{}, fp.err
+	}
+	if plan == nil {
+		if fp.baselineFail {
+			return scenario.Result{Outcome: scenario.FailureCollision, Duration: 5}, nil
+		}
+		return scenario.Result{Outcome: scenario.Success, Duration: fakeHorizon, Landed: true}, nil
+	}
+	fp.plans = append(fp.plans, plan)
+	f := plan.Faults[0]
+	sev := f.Magnitude
+	if sev == 0 {
+		sev = f.Probability
+	}
+	if sev == 0 {
+		sev = 1 // AxisNone models compose no severity field
+	}
+	if fp.flip(f.Start, f.Duration, sev) {
+		return scenario.Result{Outcome: scenario.FailureCollision, Duration: f.Start + 1}, nil
+	}
+	return scenario.Result{Outcome: scenario.Success, Duration: fakeHorizon, Landed: true}, nil
+}
+
+// testModel is a single-fault magnitude-axis model over the fake
+// landscape.
+func testModel(maxSev float64, axis fault.Axis) Model {
+	return Model{
+		Name: "fake", Summary: "test model", Axis: axis, Unit: "u",
+		MaxSeverity: maxSev,
+		Compose: func(start, dur, sev float64) *fault.Plan {
+			if dur <= 0 || sev <= 0 {
+				return nil
+			}
+			f := fault.Fault{Kind: fault.GPSDrift, Start: start, Duration: dur}
+			if axis != fault.AxisNone {
+				f.Magnitude = sev
+			}
+			return &fault.Plan{Faults: []fault.Fault{f}}
+		},
+	}
+}
+
+// requireNoDegeneratePlans asserts the search never composed a fault
+// with Duration == 0 — which the fault package would reinterpret as
+// "active until mission end", silently inflating a shrinking window.
+func requireNoDegeneratePlans(t *testing.T, fp *fakeProber) {
+	t.Helper()
+	for _, p := range fp.plans {
+		for _, f := range p.Faults {
+			if f.Duration <= 0 {
+				t.Fatalf("search flew a degenerate fault window: %+v", f)
+			}
+		}
+	}
+}
+
+func TestMinimizeMonotone(t *testing.T) {
+	// Flips iff the window covers mission time 20 for at least 5 s at
+	// severity >= 1. The search should localize start near 20, shrink
+	// duration to ~5, and severity to ~1.
+	fp := &fakeProber{flip: func(start, dur, sev float64) bool {
+		return start <= 20 && start+dur >= 25 && dur >= 5 && sev >= 1
+	}}
+	cfg := Config{TimeTol: 0.25, SevTolFrac: 0.05}
+	o, err := Minimize(context.Background(), fp, testModel(2, fault.AxisMagnitude), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Status != StatusMinimal {
+		t.Fatalf("status %q, want minimal", o.Status)
+	}
+	if o.Start > 20 || o.Start < 20-2*cfg.TimeTol-5 {
+		t.Errorf("start %.3f not localized near the critical onset", o.Start)
+	}
+	if o.Duration < 5 || o.Duration > 5+4*cfg.TimeTol {
+		t.Errorf("duration %.3f, want ~5 (tol %.2f)", o.Duration, cfg.TimeTol)
+	}
+	if o.Severity < 1 || o.Severity > 1+4*cfg.SevTolFrac*2 {
+		t.Errorf("severity %.3f, want ~1", o.Severity)
+	}
+	if o.Cause != "collision" {
+		t.Errorf("cause %q, want collision", o.Cause)
+	}
+	if o.Plan == nil || len(o.Plan.Faults) != 1 {
+		t.Fatalf("minimized plan missing: %+v", o.Plan)
+	}
+	if err := o.VerifyLog(); err != nil {
+		t.Errorf("minimality invariant violated: %v", err)
+	}
+	last := o.Probes[len(o.Probes)-1]
+	if last.Phase != PhaseConfirm || !last.Flipped {
+		t.Errorf("final probe %+v, want a flipped confirm", last)
+	}
+	requireNoDegeneratePlans(t, fp)
+}
+
+func TestMinimizeNonMonotone(t *testing.T) {
+	// A flip landscape with a disconnected failing island (durations in
+	// [3,6]) besides the main region (>= 15). Bisection may never see the
+	// island; what matters is that the returned boundary is a coordinate
+	// that was actually probed and flipped, and that the log invariant
+	// still holds.
+	fp := &fakeProber{flip: func(_, dur, sev float64) bool {
+		if sev < 0.5 {
+			return false
+		}
+		return dur >= 15 || (dur >= 3 && dur <= 6)
+	}}
+	o, err := Minimize(context.Background(), fp, testModel(1, fault.AxisMagnitude),
+		Config{TimeTol: 0.5, SevTolFrac: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Status != StatusMinimal {
+		t.Fatalf("status %q, want minimal", o.Status)
+	}
+	probed := false
+	for _, p := range o.Probes {
+		if p.Flipped && p.Start == o.Start && p.Duration == o.Duration && p.Severity == o.Severity {
+			probed = true
+		}
+	}
+	if !probed {
+		t.Errorf("minimized coordinate (%.3f,%.3f,%.3f) was never probed-and-flipped",
+			o.Start, o.Duration, o.Severity)
+	}
+	if err := o.VerifyLog(); err != nil {
+		t.Errorf("minimality invariant violated: %v", err)
+	}
+	requireNoDegeneratePlans(t, fp)
+}
+
+func TestMinimizeBaselineFailed(t *testing.T) {
+	fp := &fakeProber{baselineFail: true}
+	o, err := Minimize(context.Background(), fp, testModel(1, fault.AxisMagnitude), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Status != StatusBaselineFailed {
+		t.Fatalf("status %q, want baseline-failed", o.Status)
+	}
+	if o.BaselineCause != "collision" {
+		t.Errorf("baseline cause %q", o.BaselineCause)
+	}
+	if len(o.Probes) != 1 || fp.calls != 1 {
+		t.Errorf("search continued past a failing baseline: %d probes, %d calls",
+			len(o.Probes), fp.calls)
+	}
+	if err := o.VerifyLog(); err != nil {
+		t.Errorf("VerifyLog on terminal status: %v", err)
+	}
+}
+
+func TestMinimizeRobust(t *testing.T) {
+	fp := &fakeProber{flip: func(_, _, _ float64) bool { return false }}
+	o, err := Minimize(context.Background(), fp, testModel(1, fault.AxisMagnitude), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Status != StatusRobust {
+		t.Fatalf("status %q, want robust", o.Status)
+	}
+	if len(o.Probes) != 2 {
+		t.Errorf("robust verdict took %d probes, want baseline + envelope", len(o.Probes))
+	}
+}
+
+func TestMinimizeZeroWidthConvergence(t *testing.T) {
+	// Every active window flips, however narrow. The duration bisection
+	// must converge against the inactive (nil-plan) boundary without ever
+	// composing a Duration == 0 fault (which would mean "until mission
+	// end") and without looping forever.
+	fp := &fakeProber{flip: func(_, _, _ float64) bool { return true }}
+	cfg := Config{TimeTol: 0.5, SevTolFrac: 0.05}
+	o, err := Minimize(context.Background(), fp, testModel(1, fault.AxisMagnitude), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Status != StatusMinimal {
+		t.Fatalf("status %q, want minimal", o.Status)
+	}
+	if o.Duration <= 0 || o.Duration > cfg.TimeTol {
+		t.Errorf("duration %.4f, want in (0, %.2f]", o.Duration, cfg.TimeTol)
+	}
+	if o.Severity <= 0 || o.Severity > cfg.SevTolFrac {
+		t.Errorf("severity %.4f, want in (0, %.2f]", o.Severity, cfg.SevTolFrac)
+	}
+	if err := o.VerifyLog(); err != nil {
+		t.Errorf("minimality invariant violated: %v", err)
+	}
+	requireNoDegeneratePlans(t, fp)
+}
+
+func TestMinimizeAxisNoneSkipsSeverity(t *testing.T) {
+	fp := &fakeProber{flip: func(_, dur, _ float64) bool { return dur >= 10 }}
+	o, err := Minimize(context.Background(), fp, testModel(1, fault.AxisNone),
+		Config{TimeTol: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Status != StatusMinimal {
+		t.Fatalf("status %q, want minimal", o.Status)
+	}
+	if o.Severity != 1 {
+		t.Errorf("AxisNone severity %.3f, want pinned to 1", o.Severity)
+	}
+	for _, p := range o.Probes {
+		if p.Phase == PhaseSeverity {
+			t.Errorf("AxisNone model ran a severity probe: %+v", p)
+		}
+	}
+}
+
+func TestMinimizeNondeterministicProber(t *testing.T) {
+	// An evil prober that flips only the first active probe: the envelope
+	// fails, nothing else reproduces, and the confirm phase must report
+	// the non-determinism instead of emitting an unreplayable plan.
+	first := true
+	fp := &fakeProber{flip: func(_, _, _ float64) bool {
+		f := first
+		first = false
+		return f
+	}}
+	_, err := Minimize(context.Background(), fp, testModel(1, fault.AxisMagnitude),
+		Config{TimeTol: 5, SevTolFrac: 0.5})
+	if err == nil || !strings.Contains(err.Error(), "not deterministic") {
+		t.Fatalf("err = %v, want non-determinism report", err)
+	}
+}
+
+func TestMinimizeProbeBudget(t *testing.T) {
+	fp := &fakeProber{flip: func(_, _, _ float64) bool { return true }}
+	_, err := Minimize(context.Background(), fp, testModel(1, fault.AxisMagnitude),
+		Config{TimeTol: 1e-12, SevTolFrac: 1e-12, MaxProbes: 10})
+	if err == nil || !strings.Contains(err.Error(), "probe budget") {
+		t.Fatalf("err = %v, want probe-budget exhaustion", err)
+	}
+}
+
+func TestMinimizeProbeError(t *testing.T) {
+	boom := errors.New("engine exploded")
+	fp := &fakeProber{err: boom}
+	_, err := Minimize(context.Background(), fp, testModel(1, fault.AxisMagnitude), Config{})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped probe error", err)
+	}
+}
+
+func TestVerifyLogDetectsSmallerFlip(t *testing.T) {
+	o := &Outcome{
+		Model: "fake", Status: StatusMinimal,
+		Start: 10, Duration: 8, Severity: 1,
+		Probes: []Probe{
+			{Seq: 0, Phase: PhaseBaseline},
+			{Seq: 1, Phase: PhaseDuration, Start: 10, Duration: 4, Severity: 1, Flipped: true},
+			{Seq: 2, Phase: PhaseConfirm, Start: 10, Duration: 8, Severity: 1, Flipped: true},
+		},
+	}
+	if err := o.VerifyLog(); err == nil {
+		t.Fatal("VerifyLog accepted a strictly smaller flipped probe")
+	}
+	// Equal-size probes at a different start are localization, not size —
+	// they must not trip the invariant.
+	o.Probes[1] = Probe{Seq: 1, Phase: PhaseStart, Start: 2, Duration: 8, Severity: 1, Flipped: true}
+	if err := o.VerifyLog(); err != nil {
+		t.Fatalf("VerifyLog rejected an equal-size probe at another start: %v", err)
+	}
+	// A minimized coordinate that never flipped in the log is also a bug.
+	o.Probes[2].Flipped = false
+	o.Probes[1].Start = 10
+	o.Probes[1].Flipped = false
+	if err := o.VerifyLog(); err == nil {
+		t.Fatal("VerifyLog accepted a minimized plan with no flipped confirmation")
+	}
+}
+
+func TestCauseAndFlipped(t *testing.T) {
+	ok := scenario.Result{Outcome: scenario.Success}
+	if Flipped(ok) || Cause(ok) != "" {
+		t.Error("success misclassified")
+	}
+	ab := scenario.Result{Outcome: scenario.FailurePoorLanding, AbortCause: "low battery"}
+	if !Flipped(ab) || Cause(ab) != "low battery" {
+		t.Errorf("abort cause %q", Cause(ab))
+	}
+	col := scenario.Result{Outcome: scenario.FailureCollision}
+	if Cause(col) != "collision" {
+		t.Errorf("collision cause %q", Cause(col))
+	}
+}
+
+func TestSelectModels(t *testing.T) {
+	all, err := SelectModels("all")
+	if err != nil || len(all) != len(Models()) {
+		t.Fatalf("all: %d models, err %v", len(all), err)
+	}
+	two, err := SelectModels("gps-drift, comms-blackout")
+	if err != nil || len(two) != 2 || two[0].Name != "gps-drift" {
+		t.Fatalf("pair selection: %+v, %v", two, err)
+	}
+	if _, err := SelectModels("warp-core-breach"); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if _, err := SelectModels(" , "); err == nil {
+		t.Error("empty selection accepted")
+	}
+}
+
+func TestModelsComposeGuards(t *testing.T) {
+	for _, m := range Models() {
+		if m.Compose(5, 0, 1) != nil {
+			t.Errorf("%s: zero duration composed an active plan", m.Name)
+		}
+		if m.Compose(5, -1, 1) != nil {
+			t.Errorf("%s: negative duration composed an active plan", m.Name)
+		}
+		if m.Compose(5, 10, 0) != nil {
+			t.Errorf("%s: zero severity composed an active plan", m.Name)
+		}
+		p := m.Compose(5, 10, m.MaxSeverity)
+		if p == nil || len(p.Faults) == 0 {
+			t.Fatalf("%s: full-severity compose inactive", m.Name)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: composed plan invalid: %v", m.Name, err)
+		}
+		// The composed plan must round-trip through the -faults grammar:
+		// frontier rows are replayed from their string form.
+		rt, err := fault.ParsePlan(p.String())
+		if err != nil {
+			t.Errorf("%s: plan %q does not re-parse: %v", m.Name, p.String(), err)
+		} else if rt.String() != p.String() {
+			t.Errorf("%s: plan round-trip %q != %q", m.Name, rt.String(), p.String())
+		}
+	}
+}
+
+func TestModelCatalogCoversAllKinds(t *testing.T) {
+	names := make(map[string]bool)
+	for _, m := range Models() {
+		if names[m.Name] {
+			t.Errorf("duplicate model %q", m.Name)
+		}
+		names[m.Name] = true
+	}
+	for _, k := range fault.Kinds() {
+		if !names[string(k)] {
+			t.Errorf("fault kind %q has no atomic search model", k)
+		}
+	}
+}

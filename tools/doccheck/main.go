@@ -1,0 +1,167 @@
+// Command doccheck verifies the repository documentation's internal
+// links: every relative markdown link in README.md and docs/*.md must
+// point at a file that exists, and every fragment (#section) must match
+// a heading in the target document. External (http/https/mailto) links
+// are out of scope — CI must not depend on the network.
+//
+//	go run ./tools/doccheck            # check README.md + docs/*.md
+//	go run ./tools/doccheck -root dir  # check another tree
+//
+// Exits nonzero listing every broken link, so the CI docs job can gate
+// on it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links [text](target); images share the
+// syntax and are checked the same way.
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+func main() {
+	root := flag.String("root", ".", "repository root to check")
+	flag.Parse()
+
+	var files []string
+	if readme := filepath.Join(*root, "README.md"); exists(readme) {
+		files = append(files, readme)
+	}
+	docs, err := filepath.Glob(filepath.Join(*root, "docs", "*.md"))
+	if err != nil {
+		fatal(err)
+	}
+	files = append(files, docs...)
+	if len(files) == 0 {
+		fatal(fmt.Errorf("no markdown files under %s", *root))
+	}
+
+	broken := 0
+	for _, f := range files {
+		for _, b := range checkFile(f) {
+			fmt.Fprintf(os.Stderr, "doccheck: %s\n", b)
+			broken++
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d broken link(s) across %d file(s)\n", broken, len(files))
+		os.Exit(1)
+	}
+	fmt.Printf("doccheck: %d file(s), all relative links resolve\n", len(files))
+}
+
+// checkFile returns a description of every broken relative link in one
+// markdown file.
+func checkFile(path string) []string {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", path, err)}
+	}
+	var out []string
+	for i, line := range strings.Split(string(b), "\n") {
+		for _, m := range linkRe.FindAllStringSubmatch(stripCode(line), -1) {
+			target := m[1]
+			if skippable(target) {
+				continue
+			}
+			file, frag, _ := strings.Cut(target, "#")
+			dest := path // pure-fragment links point at the current file
+			if file != "" {
+				dest = filepath.Join(filepath.Dir(path), file)
+				if !exists(dest) {
+					out = append(out, fmt.Sprintf("%s:%d: link %q: file does not exist", path, i+1, target))
+					continue
+				}
+			}
+			if frag != "" && strings.HasSuffix(dest, ".md") && !hasAnchor(dest, frag) {
+				out = append(out, fmt.Sprintf("%s:%d: link %q: no heading for anchor #%s in %s", path, i+1, target, frag, dest))
+			}
+		}
+	}
+	return out
+}
+
+// skippable reports links outside doccheck's scope.
+func skippable(target string) bool {
+	for _, p := range []string{"http://", "https://", "mailto:"} {
+		if strings.HasPrefix(target, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// stripCode blanks inline code spans so example links inside backticks
+// are not checked.
+func stripCode(line string) string {
+	var sb strings.Builder
+	in := false
+	for _, r := range line {
+		switch {
+		case r == '`':
+			in = !in
+			sb.WriteRune(' ')
+		case in:
+			sb.WriteRune(' ')
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// hasAnchor reports whether the markdown file has a heading whose
+// GitHub-style slug equals frag.
+func hasAnchor(path, frag string) bool {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	inFence := false
+	for _, line := range strings.Split(string(b), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		heading := strings.TrimSpace(strings.TrimLeft(trimmed, "#"))
+		if slug(heading) == frag {
+			return true
+		}
+	}
+	return false
+}
+
+// slug approximates GitHub's heading-anchor algorithm: lowercase, drop
+// everything but letters/digits/spaces/hyphens, spaces to hyphens.
+func slug(heading string) string {
+	heading = strings.ToLower(heading)
+	var sb strings.Builder
+	for _, r := range heading {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			sb.WriteRune(r)
+		case r == ' ':
+			sb.WriteRune('-')
+		}
+	}
+	return sb.String()
+}
+
+func exists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "doccheck:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestCheckFileResolvesGoodLinks(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"README.md": "# Top\n[a](docs/a.md)\n[frag](docs/a.md#real-section)\n" +
+			"[self](#top)\n[ext](https://example.com/x.md)\n[mail](mailto:x@y.z)\n" +
+			"code span `[not a link](nowhere.md)` stays unchecked\n",
+		"docs/a.md": "# A\n## Real section\n```\n# not a heading\n```\n",
+	})
+	if broken := checkFile(filepath.Join(root, "README.md")); len(broken) != 0 {
+		t.Errorf("false positives: %v", broken)
+	}
+}
+
+func TestCheckFileFlagsBrokenLinks(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"README.md": "[missing](docs/nope.md)\n[badfrag](docs/a.md#nope)\n[badself](#nowhere)\n",
+		"docs/a.md": "# A\n",
+	})
+	broken := checkFile(filepath.Join(root, "README.md"))
+	if len(broken) != 3 {
+		t.Fatalf("got %d broken links, want 3: %v", len(broken), broken)
+	}
+	for _, want := range []string{"does not exist", "#nope", "#nowhere"} {
+		found := false
+		for _, b := range broken {
+			if strings.Contains(b, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no broken-link report mentioning %q in %v", want, broken)
+		}
+	}
+}
+
+func TestSlug(t *testing.T) {
+	cases := map[string]string{
+		"Test and CI topology":      "test-and-ci-topology",
+		"campaignd: the fleet":      "campaignd-the-fleet",
+		"Why the bits match.":       "why-the-bits-match",
+		"`code` in Heading":         "code-in-heading",
+		"Fault plans: `-faults` x!": "fault-plans--faults-x",
+	}
+	for in, want := range cases {
+		if got := slug(in); got != want {
+			t.Errorf("slug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStripCode(t *testing.T) {
+	got := stripCode("a `[x](y.md)` b [real](z.md)")
+	if strings.Contains(got, "y.md") || !strings.Contains(got, "z.md") {
+		t.Errorf("stripCode = %q", got)
+	}
+}
+
+// TestRepoDocsAreClean runs the checker against the real repository, so
+// `go test` catches a broken doc link even before the CI docs job does.
+func TestRepoDocsAreClean(t *testing.T) {
+	root := filepath.Join("..", "..")
+	for _, f := range []string{"README.md", "docs/faults.md", "docs/architecture.md", "docs/coordinator.md"} {
+		path := filepath.Join(root, f)
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("%s missing: %v", f, err)
+		}
+		if broken := checkFile(path); len(broken) != 0 {
+			t.Errorf("%s has broken links: %v", f, broken)
+		}
+	}
+}

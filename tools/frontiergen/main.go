@@ -1,0 +1,96 @@
+// Command frontiergen regenerates the committed severity-frontier tables
+// under internal/faultsearch/testdata/ — the benchgate-style reference
+// artifacts of the adversarial fault search.
+//
+// One table per system generation is produced for the reference cell
+// (map 4, scenario 0, rep 0 — the golden-grid cell every generation lands
+// nominally), with the quick search profile the CI smoke uses. The tables
+// are deterministic: a regeneration on any machine at any -workers count
+// is byte-identical unless engine behavior, the search algorithm, or the
+// model catalog actually changed — which is exactly when the diff should
+// appear in review.
+//
+//	go run ./tools/frontiergen            # rewrite the committed tables
+//	go run ./tools/frontiergen -check     # verify without writing (CI-able)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/faultsearch"
+	"repro/internal/scenario"
+)
+
+func main() {
+	var (
+		outDir  = flag.String("out", "internal/faultsearch/testdata", "output directory for the committed tables")
+		cellRef = flag.String("cell", "4:0:0", "grid cell to search, as map:scenario:rep")
+		check   = flag.Bool("check", false, "verify the committed tables match a regeneration instead of writing")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent model searches")
+	)
+	flag.Parse()
+
+	var mapIdx, scIdx, rep int
+	if n, err := fmt.Sscanf(*cellRef, "%d:%d:%d", &mapIdx, &scIdx, &rep); err != nil || n != 3 {
+		fatal(fmt.Errorf("-cell %q: want map:scenario:rep", *cellRef))
+	}
+
+	failed := false
+	for _, gen := range []core.Generation{core.V1, core.V2, core.V3} {
+		cell := campaign.Cell{Gen: gen, MapIdx: mapIdx, ScenarioIdx: scIdx, Rep: rep}
+		ft, err := faultsearch.Generate(context.Background(), faultsearch.GenerateConfig{
+			Cell:    cell,
+			Timing:  scenario.SILTiming(),
+			Search:  faultsearch.QuickConfig(),
+			Workers: *workers,
+			OnOutcome: func(o *faultsearch.Outcome) {
+				fmt.Fprintf(os.Stderr, "frontiergen: %s %s -> %s (%d probes)\n",
+					gen, o.Model, o.Status, len(o.Probes))
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*outDir, tableName(gen))
+		if *check {
+			committed, err := faultsearch.ReadFrontier(path)
+			if err != nil {
+				fatal(err)
+			}
+			if committed.Digest() != ft.Digest() {
+				fmt.Fprintf(os.Stderr, "frontiergen: %s: committed digest %s != regenerated %s\n",
+					path, committed.Digest(), ft.Digest())
+				failed = true
+				continue
+			}
+			fmt.Printf("%s: up to date (%s)\n", path, ft.Digest())
+			continue
+		}
+		if err := ft.WriteFile(path); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: written (%s)\n", path, ft.Digest())
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// tableName is the committed file name of one generation's table; shared
+// with the faultsearch tests through the naming convention.
+func tableName(gen core.Generation) string {
+	return "frontier_quick_" + strings.ToLower(strings.TrimPrefix(gen.String(), "MLS-")) + ".json"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "frontiergen:", err)
+	os.Exit(1)
+}
