@@ -543,6 +543,40 @@ func BenchmarkRunFaultsOff(b *testing.B) {
 	}
 }
 
+// BenchmarkRunFleetOff is BenchmarkRun flown through a Timing profile
+// whose fleet spec has been normalized away — the path every single-drone
+// campaign takes now that the fleet subsystem exists. Gated by
+// tools/benchgate at BenchmarkRun's own allocation budget: the fleet
+// wiring (the Run dispatch, the overlay hooks on every sensor, the extra
+// Timing field) must cost the solo hot path nothing.
+func BenchmarkRunFleetOff(b *testing.B) {
+	timing := scenario.SILTiming()
+	timing.Fleet = &scenario.FleetSpec{Size: 1} // normalized to nil below
+	timing = timing.Canonical()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.RunGridCell(core.V3, 2, 4, 42, timing, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunFleet is the same cell flown as a 3-drone lockstep fleet:
+// three full missions interleaved tick by tick, plus the per-tick overlay
+// rebuild and the pairwise separation accounting. Reported for visibility
+// and snapshotted in BENCH_5.json; not gated — a fleet run is legitimately
+// about fleet-size times the solo cost.
+func BenchmarkRunFleet(b *testing.B) {
+	timing := scenario.SILTiming()
+	timing.Fleet = &scenario.FleetSpec{Size: 3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.RunGridCell(core.V3, 2, 4, 42, timing, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRunFaulted is the same mission under the "degraded" preset
 // plan — reported for visibility (fault campaigns may allocate; they are
 // not gated).

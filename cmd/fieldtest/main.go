@@ -84,6 +84,14 @@ func main() {
 		cliutil.Fatal("fieldtest", 2, err)
 	}
 	plan.Timing.Faults = faultPlan
+	// The fleet spec rides the field timing the same way (multi-drone
+	// field trials in one constrained airspace).
+	fleet, err := cf.FleetSpec()
+	if err != nil {
+		cliutil.Fatal("fieldtest", 2, err)
+	}
+	plan.Timing.Fleet = fleet
+	plan.Timing = plan.Timing.Canonical()
 	if cf.Fast {
 		// WithFast preserves the latency the derived plan already carries.
 		// Fast digests are only comparable to other fast digests — see
@@ -100,6 +108,9 @@ func main() {
 	}
 	if faultPlan.Active() {
 		fmt.Printf("fault plan: %s\n", faultPlan)
+	}
+	if fleet.Active() {
+		fmt.Printf("fleet: %d drones per flight\n", fleet.Size)
 	}
 	fmt.Println()
 
@@ -242,6 +253,10 @@ func main() {
 		fmt.Printf("  mean CPU %.0f%% aggregate, mean RAM %.2f GB (Fig. 7: above HIL's)\n",
 			meanCPU/float64(count), meanMem/float64(count)/1000)
 	}
+	if row := agg.FleetString(); row != "" {
+		fmt.Println("\nAirspace deconfliction (fleet campaign)")
+		fmt.Println(row)
+	}
 	if row := agg.DependabilityString(); row != "" {
 		fmt.Println("\nDependability (fault campaign)")
 		fmt.Println(row)
@@ -313,6 +328,10 @@ func mergeMain(files []string) {
 	fmt.Printf("success %.1f%%, collision %.1f%%, poor landing %.1f%% over %d flights\n",
 		agg.SuccessRate(), agg.CollisionRate(), agg.PoorLandingRate(), agg.Runs)
 	fmt.Printf("mean landing error %.2f m, FNR %.2f%%\n", agg.MeanLandingError, 100*agg.FalseNegativeRate)
+	if row := agg.FleetString(); row != "" {
+		fmt.Println("\nAirspace deconfliction (fleet campaign)")
+		fmt.Println(row)
+	}
 	if row := agg.DependabilityString(); row != "" {
 		fmt.Println("\nDependability (fault campaign)")
 		fmt.Println(row)

@@ -94,6 +94,17 @@ func main() {
 	if faultPlan.Active() {
 		fmt.Printf("  fault plan: %s\n", faultPlan)
 	}
+	// The fleet spec rides the HIL timing the same way: a compute-starved
+	// tier flying a formation is the worst-case airspace picture.
+	fleet, err := cf.FleetSpec()
+	if err != nil {
+		cliutil.Fatal("hilbench", 2, err)
+	}
+	plan.Timing.Fleet = fleet
+	plan.Timing = plan.Timing.Canonical()
+	if fleet.Active() {
+		fmt.Printf("  fleet: %d drones per run\n", fleet.Size)
+	}
 	if cf.Fast {
 		// WithFast preserves the latency the derived plan already carries
 		// (the emergent -pipeline delivery ticks). Fast digests are only
@@ -219,6 +230,10 @@ func main() {
 	}
 	fmt.Printf("aggregate digest: %s\n\n", report.Digest())
 	printTableIII(agg)
+	if row := agg.FleetString(); row != "" {
+		fmt.Println("\nAirspace deconfliction (fleet campaign)")
+		fmt.Println(row)
+	}
 	if row := agg.DependabilityString(); row != "" {
 		fmt.Println("\nDependability (fault campaign)")
 		fmt.Println(row)
@@ -271,6 +286,10 @@ func mergeMain(files []string) {
 	fmt.Printf("merged %d shards (%d runs)\n", len(shards), shards[0].Total)
 	fmt.Printf("aggregate digest: %s\n\n", campaign.AggregatesDigest(merged))
 	printTableIII(*agg)
+	if row := agg.FleetString(); row != "" {
+		fmt.Println("\nAirspace deconfliction (fleet campaign)")
+		fmt.Println(row)
+	}
 	if row := agg.DependabilityString(); row != "" {
 		fmt.Println("\nDependability (fault campaign)")
 		fmt.Println(row)

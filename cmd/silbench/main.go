@@ -26,6 +26,14 @@
 // -fault-sweep runs the whole grid once nominal and once per preset and
 // prints the dependability comparison table.
 //
+// Fleet campaigns: -fleet n flies every run as an n-drone lockstep fleet
+// with inter-drone sensing (see docs/fleet.md) and adds the airspace
+// deconfliction rows (near misses, separation violations, throughput per
+// km²) under the tables. The spec rides Timing like the other knobs, so
+// fleet campaigns shard, checkpoint and distribute unchanged.
+// -fleet-sweep runs the grid across fleet-size x density x fault-plan
+// configurations and prints the airspace comparison table.
+//
 // Absolute percentages depend on the synthetic substrate; the comparisons
 // that must hold are the orderings and rough factors (see EXPERIMENTS.md).
 package main
@@ -57,6 +65,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-run results")
 	pipelineLag := flag.Int("pipeline-lag", 1, "with -pipeline: apply perception results k control ticks after capture (0 = synchronous, bit-identical to inline)")
 	faultSweep := flag.Bool("fault-sweep", false, "run the grid nominal plus once per fault preset and print the dependability table")
+	fleetSweep := flag.Bool("fleet-sweep", false, "run the grid across fleet sizes x spawn densities x fault plans and print the airspace table")
 	verifyFast := flag.Bool("verify-fast", false, "fly the A/B equivalence sweeps (exact vs fast engine) and print the tolerance report; exits nonzero on a contract violation")
 	verifyShort := flag.Bool("verify-short", false, "with -verify-fast: trim the sweeps for a quick CI pass")
 	flag.Parse()
@@ -127,6 +136,24 @@ func main() {
 		cliutil.Fatal("silbench", 2, err)
 	}
 	spec.Timing.Faults = plan
+	// The fleet spec rides Timing the same way; Canonical folds an
+	// explicit size-1 fleet onto the solo engine, so "-fleet 1" digests
+	// exactly like no flag at all.
+	fleet, err := cf.FleetSpec()
+	if err != nil {
+		cliutil.Fatal("silbench", 2, err)
+	}
+	spec.Timing.Fleet = fleet
+	spec.Timing = spec.Timing.Canonical()
+
+	if *fleetSweep {
+		if cf.Shard != "" || cf.Checkpoint != "" || plan.Active() || fleet.Active() {
+			fmt.Fprintln(os.Stderr, "silbench: -fleet-sweep runs its own campaigns; drop -shard/-checkpoint/-faults/-fleet")
+			os.Exit(2)
+		}
+		fleetSweepMain(spec, selected, cf.Workers)
+		return
+	}
 
 	if *faultSweep {
 		if cf.Shard != "" || cf.Checkpoint != "" || plan.Active() {
@@ -149,12 +176,13 @@ func main() {
 		return
 	}
 
-	// Fleet mode: -serve dispatches this exact spec to joining workers and
-	// prints the same tables from the digest-verified merge.
+	// Distributed mode: -serve dispatches this exact spec to joining
+	// workers and prints the same tables from the digest-verified merge.
 	if aggs, handled := cf.Distributed("silbench", spec, ""); handled {
 		if aggs != nil {
 			printTables(selected, aggs)
 			printDependability(selected, aggs)
+			printFleet(selected, aggs)
 		}
 		return
 	}
@@ -170,6 +198,9 @@ func main() {
 	}
 	if plan.Active() {
 		fmt.Printf("fault plan: %s\n", plan)
+	}
+	if fleet.Active() {
+		fmt.Printf("fleet: %d drones per run (spawn spacing %g m)\n", fleet.Size, fleetSpacing(fleet))
 	}
 
 	// Sharded execution replaces the full grid with one contiguous slice.
@@ -230,6 +261,15 @@ func main() {
 	// Rows print in -systems order (a shard may cover only some of them).
 	printTables(selected, report.Aggregates)
 	printDependability(selected, report.Aggregates)
+	printFleet(selected, report.Aggregates)
+}
+
+// fleetSpacing resolves the spec's effective spawn spacing for banners.
+func fleetSpacing(f *scenario.FleetSpec) float64 {
+	if f.Spacing > 0 {
+		return f.Spacing
+	}
+	return scenario.DefaultFleetSpacing
 }
 
 // verifyFastMain is the -verify-fast entry: the A/B equivalence campaign
@@ -313,6 +353,86 @@ func faultSweepMain(base campaign.Spec, gens []core.Generation, workers int) {
 	tbl.Render(os.Stdout)
 }
 
+// fleetSweepMain is the -fleet-sweep grid: the same campaign executed
+// across the fleet-size x spawn-density x fault-plan axes, summarized as
+// one airspace-deconfliction table. Size 1 is the solo baseline (spacing
+// is meaningless there, so the density axis collapses to one row), and
+// each campaign prints its aggregate digest so any cell can be
+// re-verified in isolation.
+func fleetSweepMain(base campaign.Spec, gens []core.Generation, workers int) {
+	sizes := []int{1, 3, 6}
+	spacings := []float64{scenario.DefaultFleetSpacing, 3}
+	plans := []string{"nominal", "gps"}
+	fmt.Printf("Fleet sweep: sizes %v x spacings %v x plans %v, %d runs per campaign on %d workers\n\n",
+		sizes, spacings, plans, base.Total(), workers)
+
+	tbl := telemetry.NewTable("fleet", "spacing", "plan", "system", "success",
+		"fleet-success", "near-misses", "sep-violations", "thr(/km2)")
+	for _, size := range sizes {
+		for _, spacing := range spacings {
+			if size == 1 && spacing != spacings[0] {
+				continue
+			}
+			for _, name := range plans {
+				spec := base
+				spec.Timing.Faults = nil
+				spec.Timing.Fleet = nil
+				if name != "nominal" {
+					plan, err := fault.ParsePlan(name)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "silbench:", err)
+						os.Exit(1)
+					}
+					spec.Timing.Faults = plan
+				}
+				if size > 1 {
+					spec.Timing.Fleet = &scenario.FleetSpec{Size: size, Spacing: spacing}
+				}
+				report, err := campaign.Execute(context.Background(), spec,
+					campaign.Options{Workers: workers, DiscardResults: true})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "silbench:", err)
+					os.Exit(1)
+				}
+				for _, gen := range gens {
+					agg := report.Aggregates[gen]
+					if agg == nil {
+						continue
+					}
+					tbl.AddRow(size, spacing, name, agg.System,
+						fmt.Sprintf("%.1f%%", agg.SuccessRate()),
+						fmt.Sprintf("%d/%d", agg.FleetSuccesses, agg.FleetDrones),
+						agg.NearMisses, agg.SeparationViolations,
+						fmt.Sprintf("%.1f", agg.MeanFleetThroughput))
+				}
+				fmt.Printf("  fleet=%d spacing=%g plan=%-8s aggregate digest: %s\n",
+					size, spacing, name, report.Digest())
+			}
+		}
+	}
+	fmt.Println("\nAirspace grid (deconfliction metrics per fleet configuration)")
+	tbl.Render(os.Stdout)
+}
+
+// printFleet renders the airspace-deconfliction rows under the tables;
+// silent on solo sweeps.
+func printFleet(gens []core.Generation, aggs map[core.Generation]*scenario.Aggregate) {
+	printed := false
+	for _, gen := range gens {
+		agg := aggs[gen]
+		if agg == nil {
+			continue
+		}
+		if row := agg.FleetString(); row != "" {
+			if !printed {
+				fmt.Println("\nAirspace deconfliction (fleet campaign)")
+				printed = true
+			}
+			fmt.Printf("%s\n", row)
+		}
+	}
+}
+
 // printDependability renders the fault-campaign rows under the tables;
 // silent on nominal sweeps.
 func printDependability(gens []core.Generation, aggs map[core.Generation]*scenario.Aggregate) {
@@ -354,6 +474,7 @@ func mergeMain(files []string) {
 	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
 	printTables(gens, merged)
 	printDependability(gens, merged)
+	printFleet(gens, merged)
 }
 
 // printTables renders Table I / Table II / auxiliary rows in the given

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+// quickFleetSpec is the cheapest fleet campaign that exercises the whole
+// reporting path: one cell that terminates fast under V1, flown as a
+// 2-drone fleet.
+func quickFleetSpec() campaign.Spec {
+	timing := scenario.SILTiming()
+	timing.Fleet = &scenario.FleetSpec{Size: 2}
+	return campaign.Spec{
+		Maps:        []int{3},
+		Scenarios:   []int{7},
+		Repeats:     1,
+		Generations: []core.Generation{core.V1},
+		Timing:      timing,
+	}
+}
+
+func TestFleetSpacing(t *testing.T) {
+	if got := fleetSpacing(&scenario.FleetSpec{Size: 3, Spacing: 4}); got != 4 {
+		t.Fatalf("explicit spacing: %v", got)
+	}
+	if got := fleetSpacing(&scenario.FleetSpec{Size: 3}); got != scenario.DefaultFleetSpacing {
+		t.Fatalf("default spacing: %v", got)
+	}
+}
+
+// TestPrintHelpers drives the table renderers with a real fleet
+// campaign's aggregates — the same data path main follows after a sweep.
+// The helpers print to stdout; the test asserts they survive both a
+// populated and an absent generation.
+func TestPrintHelpers(t *testing.T) {
+	rep, err := campaign.Execute(context.Background(), quickFleetSpec(), campaign.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens := []core.Generation{core.V1, core.V3} // V3 absent: the skip path
+	printTables(gens, rep.Aggregates)
+	printDependability(gens, rep.Aggregates)
+	printFleet(gens, rep.Aggregates)
+
+	agg := rep.Aggregates[core.V1]
+	if agg == nil || agg.FleetRuns != 1 || agg.FleetDrones != 2 {
+		t.Fatalf("fleet aggregate missing: %+v", agg)
+	}
+	if agg.FleetString() == "" {
+		t.Fatal("fleet campaign renders no deconfliction row")
+	}
+}
+
+// TestFleetSweepMain runs the -fleet-sweep grid over the cheapest base
+// spec: every size x spacing x plan campaign executes for real (a few
+// seconds on the fast-terminating cell), so the sweep's table assembly
+// and per-campaign digest lines stay covered.
+func TestFleetSweepMain(t *testing.T) {
+	base := quickFleetSpec()
+	base.Timing.Fleet = nil
+	fleetSweepMain(base, base.Generations, 2)
+}

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/fault"
+	"repro/internal/scenario"
 )
 
 // CampaignFlags bundles the flags every campaign tool shares.
@@ -32,6 +33,7 @@ type CampaignFlags struct {
 	Pipeline   bool
 	Faults     string
 	Fast       bool
+	Fleet      string
 
 	// Distributed-campaign mode (see distributed.go).
 	Serve      string
@@ -58,6 +60,8 @@ func Register(fs *flag.FlagSet) *CampaignFlags {
 		"fault plan: a preset ("+strings.Join(fault.Presets(), ", ")+") or a spec like \"gps-drift@20+30:mag=0.5;depth-dropout@10+15\"")
 	fs.BoolVar(&f.Fast, "fast", false,
 		"fast engine mode: tolerance-verified approximate kernels (not valid for bit-identity comparisons against exact-engine digests)")
+	fs.StringVar(&f.Fleet, "fleet", "",
+		"fleet size for multi-drone worlds, as n or n:spacing=m (empty or 1 = single-drone engine)")
 	fs.StringVar(&f.Serve, "serve", "",
 		"serve this campaign as a fleet coordinator on this address (e.g. :9131) instead of executing locally")
 	fs.StringVar(&f.Join, "join", "",
@@ -80,6 +84,9 @@ func (f *CampaignFlags) Validate() error {
 	if f.Join != "" && (f.Shard != "" || f.Merge) {
 		return fmt.Errorf("-join takes its work from the coordinator; drop -shard/-merge")
 	}
+	if f.Fleet != "" && (f.Pipeline || f.Fast) {
+		return fmt.Errorf("-fleet flies the exact inline engine; drop -pipeline/-fast")
+	}
 	if f.Workers < 1 {
 		f.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -88,6 +95,11 @@ func (f *CampaignFlags) Validate() error {
 
 // FaultPlan parses -faults.
 func (f *CampaignFlags) FaultPlan() (*fault.Plan, error) { return fault.ParsePlan(f.Faults) }
+
+// FleetSpec parses -fleet.
+func (f *CampaignFlags) FleetSpec() (*scenario.FleetSpec, error) {
+	return scenario.ParseFleet(f.Fleet)
+}
 
 // Options builds the engine options the shared flags describe: worker
 // count, ordered delivery, and (with -progress) a throttled ETA line on

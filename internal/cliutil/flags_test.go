@@ -67,6 +67,39 @@ func TestRegisterAndValidate(t *testing.T) {
 	}
 }
 
+func TestFleetFlag(t *testing.T) {
+	f := parse(t, "-fleet", "3:spacing=5")
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fl, err := f.FleetSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fl.Active() || fl.Size != 3 || fl.Spacing != 5 {
+		t.Fatalf("fleet spec: %+v", fl)
+	}
+
+	// Unset flag parses to no spec at all.
+	fl, err = parse(t).FleetSpec()
+	if err != nil || fl != nil {
+		t.Fatalf("unset -fleet: %v, %v", fl, err)
+	}
+	if _, err := parse(t, "-fleet", "65").FleetSpec(); err == nil {
+		t.Fatal("oversized fleet accepted")
+	}
+
+	// Fleets fly the exact inline engine only.
+	for _, args := range [][]string{
+		{"-fleet", "3", "-pipeline"},
+		{"-fleet", "3", "-fast"},
+	} {
+		if err := parse(t, args...).Validate(); err == nil {
+			t.Errorf("Validate(%v): want error, got nil", args)
+		}
+	}
+}
+
 func TestOptionsCarriesWorkersAndProgress(t *testing.T) {
 	f := parse(t, "-workers", "2")
 	opts := f.Options("test")

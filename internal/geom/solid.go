@@ -120,6 +120,32 @@ func (r Ray) IntersectAABB(b AABB, tmax float64) (t float64, ok bool) {
 	return t0, true
 }
 
+// IntersectSphere returns the entry parameter of the ray into a sphere of
+// radius rad centered at c, or 0 when the origin already lies inside. ok
+// is false when the ray misses within tmax or the sphere is entirely
+// behind the origin.
+func (r Ray) IntersectSphere(c Vec3, rad, tmax float64) (t float64, ok bool) {
+	oc := r.Origin.Sub(c)
+	a := r.Dir.LenSq()
+	if a < 1e-24 {
+		return 0, false
+	}
+	b := oc.Dot(r.Dir)
+	cc := oc.LenSq() - rad*rad
+	if cc <= 0 {
+		return 0, true // origin inside the sphere
+	}
+	disc := b*b - a*cc
+	if disc < 0 {
+		return 0, false
+	}
+	t = (-b - math.Sqrt(disc)) / a
+	if t < 0 || t > tmax {
+		return 0, false
+	}
+	return t, true
+}
+
 // Cylinder is a vertical (Z-aligned) cylinder: trees and poles in the
 // simulated worlds. BaseZ..TopZ bounds its height.
 type Cylinder struct {

@@ -60,6 +60,21 @@ type Aggregate struct {
 	MeanTimeToRecover float64
 	AbortCauses       map[string]int
 
+	// Airspace-deconfliction rows (fleet campaigns). All zero on solo
+	// sweeps — and omitted from the wire encoding — so pre-fleet campaign
+	// digests are unchanged. FleetRuns counts runs flown as fleets;
+	// FleetDrones and FleetSuccesses pool the members flown and the
+	// members that landed on-pad; NearMisses and SeparationViolations are
+	// pooled pair-event totals; MeanFleetThroughput averages the per-run
+	// successful-landings-per-km² capacity metric over the fleet runs
+	// (exact fixed-point accumulator, like the other means).
+	FleetRuns            int
+	FleetDrones          int
+	FleetSuccesses       int
+	NearMisses           int
+	SeparationViolations int
+	MeanFleetThroughput  float64
+
 	// Accumulators behind the derived means above. They stay unexported:
 	// consumers read the derived fields, shards combine through Merge, and
 	// the JSON codec (codec.go) persists them for distributed merges. The
@@ -71,6 +86,7 @@ type Aggregate struct {
 	visibleFrames  int
 	detectedFrames int
 	recSum         fixed128
+	thrSum         fixed128
 }
 
 // NewAggregate returns an empty aggregate row for one system label, ready
@@ -117,6 +133,14 @@ func (a *Aggregate) Add(r Result) {
 			a.AbortCauses[r.AbortCause]++
 		}
 	}
+	if r.FleetSize > 0 {
+		a.FleetRuns++
+		a.FleetDrones += r.FleetSize
+		a.FleetSuccesses += r.FleetSuccesses
+		a.NearMisses += r.NearMisses
+		a.SeparationViolations += r.SeparationViolations
+		a.thrSum = a.thrSum.add(fixedFromFloat(r.FleetThroughput))
+	}
 	a.refresh()
 }
 
@@ -141,6 +165,12 @@ func (a *Aggregate) Merge(b Aggregate) {
 	a.FaultInjections += b.FaultInjections
 	a.RecoveredRuns += b.RecoveredRuns
 	a.recSum = a.recSum.add(b.recSum)
+	a.FleetRuns += b.FleetRuns
+	a.FleetDrones += b.FleetDrones
+	a.FleetSuccesses += b.FleetSuccesses
+	a.NearMisses += b.NearMisses
+	a.SeparationViolations += b.SeparationViolations
+	a.thrSum = a.thrSum.add(b.thrSum)
 	if len(b.AbortCauses) > 0 {
 		if a.AbortCauses == nil {
 			a.AbortCauses = make(map[string]int, len(b.AbortCauses))
@@ -169,6 +199,10 @@ func (a *Aggregate) refresh() {
 	a.MeanTimeToRecover = 0
 	if a.RecoveredRuns > 0 {
 		a.MeanTimeToRecover = a.recSum.float() / float64(a.RecoveredRuns)
+	}
+	a.MeanFleetThroughput = 0
+	if a.FleetRuns > 0 {
+		a.MeanFleetThroughput = a.thrSum.float() / float64(a.FleetRuns)
 	}
 }
 
@@ -221,6 +255,17 @@ func (a Aggregate) DependabilityString() string {
 		s += " aborts: " + strings.Join(parts, "; ")
 	}
 	return s
+}
+
+// FleetString renders the airspace-deconfliction row: fleet exposure,
+// pair events, and airspace capacity. Empty for solo sweeps.
+func (a Aggregate) FleetString() string {
+	if a.FleetRuns == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%-8s fleets=%d/%d drones=%d fleet-success=%d near-misses=%d sep-violations=%d throughput=%.1f/km2",
+		a.System, a.FleetRuns, a.Runs, a.FleetDrones, a.FleetSuccesses,
+		a.NearMisses, a.SeparationViolations, a.MeanFleetThroughput)
 }
 
 // String renders one Table I row.

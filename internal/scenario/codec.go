@@ -93,6 +93,17 @@ type resultJSON struct {
 	Recovered       bool    `json:"recovered,omitempty"`
 	RecoverySeconds float64 `json:"recovery_seconds,omitempty"`
 	AbortCause      string  `json:"abort_cause,omitempty"`
+
+	// Airspace-deconfliction metrics (fleet campaigns), omitempty for the
+	// same reason: a solo run — where all of these are zero — encodes
+	// byte-identically to the pre-fleet codec. FleetThroughput is finite
+	// by construction (the world footprint is a fixed positive area), so a
+	// plain float64 suffices.
+	FleetSize            int     `json:"fleet_size,omitempty"`
+	FleetSuccesses       int     `json:"fleet_successes,omitempty"`
+	NearMisses           int     `json:"near_misses,omitempty"`
+	SeparationViolations int     `json:"separation_violations,omitempty"`
+	FleetThroughput      float64 `json:"fleet_throughput,omitempty"`
 }
 
 // MarshalJSON implements json.Marshaler with a bit-exact, NaN-safe
@@ -115,6 +126,11 @@ func (r Result) MarshalJSON() ([]byte, error) {
 		Recovered:            r.Recovered,
 		RecoverySeconds:      r.RecoverySeconds,
 		AbortCause:           r.AbortCause,
+		FleetSize:            r.FleetSize,
+		FleetSuccesses:       r.FleetSuccesses,
+		NearMisses:           r.NearMisses,
+		SeparationViolations: r.SeparationViolations,
+		FleetThroughput:      r.FleetThroughput,
 	})
 }
 
@@ -141,6 +157,11 @@ func (r *Result) UnmarshalJSON(b []byte) error {
 		Recovered:            v.Recovered,
 		RecoverySeconds:      v.RecoverySeconds,
 		AbortCause:           v.AbortCause,
+		FleetSize:            v.FleetSize,
+		FleetSuccesses:       v.FleetSuccesses,
+		NearMisses:           v.NearMisses,
+		SeparationViolations: v.SeparationViolations,
+		FleetThroughput:      v.FleetThroughput,
 	}
 	return nil
 }
@@ -190,32 +211,50 @@ type aggregateJSON struct {
 	RecSumHi        int64          `json:"rec_sum_hi,omitempty"`
 	RecSumLo        uint64         `json:"rec_sum_lo,omitempty"`
 	AbortCauses     map[string]int `json:"abort_causes,omitempty"`
+
+	// Airspace-deconfliction counters (fleet campaigns), omitempty for
+	// the same reason: a solo aggregate digests exactly as it did before
+	// the fleet subsystem existed.
+	FleetRuns            int    `json:"fleet_runs,omitempty"`
+	FleetDrones          int    `json:"fleet_drones,omitempty"`
+	FleetSuccesses       int    `json:"fleet_successes,omitempty"`
+	NearMisses           int    `json:"near_misses,omitempty"`
+	SeparationViolations int    `json:"separation_violations,omitempty"`
+	ThrSumHi             int64  `json:"thr_sum_hi,omitempty"`
+	ThrSumLo             uint64 `json:"thr_sum_lo,omitempty"`
 }
 
 // MarshalJSON implements json.Marshaler, persisting the accumulators so a
 // decoded aggregate merges bit-identically to the original.
 func (a Aggregate) MarshalJSON() ([]byte, error) {
 	return json.Marshal(aggregateJSON{
-		System:          a.System,
-		Runs:            a.Runs,
-		Success:         a.Success,
-		Collision:       a.Collision,
-		PoorLanding:     a.PoorLanding,
-		LandSumHi:       a.landSum.hi,
-		LandSumLo:       a.landSum.lo,
-		LandN:           a.landN,
-		DetSumHi:        a.detSum.hi,
-		DetSumLo:        a.detSum.lo,
-		DetN:            a.detN,
-		VisibleFrames:   a.visibleFrames,
-		DetectedFrames:  a.detectedFrames,
-		FaultRuns:       a.FaultRuns,
-		DegradedTicks:   a.DegradedTicks,
-		FaultInjections: a.FaultInjections,
-		RecoveredRuns:   a.RecoveredRuns,
-		RecSumHi:        a.recSum.hi,
-		RecSumLo:        a.recSum.lo,
-		AbortCauses:     a.AbortCauses,
+		System:               a.System,
+		Runs:                 a.Runs,
+		Success:              a.Success,
+		Collision:            a.Collision,
+		PoorLanding:          a.PoorLanding,
+		LandSumHi:            a.landSum.hi,
+		LandSumLo:            a.landSum.lo,
+		LandN:                a.landN,
+		DetSumHi:             a.detSum.hi,
+		DetSumLo:             a.detSum.lo,
+		DetN:                 a.detN,
+		VisibleFrames:        a.visibleFrames,
+		DetectedFrames:       a.detectedFrames,
+		FaultRuns:            a.FaultRuns,
+		DegradedTicks:        a.DegradedTicks,
+		FaultInjections:      a.FaultInjections,
+		RecoveredRuns:        a.RecoveredRuns,
+		RecSumHi:             a.recSum.hi,
+		RecSumLo:             a.recSum.lo,
+		AbortCauses:          a.AbortCauses,
+		FleetRuns:            a.FleetRuns,
+		FleetDrones:          a.FleetDrones,
+		FleetSuccesses:       a.FleetSuccesses,
+		NearMisses:           a.NearMisses,
+		SeparationViolations: a.SeparationViolations,
+		ThrSumHi:             a.thrSum.hi,
+		ThrSumLo:             a.thrSum.lo,
 	})
 }
 
@@ -226,23 +265,29 @@ func (a *Aggregate) UnmarshalJSON(b []byte) error {
 		return err
 	}
 	*a = Aggregate{
-		System:          v.System,
-		Runs:            v.Runs,
-		Success:         v.Success,
-		Collision:       v.Collision,
-		PoorLanding:     v.PoorLanding,
-		landSum:         fixed128{hi: v.LandSumHi, lo: v.LandSumLo},
-		landN:           v.LandN,
-		detSum:          fixed128{hi: v.DetSumHi, lo: v.DetSumLo},
-		detN:            v.DetN,
-		visibleFrames:   v.VisibleFrames,
-		detectedFrames:  v.DetectedFrames,
-		FaultRuns:       v.FaultRuns,
-		DegradedTicks:   v.DegradedTicks,
-		FaultInjections: v.FaultInjections,
-		RecoveredRuns:   v.RecoveredRuns,
-		recSum:          fixed128{hi: v.RecSumHi, lo: v.RecSumLo},
-		AbortCauses:     v.AbortCauses,
+		System:               v.System,
+		Runs:                 v.Runs,
+		Success:              v.Success,
+		Collision:            v.Collision,
+		PoorLanding:          v.PoorLanding,
+		landSum:              fixed128{hi: v.LandSumHi, lo: v.LandSumLo},
+		landN:                v.LandN,
+		detSum:               fixed128{hi: v.DetSumHi, lo: v.DetSumLo},
+		detN:                 v.DetN,
+		visibleFrames:        v.VisibleFrames,
+		detectedFrames:       v.DetectedFrames,
+		FaultRuns:            v.FaultRuns,
+		DegradedTicks:        v.DegradedTicks,
+		FaultInjections:      v.FaultInjections,
+		RecoveredRuns:        v.RecoveredRuns,
+		recSum:               fixed128{hi: v.RecSumHi, lo: v.RecSumLo},
+		AbortCauses:          v.AbortCauses,
+		FleetRuns:            v.FleetRuns,
+		FleetDrones:          v.FleetDrones,
+		FleetSuccesses:       v.FleetSuccesses,
+		NearMisses:           v.NearMisses,
+		SeparationViolations: v.SeparationViolations,
+		thrSum:               fixed128{hi: v.ThrSumHi, lo: v.ThrSumLo},
 	}
 	a.refresh()
 	return nil

@@ -1,0 +1,82 @@
+package scenario
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParseFleet drives the -fleet flag grammar parser with arbitrary
+// input. The properties mirror FuzzParsePlan's, because the flag is fed
+// straight from the command line and echoed into campaign banners:
+//
+//  1. ParseFleet never panics.
+//  2. An accepted spec is well-formed: size within 1..MaxFleetSize and a
+//     finite spacing within (0, 100] (or zero, meaning the default).
+//  3. The grammar round-trips: re-parsing an accepted spec's String()
+//     must succeed and reproduce the rendering exactly.
+func FuzzParseFleet(f *testing.F) {
+	seeds := []string{
+		"",
+		"1",
+		"2",
+		"64",
+		"3:spacing=5",
+		"3:spacing=0.5",
+		"12:spacing=99.75",
+		"  4 : spacing = 6 ",
+		"0",
+		"65",
+		"-3",
+		"2:spacing=0",
+		"2:spacing=-1",
+		"2:spacing=101",
+		"2:spacing=NaN",
+		"2:spacing=1e309",
+		"2:spacing=",
+		"2:spacing",
+		"2:pitch=5",
+		"2:spacing=5,spacing=6",
+		"2:",
+		"two",
+		"3;spacing=5",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, spec string) {
+		fl, err := ParseFleet(spec)
+		if err != nil {
+			return
+		}
+		if fl == nil {
+			// Only the empty flag parses to no spec at all.
+			if strings.TrimSpace(spec) != "" {
+				t.Fatalf("ParseFleet(%q) accepted non-empty input as a nil spec", spec)
+			}
+			return
+		}
+		if fl.Size < 1 || fl.Size > MaxFleetSize {
+			t.Fatalf("ParseFleet(%q) accepted size %d outside 1..%d", spec, fl.Size, MaxFleetSize)
+		}
+		if fl.Spacing != 0 && !(fl.Spacing > 0 && fl.Spacing <= 100) {
+			t.Fatalf("ParseFleet(%q) accepted spacing %v outside (0, 100]", spec, fl.Spacing)
+		}
+		if math.IsNaN(fl.Spacing) || math.IsInf(fl.Spacing, 0) {
+			t.Fatalf("ParseFleet(%q) accepted non-finite spacing %v", spec, fl.Spacing)
+		}
+		rendered := fl.String()
+		fl2, err := ParseFleet(rendered)
+		if err != nil {
+			t.Fatalf("ParseFleet(%q) = %q, which does not re-parse: %v", spec, rendered, err)
+		}
+		if got := fl2.String(); got != rendered {
+			t.Fatalf("round trip diverges: ParseFleet(%q) renders %q, re-parse renders %q",
+				spec, rendered, got)
+		}
+		if strings.ContainsAny(rendered, " \t\n") {
+			t.Fatalf("String() output %q contains whitespace; must be flag-safe", rendered)
+		}
+	})
+}

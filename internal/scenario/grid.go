@@ -107,6 +107,11 @@ const (
 	concernFaultActuator
 	concernFaultWind
 	concernFaultComms
+	// Fleet concern (appended with the fleet subsystem): salts the
+	// per-member seed derivation of multi-drone runs (fleet.go), so a
+	// wingman's whole sensor-stream family is independent of the
+	// primary's and of every other run's.
+	concernFleetMember
 )
 
 // subSeed derives the seed of one concern's RNG stream from the run seed.

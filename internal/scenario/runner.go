@@ -108,6 +108,19 @@ type Timing struct {
 	// (guarded by the committed golden sweep digest), and omitempty keeps
 	// the zero encoding byte-identical for recorded journals and shards.
 	Fast bool `json:",omitempty"`
+	// Fleet, when non-nil with Size >= 2, flies N drones through the run's
+	// world in deterministic lockstep with inter-drone sensing (see
+	// fleet.go and docs/fleet.md). Like the knobs above it lives on Timing
+	// so it travels everywhere a deployment profile does — campaign Specs,
+	// checkpoint-journal signatures, the shard/lease wire formats — and
+	// omitempty keeps the nil encoding byte-identical to the pre-fleet
+	// Timing, so recorded journals and shard files still match their
+	// signatures. Off (nil, or Size <= 1, which Canonical normalizes to
+	// nil) costs one branch in Run and nothing per tick: bit-identical to
+	// the solo engine and alloc-neutral (guarded by the committed golden
+	// sweep digest and BenchmarkRunFleetOff).
+	Fleet *FleetSpec `json:",omitempty"`
+
 	// PlanLatencyTicks, when positive, runs path planning on its own
 	// concurrent stage with tick-stamped delivery, mirroring the perception
 	// stage: a plan requested at tick T is applied at tick T+k, and the
@@ -126,14 +139,19 @@ func SILTiming() Timing {
 	return Timing{Dt: 0.05, DetectPeriod: 0.25, DepthPeriod: 0.2}
 }
 
-// Canonical returns the timing with an inactive (nil or empty) fault plan
-// normalized to nil. An empty non-nil Plan runs bit-identically to a nil
-// one, so campaign signatures and shard files encode both the same way —
-// otherwise a checkpoint written with `&fault.Plan{}` would refuse to
-// resume under a spec whose plan is nil.
+// Canonical returns the timing with inactive knobs normalized: a nil or
+// empty fault plan becomes nil, and a nil or single-drone fleet spec
+// becomes nil. An empty Plan (or a Size-1 fleet) runs bit-identically to
+// the nil knob, so campaign signatures and shard files encode both the
+// same way — otherwise a checkpoint written with `&fault.Plan{}` or
+// `&FleetSpec{Size: 1}` would refuse to resume under a spec whose knob is
+// nil.
 func (t Timing) Canonical() Timing {
 	if !t.Faults.Active() {
 		t.Faults = nil
+	}
+	if !t.Fleet.Active() {
+		t.Fleet = nil
 	}
 	return t
 }
@@ -255,6 +273,25 @@ type Result struct {
 	// AbortCause names the proximate failure that ended an aborted
 	// mission (the last failsafe trigger before the abort).
 	AbortCause string
+
+	// Airspace-deconfliction metrics, populated only by fleet runs (all
+	// zero on solo runs, and omitted from the wire encoding, so the
+	// digests of pre-fleet campaigns are unchanged). See docs/fleet.md
+	// for the exact definitions.
+	//
+	// FleetSize is the number of drones flown (>= 2 on fleet runs);
+	// FleetSuccesses counts members whose own mission classified Success.
+	FleetSize      int
+	FleetSuccesses int
+	// NearMisses counts pair events entering the near-miss shell
+	// [SeparationMin, NearMissRadius); SeparationViolations counts pair
+	// events closing inside SeparationMin. Both count band entries, not
+	// ticks spent inside a band.
+	NearMisses           int
+	SeparationViolations int
+	// FleetThroughput is successful landings per square kilometer of the
+	// world's ground footprint — the airspace-capacity metric.
+	FleetThroughput float64
 }
 
 // FalseNegativeRate returns the per-run detector FNR, or NaN when the
@@ -316,6 +353,13 @@ type mission struct {
 	lastCmd      core.Command
 	heldCmd      core.Command
 	recoveryDone bool
+
+	// Inline-tick cadence state: the next mission times at which a depth
+	// capture / detection frame is due. Loop-local before the fleet
+	// lockstep runner; hoisted onto the mission so tickInline can be
+	// driven one tick at a time by runInline and runFleet alike.
+	nextDetect float64
+	nextDepth  float64
 
 	// Staged-planner state; all nil/zero (one branch per tick) without
 	// PlanLatencyTicks. curTick is the control loop's current tick index,
@@ -400,8 +444,13 @@ func newMission(sc *worldgen.Scenario, sys *core.System, cfg RunConfig) *mission
 	return m
 }
 
-// Run executes one closed-loop mission of sys on scenario sc.
+// Run executes one closed-loop mission of sys on scenario sc. With an
+// active fleet spec it flies the whole formation instead (fleet.go); the
+// solo path below costs exactly one nil-check when the knob is off.
 func Run(sc *worldgen.Scenario, sys *core.System, cfg RunConfig) Result {
+	if fl := cfg.Timing.Fleet; fl.Active() {
+		return runFleet(sc, sys, cfg, fl)
+	}
 	m := newMission(sc, sys, cfg)
 	if k := m.t.PlanLatencyTicks; k >= 1 {
 		m.plans = newPlanStage(k)
@@ -415,61 +464,87 @@ func Run(sc *worldgen.Scenario, sys *core.System, cfg RunConfig) Result {
 	return m.runInline()
 }
 
+// tickStatus is tickInline's verdict on one control tick.
+type tickStatus int
+
+const (
+	// tickContinue: the mission flies on.
+	tickContinue tickStatus = iota
+	// tickCrashed: the vehicle hit something; Result is final as written
+	// by the crash accounting (no classify pass).
+	tickCrashed
+	// tickDone: terminal system state or touchdown; classify() finalizes.
+	tickDone
+)
+
 // runInline is the historical single-goroutine loop: perception executes
 // on the control loop, in the exact pre-pipeline operation order (the
 // golden-digest test holds this path to bit-identity; the fault branches
-// below are never taken without an active plan).
+// inside tickInline are never taken without an active plan).
 func (m *mission) runInline() Result {
-	var nextDetect, nextDepth float64
 	for i := 0; i < m.steps; i++ {
-		m.now += m.t.Dt
-		blackout := m.beginFaultTick()
-		epoch := m.beginTick()
-		m.curTick = i
-		m.deliverDuePlan(i, blackout)
-
-		var cmd core.Command
-		markerVisible := false
-		if blackout {
-			// Offboard link down: the stack is frozen — no sensor epochs
-			// in, no new commands out. The flight controller holds the
-			// last commanded setpoint.
-			cmd = m.lastCmd
-		} else {
-			if m.now >= nextDepth {
-				nextDepth = m.now + m.t.DepthPeriod
-				if returns, ok := m.captureDepth(m.drone.Pos, m.drone.Yaw, m.now); ok {
-					m.depthPts = copyDepthPoints(m.depthPts, returns)
-					epoch.Depth = m.depthPts
-					epoch.DepthYaw = m.drone.Yaw
-				}
-			}
-
-			if m.now >= nextDetect {
-				nextDetect = m.now + m.t.DetectPeriod
-				if frame, ok := m.captureFrame(m.drone.Pos, m.drone.Yaw, m.drone.Speed(), m.now); ok {
-					epoch.Frame = frame
-					epoch.FrameYaw = m.drone.Yaw
-					markerVisible = markerInView(m.w, m.sc, m.drone.Pos, m.drone.Yaw)
-					if markerVisible {
-						m.res.MarkerVisibleFrames++
-					}
-				}
-			}
-
-			cmd = m.stepSystem(epoch, markerVisible)
-			m.lastCmd = cmd
-		}
-		applied := m.actuate(i, cmd)
-		m.trackRecovery(blackout)
-		if m.crashed(applied) {
+		switch m.tickInline(i) {
+		case tickCrashed:
 			return m.res
-		}
-		if m.sys.State().Terminal() || m.drone.Landed() {
-			break
+		case tickDone:
+			return m.classify()
 		}
 	}
 	return m.classify()
+}
+
+// tickInline advances the mission by exactly one inline control tick — the
+// historical loop body of runInline, hoisted out so the fleet lockstep
+// runner can interleave the ticks of many missions. The operation order
+// inside one tick is untouched.
+func (m *mission) tickInline(i int) tickStatus {
+	m.now += m.t.Dt
+	blackout := m.beginFaultTick()
+	epoch := m.beginTick()
+	m.curTick = i
+	m.deliverDuePlan(i, blackout)
+
+	var cmd core.Command
+	markerVisible := false
+	if blackout {
+		// Offboard link down: the stack is frozen — no sensor epochs
+		// in, no new commands out. The flight controller holds the
+		// last commanded setpoint.
+		cmd = m.lastCmd
+	} else {
+		if m.now >= m.nextDepth {
+			m.nextDepth = m.now + m.t.DepthPeriod
+			if returns, ok := m.captureDepth(m.drone.Pos, m.drone.Yaw, m.now); ok {
+				m.depthPts = copyDepthPoints(m.depthPts, returns)
+				epoch.Depth = m.depthPts
+				epoch.DepthYaw = m.drone.Yaw
+			}
+		}
+
+		if m.now >= m.nextDetect {
+			m.nextDetect = m.now + m.t.DetectPeriod
+			if frame, ok := m.captureFrame(m.drone.Pos, m.drone.Yaw, m.drone.Speed(), m.now); ok {
+				epoch.Frame = frame
+				epoch.FrameYaw = m.drone.Yaw
+				markerVisible = markerInView(m.w, m.sc, m.drone.Pos, m.drone.Yaw)
+				if markerVisible {
+					m.res.MarkerVisibleFrames++
+				}
+			}
+		}
+
+		cmd = m.stepSystem(epoch, markerVisible)
+		m.lastCmd = cmd
+	}
+	applied := m.actuate(i, cmd)
+	m.trackRecovery(blackout)
+	if m.crashed(applied) {
+		return tickCrashed
+	}
+	if m.sys.State().Terminal() || m.drone.Landed() {
+		return tickDone
+	}
+	return tickContinue
 }
 
 // beginFaultTick advances the fault injector (when present) to the tick's

@@ -91,10 +91,11 @@ func (d *DepthCamera) captureFast(w *World, pos geom.Vec3, yaw float64) ([]Depth
 		wk, ok := ix.startWalk(geom.Ray{Origin: pos, Dir: wd}, d.MaxRange)
 		if ok {
 			for {
-				cell, _, more := wk.next()
+				ci, _, more := wk.next()
 				if !more {
 					break
 				}
+				cell := &ix.cells[ci]
 				for _, bi := range cell.buildings {
 					if d.seenB[bi] != d.stamp {
 						d.seenB[bi] = d.stamp

@@ -39,13 +39,22 @@ type indexCell struct {
 	trees     []int32
 }
 
-// spatialIndex is a uniform XY grid over the world's obstacle footprints.
-type spatialIndex struct {
+// gridGeom is the geometry of a uniform XY grid: origin, cell size and
+// extent, plus the coordinate and traversal primitives every grid query
+// shares. The static spatial index and the dynamic fleet overlay
+// (overlay.go) both embed it, so one cell-coordinate convention and one
+// ray traversal serve the immutable world and the per-tick drone set.
+type gridGeom struct {
 	minX, minY float64
 	cell       float64 // cell side length in meters
 	invCell    float64
 	nx, ny     int
-	cells      []indexCell
+}
+
+// spatialIndex is a uniform XY grid over the world's obstacle footprints.
+type spatialIndex struct {
+	gridGeom
+	cells []indexCell
 }
 
 // indexPad expands every registered footprint so queries landing exactly on
@@ -163,61 +172,73 @@ func (ix *spatialIndex) register(x0, y0, x1, y1 float64, idx int32, tree bool) {
 }
 
 // cellCoord maps a point to clamped cell coordinates.
-func (ix *spatialIndex) cellCoord(x, y float64) (int, int) {
-	cx := int((x - ix.minX) * ix.invCell)
-	cy := int((y - ix.minY) * ix.invCell)
+func (g *gridGeom) cellCoord(x, y float64) (int, int) {
+	cx := int((x - g.minX) * g.invCell)
+	cy := int((y - g.minY) * g.invCell)
 	if cx < 0 {
 		cx = 0
-	} else if cx >= ix.nx {
-		cx = ix.nx - 1
+	} else if cx >= g.nx {
+		cx = g.nx - 1
 	}
 	if cy < 0 {
 		cy = 0
-	} else if cy >= ix.ny {
-		cy = ix.ny - 1
+	} else if cy >= g.ny {
+		cy = g.ny - 1
 	}
 	return cx, cy
+}
+
+// cellIndexAt returns the linear index of the cell containing (x, y), or
+// -1 when the point lies outside the gridded footprint.
+func (g *gridGeom) cellIndexAt(x, y float64) int {
+	if g.nx == 0 {
+		return -1
+	}
+	fx := (x - g.minX) * g.invCell
+	fy := (y - g.minY) * g.invCell
+	if fx < 0 || fy < 0 {
+		return -1
+	}
+	cx, cy := int(fx), int(fy)
+	if cx >= g.nx || cy >= g.ny {
+		return -1
+	}
+	return cy*g.nx + cx
 }
 
 // cellAt returns the cell containing (x, y), or nil when the point lies
 // outside the gridded obstacle footprint (no obstacle can be there).
 func (ix *spatialIndex) cellAt(x, y float64) *indexCell {
-	if ix.nx == 0 {
+	ci := ix.cellIndexAt(x, y)
+	if ci < 0 {
 		return nil
 	}
-	fx := (x - ix.minX) * ix.invCell
-	fy := (y - ix.minY) * ix.invCell
-	if fx < 0 || fy < 0 {
-		return nil
-	}
-	cx, cy := int(fx), int(fy)
-	if cx >= ix.nx || cy >= ix.ny {
-		return nil
-	}
-	return &ix.cells[cy*ix.nx+cx]
+	return &ix.cells[ci]
 }
 
 // cellRange returns the clamped cell rectangle overlapping the query AABB,
 // ok=false when the query lies entirely outside the grid.
-func (ix *spatialIndex) cellRange(x0, y0, x1, y1 float64) (cx0, cy0, cx1, cy1 int, ok bool) {
-	if ix.nx == 0 {
+func (g *gridGeom) cellRange(x0, y0, x1, y1 float64) (cx0, cy0, cx1, cy1 int, ok bool) {
+	if g.nx == 0 {
 		return 0, 0, 0, 0, false
 	}
-	if x1 < ix.minX || y1 < ix.minY ||
-		x0 > ix.minX+float64(ix.nx)*ix.cell || y0 > ix.minY+float64(ix.ny)*ix.cell {
+	if x1 < g.minX || y1 < g.minY ||
+		x0 > g.minX+float64(g.nx)*g.cell || y0 > g.minY+float64(g.ny)*g.cell {
 		return 0, 0, 0, 0, false
 	}
-	cx0, cy0 = ix.cellCoord(x0, y0)
-	cx1, cy1 = ix.cellCoord(x1, y1)
+	cx0, cy0 = g.cellCoord(x0, y0)
+	cx1, cy1 = g.cellCoord(x1, y1)
 	return cx0, cy0, cx1, cy1, true
 }
 
 // rayWalk is an Amanatides & Woo grid traversal over the XY projection of a
 // ray, visiting every cell the segment [0, tmax] crosses in near-to-far
 // order. It is a value-type iterator (no closures) so the sensor hot paths
-// stay allocation-free.
+// stay allocation-free. The walk yields linear cell indices into the
+// owner's cell storage, so the static index and the dynamic overlay share
+// it unchanged.
 type rayWalk struct {
-	ix       *spatialIndex
+	g        *gridGeom
 	cx, cy   int
 	stepX    int
 	stepY    int
@@ -232,15 +253,15 @@ type rayWalk struct {
 
 // startWalk clips the ray against the grid rectangle and positions the walk
 // at the first overlapped cell. ok=false when the segment misses the grid.
-func (ix *spatialIndex) startWalk(ray geom.Ray, tmax float64) (rayWalk, bool) {
+func (g *gridGeom) startWalk(ray geom.Ray, tmax float64) (rayWalk, bool) {
 	var wk rayWalk
-	if ix.nx == 0 {
+	if g.nx == 0 {
 		return wk, false
 	}
 	ox, oy := ray.Origin.X, ray.Origin.Y
 	dx, dy := ray.Dir.X, ray.Dir.Y
-	gx1 := ix.minX + float64(ix.nx)*ix.cell
-	gy1 := ix.minY + float64(ix.ny)*ix.cell
+	gx1 := g.minX + float64(g.nx)*g.cell
+	gy1 := g.minY + float64(g.ny)*g.cell
 
 	// 2-D slab clip of [0, tmax] against the grid rectangle.
 	t0, t1 := 0.0, tmax
@@ -261,52 +282,52 @@ func (ix *spatialIndex) startWalk(ray geom.Ray, tmax float64) (rayWalk, bool) {
 		}
 		return t0 <= t1
 	}
-	if !clip(ox, dx, ix.minX, gx1) || !clip(oy, dy, ix.minY, gy1) {
+	if !clip(ox, dx, g.minX, gx1) || !clip(oy, dy, g.minY, gy1) {
 		return wk, false
 	}
 
 	// Start just inside the grid; the pad on registration absorbs the nudge.
 	px := ox + dx*t0
 	py := oy + dy*t0
-	cx, cy := ix.cellCoord(px, py)
+	cx, cy := g.cellCoord(px, py)
 
-	wk.ix = ix
+	wk.g = g
 	wk.cx, wk.cy = cx, cy
 	wk.tEnd = t1
 	wk.tCur = t0
 	inf := math.Inf(1)
 	if dx > 1e-15 {
 		wk.stepX = 1
-		wk.tMaxX = (ix.minX + float64(cx+1)*ix.cell - ox) / dx
-		wk.tDeltaX = ix.cell / dx
+		wk.tMaxX = (g.minX + float64(cx+1)*g.cell - ox) / dx
+		wk.tDeltaX = g.cell / dx
 	} else if dx < -1e-15 {
 		wk.stepX = -1
-		wk.tMaxX = (ix.minX + float64(cx)*ix.cell - ox) / dx
-		wk.tDeltaX = -ix.cell / dx
+		wk.tMaxX = (g.minX + float64(cx)*g.cell - ox) / dx
+		wk.tDeltaX = -g.cell / dx
 	} else {
 		wk.tMaxX, wk.tDeltaX = inf, inf
 	}
 	if dy > 1e-15 {
 		wk.stepY = 1
-		wk.tMaxY = (ix.minY + float64(cy+1)*ix.cell - oy) / dy
-		wk.tDeltaY = ix.cell / dy
+		wk.tMaxY = (g.minY + float64(cy+1)*g.cell - oy) / dy
+		wk.tDeltaY = g.cell / dy
 	} else if dy < -1e-15 {
 		wk.stepY = -1
-		wk.tMaxY = (ix.minY + float64(cy)*ix.cell - oy) / dy
-		wk.tDeltaY = -ix.cell / dy
+		wk.tMaxY = (g.minY + float64(cy)*g.cell - oy) / dy
+		wk.tDeltaY = -g.cell / dy
 	} else {
 		wk.tMaxY, wk.tDeltaY = inf, inf
 	}
 	return wk, true
 }
 
-// next returns the current cell and its entry parameter, then advances.
-// ok=false once the walk has left the grid or passed tmax.
-func (wk *rayWalk) next() (c *indexCell, tEntry float64, ok bool) {
-	if wk.finished || wk.ix == nil {
-		return nil, 0, false
+// next returns the current cell's linear index and its entry parameter,
+// then advances. ok=false once the walk has left the grid or passed tmax.
+func (wk *rayWalk) next() (ci int, tEntry float64, ok bool) {
+	if wk.finished || wk.g == nil {
+		return 0, 0, false
 	}
-	c = &wk.ix.cells[wk.cy*wk.ix.nx+wk.cx]
+	ci = wk.cy*wk.g.nx + wk.cx
 	tEntry = wk.tCur
 
 	// Advance to the neighbor cell across the nearer boundary.
@@ -314,21 +335,21 @@ func (wk *rayWalk) next() (c *indexCell, tEntry float64, ok bool) {
 		wk.tCur = wk.tMaxX
 		wk.tMaxX += wk.tDeltaX
 		wk.cx += wk.stepX
-		if wk.cx < 0 || wk.cx >= wk.ix.nx {
+		if wk.cx < 0 || wk.cx >= wk.g.nx {
 			wk.finished = true
 		}
 	} else {
 		wk.tCur = wk.tMaxY
 		wk.tMaxY += wk.tDeltaY
 		wk.cy += wk.stepY
-		if wk.cy < 0 || wk.cy >= wk.ix.ny {
+		if wk.cy < 0 || wk.cy >= wk.g.ny {
 			wk.finished = true
 		}
 	}
 	if wk.tCur > wk.tEnd {
 		wk.finished = true
 	}
-	return c, tEntry, true
+	return ci, tEntry, true
 }
 
 // raycastObstacles returns the minimum obstacle intersection parameter
@@ -343,10 +364,11 @@ func (ix *spatialIndex) raycastObstacles(w *World, ray geom.Ray, tmax, best floa
 		return best
 	}
 	for {
-		c, tEntry, ok := wk.next()
+		ci, tEntry, ok := wk.next()
 		if !ok || tEntry > best {
 			break
 		}
+		c := &ix.cells[ci]
 		for _, bi := range c.buildings {
 			if tb, hit := ray.IntersectAABB(w.Buildings[bi], tmax); hit && tb < best {
 				best = tb

@@ -155,6 +155,11 @@ type LidarAlt struct {
 	MaxRange float64
 	NoiseStd float64
 	rng      *rand.Rand
+
+	// Fleet overlay (nil outside fleet runs): other drones below the
+	// vehicle truncate the measured range. self is excluded.
+	ov   *Overlay
+	self int32
 }
 
 // NewLidarAlt returns a rangefinder model.
@@ -162,11 +167,29 @@ func NewLidarAlt(seed int64) *LidarAlt {
 	return &LidarAlt{MaxRange: 12, NoiseStd: 0.04, rng: rand.New(rand.NewSource(seed))}
 }
 
+// SetOverlay attaches a fleet overlay: other drones below truncate the
+// measured range (the rangefinder sees whatever is under the vehicle).
+// self is this drone's fleet member ID, excluded from the query. A nil
+// overlay (the default) keeps the solo-engine path bit for bit.
+func (l *LidarAlt) SetOverlay(ov *Overlay, self int32) {
+	l.ov = ov
+	l.self = self
+}
+
 // Read returns the measured range to the surface below, or ok=false when
 // out of range.
+//
+// The overlay query runs after the world query and before the noise draw,
+// so the RNG stream is consumed exactly as in a solo run: an attached but
+// empty overlay is bit-identical to no overlay.
 func (l *LidarAlt) Read(w *World, pos geom.Vec3) (float64, bool) {
 	surface := w.GroundHeightAt(pos.X, pos.Y)
 	r := pos.Z - surface
+	if l.ov != nil {
+		if t, hit := l.ov.Raycast(geom.Ray{Origin: pos, Dir: geom.V3(0, 0, -1)}, l.MaxRange, l.self); hit && t < r {
+			r = t
+		}
+	}
 	if r < 0 || r > l.MaxRange {
 		return 0, false
 	}
@@ -197,6 +220,14 @@ type DepthCamera struct {
 
 	rng *rand.Rand
 
+	// Fleet overlay (nil outside fleet runs): other drones intercept
+	// depth rays as dynamic obstacles. self is excluded. The overlay is
+	// folded into each ray after the world raycast completes, so the
+	// world's RNG draws (soft canopies, range noise ordering) are
+	// consumed exactly as in a solo run.
+	ov   *Overlay
+	self int32
+
 	// Reused per-capture state; a camera belongs to one run and must not
 	// be shared across goroutines.
 	dirs     []geom.Vec3 // body-frame ray fan, cached per (Rows, Cols, FOV)
@@ -216,6 +247,14 @@ type DepthCamera struct {
 	colTree []int32
 	colBld  []int32
 	colOff  []int32
+}
+
+// SetOverlay attaches a fleet overlay; self is this drone's fleet member
+// ID, excluded from every query. A nil overlay (the default) keeps the
+// solo-engine capture path bit for bit.
+func (d *DepthCamera) SetOverlay(ov *Overlay, self int32) {
+	d.ov = ov
+	d.self = self
 }
 
 // NewDepthCamera returns a D435-like sensor model.
@@ -274,7 +313,9 @@ func (d *DepthCamera) rayFan() []geom.Vec3 {
 // The returned slice is owned by the camera and reused by the next
 // Capture; callers that need the points past that must copy them.
 func (d *DepthCamera) Capture(w *World, pos geom.Vec3, yaw float64) []DepthReturn {
-	if d.Fast {
+	if d.Fast && d.ov == nil {
+		// The fast kernel has no overlay fold; fleet runs stay on the
+		// exact path (the fleet runner never enables Fast anyway).
 		if out, ok := d.captureFast(w, pos, yaw); ok {
 			return out
 		}
@@ -286,7 +327,16 @@ func (d *DepthCamera) Capture(w *World, pos geom.Vec3, yaw float64) []DepthRetur
 	for _, bd := range d.rayFan() {
 		// World-frame.
 		wd := geom.V3(bd.X*cy-bd.Y*sy, bd.X*sy+bd.Y*cy, bd.Z)
-		t, hit := d.raycastSoft(w, geom.Ray{Origin: pos, Dir: wd})
+		ray := geom.Ray{Origin: pos, Dir: wd}
+		t, hit := d.raycastSoft(w, ray)
+		// Fleet overlay: other drones intercept the ray like any solid.
+		// Folded in after the world raycast so the world's soft-canopy RNG
+		// draws are untouched; an empty overlay changes nothing.
+		if d.ov != nil {
+			if to, ok := d.ov.Raycast(ray, d.MaxRange, d.self); ok && (!hit || to < t) {
+				t, hit = to, true
+			}
+		}
 		if !hit {
 			out = append(out, DepthReturn{Point: bd.Scale(d.MaxRange), Hit: false})
 			continue
@@ -355,10 +405,11 @@ func (d *DepthCamera) raycastSoft(w *World, ray geom.Ray) (float64, bool) {
 	wk, ok := ix.startWalk(ray, d.MaxRange)
 	if ok {
 		for {
-			cell, tEntry, more := wk.next()
+			ci, tEntry, more := wk.next()
 			if !more || tEntry > best {
 				break
 			}
+			cell := &ix.cells[ci]
 			for _, bi := range cell.buildings {
 				if tb, hit := ray.IntersectAABB(w.Buildings[bi], d.MaxRange); hit && tb < best {
 					best = tb

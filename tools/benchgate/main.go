@@ -64,7 +64,10 @@ var zeroAllocBenchmarks = []string{
 // so the fault wiring cannot quietly tax every nominal campaign.
 // BenchmarkRunFast is the same mission in fast engine mode; its alloc
 // budget keeps the approximate kernels from buying speed with garbage.
-var gatedBenchmarks = []string{"BenchmarkRun", "BenchmarkRunPipelined", "BenchmarkRunFaultsOff", "BenchmarkRunFast"}
+// BenchmarkRunFleetOff is the nominal mission with the fleet knob
+// normalized away; it shares BenchmarkRun's budget, so the fleet overlay
+// wiring cannot quietly tax every single-drone campaign.
+var gatedBenchmarks = []string{"BenchmarkRun", "BenchmarkRunPipelined", "BenchmarkRunFaultsOff", "BenchmarkRunFast", "BenchmarkRunFleetOff"}
 
 // Fast-speedup ratio gate operands: fastRatioNum must be at least
 // -min-fast-speedup times faster than fastRatioDen in the same smoke file.

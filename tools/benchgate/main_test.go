@@ -17,6 +17,7 @@ BenchmarkRun-4                    5    302838874 ns/op   8618862 B/op   11771 al
 BenchmarkRunPipelined-4           5    340362629 ns/op   8172180 B/op   11590 allocs/op
 BenchmarkRunFaultsOff-4           5    315340870 ns/op   8514950 B/op   11328 allocs/op
 BenchmarkRunFast-4                5    149000000 ns/op   8665360 B/op   10258 allocs/op
+BenchmarkRunFleetOff-4            5    305000000 ns/op   8618870 B/op   11772 allocs/op
 BenchmarkDispatchOverhead-4       1    812000000 ns/op      1.73 overhead-%
 BenchmarkCellAffinity-4         100       581034 ns/op      41.7 affine-hit-%      8.3 random-hit-%
 BenchmarkRender-4              1000       408527 ns/op       524 B/op       0 allocs/op
@@ -41,6 +42,9 @@ const baselineJSON = `{
     },
     "BenchmarkRunFast": {
       "after": {"ns_op": 149000000, "bytes_op": 8665360, "allocs_op": 10258}
+    },
+    "BenchmarkRunFleetOff": {
+      "after": {"ns_op": 305000000, "bytes_op": 8618870, "allocs_op": 11772}
     }
   }
 }`
@@ -182,6 +186,36 @@ func TestGateCoversFastRun(t *testing.T) {
 	err, out = gate(t, strings.Join(kept, "\n"), baselineJSON, 0.10)
 	if err == nil {
 		t.Fatalf("missing fast benchmark passed the gate:\n%s", out)
+	}
+}
+
+// TestGateCoversFleetOffRun pins the fleet subsystem's off-state gate:
+// the solo engine with the fleet knob normalized away shares
+// BenchmarkRun's allocation budget, and losing the benchmark from the
+// smoke run must fail the gate.
+func TestGateCoversFleetOffRun(t *testing.T) {
+	injected := strings.Replace(goodBench, "11772 allocs/op", "13500 allocs/op", 1)
+	if injected == goodBench {
+		t.Fatal("fixture drifted: BenchmarkRunFleetOff line not found")
+	}
+	err, out := gate(t, injected, baselineJSON, 0.10)
+	if err == nil {
+		t.Fatalf("fleet-off alloc regression passed the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "BenchmarkRunFleetOff") {
+		t.Errorf("violation does not name the fleet-off benchmark:\n%s", out)
+	}
+
+	var kept []string
+	for _, line := range strings.Split(goodBench, "\n") {
+		if strings.HasPrefix(line, "BenchmarkRunFleetOff") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	err, out = gate(t, strings.Join(kept, "\n"), baselineJSON, 0.10)
+	if err == nil {
+		t.Fatalf("missing fleet-off benchmark passed the gate:\n%s", out)
 	}
 }
 
