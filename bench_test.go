@@ -543,6 +543,24 @@ func BenchmarkRunFaultsOff(b *testing.B) {
 	}
 }
 
+// BenchmarkRunTraceOff is BenchmarkRun with the flight recorder left off
+// — the path every untraced campaign takes now that the observability
+// plane exists. The configure hook explicitly leaves RunConfig.Recorder
+// nil, so what's measured is the recorder wiring's off state: one nil
+// pointer check per record site and nothing else. Gated by
+// tools/benchgate at BenchmarkRun's own allocation budget.
+func BenchmarkRunTraceOff(b *testing.B) {
+	configure := func(sc *worldgen.Scenario, sys *core.System, cfg *scenario.RunConfig) {
+		cfg.Recorder = nil // the off state every untraced run flies
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.RunGridCell(core.V3, 2, 4, 42, scenario.SILTiming(), configure); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRunFleetOff is BenchmarkRun flown through a Timing profile
 // whose fleet spec has been normalized away — the path every single-drone
 // campaign takes now that the fleet subsystem exists. Gated by

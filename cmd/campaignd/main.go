@@ -43,9 +43,17 @@ func main() {
 	if err := cf.Validate(); err != nil {
 		cliutil.Fatal("campaignd", 2, err)
 	}
+	// The coordinator's listener serves /metrics itself; -debug gives a
+	// worker (or a second surface on the coordinator) its own listener.
+	if err := cf.StartDebug("campaignd"); err != nil {
+		cliutil.Fatal("campaignd", 1, err)
+	}
 
 	if cf.Join != "" {
 		cf.Distributed("campaignd", campaign.Spec{}, "")
+		if err := cf.DumpMetrics("campaignd"); err != nil {
+			cliutil.Fatal("campaignd", 1, err)
+		}
 		return
 	}
 	if cf.Serve == "" {
@@ -73,6 +81,9 @@ func main() {
 		a := aggs[gen]
 		fmt.Printf("%-10s success %6.2f%%  collision %6.2f%%  poor-landing %6.2f%%  (%d runs)\n",
 			a.System, a.SuccessRate(), a.CollisionRate(), a.PoorLandingRate(), a.Runs)
+	}
+	if err := cf.DumpMetrics("campaignd"); err != nil {
+		cliutil.Fatal("campaignd", 1, err)
 	}
 }
 

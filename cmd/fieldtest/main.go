@@ -53,6 +53,10 @@ func main() {
 		cliutil.Fatal("fieldtest", 2, err)
 	}
 
+	if err := cf.StartDebug("fieldtest"); err != nil {
+		cliutil.Fatal("fieldtest", 1, err)
+	}
+
 	if cf.Merge {
 		mergeMain(flag.Args())
 		return
@@ -62,6 +66,7 @@ func main() {
 		// name the run-configuration profile (weather floors, depth-error
 		// rate) to apply.
 		cf.Distributed("fieldtest", campaign.Spec{}, "")
+		dumpMetrics(cf)
 		return
 	}
 
@@ -143,6 +148,7 @@ func main() {
 			fmt.Printf("mean landing error %.2f m, FNR %.2f%%\n", a.MeanLandingError, 100*a.FalseNegativeRate)
 			fmt.Println("(per-flight drift and resource series live on the worker machines)")
 		}
+		dumpMetrics(cf)
 		return
 	}
 
@@ -183,6 +189,12 @@ func main() {
 		fmt.Printf("  flight %2d map%d sc%d: %-12s landErr=%.2fm drift=%.2fm\n",
 			ru.Rep, ru.MapIdx, ru.ScenarioIdx, r.Outcome, r.LandingError, r.MaxGPSDrift)
 	}
+	// The flight recorder chains behind the field configure hook and the
+	// ordered flight log: one header + events block per flight.
+	closeTrace, err := cf.WireTrace(&spec, &opts)
+	if err != nil {
+		cliutil.Fatal("fieldtest", 1, err)
+	}
 	j, err := cf.OpenCheckpoint(spec)
 	if err != nil {
 		cliutil.Fatal("fieldtest", 1, err)
@@ -194,9 +206,13 @@ func main() {
 
 	report, err := campaign.Execute(ctx, spec, opts)
 	if err != nil {
+		closeTrace()
 		fmt.Fprintln(os.Stderr, "fieldtest:", err)
 		cf.CheckpointHint("fieldtest", ctx.Err() != nil)
 		os.Exit(1)
+	}
+	if err := closeTrace(); err != nil {
+		cliutil.Fatal("fieldtest", 1, err)
 	}
 
 	results := report.Results
@@ -302,6 +318,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nFig. 7 series written to %s\n", *csvPath)
+	}
+	dumpMetrics(cf)
+}
+
+// dumpMetrics honors -metrics on the way out.
+func dumpMetrics(cf *cliutil.CampaignFlags) {
+	if err := cf.DumpMetrics("fieldtest"); err != nil {
+		cliutil.Fatal("fieldtest", 1, err)
 	}
 }
 

@@ -47,6 +47,9 @@ func main() {
 	if err := cf.Validate(); err != nil {
 		cliutil.Fatal("hilbench", 2, err)
 	}
+	if err := cf.StartDebug("hilbench"); err != nil {
+		cliutil.Fatal("hilbench", 1, err)
+	}
 
 	if cf.Merge {
 		mergeMain(flag.Args())
@@ -56,6 +59,7 @@ func main() {
 		// A worker needs no spec of its own: leases carry the campaign and
 		// name the run-configuration profile to apply.
 		cf.Distributed("hilbench", campaign.Spec{}, "")
+		dumpMetrics(cf)
 		return
 	}
 
@@ -135,6 +139,7 @@ func main() {
 			printTableIII(*agg)
 			fmt.Println("(resource series live on the worker machines)")
 		}
+		dumpMetrics(cf)
 		return
 	}
 
@@ -164,6 +169,13 @@ func main() {
 		}
 	}
 
+	// The flight recorder chains behind the monitor hook and the ordered
+	// result stream: one header + events block per run, canonical order.
+	closeTrace, err := cf.WireTrace(&spec, &opts)
+	if err != nil {
+		cliutil.Fatal("hilbench", 1, err)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
@@ -178,9 +190,13 @@ func main() {
 
 	report, err := campaign.Execute(ctx, spec, opts)
 	if err != nil {
+		closeTrace()
 		fmt.Fprintln(os.Stderr, "hilbench:", err)
 		cf.CheckpointHint("hilbench", ctx.Err() != nil)
 		os.Exit(1)
+	}
+	if err := closeTrace(); err != nil {
+		cliutil.Fatal("hilbench", 1, err)
 	}
 
 	agg := *report.Aggregates[core.V3]
@@ -263,6 +279,14 @@ func main() {
 		if err := cf.WriteShardOut("hilbench", activeShard, report); err != nil {
 			cliutil.Fatal("hilbench", 1, err)
 		}
+	}
+	dumpMetrics(cf)
+}
+
+// dumpMetrics honors -metrics on the way out.
+func dumpMetrics(cf *cliutil.CampaignFlags) {
+	if err := cf.DumpMetrics("hilbench"); err != nil {
+		cliutil.Fatal("hilbench", 1, err)
 	}
 }
 

@@ -72,6 +72,12 @@ func main() {
 	if err := cf.Validate(); err != nil {
 		cliutil.Fatal("silbench", 2, err)
 	}
+	if cf.Trace != "" && (*faultSweep || *fleetSweep || *verifyFast || sf.Active()) {
+		cliutil.Fatal("silbench", 2, fmt.Errorf("-trace records the main campaign's runs; drop it for sweep/search/verify modes"))
+	}
+	if err := cf.StartDebug("silbench"); err != nil {
+		cliutil.Fatal("silbench", 1, err)
+	}
 
 	if cf.Merge {
 		mergeMain(flag.Args())
@@ -80,6 +86,7 @@ func main() {
 	if cf.Join != "" {
 		// A worker needs no spec of its own: leases carry the campaign.
 		cf.Distributed("silbench", campaign.Spec{}, "")
+		dumpMetrics(cf)
 		return
 	}
 	if *verifyFast {
@@ -184,6 +191,7 @@ func main() {
 			printDependability(selected, aggs)
 			printFleet(selected, aggs)
 		}
+		dumpMetrics(cf)
 		return
 	}
 
@@ -221,6 +229,13 @@ func main() {
 		}
 	}
 
+	// The flight recorder rides the spec's Configure hook and the ordered
+	// result stream: one header + events block per run, canonical order.
+	closeTrace, err := cf.WireTrace(&spec, &opts)
+	if err != nil {
+		cliutil.Fatal("silbench", 1, err)
+	}
+
 	// Ctrl-C cancels between runs; with -checkpoint nothing is lost.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -236,9 +251,16 @@ func main() {
 
 	report, err := campaign.Execute(ctx, spec, opts)
 	if err != nil {
+		closeTrace()
 		fmt.Fprintln(os.Stderr, "silbench:", err)
 		cf.CheckpointHint("silbench", ctx.Err() != nil)
 		os.Exit(1)
+	}
+	if err := closeTrace(); err != nil {
+		cliutil.Fatal("silbench", 1, err)
+	}
+	if cf.Trace != "" {
+		fmt.Printf("flight-recorder trace written to %s (validate with: go run ./tools/tracecheck %s)\n", cf.Trace, cf.Trace)
 	}
 
 	fmt.Printf("campaign done in %.1fs wall (%.1fs of runs on %d workers, %.2fx speedup vs -workers=1)\n",
@@ -262,6 +284,14 @@ func main() {
 	printTables(selected, report.Aggregates)
 	printDependability(selected, report.Aggregates)
 	printFleet(selected, report.Aggregates)
+	dumpMetrics(cf)
+}
+
+// dumpMetrics honors -metrics on the way out.
+func dumpMetrics(cf *cliutil.CampaignFlags) {
+	if err := cf.DumpMetrics("silbench"); err != nil {
+		cliutil.Fatal("silbench", 1, err)
+	}
 }
 
 // fleetSpacing resolves the spec's effective spawn spacing for banners.

@@ -243,6 +243,7 @@ func Execute(ctx context.Context, spec Spec, opts Options) (*Report, error) {
 	// complete stream and the report covers all n runs. Exact aggregation
 	// makes the replay-shard/live-shard split invisible in the merged bits.
 	replayShard := make(map[core.Generation]*scenario.Aggregate)
+	mRunsReplayed.Add(int64(len(replay)))
 	for _, i := range replay {
 		r, _ := journal.Completed(i)
 		ru := runs[i]
@@ -284,8 +285,12 @@ func Execute(ctx context.Context, spec Spec, opts Options) (*Report, error) {
 					}
 				}
 				t0 := time.Now()
+				mRunsStarted.Inc()
 				r, err := scenario.RunGridCell(ru.Gen, ru.MapIdx, ru.ScenarioIdx, ru.Seed, spec.Timing, configure)
 				busyNs.Add(int64(time.Since(t0)))
+				if err == nil {
+					mRunsFinished.Inc()
+				}
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {

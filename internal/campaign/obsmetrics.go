@@ -1,0 +1,17 @@
+package campaign
+
+import "repro/internal/obs"
+
+// The campaign engine's slice of the unified metrics plane: run lifecycle
+// counts across every Execute in the process (local pools and coord
+// worker leases alike). Replayed runs are journal restores — they are
+// delivered to callbacks but never re-flown, which is why they get their
+// own series instead of inflating runs_started.
+var (
+	mRunsStarted = obs.NewCounter("campaign_runs_started_total", "runs",
+		"grid-cell runs handed to a worker goroutine")
+	mRunsFinished = obs.NewCounter("campaign_runs_finished_total", "runs",
+		"grid-cell runs that completed and delivered a Result")
+	mRunsReplayed = obs.NewCounter("campaign_runs_replayed_total", "runs",
+		"runs restored from a checkpoint journal instead of being re-flown")
+)

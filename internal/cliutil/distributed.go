@@ -12,6 +12,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/coord"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 )
 
@@ -70,7 +71,12 @@ func (f *CampaignFlags) ServeCampaign(ctx context.Context, tool string, spec cam
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: c.Handler()}
+	// The coordinator API shares its listener with the standard debug
+	// surface: GET /metrics (lease/steal/reject counters live here) and
+	// /debug/pprof, scrapeable mid-campaign.
+	mux := obs.DebugMux()
+	mux.Handle("/", c.Handler())
+	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
 
 	fmt.Printf("%s: coordinating %d runs on %s (lease TTL %s)\n", tool, spec.Total(), ln.Addr(), f.LeaseTTL)

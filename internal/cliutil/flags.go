@@ -40,6 +40,11 @@ type CampaignFlags struct {
 	Join       string
 	WorkerName string
 	LeaseTTL   time.Duration
+
+	// Observability (see obs.go).
+	Trace   string
+	Metrics string
+	Debug   string
 }
 
 // Register installs the shared campaign flags on fs (normally
@@ -70,6 +75,12 @@ func Register(fs *flag.FlagSet) *CampaignFlags {
 		"worker name for -join (a stable name keeps cell-affinity history and lease journals across restarts; default host:pid)")
 	fs.DurationVar(&f.LeaseTTL, "lease-ttl", 30*time.Second,
 		"with -serve: how long a lease may miss heartbeats before it is re-dispatched")
+	fs.StringVar(&f.Trace, "trace", "",
+		"flight-recorder output file: one JSONL run header + tick-stamped event block per run, in canonical order (validate with tools/tracecheck)")
+	fs.StringVar(&f.Metrics, "metrics", "",
+		"dump the final metrics snapshot in Prometheus text format to this file on exit (\"-\" or \"stderr\" = stderr)")
+	fs.StringVar(&f.Debug, "debug", "",
+		"serve GET /metrics and /debug/pprof on this address (e.g. 127.0.0.1:9141) for the process lifetime")
 	return f
 }
 
@@ -86,6 +97,12 @@ func (f *CampaignFlags) Validate() error {
 	}
 	if f.Fleet != "" && (f.Pipeline || f.Fast) {
 		return fmt.Errorf("-fleet flies the exact inline engine; drop -pipeline/-fast")
+	}
+	if f.Trace != "" && (f.Serve != "" || f.Join != "") {
+		return fmt.Errorf("-trace records locally executed runs; the coordinator flies nothing and a worker's lease order is not the canonical order — drop -trace or run locally")
+	}
+	if f.Trace != "" && f.Merge {
+		return fmt.Errorf("-merge only reads shard files; drop -trace")
 	}
 	if f.Workers < 1 {
 		f.Workers = runtime.GOMAXPROCS(0)

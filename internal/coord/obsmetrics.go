@@ -1,0 +1,34 @@
+package coord
+
+import "repro/internal/obs"
+
+// The coordinator's slice of the unified metrics plane: lease lifecycle
+// and upload hygiene. Only the live Coordinator instruments these —
+// SimulateScheduling and scheduler unit tests run uninstrumented, so the
+// process counters mean "what this coordinator actually did".
+//
+// RejectReasons is the closed taxonomy of upload-reject causes, one per
+// reject site in handleResults (in check order). The CounterVec panics on
+// anything outside it, so a new reject site must extend the list — and
+// the docs table — before it can count.
+var RejectReasons = []string{
+	"sig-mismatch",      // campaign signature header skew (worker build differs)
+	"bad-lease-id",      // unparseable lease id in the query string
+	"decode",            // corrupt, truncated, or invalid gzip JSONL stream
+	"unknown-lease",     // lease id the scheduler never issued
+	"already-finalized", // duplicate final upload for a retired lease
+	"out-of-range",      // entry index outside the lease's range
+	"result-conflict",   // digest conflict against an already-merged run
+	"digest-mismatch",   // final lease aggregate digest disagrees
+}
+
+var (
+	mLeasesIssued = obs.NewCounter("coord_leases_issued_total", "leases",
+		"leases cut for pulling workers")
+	mLeasesExpired = obs.NewCounter("coord_leases_expired_total", "leases",
+		"leases lost to missed heartbeats and re-dispatched")
+	mLeaseSteals = obs.NewCounter("coord_lease_steals_total", "cells",
+		"cell ownership transfers: a lease claimed a cell another worker had flown")
+	mUploadRejects = obs.NewCounterVec("coord_upload_rejects_total", "uploads",
+		"result uploads refused whole, by reject reason", "reason", RejectReasons)
+)

@@ -150,4 +150,25 @@ type Status struct {
 	// scheduler-level view of world-cache reuse across the fleet.
 	AffinityHits   int `json:"affinity_hits"`
 	AffinityMisses int `json:"affinity_misses"`
+	// WorkersDetail carries one row per worker ever seen, sorted by name.
+	WorkersDetail []WorkerStatus `json:"workers_detail,omitempty"`
+}
+
+// WorkerStatus is one worker's row in Status: how recently it was heard
+// from, what it currently holds, and how many of its uploads were refused.
+type WorkerStatus struct {
+	Name string `json:"name"`
+	// HeartbeatAgeSeconds is the time since the worker last pulled a lease
+	// or heartbeat — the liveness signal the expiry sweep runs on.
+	HeartbeatAgeSeconds float64 `json:"heartbeat_age_seconds"`
+	// ActiveLeases/LeasedRuns are the worker's current load;
+	// LeaseAgeSeconds is the age of its oldest active lease.
+	ActiveLeases    int     `json:"active_leases"`
+	LeasedRuns      int     `json:"leased_runs"`
+	LeaseAgeSeconds float64 `json:"lease_age_seconds"`
+	// ReportedDone sums the finished-run counts from the worker's latest
+	// heartbeat on each active lease.
+	ReportedDone int `json:"reported_done"`
+	// UploadRejects counts this worker's result uploads refused whole.
+	UploadRejects int `json:"upload_rejects,omitempty"`
 }

@@ -73,6 +73,12 @@ type scheduler struct {
 	affMisses int
 	issued    int
 	expired   int
+	steals    int
+
+	// instrument folds lease lifecycle into the process metrics registry.
+	// Only the live Coordinator sets it: SimulateScheduling and unit tests
+	// run uninstrumented so the counters mean real dispatch, not replays.
+	instrument bool
 }
 
 // segment is a half-open range [start, end) of canonical run indices.
@@ -84,6 +90,7 @@ type leaseState struct {
 	worker   string
 	start    int
 	end      int
+	issued   time.Time
 	deadline time.Time
 	// phase transitions: active -> (done | expired). Expired leases stay
 	// on record so a zombie worker's late uploads can still be attributed
@@ -106,6 +113,9 @@ type workerState struct {
 	// model of the worker's world-cache residency.
 	cells    map[cellKey]bool
 	lastSeen time.Time
+	// rejects counts result uploads from this worker refused whole (any
+	// reason); surfaced per worker in /v1/status.
+	rejects int
 }
 
 type cellKey struct{ mapIdx, scIdx int }
@@ -175,6 +185,9 @@ func (s *scheduler) sweep(now time.Time) {
 func (s *scheduler) expire(l *leaseState) {
 	l.phase = leaseExpired
 	s.expired++
+	if s.instrument {
+		mLeasesExpired.Inc()
+	}
 	s.reclaim(l.start, l.end)
 }
 
@@ -328,6 +341,12 @@ func (s *scheduler) lease(worker string, now time.Time) *leaseState {
 			s.affMisses++
 			w.cells[k] = true
 		}
+		if prev, owned := s.cellOwner[k]; owned && prev != worker {
+			s.steals++
+			if s.instrument {
+				mLeaseSteals.Inc()
+			}
+		}
 		s.cellOwner[k] = worker
 	}
 
@@ -337,11 +356,15 @@ func (s *scheduler) lease(worker string, now time.Time) *leaseState {
 		worker:   worker,
 		start:    start,
 		end:      end,
+		issued:   now,
 		deadline: now.Add(s.ttl),
 		phase:    leaseActive,
 	}
 	s.leases[l.id] = l
 	s.issued++
+	if s.instrument {
+		mLeasesIssued.Inc()
+	}
 	return l
 }
 
@@ -397,6 +420,54 @@ func (s *scheduler) heartbeat(id int64, done int, now time.Time) (time.Time, boo
 	l.reported = done
 	s.touch(l.worker, now)
 	return l.deadline, true
+}
+
+// noteReject attributes one refused upload to the named worker. It does
+// not refresh liveness: a worker whose every contact is a reject should
+// still age out of the active set.
+func (s *scheduler) noteReject(worker string) {
+	if worker == "" {
+		return
+	}
+	w := s.workers[worker]
+	if w == nil {
+		w = &workerState{cells: make(map[cellKey]bool)}
+		s.workers[worker] = w
+	}
+	w.rejects++
+}
+
+// workerDetail snapshots the per-worker status rows, sorted by name:
+// heartbeat age, active-lease load, the oldest active lease's age, and
+// the refused-upload count.
+func (s *scheduler) workerDetail(now time.Time) []WorkerStatus {
+	names := make([]string, 0, len(s.workers))
+	for n := range s.workers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]WorkerStatus, 0, len(names))
+	for _, n := range names {
+		w := s.workers[n]
+		ws := WorkerStatus{
+			Name:                n,
+			HeartbeatAgeSeconds: now.Sub(w.lastSeen).Seconds(),
+			UploadRejects:       w.rejects,
+		}
+		for _, l := range s.leases {
+			if l.worker != n || l.phase != leaseActive {
+				continue
+			}
+			ws.ActiveLeases++
+			ws.LeasedRuns += l.end - l.start
+			ws.ReportedDone += l.reported
+			if age := now.Sub(l.issued).Seconds(); age > ws.LeaseAgeSeconds {
+				ws.LeaseAgeSeconds = age
+			}
+		}
+		out = append(out, ws)
+	}
+	return out
 }
 
 // leasedRuns counts runs currently under an active lease.

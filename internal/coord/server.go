@@ -83,6 +83,7 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		done:     make(chan struct{}),
 	}
 	c.sched = newScheduler(m.Runs(), m.IsDone, cfg.LeaseTTL, cfg.MinLease, cfg.MaxLease, !cfg.DisableAffinity)
+	c.sched.instrument = true
 	c.start = c.now()
 	return c, nil
 }
@@ -211,16 +212,19 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 // changes nothing — the worker's journal still has the entries and can
 // re-send them all.
 func (c *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	from := q.Get("worker")
 	if sig := r.Header.Get(SigHeader); sig != c.merger.Sig() {
 		// Version skew: the worker's build resolves the Spec differently.
 		// None of its results can mean what this campaign means.
+		c.reject(from, "sig-mismatch")
 		http.Error(w, fmt.Sprintf("coord: campaign signature mismatch (worker %.12s…, campaign %.12s…)",
 			sig, c.merger.Sig()), http.StatusConflict)
 		return
 	}
-	q := r.URL.Query()
 	id, err := strconv.ParseInt(q.Get("lease"), 10, 64)
 	if err != nil {
+		c.reject(from, "bad-lease-id")
 		http.Error(w, "coord: bad lease id", http.StatusBadRequest)
 		return
 	}
@@ -228,6 +232,7 @@ func (c *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
 
 	entries, err := decodeEntries(r.Body, c.merger.Total())
 	if err != nil {
+		c.reject(from, "decode")
 		http.Error(w, fmt.Sprintf("coord: rejecting upload whole: %v", err), http.StatusBadRequest)
 		return
 	}
@@ -236,16 +241,22 @@ func (c *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
 	defer c.mu.Unlock()
 	l := c.sched.leases[id]
 	if l == nil {
+		c.rejectLocked(from, "unknown-lease")
 		http.Error(w, "coord: unknown lease", http.StatusNotFound)
 		return
 	}
+	if from == "" {
+		from = l.worker
+	}
 	if l.phase == leaseDone {
 		// Duplicate lease result: this lease already finalized and retired.
+		c.rejectLocked(from, "already-finalized")
 		http.Error(w, "coord: lease already finalized", http.StatusConflict)
 		return
 	}
 	for _, e := range entries {
 		if e.Index < l.start || e.Index >= l.end {
+			c.rejectLocked(from, "out-of-range")
 			http.Error(w, fmt.Sprintf("coord: run %d outside lease range [%d,%d)", e.Index, l.start, l.end),
 				http.StatusBadRequest)
 			return
@@ -259,6 +270,7 @@ func (c *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
 			// A conflicting digest for an already-merged run: the worker is
 			// broken (runs are deterministic). Refuse; the merged state is
 			// untouched.
+			c.rejectLocked(from, "result-conflict")
 			http.Error(w, err.Error(), http.StatusConflict)
 			return
 		}
@@ -288,6 +300,7 @@ func (c *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
 		// (dropped chunks, a worker folding differently than it uploads).
 		got := campaign.AggregatesDigest(c.leaseAgg[id])
 		if want := q.Get("digest"); want != got {
+			c.rejectLocked(from, "digest-mismatch")
 			http.Error(w, fmt.Sprintf("coord: lease %d aggregate digest mismatch (worker %.12s…, merged %.12s…)",
 				id, want, got), http.StatusConflict)
 			return
@@ -307,6 +320,21 @@ func (c *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
 		Done:       c.merger.Done(),
 		Total:      c.merger.Total(),
 	})
+}
+
+// reject counts one upload refused whole: the by-reason process counter
+// plus the per-worker attribution row (uploads carry worker= since the
+// name is also how affinity history is keyed). rejectLocked is for the
+// reject sites already under c.mu; reject takes the lock itself.
+func (c *Coordinator) reject(worker, reason string) {
+	c.mu.Lock()
+	c.rejectLocked(worker, reason)
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) rejectLocked(worker, reason string) {
+	mUploadRejects.With(reason).Inc()
+	c.sched.noteReject(worker)
 }
 
 // decodeEntries reads a gzip JSONL RunEntry stream, verifying every line,
@@ -352,11 +380,12 @@ func (c *Coordinator) Status() Status {
 	c.mu.Lock()
 	c.sched.sweep(now)
 	st := Status{
-		Leased:  c.sched.leasedRuns(),
-		Pending: c.sched.pending,
-		Workers: c.sched.activeWorkers(now),
-		Leases:  c.sched.issued,
-		Expired: c.sched.expired,
+		Leased:        c.sched.leasedRuns(),
+		Pending:       c.sched.pending,
+		Workers:       c.sched.activeWorkers(now),
+		Leases:        c.sched.issued,
+		Expired:       c.sched.expired,
+		WorkersDetail: c.sched.workerDetail(now),
 	}
 	aff := c.sched.affinityStats()
 	c.mu.Unlock()

@@ -83,20 +83,44 @@ func (s *System) requestPlan(est control.Estimate, goal geom.Vec3) bool {
 	return true
 }
 
+// PlanDelivery is DeliverPlan's disposition: what became of a staged
+// plan when the control loop delivered it. The scenario flight recorder
+// maps it onto trace events; callers that don't care ignore it.
+type PlanDelivery int
+
+// Plan delivery dispositions.
+const (
+	// PlanIdle: no request was pending (delivery was a no-op).
+	PlanIdle PlanDelivery = iota
+	// PlanApplied: the planned path was accepted and handed to the
+	// trajectory follower.
+	PlanApplied
+	// PlanStale: the decision layer changed state while the plan was in
+	// flight; the plan was dropped.
+	PlanStale
+	// PlanFallback: planning failed and the straight-line fallback path
+	// was applied instead.
+	PlanFallback
+	// PlanFailsafe: planning failed and the generation's fallback
+	// behavior entered failsafe.
+	PlanFailsafe
+)
+
 // DeliverPlan completes a staged request: deferred map writes flush first,
 // then the delivered path goes through exactly the acceptance logic of
 // inline planTo — the bbox safety validation, the generation's fallback
 // behavior — unless the decision layer changed state while the plan was in
 // flight, in which case the plan is stale and dropped (the active state
-// re-requests on its next tick).
-func (s *System) DeliverPlan(path []geom.Vec3, err error) {
+// re-requests on its next tick). The returned disposition says which of
+// those paths the delivery took.
+func (s *System) DeliverPlan(path []geom.Vec3, err error) PlanDelivery {
 	if !s.planPending {
-		return
+		return PlanIdle
 	}
 	s.planPending = false
 	s.flushDeferredMapOps()
 	if s.state != s.planState {
-		return
+		return PlanStale
 	}
 	s.flyingFallback = false
 	if err == nil && s.cfg.BBoxSafetyMargin > 0 && s.deps.LocalMap != nil {
@@ -104,6 +128,7 @@ func (s *System) DeliverPlan(path []geom.Vec3, err error) {
 			err = planning.ErrNoPath
 		}
 	}
+	disp := PlanApplied
 	if err != nil {
 		s.stats.PlanFailures++
 		switch s.cfg.Fallback {
@@ -111,13 +136,15 @@ func (s *System) DeliverPlan(path []geom.Vec3, err error) {
 			s.stats.PlanFallbacks++
 			s.flyingFallback = true
 			path = []geom.Vec3{s.est.Current().Pos, s.planGoal}
+			disp = PlanFallback
 		case FallbackFailsafe:
 			s.enterFailsafe("planning failed: " + err.Error())
-			return
+			return PlanFailsafe
 		}
 	}
 	s.stats.Replans++
 	s.fol.SetTrajectory(planning.BuildTrajectory(path, s.cfg.Trajectory))
+	return disp
 }
 
 // AbandonPlan discards a pending request without applying its result (the

@@ -1,0 +1,162 @@
+package obs_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/coord"
+	"repro/internal/obs"
+
+	// Metric registration happens in package init; pull in every
+	// instrumented layer so Describe() sees the full production catalog.
+	_ "repro/internal/campaign"
+	_ "repro/internal/scenario"
+	_ "repro/internal/worldgen"
+)
+
+// docs_test verifies docs/observability.md against the implementation
+// so the reference cannot drift from the code: the metric table must
+// match obs.Describe() field by field, the event-kind table must match
+// obs.EventKinds(), and the upload-reject reason list must cover
+// coord.RejectReasons.
+
+func readObsDoc(t *testing.T) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("..", "..", "docs", "observability.md"))
+	if err != nil {
+		t.Fatalf("docs/observability.md unreadable: %v", err)
+	}
+	return string(b)
+}
+
+// tableRows extracts `| `name` | a | b | c |` rows keyed by the
+// backticked first cell.
+func tableRows(doc string, columns int) map[string][]string {
+	rows := map[string][]string{}
+	for _, line := range strings.Split(doc, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "| `") {
+			continue
+		}
+		cells := strings.Split(strings.Trim(line, "|"), "|")
+		for i := range cells {
+			cells[i] = strings.TrimSpace(cells[i])
+		}
+		if len(cells) != columns {
+			continue
+		}
+		rows[strings.Trim(cells[0], "`")] = cells[1:]
+	}
+	return rows
+}
+
+func TestDocsMetricTableMatchesDescribe(t *testing.T) {
+	doc := readObsDoc(t)
+	rows := tableRows(doc, 4)
+	// The obs unit tests register throwaway series on Default (the
+	// package-level conveniences have no other registry); only the
+	// production catalog is documented.
+	var descs []obs.Desc
+	for _, d := range obs.Describe() {
+		if !strings.HasPrefix(d.Name, "test_") {
+			descs = append(descs, d)
+		}
+	}
+	for _, d := range descs {
+		row, ok := rows[d.Name]
+		if !ok {
+			t.Errorf("docs metric table is missing %q", d.Name)
+			continue
+		}
+		want := []string{string(d.Type), d.Unit, d.Help}
+		for i, w := range want {
+			if row[i] != w {
+				t.Errorf("docs metric table %s column %d: %q, code says %q", d.Name, i+1, row[i], w)
+			}
+		}
+		// Labeled families must document every pre-registered value.
+		if d.Label != "" {
+			if !strings.Contains(doc, "`"+d.Label+"`") {
+				t.Errorf("docs never name the %q label of %s", d.Label, d.Name)
+			}
+			for _, v := range d.LabelValues {
+				if !strings.Contains(doc, "- `"+v+"` —") {
+					t.Errorf("docs are missing the %q bullet for %s{%s}", v, d.Name, d.Label)
+				}
+			}
+		}
+	}
+	// Bound stale rows: metric rows and event rows share the `| `x` |`
+	// shape but differ in arity (4 vs 4)... so count by known names.
+	known := map[string]bool{}
+	for _, d := range descs {
+		known[d.Name] = true
+	}
+	for _, k := range obs.EventKinds() {
+		known[k.Kind] = true
+	}
+	for name := range rows {
+		if !known[name] {
+			t.Errorf("docs table documents %q, which the code does not register", name)
+		}
+	}
+}
+
+func TestDocsEventTableMatchesEventKinds(t *testing.T) {
+	doc := readObsDoc(t)
+	rows := tableRows(doc, 4)
+	for _, k := range obs.EventKinds() {
+		row, ok := rows[k.Kind]
+		if !ok {
+			t.Errorf("docs event table is missing %q", k.Kind)
+			continue
+		}
+		shape := "point"
+		if k.Phased {
+			shape = "windowed"
+		}
+		want := []string{k.Detail, shape, k.Help}
+		for i, w := range want {
+			if row[i] != w {
+				t.Errorf("docs event table %s column %d: %q, code says %q", k.Kind, i+1, row[i], w)
+			}
+		}
+	}
+}
+
+func TestDocsRejectReasonsMatchCoord(t *testing.T) {
+	doc := readObsDoc(t)
+	// The reason bullets live between the catalog table and the next
+	// heading; extract that section so flag bullets elsewhere don't
+	// shadow stale entries.
+	start := strings.Index(doc, "upload path can hit them")
+	if start < 0 {
+		t.Fatal("docs lost the reject-reason list preamble")
+	}
+	section := doc[start:]
+	if end := strings.Index(section, "\n#"); end >= 0 {
+		section = section[:end]
+	}
+	live := map[string]bool{}
+	for _, reason := range coord.RejectReasons {
+		live[reason] = true
+		if !strings.Contains(section, "- `"+reason+"` —") {
+			t.Errorf("docs reject-reason list is missing %q", reason)
+		}
+	}
+	for _, line := range strings.Split(section, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "- `") {
+			continue
+		}
+		name := line[len("- `"):]
+		if i := strings.IndexByte(name, '`'); i >= 0 {
+			name = name[:i]
+		}
+		if !live[name] {
+			t.Errorf("docs document reject reason %q, which the code does not use", name)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTraceRing(t *testing.T) {
+	tr := NewTrace(3)
+	for i := 0; i < 5; i++ {
+		tr.Record(Event{Tick: i, Kind: "capture"})
+	}
+	evs := tr.Events()
+	if len(evs) != 3 || tr.Dropped() != 2 {
+		t.Fatalf("events=%d dropped=%d, want 3/2", len(evs), tr.Dropped())
+	}
+	for i, ev := range evs {
+		if ev.Tick != i+2 {
+			t.Fatalf("event %d tick = %d, want %d (oldest-first ring order)", i, ev.Tick, i+2)
+		}
+	}
+}
+
+func TestEventJSONFieldOrder(t *testing.T) {
+	ev := Event{Tick: 3, T: 0.15, Member: 1, Kind: "fault", Detail: "gps-drift", Phase: PhaseEnter, Value: 2}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"tick":3,"t":0.15,"member":1,"kind":"fault","detail":"gps-drift","phase":"enter","value":2}`
+	if string(b) != want {
+		t.Fatalf("canonical encoding changed:\n got %s\nwant %s", b, want)
+	}
+	// Zero member/detail/phase/value are omitted — a solo trace and
+	// fleet member 0's trace encode identically.
+	b, _ = json.Marshal(Event{Tick: 0, T: 0.05, Kind: "end", Detail: "success"})
+	if string(b) != `{"tick":0,"t":0.05,"kind":"end","detail":"success"}` {
+		t.Fatalf("omitempty encoding changed: %s", b)
+	}
+}
+
+func TestEventKindsCatalogClosed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range EventKinds() {
+		if k.Kind == "" || k.Help == "" || k.Detail == "" {
+			t.Fatalf("catalog entry %+v incomplete", k)
+		}
+		if seen[k.Kind] {
+			t.Fatalf("duplicate kind %q", k.Kind)
+		}
+		if k.Kind == runHeaderKind {
+			t.Fatalf("event kind %q collides with the run-header framing", k.Kind)
+		}
+		seen[k.Kind] = true
+	}
+}
+
+func writeTrace(t *testing.T, hdr RunHeader, evs []Event, dropped int) string {
+	t.Helper()
+	var b strings.Builder
+	if err := WriteRunTrace(&b, hdr, evs, dropped); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestCheckTraceValid(t *testing.T) {
+	evs := []Event{
+		{Tick: 0, T: 0.05, Kind: "capture", Detail: "depth+frame"},
+		{Tick: 0, T: 0.05, Kind: "apply", Detail: "depth+frame"},
+		{Tick: 2, T: 0.1, Kind: "fault", Detail: "gps-drift", Phase: PhaseEnter},
+		{Tick: 2, T: 0.1, Kind: "degraded", Phase: PhaseEnter},
+		{Tick: 4, T: 0.2, Kind: "plan-request"},
+		{Tick: 6, T: 0.3, Kind: "plan-deliver", Detail: "applied"},
+		{Tick: 8, T: 0.4, Kind: "fault", Detail: "gps-drift", Phase: PhaseExit},
+		{Tick: 8, T: 0.4, Kind: "degraded", Phase: PhaseExit},
+		{Tick: 9, T: 0.45, Kind: "end", Detail: "success"},
+	}
+	text := writeTrace(t, RunHeader{Run: 0, Gen: "V3", Map: 1, Sc: 2, Seed: 42}, evs, 0)
+	var out strings.Builder
+	stats, err := CheckTrace(strings.NewReader(text), CheckOptions{Timeline: true, Out: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Violations != 0 {
+		t.Fatalf("violations in a valid trace:\n%s", out.String())
+	}
+	if stats.Runs != 1 || stats.Events != len(evs) {
+		t.Fatalf("stats = %+v", stats)
+	}
+	for _, want := range []string{"run 0 gen=V3", "FAULT", "gps-drift", "t=   0.45s"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestCheckTraceViolations(t *testing.T) {
+	cases := map[string][]Event{
+		"tick backwards": {
+			{Tick: 5, Kind: "capture", Detail: "depth"},
+			{Tick: 3, Kind: "end", Detail: "success"},
+		},
+		"double enter": {
+			{Tick: 1, Kind: "fault", Detail: "wind", Phase: PhaseEnter},
+			{Tick: 2, Kind: "fault", Detail: "wind", Phase: PhaseEnter},
+		},
+		"exit without enter": {
+			{Tick: 1, Kind: "blackout", Phase: PhaseExit},
+		},
+		"event after end": {
+			{Tick: 1, Kind: "end", Detail: "success"},
+			{Tick: 2, Kind: "capture", Detail: "depth"},
+		},
+		"abort not terminal": {
+			{Tick: 1, Kind: "abort", Detail: "battery"},
+			{Tick: 2, Kind: "capture", Detail: "depth"},
+			{Tick: 2, Kind: "end", Detail: "aborted"},
+		},
+		"unknown kind": {
+			{Tick: 1, Kind: "mystery"},
+		},
+		"phase on point kind": {
+			{Tick: 1, Kind: "capture", Detail: "depth", Phase: PhaseEnter},
+		},
+		"windowed without phase": {
+			{Tick: 1, Kind: "blackout"},
+		},
+	}
+	for name, evs := range cases {
+		t.Run(name, func(t *testing.T) {
+			text := writeTrace(t, RunHeader{Run: 0, Gen: "V3"}, evs, 0)
+			stats, err := CheckTrace(strings.NewReader(text), CheckOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Violations == 0 {
+				t.Fatalf("%s: expected a violation", name)
+			}
+		})
+	}
+}
+
+func TestCheckTraceHeaderCount(t *testing.T) {
+	// Header declares 2 events but the block has 1.
+	text := `{"kind":"run","run":0,"gen":"V3","map":0,"sc":0,"rep":0,"seed":1,"events":2}
+{"tick":0,"t":0.05,"kind":"end","detail":"success"}
+`
+	stats, err := CheckTrace(strings.NewReader(text), CheckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Violations != 1 {
+		t.Fatalf("violations = %d, want 1 (declared-count mismatch)", stats.Violations)
+	}
+	// With drops, the count check is waived.
+	text = `{"kind":"run","run":0,"gen":"V3","map":0,"sc":0,"rep":0,"seed":1,"events":2,"dropped":3}
+{"tick":0,"t":0.05,"kind":"end","detail":"success"}
+`
+	stats, err = CheckTrace(strings.NewReader(text), CheckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Violations != 0 {
+		t.Fatalf("violations = %d, want 0 under drops", stats.Violations)
+	}
+}
+
+func TestCheckTraceBareStreamAndMembers(t *testing.T) {
+	// A bare event stream (no header) checks as one anonymous run, and
+	// member streams validate independently.
+	var b strings.Builder
+	for _, ev := range []Event{
+		{Tick: 4, Kind: "capture", Detail: "depth", Member: 1},
+		{Tick: 2, Kind: "capture", Detail: "depth", Member: 2},
+		{Tick: 5, Kind: "end", Detail: "success", Member: 1},
+		{Tick: 5, Kind: "end", Detail: "success", Member: 2},
+	} {
+		line, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	stats, err := CheckTrace(strings.NewReader(b.String()), CheckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Runs != 0 || stats.Events != 4 || stats.Violations != 0 {
+		t.Fatalf("stats = %+v, want 0 runs / 4 events / 0 violations", stats)
+	}
+}
+
+func TestCheckTraceMalformed(t *testing.T) {
+	if _, err := CheckTrace(strings.NewReader("not json\n"), CheckOptions{}); err == nil {
+		t.Fatal("malformed line should error")
+	}
+}

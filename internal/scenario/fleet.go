@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/worldgen"
 )
@@ -204,6 +205,7 @@ func runFleet(sc *worldgen.Scenario, sys *core.System, cfg RunConfig, fl *FleetS
 			}
 		}
 		m := newMission(sc, msys, mcfg)
+		m.member = j
 		if j > 0 {
 			m.drone = sim.NewDrone(sim.DefaultDroneConfig(), fleetSpawn(sc.World, j, spacing, m.drone.Cfg.Radius))
 		}
@@ -269,6 +271,16 @@ func runFleet(sc *worldgen.Scenario, sys *core.System, cfg RunConfig, fl *FleetS
 				}
 				if nb == 2 && prev < 2 {
 					violations++
+				}
+				if rec := cfg.Recorder; rec != nil && nb > prev {
+					// Band entries only, matching the metric: the event
+					// carries the pair as (member=a, value=b).
+					detail := "near-miss"
+					if nb == 2 {
+						detail = "violation"
+					}
+					rec.Record(obs.Event{Tick: i, T: members[a].now, Member: a,
+						Kind: "separation", Detail: detail, Value: float64(b)})
 				}
 				band[a*n+b] = nb
 			}

@@ -1,12 +1,12 @@
 package scenario
 
 import (
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/detect"
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // In-run pipelined perception.
@@ -173,19 +173,11 @@ func (st *perceptionStage) shutdown() time.Duration {
 	return time.Duration(ns)
 }
 
-// Process-wide pipeline counters, mirrored on worldgen.Cache.Stats: the
-// bench commands report stage overlap across a whole campaign without
-// threading a collector through every run.
-var pipelineStats struct {
-	runs    atomic.Int64
-	batches atomic.Int64
-	stageNs atomic.Int64
-	stallNs atomic.Int64
-	wallNs  atomic.Int64
-}
-
 // PipelineStats is a snapshot of the process-wide pipelined-runner
-// counters.
+// counters. Since the unified metrics plane (internal/obs) the counters
+// live in the Default registry as scenario_pipeline_* series; this
+// struct and ReadPipelineStats are the thin read-side shim the bench
+// commands print.
 type PipelineStats struct {
 	// Runs is the number of pipelined missions completed; Batches the
 	// number of perception jobs their stages executed.
@@ -197,14 +189,15 @@ type PipelineStats struct {
 	StageBusy, Stall, Wall time.Duration
 }
 
-// ReadPipelineStats returns the current process-wide counters.
+// ReadPipelineStats returns the current process-wide counters (a shim
+// over the internal/obs registry).
 func ReadPipelineStats() PipelineStats {
 	return PipelineStats{
-		Runs:      pipelineStats.runs.Load(),
-		Batches:   pipelineStats.batches.Load(),
-		StageBusy: time.Duration(pipelineStats.stageNs.Load()),
-		Stall:     time.Duration(pipelineStats.stallNs.Load()),
-		Wall:      time.Duration(pipelineStats.wallNs.Load()),
+		Runs:      mPipeRuns.Load(),
+		Batches:   mPipeBatches.Load(),
+		StageBusy: time.Duration(mPipeStageNs.Load()),
+		Stall:     time.Duration(mPipeStallNs.Load()),
+		Wall:      time.Duration(mPipeWallNs.Load()),
 	}
 }
 
@@ -223,11 +216,11 @@ func (m *mission) runPipelined() Result {
 	res, batches, stageNs, stallNs := m.pipelinedLoop(st, k)
 	stageNs += st.shutdown().Nanoseconds()
 
-	pipelineStats.runs.Add(1)
-	pipelineStats.batches.Add(batches)
-	pipelineStats.stageNs.Add(stageNs)
-	pipelineStats.stallNs.Add(stallNs)
-	pipelineStats.wallNs.Add(time.Since(start).Nanoseconds())
+	mPipeRuns.Inc()
+	mPipeBatches.Add(batches)
+	mPipeStageNs.Add(stageNs)
+	mPipeStallNs.Add(stallNs)
+	mPipeWallNs.Add(time.Since(start).Nanoseconds())
 	return res
 }
 
@@ -246,9 +239,9 @@ func (m *mission) pipelinedLoop(st *perceptionStage, k int) (res Result, batches
 
 	for i := 0; i < m.steps; i++ {
 		m.now += m.t.Dt
+		m.curTick = i
 		blackout := m.beginFaultTick()
 		epoch := m.beginTick()
-		m.curTick = i
 		m.deliverDuePlan(i, blackout)
 
 		// Submit before applying so k == 0 means a synchronous handoff
@@ -273,6 +266,9 @@ func (m *mission) pipelinedLoop(st *perceptionStage, k int) (res Result, batches
 			st.jobs <- job
 			pending[(pendHead+pendLen)%len(pending)] = i + k
 			pendLen++
+			if m.rec != nil {
+				m.record(obs.Event{Tick: i, T: m.now, Kind: "capture", Detail: payloadDetail(job.depthDue, job.frameDue)})
+			}
 		}
 
 		// Apply the perception result stamped for this tick, blocking until
@@ -305,6 +301,13 @@ func (m *mission) pipelinedLoop(st *perceptionStage, k int) (res Result, batches
 					if markerVisible {
 						m.res.MarkerVisibleFrames++
 					}
+				}
+				if m.rec != nil {
+					// With k == 0 the lag is 0 (omitted from the JSON) and
+					// this pairs with the same-tick capture exactly like the
+					// inline recorder — the k=0 trace-equality oracle.
+					m.record(obs.Event{Tick: i, T: m.now, Kind: "apply",
+						Detail: payloadDetail(r.haveDepth, r.haveFrame), Value: float64(i - r.tick)})
 				}
 				if so, ok := m.cfg.Observer.(StageObserver); ok {
 					so.RecordStage(r.haveFrame, r.haveDepth, i-r.tick)

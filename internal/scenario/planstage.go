@@ -1,10 +1,11 @@
 package scenario
 
 import (
-	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // In-run staged planning.
@@ -89,16 +90,10 @@ func (st *planStage) shutdown() time.Duration {
 	return time.Duration(ns)
 }
 
-// Process-wide staged-planner counters, like pipelineStats: the bench
-// commands report planner-stage overlap across a whole campaign.
-var planStats struct {
-	runs    atomic.Int64
-	plans   atomic.Int64
-	stageNs atomic.Int64
-	stallNs atomic.Int64
-}
-
-// PlanStageStats is a snapshot of the process-wide staged-planner counters.
+// PlanStageStats is a snapshot of the process-wide staged-planner
+// counters. Like PipelineStats, the counters themselves live in the
+// internal/obs Default registry (scenario_planstage_* series); this is
+// the read-side shim the bench commands print.
 type PlanStageStats struct {
 	// Runs is the number of staged-planner missions completed; Plans the
 	// number of planning requests their stages executed.
@@ -109,13 +104,14 @@ type PlanStageStats struct {
 	StageBusy, Stall time.Duration
 }
 
-// ReadPlanStageStats returns the current process-wide counters.
+// ReadPlanStageStats returns the current process-wide counters (a shim
+// over the internal/obs registry).
 func ReadPlanStageStats() PlanStageStats {
 	return PlanStageStats{
-		Runs:      planStats.runs.Load(),
-		Plans:     planStats.plans.Load(),
-		StageBusy: time.Duration(planStats.stageNs.Load()),
-		Stall:     time.Duration(planStats.stallNs.Load()),
+		Runs:      mPlanRuns.Load(),
+		Plans:     mPlanDelivered.Load(),
+		StageBusy: time.Duration(mPlanStageNs.Load()),
+		Stall:     time.Duration(mPlanStallNs.Load()),
 	}
 }
 
@@ -126,6 +122,9 @@ func (m *mission) submitPlan(start, goal geom.Vec3) {
 	m.plans.jobs <- planJob{tick: m.curTick, start: start, goal: goal}
 	m.planDue = m.curTick + m.t.PlanLatencyTicks
 	m.planInFlight = true
+	if m.rec != nil {
+		m.record(obs.Event{Tick: m.curTick, T: m.now, Kind: "plan-request"})
+	}
 }
 
 // deliverDuePlan applies the plan stamped for tick i, blocking until the
@@ -146,9 +145,27 @@ func (m *mission) deliverDuePlan(i int, blackout bool) {
 	m.planInFlight = false
 	if blackout {
 		m.sys.AbandonPlan()
+		if m.rec != nil {
+			m.record(obs.Event{Tick: i, T: m.now, Kind: "plan-abandon"})
+		}
 		return
 	}
-	m.sys.DeliverPlan(r.path, r.err)
+	disp := m.sys.DeliverPlan(r.path, r.err)
+	if disp == core.PlanStale {
+		m.planStaleCnt++
+	}
+	if m.rec != nil {
+		switch disp {
+		case core.PlanStale:
+			m.record(obs.Event{Tick: i, T: m.now, Kind: "plan-stale"})
+		case core.PlanApplied:
+			m.record(obs.Event{Tick: i, T: m.now, Kind: "plan-deliver", Detail: "applied"})
+		case core.PlanFallback:
+			m.record(obs.Event{Tick: i, T: m.now, Kind: "plan-deliver", Detail: "fallback"})
+		case core.PlanFailsafe:
+			m.record(obs.Event{Tick: i, T: m.now, Kind: "plan-deliver", Detail: "failsafe"})
+		}
+	}
 }
 
 // finishPlanStage retires the stage after the mission ends (any pending
@@ -158,8 +175,9 @@ func (m *mission) deliverDuePlan(i int, blackout bool) {
 func (m *mission) finishPlanStage() {
 	m.planStageNs += m.plans.shutdown().Nanoseconds()
 	m.sys.DisablePlanStage()
-	planStats.runs.Add(1)
-	planStats.plans.Add(m.planCount)
-	planStats.stageNs.Add(m.planStageNs)
-	planStats.stallNs.Add(m.planStallNs)
+	mPlanRuns.Inc()
+	mPlanDelivered.Add(m.planCount)
+	mPlanStale.Add(m.planStaleCnt)
+	mPlanStageNs.Add(m.planStageNs)
+	mPlanStallNs.Add(m.planStallNs)
 }

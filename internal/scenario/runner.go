@@ -23,6 +23,7 @@ import (
 	"repro/internal/detect"
 	"repro/internal/fault"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/vision"
 	"repro/internal/worldgen"
@@ -217,6 +218,17 @@ type RunConfig struct {
 	// Observer, when non-nil, receives module-activity callbacks for
 	// resource modeling (Table III / Fig. 7).
 	Observer ResourceObserver
+	// Recorder, when non-nil, receives the run's flight-recorder events
+	// (see internal/obs): tick-stamped fault/blackout/degraded edges,
+	// perception capture/apply, staged-plan dispositions, fleet
+	// separation-band entries, and the terminal abort/end. Events derive
+	// only from deterministic simulation state and are recorded from the
+	// control-loop goroutine only. Nil (the default) costs one pointer
+	// check per site — the untraced path stays on the zero-alloc hot
+	// path, guarded by BenchmarkRunTraceOff. RunConfig is runtime-only
+	// (never part of campaign signatures), so the knob cannot perturb
+	// checkpoint or shard compatibility.
+	Recorder obs.Recorder
 	// RTK switches the GPS model to RTK-corrected output (§V-C
 	// mitigation study).
 	RTK bool
@@ -370,8 +382,19 @@ type mission struct {
 	planDue      int
 	planInFlight bool
 	planCount    int64
+	planStaleCnt int64
 	planStageNs  int64
 	planStallNs  int64
+
+	// Flight recorder; nil (one pointer check per site) unless the run
+	// opted in via RunConfig.Recorder. member tags fleet events (0 for
+	// solo and the fleet primary, whose traces are identical); the prev*
+	// booleans turn the injector's per-tick blackout/degraded levels
+	// into enter/exit edges.
+	rec          obs.Recorder
+	member       int
+	prevBlackout bool
+	prevDegraded bool
 }
 
 // newMission normalizes the config and assembles the run's actors. Each
@@ -408,6 +431,7 @@ func newMission(sc *worldgen.Scenario, sys *core.System, cfg RunConfig) *mission
 		res:     Result{LandingError: math.NaN(), DetectionError: math.NaN()},
 		steps:   int(cfg.MaxDuration / t.Dt),
 		cmdRing: make([]core.Command, t.CommandLatencyTicks+1),
+		rec:     cfg.Recorder,
 	}
 	if cfg.RTK {
 		m.gps.EnableRTK()
@@ -499,9 +523,9 @@ func (m *mission) runInline() Result {
 // inside one tick is untouched.
 func (m *mission) tickInline(i int) tickStatus {
 	m.now += m.t.Dt
+	m.curTick = i
 	blackout := m.beginFaultTick()
 	epoch := m.beginTick()
-	m.curTick = i
 	m.deliverDuePlan(i, blackout)
 
 	var cmd core.Command
@@ -512,25 +536,39 @@ func (m *mission) tickInline(i int) tickStatus {
 		// last commanded setpoint.
 		cmd = m.lastCmd
 	} else {
-		if m.now >= m.nextDepth {
+		depthDue := m.now >= m.nextDepth
+		frameDue := m.now >= m.nextDetect
+		var gotDepth, gotFrame bool
+		if depthDue {
 			m.nextDepth = m.now + m.t.DepthPeriod
 			if returns, ok := m.captureDepth(m.drone.Pos, m.drone.Yaw, m.now); ok {
 				m.depthPts = copyDepthPoints(m.depthPts, returns)
 				epoch.Depth = m.depthPts
 				epoch.DepthYaw = m.drone.Yaw
+				gotDepth = true
 			}
 		}
 
-		if m.now >= m.nextDetect {
+		if frameDue {
 			m.nextDetect = m.now + m.t.DetectPeriod
 			if frame, ok := m.captureFrame(m.drone.Pos, m.drone.Yaw, m.drone.Speed(), m.now); ok {
 				epoch.Frame = frame
 				epoch.FrameYaw = m.drone.Yaw
+				gotFrame = true
 				markerVisible = markerInView(m.w, m.sc, m.drone.Pos, m.drone.Yaw)
 				if markerVisible {
 					m.res.MarkerVisibleFrames++
 				}
 			}
+		}
+
+		if m.rec != nil && (depthDue || frameDue) {
+			// Capture is stamped before fault dropouts apply, apply with
+			// what actually arrived — the same two events the pipelined
+			// loop records at submit and delivery, so an inline trace is
+			// byte-identical to pipelined k=0.
+			m.record(obs.Event{Tick: i, T: m.now, Kind: "capture", Detail: payloadDetail(depthDue, frameDue)})
+			m.record(obs.Event{Tick: i, T: m.now, Kind: "apply", Detail: payloadDetail(gotDepth, gotFrame)})
 		}
 
 		cmd = m.stepSystem(epoch, markerVisible)
@@ -569,7 +607,70 @@ func (m *mission) beginFaultTick() bool {
 			}
 		}
 	}
+	if m.rec != nil {
+		// Fault-window edges at the injector's own edge times, then the
+		// derived degraded/blackout levels as enter/exit transitions.
+		for _, ev := range st.Events {
+			phase := obs.PhaseExit
+			if ev.Active {
+				phase = obs.PhaseEnter
+			}
+			m.record(obs.Event{Tick: m.curTick, T: ev.T, Kind: "fault", Detail: string(ev.Kind), Phase: phase})
+		}
+		if st.Degraded != m.prevDegraded {
+			m.record(obs.Event{Tick: m.curTick, T: m.now, Kind: "degraded", Phase: phaseOf(st.Degraded)})
+			m.prevDegraded = st.Degraded
+		}
+		if st.Blackout != m.prevBlackout {
+			m.record(obs.Event{Tick: m.curTick, T: m.now, Kind: "blackout", Phase: phaseOf(st.Blackout)})
+			m.prevBlackout = st.Blackout
+		}
+	}
 	return st.Blackout
+}
+
+// record forwards one flight-recorder event, tagging it with the
+// mission's fleet member index. Callers nil-check m.rec first so the
+// untraced hot path pays one branch and builds no Event.
+func (m *mission) record(ev obs.Event) {
+	ev.Member = m.member
+	m.rec.Record(ev)
+}
+
+// recordEnd emits the terminal trace events of a mission: the abort cause
+// (aborted missions only; finishFaults has run, so AbortCause is final)
+// followed by exactly one end event carrying the outcome.
+func (m *mission) recordEnd() {
+	if m.rec == nil {
+		return
+	}
+	if m.res.FinalState == core.StateAborted {
+		m.record(obs.Event{Tick: m.curTick, T: m.now, Kind: "abort", Detail: m.res.AbortCause})
+	}
+	m.record(obs.Event{Tick: m.curTick, T: m.now, Kind: "end", Detail: m.res.Outcome.String()})
+}
+
+// phaseOf maps a boolean level to the windowed-event phase of its edge.
+func phaseOf(active bool) string {
+	if active {
+		return obs.PhaseEnter
+	}
+	return obs.PhaseExit
+}
+
+// payloadDetail names a perception payload combination for capture/apply
+// trace events. Constant strings, so recording stays allocation-free.
+func payloadDetail(depth, frame bool) string {
+	switch {
+	case depth && frame:
+		return "depth+frame"
+	case depth:
+		return "depth"
+	case frame:
+		return "frame"
+	default:
+		return "none"
+	}
 }
 
 // captureDepth runs one forward depth capture through the fault taps:
@@ -752,6 +853,7 @@ func (m *mission) crashed(applied core.Command) bool {
 		m.res.Duration = m.now
 		finishMetrics(&m.res, m.sys, m.sc)
 		m.finishFaults()
+		m.recordEnd()
 		return true
 	}
 	if m.drone.Pos.Z <= m.drone.Cfg.Radius*0.6 && !m.drone.Landed() {
@@ -767,6 +869,7 @@ func (m *mission) crashed(applied core.Command) bool {
 			m.res.Duration = m.now
 			finishMetrics(&m.res, m.sys, m.sc)
 			m.finishFaults()
+			m.recordEnd()
 			return true
 		}
 	}
@@ -785,12 +888,14 @@ func (m *mission) classify() Result {
 	default:
 		m.res.Outcome = FailurePoorLanding
 	}
+	m.recordEnd()
 	return m.res
 }
 
 // finishMetrics fills the detection-deviation metric from the system's
 // accepted detections versus ground truth.
 func finishMetrics(res *Result, sys *core.System, sc *worldgen.Scenario) {
+	mMissionDuration.Observe(res.Duration)
 	res.Stats = sys.Stats()
 	if n := len(res.Stats.DetectionPositions); n > 0 {
 		var sum float64

@@ -33,12 +33,13 @@ import (
 // 100 distinct cells, so with the default capacity the cache simply holds
 // every world; the refcounts are what make a smaller bound safe.
 type Cache struct {
-	mu       sync.Mutex
-	capacity int
-	entries  map[cacheKey]*cacheEntry
-	tick     uint64
-	hits     uint64
-	misses   uint64
+	mu        sync.Mutex
+	capacity  int
+	entries   map[cacheKey]*cacheEntry
+	tick      uint64
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
 type cacheKey struct{ mapIdx, scIdx int }
@@ -136,6 +137,7 @@ func (c *Cache) evictLocked() {
 			return // everything pinned; try again on the next release
 		}
 		delete(c.entries, victim)
+		c.evictions++
 	}
 }
 
@@ -145,4 +147,12 @@ func (c *Cache) Stats() (hits, misses uint64, resident int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, len(c.entries)
+}
+
+// Evictions reports how many worlds capacity pressure has dropped since
+// creation.
+func (c *Cache) Evictions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
 }

@@ -1,0 +1,29 @@
+package worldgen
+
+import "repro/internal/obs"
+
+// The Shared world cache keeps its own mutex-guarded counts (they predate
+// the metrics plane and Stats() reads them under the cache lock), so the
+// registry mirrors them through function-backed metrics instead of
+// double-counting on the hot path.
+func init() {
+	obs.NewCounterFunc("worldgen_cache_hits_total", "lookups",
+		"Shared world-cache lookups served by a resident world", func() int64 {
+			h, _, _ := Shared.Stats()
+			return int64(h)
+		})
+	obs.NewCounterFunc("worldgen_cache_misses_total", "lookups",
+		"Shared world-cache lookups that generated the world", func() int64 {
+			_, m, _ := Shared.Stats()
+			return int64(m)
+		})
+	obs.NewCounterFunc("worldgen_cache_evictions_total", "worlds",
+		"worlds dropped from the Shared cache by capacity pressure", func() int64 {
+			return int64(Shared.Evictions())
+		})
+	obs.NewGaugeFunc("worldgen_cache_resident", "worlds",
+		"worlds currently resident in the Shared cache", func() int64 {
+			_, _, r := Shared.Stats()
+			return int64(r)
+		})
+}

@@ -1,0 +1,43 @@
+package worldgen
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestObsMirrorsTrackCacheStats pins the registry mirrors to the Shared
+// cache's own accounting: the function-backed series must read the same
+// numbers Stats()/Evictions() report at scrape time.
+func TestObsMirrorsTrackCacheStats(t *testing.T) {
+	// Touch the cache so the mirrors have live values to report (other
+	// tests in the package may already have warmed it; absolute values
+	// are whatever the cache says, which is the point).
+	for i := 0; i < 2; i++ {
+		if _, release, err := Shared.Acquire(0, 0); err != nil {
+			t.Fatal(err)
+		} else {
+			release()
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := obs.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	hits, misses, resident := Shared.Stats()
+	for series, want := range map[string]uint64{
+		"worldgen_cache_hits_total":      hits,
+		"worldgen_cache_misses_total":    misses,
+		"worldgen_cache_resident":        uint64(resident),
+		"worldgen_cache_evictions_total": Shared.Evictions(),
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(fmt.Sprintf("%s %d\n", series, want))) {
+			t.Errorf("exposition disagrees with the cache: want %q %d\n%s", series, want, out)
+		}
+	}
+}

@@ -67,7 +67,10 @@ var zeroAllocBenchmarks = []string{
 // BenchmarkRunFleetOff is the nominal mission with the fleet knob
 // normalized away; it shares BenchmarkRun's budget, so the fleet overlay
 // wiring cannot quietly tax every single-drone campaign.
-var gatedBenchmarks = []string{"BenchmarkRun", "BenchmarkRunPipelined", "BenchmarkRunFaultsOff", "BenchmarkRunFast", "BenchmarkRunFleetOff"}
+// BenchmarkRunTraceOff is the nominal mission with an explicitly nil
+// flight recorder; it shares BenchmarkRun's budget, so the observability
+// wiring cannot quietly tax every untraced campaign.
+var gatedBenchmarks = []string{"BenchmarkRun", "BenchmarkRunPipelined", "BenchmarkRunFaultsOff", "BenchmarkRunFast", "BenchmarkRunFleetOff", "BenchmarkRunTraceOff"}
 
 // Fast-speedup ratio gate operands: fastRatioNum must be at least
 // -min-fast-speedup times faster than fastRatioDen in the same smoke file.

@@ -18,6 +18,7 @@ BenchmarkRunPipelined-4           5    340362629 ns/op   8172180 B/op   11590 al
 BenchmarkRunFaultsOff-4           5    315340870 ns/op   8514950 B/op   11328 allocs/op
 BenchmarkRunFast-4                5    149000000 ns/op   8665360 B/op   10258 allocs/op
 BenchmarkRunFleetOff-4            5    305000000 ns/op   8618870 B/op   11772 allocs/op
+BenchmarkRunTraceOff-4            5    304000000 ns/op   8618868 B/op   11773 allocs/op
 BenchmarkDispatchOverhead-4       1    812000000 ns/op      1.73 overhead-%
 BenchmarkCellAffinity-4         100       581034 ns/op      41.7 affine-hit-%      8.3 random-hit-%
 BenchmarkRender-4              1000       408527 ns/op       524 B/op       0 allocs/op
@@ -45,6 +46,9 @@ const baselineJSON = `{
     },
     "BenchmarkRunFleetOff": {
       "after": {"ns_op": 305000000, "bytes_op": 8618870, "allocs_op": 11772}
+    },
+    "BenchmarkRunTraceOff": {
+      "after": {"ns_op": 304000000, "bytes_op": 8618868, "allocs_op": 11773}
     }
   }
 }`
@@ -216,6 +220,36 @@ func TestGateCoversFleetOffRun(t *testing.T) {
 	err, out = gate(t, strings.Join(kept, "\n"), baselineJSON, 0.10)
 	if err == nil {
 		t.Fatalf("missing fleet-off benchmark passed the gate:\n%s", out)
+	}
+}
+
+// TestGateCoversTraceOffRun pins the observability off-state gate: the
+// mission with an explicitly nil flight recorder shares BenchmarkRun's
+// allocation budget, and losing the benchmark from the smoke run must
+// fail the gate.
+func TestGateCoversTraceOffRun(t *testing.T) {
+	injected := strings.Replace(goodBench, "11773 allocs/op", "13500 allocs/op", 1)
+	if injected == goodBench {
+		t.Fatal("fixture drifted: BenchmarkRunTraceOff line not found")
+	}
+	err, out := gate(t, injected, baselineJSON, 0.10)
+	if err == nil {
+		t.Fatalf("trace-off alloc regression passed the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "BenchmarkRunTraceOff") {
+		t.Errorf("violation does not name the trace-off benchmark:\n%s", out)
+	}
+
+	var kept []string
+	for _, line := range strings.Split(goodBench, "\n") {
+		if strings.HasPrefix(line, "BenchmarkRunTraceOff") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	err, out = gate(t, strings.Join(kept, "\n"), baselineJSON, 0.10)
+	if err == nil {
+		t.Fatalf("missing trace-off benchmark passed the gate:\n%s", out)
 	}
 }
 

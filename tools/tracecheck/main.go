@@ -1,0 +1,60 @@
+// Command tracecheck validates flight-recorder trace files (the JSONL
+// the bench tools write with -trace): run headers framing per-run event
+// blocks, tick-stamped events from the internal/obs catalog.
+//
+//	go run ./tools/tracecheck mission.jsonl          # validate
+//	go run ./tools/tracecheck -timeline mission.jsonl # + human timeline
+//	silbench ... -trace /dev/stdout | go run ./tools/tracecheck -
+//
+// The checked invariants (see docs/observability.md): per-member monotone
+// ticks, matched enter/exit windows for phased kinds, terminal and unique
+// end events, abort followed only by its member's end, catalog-closed
+// kinds, and header-declared event counts. Exit status 1 means at least
+// one violation; 2 means unreadable input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	timeline := flag.Bool("timeline", false, "print a human-readable per-run event timeline")
+	flag.Parse()
+
+	files := flag.Args()
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-timeline] <trace.jsonl>... (- for stdin)")
+		os.Exit(2)
+	}
+
+	violations := 0
+	for _, path := range files {
+		var r io.Reader
+		if path == "-" {
+			r = os.Stdin
+		} else {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tracecheck:", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			r = f
+		}
+		st, err := obs.CheckTrace(r, obs.CheckOptions{Timeline: *timeline, Out: os.Stdout})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		fmt.Printf("%s: %d runs, %d events, %d violations\n", path, st.Runs, st.Events, st.Violations)
+		violations += st.Violations
+	}
+	if violations > 0 {
+		os.Exit(1)
+	}
+}
